@@ -1,0 +1,106 @@
+//===- bench/micro_solver.cpp - Substrate micro-benchmarks ------*- C++ -*-===//
+//
+// google-benchmark timings of the substrate layers: Omega satisfiability,
+// entailment, projection, ranking synthesis, abduction, and the foo
+// example end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Analyzer.h"
+#include "solver/Solver.h"
+#include "synth/Abduction.h"
+#include "synth/Ranking.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tnt;
+
+namespace {
+
+LinExpr ex(const char *N) { return LinExpr::var(mkVar(N)); }
+
+Constraint ge(const LinExpr &L, int64_t R) {
+  return Constraint::make(L, CmpKind::Ge, LinExpr(R));
+}
+Constraint le(const LinExpr &L, int64_t R) {
+  return Constraint::make(L, CmpKind::Le, LinExpr(R));
+}
+Constraint eq(const LinExpr &L, const LinExpr &R) {
+  return Constraint::make(L, CmpKind::Eq, R);
+}
+
+void BM_OmegaSatChain(benchmark::State &State) {
+  // x1 < x2 < ... < xn within [0, 100].
+  ConstraintConj Conj;
+  int N = static_cast<int>(State.range(0));
+  for (int I = 0; I + 1 < N; ++I)
+    Conj.push_back(Constraint::make(
+        ex(("bm_x" + std::to_string(I)).c_str()), CmpKind::Lt,
+        ex(("bm_x" + std::to_string(I + 1)).c_str())));
+  Conj.push_back(ge(ex("bm_x0"), 0));
+  Conj.push_back(le(ex(("bm_x" + std::to_string(N - 1)).c_str()), 100));
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Omega::isSatConj(Conj));
+  }
+}
+BENCHMARK(BM_OmegaSatChain)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_OmegaDarkShadow(benchmark::State &State) {
+  ConstraintConj Conj = {ge(ex("bm_d") * 8, 27), le(ex("bm_d") * 8, 30)};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Omega::isSatConj(Conj));
+}
+BENCHMARK(BM_OmegaDarkShadow);
+
+void BM_SolverEntailment(benchmark::State &State) {
+  Formula A = Formula::conj2(Formula::cmp(ex("bm_a"), CmpKind::Ge, LinExpr(1)),
+                             Formula::cmp(ex("bm_b"), CmpKind::Ge, ex("bm_a")));
+  Formula B = Formula::cmp(ex("bm_b"), CmpKind::Ge, LinExpr(1));
+  for (auto _ : State) {
+    Solver::resetStats();
+    benchmark::DoNotOptimize(Solver::entails(A, B));
+  }
+}
+BENCHMARK(BM_SolverEntailment);
+
+void BM_RankingSynthesis(benchmark::State &State) {
+  VarId X = mkVar("bm_rx"), Y = mkVar("bm_ry");
+  VarId XP = mkVar("bm_rx'"), YP = mkVar("bm_ry'");
+  RankEdge E;
+  E.Src = E.Dst = 0;
+  E.Ctx = {ge(ex("bm_rx"), 0), eq(ex("bm_rx'"), ex("bm_rx") + ex("bm_ry")),
+           eq(ex("bm_ry'"), ex("bm_ry")), ge(ex("bm_rx'"), 0),
+           le(ex("bm_ry"), -1)};
+  E.DstArgs = {LinExpr::var(XP), LinExpr::var(YP)};
+  std::vector<std::vector<VarId>> Params = {{X, Y}};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(synthesizeRanking(Params, {E}));
+}
+BENCHMARK(BM_RankingSynthesis);
+
+void BM_Abduction(benchmark::State &State) {
+  VarId X = mkVar("bm_ax"), Y = mkVar("bm_ay");
+  ConstraintConj Ctx = {ge(ex("bm_ax"), 0),
+                        eq(ex("bm_ax'"), ex("bm_ax") + ex("bm_ay"))};
+  ConstraintConj Target = {ge(ex("bm_ax'"), 0)};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(abduce(Ctx, Target, {X, Y}));
+}
+BENCHMARK(BM_Abduction);
+
+void BM_FooEndToEnd(benchmark::State &State) {
+  const char *Src = R"(
+void foo(int x, int y)
+{
+  if (x < 0) return;
+  else foo(x + y, y);
+}
+)";
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeProgram(Src));
+}
+BENCHMARK(BM_FooEndToEnd);
+
+} // namespace
+
+BENCHMARK_MAIN();

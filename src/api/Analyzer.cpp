@@ -1,0 +1,201 @@
+//===- api/Analyzer.cpp ---------------------------------------*- C++ -*-===//
+
+#include "api/Analyzer.h"
+
+#include "lang/Parser.h"
+#include "lang/Resolve.h"
+#include "lang/Transforms.h"
+#include "solver/Solver.h"
+#include "verify/Verifier.h"
+
+#include <chrono>
+
+using namespace tnt;
+
+const char *tnt::outcomeStr(Outcome O) {
+  switch (O) {
+  case Outcome::Yes:
+    return "Y";
+  case Outcome::No:
+    return "N";
+  case Outcome::Unknown:
+    return "U";
+  case Outcome::Timeout:
+    return "T/O";
+  }
+  return "?";
+}
+
+const MethodResult *AnalysisResult::find(const std::string &Method,
+                                         unsigned SpecIdx) const {
+  for (const MethodResult &M : Methods)
+    if (M.Method == Method && M.SpecIdx == SpecIdx)
+      return &M;
+  return nullptr;
+}
+
+Outcome AnalysisResult::outcome(const std::string &Entry) const {
+  if (OverBudget)
+    return Outcome::Timeout;
+  if (!Ok)
+    return Outcome::Unknown;
+  const MethodResult *M = find(Entry);
+  if (!M || M->SafetyFailed)
+    return Outcome::Unknown;
+  switch (M->Summary.verdict()) {
+  case TntSummary::Verdict::Terminating:
+    return Outcome::Yes;
+  case TntSummary::Verdict::NonTerminating:
+    return Outcome::No;
+  case TntSummary::Verdict::Conditional:
+  case TntSummary::Verdict::Unknown:
+    break;
+  }
+  // Undecided: a tool class without a graceful bail-out would still be
+  // searching when the clock ran out.
+  if (BailedOut && TreatBailAsTimeout)
+    return Outcome::Timeout;
+  return Outcome::Unknown;
+}
+
+std::string AnalysisResult::str() const {
+  if (!Ok)
+    return "analysis failed:\n" + Diagnostics;
+  std::string Out;
+  for (const MethodResult &M : Methods) {
+    Out += M.Summary.str();
+    if (M.SafetyFailed)
+      Out += "  (safety verification failed)\n";
+  }
+  return Out;
+}
+
+AnalysisResult tnt::analyzeProgram(const std::string &Source,
+                                   const AnalyzerConfig &Config) {
+  AnalysisResult Result;
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t FuelStart = Solver::stats().SatQueries;
+
+  DiagnosticEngine Diags;
+  std::optional<Program> Parsed = parseProgram(Source, Diags);
+  if (!Parsed) {
+    Result.Diagnostics = Diags.str();
+    return Result;
+  }
+  Program P = std::move(*Parsed);
+  if (!resolveProgram(P, Diags) || !lowerLoops(P, Diags)) {
+    Result.Diagnostics = Diags.str();
+    return Result;
+  }
+
+  CallGraph CG = CallGraph::build(P);
+  HeapEnv HEnv(P);
+  UnkRegistry Reg;
+  Theta Th(Reg);
+  DiagnosticEngine VDiags; // Verification failures degrade to MayLoop.
+  Verifier V(P, CG, HEnv, Reg, VDiags);
+
+  // Group schedule: bottom-up SCCs, or one big group in monolithic mode.
+  std::vector<std::vector<std::string>> Groups;
+  if (Config.Modular) {
+    Groups = CG.sccs();
+  } else {
+    std::vector<std::string> All;
+    for (const auto &Scc : CG.sccs())
+      for (const std::string &M : Scc)
+        All.push_back(M);
+    Groups.push_back(std::move(All));
+  }
+
+  bool OverBudget = false;
+  for (const std::vector<std::string> &Group : Groups) {
+    // Early termination on budget exhaustion: remaining methods are not
+    // analyzed (the run is classified Timeout).
+    if (Config.FuelBudget != 0 &&
+        Solver::stats().SatQueries - FuelStart > Config.FuelBudget) {
+      OverBudget = true;
+      break;
+    }
+    std::vector<Verifier::ScenarioResult> SRs = V.runGroup(Group);
+
+    // Solve the scenarios that need inference, together.
+    std::vector<ScenarioProblem> Problems;
+    for (Verifier::ScenarioResult &SR : SRs) {
+      if (SR.GivenTemporal)
+        continue;
+      ScenarioProblem Prob;
+      Prob.PreId = SR.Assumptions.PreId;
+      Prob.S = SR.Assumptions.S;
+      Prob.T = SR.Assumptions.T;
+      Problems.push_back(std::move(Prob));
+    }
+    if (!Problems.empty()) {
+      SolveOptions SO = Config.Solve;
+      if (Config.FuelBudget != 0) {
+        uint64_t Used = Solver::stats().SatQueries - FuelStart;
+        uint64_t Left =
+            Config.FuelBudget > Used ? Config.FuelBudget - Used : 1;
+        if (SO.GroupFuel == 0 || Left < SO.GroupFuel)
+          SO.GroupFuel = Left;
+      }
+      Result.BailedOut |= solveGroup(Problems, Reg, Th, SO);
+    }
+    bool GroupReVerified =
+        Problems.empty() || reVerifyGroup(Problems, Reg, Th);
+
+    // Build summaries and register them for the callers above.
+    std::map<std::string, std::vector<ResolvedScenario>> PerMethod;
+    for (Verifier::ScenarioResult &SR : SRs) {
+      MethodResult MR;
+      MR.Method = SR.Method;
+      MR.SpecIdx = SR.SpecIdx;
+      MR.Summary.Method = SR.Method;
+      MR.Summary.SpecIdx = SR.SpecIdx;
+      MR.Summary.Params = SR.Params;
+      MR.SafetyFailed = SR.Assumptions.SafetyFailed;
+      if (SR.GivenTemporal) {
+        CaseTree Leaf;
+        Leaf.Temporal = *SR.GivenTemporal;
+        Leaf.PostReachable = !SR.Safety.PostPure.isBottom();
+        MR.Summary.Cases = Leaf;
+        MR.ReVerified = true;
+      } else if (MR.SafetyFailed) {
+        CaseTree Leaf;
+        Leaf.Temporal = TemporalSpec::mayLoop();
+        MR.Summary.Cases = Leaf;
+      } else {
+        MR.Summary.Cases = Th.toTree(SR.Assumptions.PreId);
+        MR.ReVerified = GroupReVerified;
+      }
+
+      ResolvedScenario RS;
+      RS.Safety = SR.Safety;
+      RS.Params = SR.Params;
+      RS.Cases = MR.Summary.flatten();
+      if (MR.SafetyFailed) {
+        // Degrade: unknown everywhere.
+        RS.Cases.clear();
+        CaseOutcome C;
+        C.Guard = Formula::top();
+        C.Temporal = TemporalSpec::mayLoop();
+        RS.Cases.push_back(std::move(C));
+      }
+      PerMethod[SR.Method].push_back(std::move(RS));
+      Result.Methods.push_back(std::move(MR));
+    }
+    for (auto &[Name, RSs] : PerMethod)
+      V.registerResolved(Name, std::move(RSs));
+  }
+
+  Result.Ok = true;
+  Result.TreatBailAsTimeout = Config.BailoutIsTimeout;
+  Result.Diagnostics = VDiags.str();
+  Result.FuelUsed = Solver::stats().SatQueries - FuelStart;
+  Result.OverBudget =
+      OverBudget ||
+      (Config.FuelBudget != 0 && Result.FuelUsed > Config.FuelBudget);
+  Result.Millis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  return Result;
+}

@@ -1,0 +1,124 @@
+//===- arith/Constraint.cpp -----------------------------------*- C++ -*-===//
+
+#include "arith/Constraint.h"
+
+#include "support/Rational.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+Constraint Constraint::make(const LinExpr &L, CmpKind Cmp, const LinExpr &R) {
+  LinExpr D = L - R;
+  switch (Cmp) {
+  case CmpKind::Eq:
+    return Constraint(D, RelKind::Eq);
+  case CmpKind::Ne:
+    return Constraint(D, RelKind::Ne);
+  case CmpKind::Le:
+    return Constraint(D, RelKind::Le);
+  case CmpKind::Lt:
+    // L < R over Z is L - R + 1 <= 0.
+    return Constraint(D + 1, RelKind::Le);
+  case CmpKind::Ge:
+    return Constraint(-D, RelKind::Le);
+  case CmpKind::Gt:
+    return Constraint(-D + 1, RelKind::Le);
+  }
+  assert(false && "unknown comparison kind");
+  return Constraint();
+}
+
+std::optional<bool> Constraint::constantTruth() const {
+  if (!Expr.isConstant())
+    return std::nullopt;
+  int64_t C = Expr.constant();
+  switch (Rel) {
+  case RelKind::Eq:
+    return C == 0;
+  case RelKind::Le:
+    return C <= 0;
+  case RelKind::Ne:
+    return C != 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<Constraint> Constraint::normalized() const {
+  int64_t G = Expr.coeffGcd();
+  if (G == 0) {
+    // Constant constraint; fold to the canonical true/false encodings
+    // "0 = 0" / "1 = 0" for uniform downstream handling.
+    std::optional<bool> Truth = constantTruth();
+    assert(Truth && "constant constraint must fold");
+    if (*Truth)
+      return Constraint(LinExpr(), RelKind::Eq);
+    return Constraint(LinExpr(1), RelKind::Eq);
+  }
+  if (G == 1)
+    return *this;
+  LinExpr Scaled;
+  for (const auto &[V, C] : Expr.coeffs())
+    Scaled = Scaled + LinExpr::var(V, C / G);
+  int64_t C = Expr.constant();
+  switch (Rel) {
+  case RelKind::Eq:
+    if (C % G != 0)
+      return std::nullopt; // GCD test: no integer solution.
+    return Constraint(Scaled + C / G, RelKind::Eq);
+  case RelKind::Ne:
+    if (C % G != 0)
+      // Always true; canonicalize as 0 != 1 ... represent as "1 != 0"
+      // which is constantly true.
+      return Constraint(LinExpr(1), RelKind::Ne);
+    return Constraint(Scaled + C / G, RelKind::Ne);
+  case RelKind::Le:
+    // sum + C <= 0  ==  sum <= -C  ==  sum <= floor(-C / G).
+    return Constraint(Scaled - floorDiv(-C, G), RelKind::Le);
+  }
+  return std::nullopt;
+}
+
+std::vector<Constraint> Constraint::negated() const {
+  switch (Rel) {
+  case RelKind::Eq:
+    return {Constraint(Expr, RelKind::Ne)};
+  case RelKind::Ne:
+    return {Constraint(Expr, RelKind::Eq)};
+  case RelKind::Le:
+    // !(e <= 0) == e >= 1 == -e + 1 <= 0.
+    return {Constraint(-Expr + 1, RelKind::Le)};
+  }
+  return {};
+}
+
+bool Constraint::eval(const std::map<VarId, int64_t> &Assign) const {
+  int64_t V = Expr.eval(Assign);
+  switch (Rel) {
+  case RelKind::Eq:
+    return V == 0;
+  case RelKind::Le:
+    return V <= 0;
+  case RelKind::Ne:
+    return V != 0;
+  }
+  return false;
+}
+
+std::string Constraint::str() const {
+  const char *Op = Rel == RelKind::Eq ? " = 0" : Rel == RelKind::Le ? " <= 0"
+                                                                    : " != 0";
+  return Expr.str() + Op;
+}
+
+std::string tnt::conjStr(const ConstraintConj &Conj) {
+  if (Conj.empty())
+    return "true";
+  std::string Out;
+  for (size_t I = 0; I < Conj.size(); ++I) {
+    if (I)
+      Out += " && ";
+    Out += Conj[I].str();
+  }
+  return Out;
+}

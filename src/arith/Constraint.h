@@ -1,0 +1,112 @@
+//===- arith/Constraint.h - Atomic linear constraints ----------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic constraints over linear integer expressions, normalized to the
+/// canonical forms  e = 0,  e <= 0  and  e != 0. Strict inequalities are
+/// tightened at construction (e < 0 becomes e + 1 <= 0) since the domain
+/// is the integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_ARITH_CONSTRAINT_H
+#define TNT_ARITH_CONSTRAINT_H
+
+#include "arith/LinExpr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// Canonical relation of an atomic constraint against zero.
+enum class RelKind {
+  Eq, ///< e == 0
+  Le, ///< e <= 0
+  Ne, ///< e != 0 (split into disjunction by DNF conversion)
+};
+
+/// Relations accepted at construction; normalized into RelKind.
+enum class CmpKind { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// An atomic linear constraint "Expr Rel 0".
+class Constraint {
+public:
+  Constraint() : Rel(RelKind::Eq) {}
+  Constraint(LinExpr E, RelKind R) : Expr(std::move(E)), Rel(R) {}
+
+  /// Builds "L Cmp R" in canonical form, tightening strict comparisons
+  /// over the integers.
+  static Constraint make(const LinExpr &L, CmpKind Cmp, const LinExpr &R);
+
+  /// e == 0.
+  static Constraint eqZero(const LinExpr &E) {
+    return Constraint(E, RelKind::Eq);
+  }
+  /// e <= 0.
+  static Constraint leZero(const LinExpr &E) {
+    return Constraint(E, RelKind::Le);
+  }
+
+  const LinExpr &expr() const { return Expr; }
+  RelKind rel() const { return Rel; }
+
+  bool isEq() const { return Rel == RelKind::Eq; }
+  bool isLe() const { return Rel == RelKind::Le; }
+  bool isNe() const { return Rel == RelKind::Ne; }
+
+  /// Constant-folds: returns the truth value if the constraint has no
+  /// variables, std::nullopt otherwise.
+  std::optional<bool> constantTruth() const;
+
+  /// Divides by the coefficient GCD, tightening the constant for <=.
+  /// Returns the simplified constraint, or nullopt when the GCD test
+  /// refutes an equality (e.g. 2x + 1 = 0 has no integer solution).
+  std::optional<Constraint> normalized() const;
+
+  /// The negation as a (possibly two-element, for Ne) disjunction of
+  /// canonical constraints.
+  std::vector<Constraint> negated() const;
+
+  Constraint substitute(VarId V, const LinExpr &Repl) const {
+    return Constraint(Expr.substitute(V, Repl), Rel);
+  }
+  Constraint rename(const std::map<VarId, VarId> &Renaming) const {
+    return Constraint(Expr.rename(Renaming), Rel);
+  }
+
+  void collectVars(std::set<VarId> &Out) const { Expr.collectVars(Out); }
+
+  bool eval(const std::map<VarId, int64_t> &Assign) const;
+
+  bool operator==(const Constraint &O) const {
+    return Rel == O.Rel && Expr == O.Expr;
+  }
+  bool operator<(const Constraint &O) const {
+    if (Rel != O.Rel)
+      return Rel < O.Rel;
+    return Expr < O.Expr;
+  }
+
+  std::string str() const;
+
+private:
+  LinExpr Expr;
+  RelKind Rel;
+};
+
+/// A conjunction of canonical constraints; the unit the Omega test and
+/// the Farkas encoder operate on.
+using ConstraintConj = std::vector<Constraint>;
+
+/// Renders a conjunction as "c1 && c2 && ...".
+std::string conjStr(const ConstraintConj &Conj);
+
+} // namespace tnt
+
+#endif // TNT_ARITH_CONSTRAINT_H

@@ -1,0 +1,507 @@
+//===- arith/Formula.cpp --------------------------------------*- C++ -*-===//
+
+#include "arith/Formula.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tnt;
+
+Formula Formula::make(FormulaNode::Kind K, Constraint Atom,
+                      std::vector<Formula> Children, std::vector<VarId> Bound) {
+  auto N = std::make_shared<FormulaNode>();
+  N->K = K;
+  N->Atom = std::move(Atom);
+  N->Children = std::move(Children);
+  N->Bound = std::move(Bound);
+  return Formula(std::move(N));
+}
+
+Formula Formula::top() {
+  static const Formula T =
+      make(FormulaNode::Kind::True, Constraint(), {}, {});
+  return T;
+}
+
+Formula Formula::bottom() {
+  static const Formula F =
+      make(FormulaNode::Kind::False, Constraint(), {}, {});
+  return F;
+}
+
+Formula Formula::atom(const Constraint &C) {
+  if (std::optional<bool> Truth = C.constantTruth())
+    return *Truth ? top() : bottom();
+  return make(FormulaNode::Kind::Atom, C, {}, {});
+}
+
+Formula Formula::cmp(const LinExpr &L, CmpKind Cmp, const LinExpr &R) {
+  return atom(Constraint::make(L, Cmp, R));
+}
+
+Formula Formula::conj(const std::vector<Formula> &Fs) {
+  std::vector<Formula> Kids;
+  for (const Formula &F : Fs) {
+    assert(F.isValid() && "conjunct must be valid");
+    if (F.isBottom())
+      return bottom();
+    if (F.isTop())
+      continue;
+    if (F.node()->K == FormulaNode::Kind::And) {
+      for (const Formula &K : F.node()->Children)
+        Kids.push_back(K);
+      continue;
+    }
+    Kids.push_back(F);
+  }
+  if (Kids.empty())
+    return top();
+  if (Kids.size() == 1)
+    return Kids[0];
+  return make(FormulaNode::Kind::And, Constraint(), std::move(Kids), {});
+}
+
+Formula Formula::disj(const std::vector<Formula> &Fs) {
+  std::vector<Formula> Kids;
+  for (const Formula &F : Fs) {
+    assert(F.isValid() && "disjunct must be valid");
+    if (F.isTop())
+      return top();
+    if (F.isBottom())
+      continue;
+    if (F.node()->K == FormulaNode::Kind::Or) {
+      for (const Formula &K : F.node()->Children)
+        Kids.push_back(K);
+      continue;
+    }
+    Kids.push_back(F);
+  }
+  if (Kids.empty())
+    return bottom();
+  if (Kids.size() == 1)
+    return Kids[0];
+  return make(FormulaNode::Kind::Or, Constraint(), std::move(Kids), {});
+}
+
+Formula Formula::neg(const Formula &F) {
+  assert(F.isValid() && "negand must be valid");
+  if (F.isTop())
+    return bottom();
+  if (F.isBottom())
+    return top();
+  if (F.node()->K == FormulaNode::Kind::Not)
+    return F.node()->Children[0];
+  return make(FormulaNode::Kind::Not, Constraint(), {F}, {});
+}
+
+Formula Formula::exists(const std::vector<VarId> &Vars, const Formula &Body) {
+  assert(Body.isValid() && "body must be valid");
+  if (Vars.empty() || Body.isTop() || Body.isBottom())
+    return Body;
+  std::set<VarId> Free = Body.freeVars();
+  std::vector<VarId> Used;
+  for (VarId V : Vars)
+    if (Free.count(V))
+      Used.push_back(V);
+  if (Used.empty())
+    return Body;
+  return make(FormulaNode::Kind::Exists, Constraint(), {Body},
+              std::move(Used));
+}
+
+bool Formula::isTop() const {
+  return Node && Node->K == FormulaNode::Kind::True;
+}
+
+bool Formula::isBottom() const {
+  return Node && Node->K == FormulaNode::Kind::False;
+}
+
+bool Formula::structEq(const Formula &O) const {
+  if (Node == O.Node)
+    return true;
+  if (!Node || !O.Node || Node->K != O.Node->K)
+    return false;
+  const FormulaNode &A = *Node, &B = *O.Node;
+  switch (A.K) {
+  case FormulaNode::Kind::True:
+  case FormulaNode::Kind::False:
+    return true;
+  case FormulaNode::Kind::Atom:
+    return A.Atom == B.Atom;
+  case FormulaNode::Kind::And:
+  case FormulaNode::Kind::Or:
+  case FormulaNode::Kind::Not:
+  case FormulaNode::Kind::Exists:
+    if (A.Bound != B.Bound || A.Children.size() != B.Children.size())
+      return false;
+    for (size_t I = 0; I < A.Children.size(); ++I)
+      if (!A.Children[I].structEq(B.Children[I]))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+static void collectFree(const Formula &F, std::set<VarId> &Bound,
+                        std::set<VarId> &Out) {
+  const FormulaNode *N = F.node();
+  switch (N->K) {
+  case FormulaNode::Kind::True:
+  case FormulaNode::Kind::False:
+    return;
+  case FormulaNode::Kind::Atom: {
+    std::set<VarId> Vs;
+    N->Atom.collectVars(Vs);
+    for (VarId V : Vs)
+      if (!Bound.count(V))
+        Out.insert(V);
+    return;
+  }
+  case FormulaNode::Kind::And:
+  case FormulaNode::Kind::Or:
+  case FormulaNode::Kind::Not:
+    for (const Formula &C : N->Children)
+      collectFree(C, Bound, Out);
+    return;
+  case FormulaNode::Kind::Exists: {
+    std::vector<VarId> Added;
+    for (VarId V : N->Bound)
+      if (Bound.insert(V).second)
+        Added.push_back(V);
+    collectFree(N->Children[0], Bound, Out);
+    for (VarId V : Added)
+      Bound.erase(V);
+    return;
+  }
+  }
+}
+
+std::set<VarId> Formula::freeVars() const {
+  assert(isValid() && "freeVars on invalid formula");
+  std::set<VarId> Bound, Out;
+  collectFree(*this, Bound, Out);
+  return Out;
+}
+
+Formula Formula::substitute(VarId V, const LinExpr &Repl) const {
+  assert(isValid() && "substitute on invalid formula");
+  const FormulaNode *N = Node.get();
+  switch (N->K) {
+  case FormulaNode::Kind::True:
+  case FormulaNode::Kind::False:
+    return *this;
+  case FormulaNode::Kind::Atom:
+    return atom(N->Atom.substitute(V, Repl));
+  case FormulaNode::Kind::And:
+  case FormulaNode::Kind::Or: {
+    std::vector<Formula> Kids;
+    Kids.reserve(N->Children.size());
+    for (const Formula &C : N->Children)
+      Kids.push_back(C.substitute(V, Repl));
+    return N->K == FormulaNode::Kind::And ? conj(Kids) : disj(Kids);
+  }
+  case FormulaNode::Kind::Not:
+    return neg(N->Children[0].substitute(V, Repl));
+  case FormulaNode::Kind::Exists: {
+    // Shadowed: nothing to do.
+    if (std::find(N->Bound.begin(), N->Bound.end(), V) != N->Bound.end())
+      return *this;
+    // Capture avoidance: rename any bound variable occurring in Repl.
+    std::set<VarId> ReplVars;
+    Repl.collectVars(ReplVars);
+    std::map<VarId, VarId> Renaming;
+    std::vector<VarId> NewBound;
+    for (VarId B : N->Bound) {
+      if (ReplVars.count(B)) {
+        VarId NB = freshVar(varName(B));
+        Renaming[B] = NB;
+        NewBound.push_back(NB);
+      } else {
+        NewBound.push_back(B);
+      }
+    }
+    Formula Body = N->Children[0];
+    if (!Renaming.empty())
+      Body = Body.rename(Renaming);
+    return exists(NewBound, Body.substitute(V, Repl));
+  }
+  }
+  return *this;
+}
+
+Formula Formula::rename(const std::map<VarId, VarId> &Renaming) const {
+  assert(isValid() && "rename on invalid formula");
+  const FormulaNode *N = Node.get();
+  switch (N->K) {
+  case FormulaNode::Kind::True:
+  case FormulaNode::Kind::False:
+    return *this;
+  case FormulaNode::Kind::Atom:
+    return atom(N->Atom.rename(Renaming));
+  case FormulaNode::Kind::And:
+  case FormulaNode::Kind::Or: {
+    std::vector<Formula> Kids;
+    Kids.reserve(N->Children.size());
+    for (const Formula &C : N->Children)
+      Kids.push_back(C.rename(Renaming));
+    return N->K == FormulaNode::Kind::And ? conj(Kids) : disj(Kids);
+  }
+  case FormulaNode::Kind::Not:
+    return neg(N->Children[0].rename(Renaming));
+  case FormulaNode::Kind::Exists: {
+    // Bound variables shadow the renaming.
+    std::map<VarId, VarId> Inner = Renaming;
+    for (VarId B : N->Bound)
+      Inner.erase(B);
+    if (Inner.empty())
+      return *this;
+    return exists(N->Bound, N->Children[0].rename(Inner));
+  }
+  }
+  return *this;
+}
+
+bool Formula::eval(const std::map<VarId, int64_t> &Assign) const {
+  assert(isValid() && "eval on invalid formula");
+  const FormulaNode *N = Node.get();
+  switch (N->K) {
+  case FormulaNode::Kind::True:
+    return true;
+  case FormulaNode::Kind::False:
+    return false;
+  case FormulaNode::Kind::Atom:
+    return N->Atom.eval(Assign);
+  case FormulaNode::Kind::And:
+    for (const Formula &C : N->Children)
+      if (!C.eval(Assign))
+        return false;
+    return true;
+  case FormulaNode::Kind::Or:
+    for (const Formula &C : N->Children)
+      if (C.eval(Assign))
+        return true;
+    return false;
+  case FormulaNode::Kind::Not:
+    return !N->Children[0].eval(Assign);
+  case FormulaNode::Kind::Exists: {
+    // Small-window search: adequate for unit tests over tiny witnesses.
+    assert(N->Bound.size() <= 2 && "eval supports at most 2 bound vars");
+    const int64_t Window = 8;
+    std::map<VarId, int64_t> A = Assign;
+    if (N->Bound.size() == 1) {
+      for (int64_t X = -Window; X <= Window; ++X) {
+        A[N->Bound[0]] = X;
+        if (N->Children[0].eval(A))
+          return true;
+      }
+      return false;
+    }
+    for (int64_t X = -Window; X <= Window; ++X)
+      for (int64_t Y = -Window; Y <= Window; ++Y) {
+        A[N->Bound[0]] = X;
+        A[N->Bound[1]] = Y;
+        if (N->Children[0].eval(A))
+          return true;
+      }
+    return false;
+  }
+  }
+  return false;
+}
+
+namespace {
+
+Formula nnfOf(const Formula &F, bool Negate) {
+  const FormulaNode *N = F.node();
+  switch (N->K) {
+  case FormulaNode::Kind::True:
+    return Negate ? Formula::bottom() : Formula::top();
+  case FormulaNode::Kind::False:
+    return Negate ? Formula::top() : Formula::bottom();
+  case FormulaNode::Kind::Atom: {
+    if (!Negate)
+      return F;
+    std::vector<Constraint> Neg = N->Atom.negated();
+    std::vector<Formula> Fs;
+    Fs.reserve(Neg.size());
+    for (const Constraint &C : Neg)
+      Fs.push_back(Formula::atom(C));
+    return Formula::disj(Fs);
+  }
+  case FormulaNode::Kind::And:
+  case FormulaNode::Kind::Or: {
+    bool IsAnd = (N->K == FormulaNode::Kind::And) != Negate;
+    std::vector<Formula> Kids;
+    Kids.reserve(N->Children.size());
+    for (const Formula &C : N->Children)
+      Kids.push_back(nnfOf(C, Negate));
+    return IsAnd ? Formula::conj(Kids) : Formula::disj(Kids);
+  }
+  case FormulaNode::Kind::Not:
+    return nnfOf(N->Children[0], !Negate);
+  case FormulaNode::Kind::Exists: {
+    // Negated existentials (universals) must be eliminated by the Solver
+    // facade (exact projection) before NNF; see Solver::isSat.
+    assert(!Negate && "universal quantification outside supported fragment");
+    std::map<VarId, VarId> Renaming;
+    for (VarId B : N->Bound)
+      Renaming[B] = freshVar(varName(B));
+    return nnfOf(N->Children[0].rename(Renaming), false);
+  }
+  }
+  return F;
+}
+
+} // namespace
+
+Formula Formula::toNNF() const {
+  assert(isValid() && "toNNF on invalid formula");
+  return nnfOf(*this, false);
+}
+
+std::optional<std::vector<ConstraintConj>>
+Formula::toDNF(size_t MaxClauses) const {
+  Formula N = toNNF();
+  // Recursive expansion with clause cap.
+  struct Expander {
+    size_t Cap;
+    bool Overflow = false;
+
+    std::vector<ConstraintConj> expand(const Formula &F) {
+      if (Overflow)
+        return {};
+      const FormulaNode *Nd = F.node();
+      switch (Nd->K) {
+      case FormulaNode::Kind::True:
+        return {ConstraintConj{}};
+      case FormulaNode::Kind::False:
+        return {};
+      case FormulaNode::Kind::Atom: {
+        const Constraint &C = Nd->Atom;
+        if (C.isNe()) {
+          // e != 0 == e <= -1 or -e <= -1.
+          Constraint Lt = Constraint::leZero(C.expr() + 1);
+          Constraint Gt = Constraint::leZero(-C.expr() + 1);
+          return {ConstraintConj{Lt}, ConstraintConj{Gt}};
+        }
+        return {ConstraintConj{C}};
+      }
+      case FormulaNode::Kind::Or: {
+        std::vector<ConstraintConj> Out;
+        for (const Formula &K : Nd->Children) {
+          std::vector<ConstraintConj> Sub = expand(K);
+          for (ConstraintConj &Cl : Sub) {
+            Out.push_back(std::move(Cl));
+            if (Out.size() > Cap) {
+              Overflow = true;
+              return {};
+            }
+          }
+        }
+        return Out;
+      }
+      case FormulaNode::Kind::And: {
+        std::vector<ConstraintConj> Out{ConstraintConj{}};
+        for (const Formula &K : Nd->Children) {
+          std::vector<ConstraintConj> Sub = expand(K);
+          std::vector<ConstraintConj> Next;
+          for (const ConstraintConj &A : Out)
+            for (const ConstraintConj &B : Sub) {
+              ConstraintConj Merged = A;
+              Merged.insert(Merged.end(), B.begin(), B.end());
+              Next.push_back(std::move(Merged));
+              if (Next.size() > Cap) {
+                Overflow = true;
+                return {};
+              }
+            }
+          Out = std::move(Next);
+          if (Out.empty())
+            return Out; // Unsatisfiable conjunct.
+        }
+        return Out;
+      }
+      case FormulaNode::Kind::Exists: {
+        // Rename bound variables to fresh free variables: sound for
+        // satisfiability and projection-style queries.
+        std::map<VarId, VarId> Renaming;
+        for (VarId B : Nd->Bound)
+          Renaming[B] = freshVar(varName(B));
+        return expand(Nd->Children[0].rename(Renaming));
+      }
+      case FormulaNode::Kind::Not:
+        assert(false && "Not must be eliminated by NNF");
+        return {};
+      }
+      return {};
+    }
+  };
+
+  Expander E{MaxClauses};
+  std::vector<ConstraintConj> Out = E.expand(N);
+  if (E.Overflow)
+    return std::nullopt;
+  return Out;
+}
+
+std::string Formula::str() const {
+  if (!isValid())
+    return "<invalid>";
+  const FormulaNode *N = Node.get();
+  switch (N->K) {
+  case FormulaNode::Kind::True:
+    return "true";
+  case FormulaNode::Kind::False:
+    return "false";
+  case FormulaNode::Kind::Atom:
+    return N->Atom.str();
+  case FormulaNode::Kind::And:
+  case FormulaNode::Kind::Or: {
+    std::string Sep = N->K == FormulaNode::Kind::And ? " && " : " || ";
+    std::string Out = "(";
+    for (size_t I = 0; I < N->Children.size(); ++I) {
+      if (I)
+        Out += Sep;
+      Out += N->Children[I].str();
+    }
+    return Out + ")";
+  }
+  case FormulaNode::Kind::Not:
+    return "!(" + N->Children[0].str() + ")";
+  case FormulaNode::Kind::Exists: {
+    std::string Out = "(exists ";
+    for (size_t I = 0; I < N->Bound.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += varName(N->Bound[I]);
+    }
+    return Out + " . " + N->Children[0].str() + ")";
+  }
+  }
+  return "<unknown>";
+}
+
+Formula tnt::substParallelFormula(const Formula &F,
+                                  const std::vector<VarId> &Params,
+                                  const std::vector<LinExpr> &Args) {
+  assert(Params.size() == Args.size() && "parallel substitution arity");
+  // Route through fresh temporaries so argument expressions mentioning
+  // the parameters are not re-substituted.
+  std::map<VarId, VarId> Tmp;
+  for (VarId P : Params)
+    if (!Tmp.count(P))
+      Tmp[P] = freshVar("par_tmp");
+  Formula Out = F.rename(Tmp);
+  for (size_t J = 0; J < Params.size(); ++J)
+    Out = Out.substitute(Tmp[Params[J]], Args[J]);
+  return Out;
+}
+
+Formula tnt::conjToFormula(const ConstraintConj &Conj) {
+  std::vector<Formula> Fs;
+  Fs.reserve(Conj.size());
+  for (const Constraint &C : Conj)
+    Fs.push_back(Formula::atom(C));
+  return Formula::conj(Fs);
+}

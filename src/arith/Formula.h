@@ -1,0 +1,127 @@
+//===- arith/Formula.h - Presburger formula AST ----------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pure (non-heap) fragment `pi` of the specification language of
+/// Fig. 2: boolean combinations and existential quantification over
+/// atomic linear constraints. Nodes are immutable and shared; every
+/// transformation is functional.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_ARITH_FORMULA_H
+#define TNT_ARITH_FORMULA_H
+
+#include "arith/Constraint.h"
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+class Formula;
+
+/// Immutable node of a formula DAG. All members are set once at
+/// construction (by Formula's factories) and never mutated.
+struct FormulaNode {
+  enum class Kind { True, False, Atom, And, Or, Not, Exists };
+
+  Kind K = Kind::True;
+  Constraint Atom;
+  std::vector<Formula> Children;
+  std::vector<VarId> Bound;
+
+  Kind kind() const { return K; }
+};
+
+/// Shared handle to an immutable formula node. A default-constructed
+/// Formula is invalid; use Formula::top() for "true".
+class Formula {
+public:
+  Formula() = default;
+
+  /// The constant true / false formulas.
+  static Formula top();
+  static Formula bottom();
+  /// An atomic constraint.
+  static Formula atom(const Constraint &C);
+  /// Convenience: the atom "L Cmp R".
+  static Formula cmp(const LinExpr &L, CmpKind Cmp, const LinExpr &R);
+  /// N-ary conjunction / disjunction with unit/absorbing folding.
+  static Formula conj(const std::vector<Formula> &Fs);
+  static Formula disj(const std::vector<Formula> &Fs);
+  static Formula conj2(const Formula &A, const Formula &B) {
+    return conj({A, B});
+  }
+  static Formula disj2(const Formula &A, const Formula &B) {
+    return disj({A, B});
+  }
+  /// Negation (kept lazy; pushed inward by toNNF/toDNF).
+  static Formula neg(const Formula &F);
+  /// Existential quantification over \p Vars.
+  static Formula exists(const std::vector<VarId> &Vars, const Formula &Body);
+
+  bool isValid() const { return Node != nullptr; }
+  bool isTop() const;
+  bool isBottom() const;
+
+  /// The underlying immutable node; non-null for valid formulas.
+  const FormulaNode *node() const { return Node.get(); }
+
+  /// Structural equality.
+  bool structEq(const Formula &O) const;
+
+  /// Free variables.
+  std::set<VarId> freeVars() const;
+
+  /// Capture-avoiding substitution of \p Repl for \p V.
+  Formula substitute(VarId V, const LinExpr &Repl) const;
+  /// Simultaneous capture-avoiding renaming.
+  Formula rename(const std::map<VarId, VarId> &Renaming) const;
+
+  /// Evaluates under a total assignment of the free variables. Bound
+  /// variables are searched over a small window around the assigned
+  /// values and 0; adequate for testing on small certificates.
+  bool eval(const std::map<VarId, int64_t> &Assign) const;
+
+  /// Disjunctive normal form: each element is a conjunction of canonical
+  /// Eq/Le constraints. Ne atoms are split; existentially bound variables
+  /// are renamed apart into fresh free variables (sound for
+  /// satisfiability). \p MaxClauses caps blowup; on overflow returns
+  /// std::nullopt.
+  std::optional<std::vector<ConstraintConj>>
+  toDNF(size_t MaxClauses = 4096) const;
+
+  /// Negation normal form with Not eliminated (Ne atoms allowed).
+  Formula toNNF() const;
+
+  std::string str() const;
+
+private:
+  explicit Formula(std::shared_ptr<const FormulaNode> N)
+      : Node(std::move(N)) {}
+
+  static Formula make(FormulaNode::Kind K, Constraint Atom,
+                      std::vector<Formula> Children, std::vector<VarId> Bound);
+
+  std::shared_ptr<const FormulaNode> Node;
+};
+
+/// Builds the conjunction of a constraint list as a Formula.
+Formula conjToFormula(const ConstraintConj &Conj);
+
+/// Simultaneous capture-safe substitution Params[j] := Args[j].
+Formula substParallelFormula(const Formula &F,
+                             const std::vector<VarId> &Params,
+                             const std::vector<LinExpr> &Args);
+
+} // namespace tnt
+
+#endif // TNT_ARITH_FORMULA_H

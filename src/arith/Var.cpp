@@ -1,0 +1,58 @@
+//===- arith/Var.cpp ------------------------------------------*- C++ -*-===//
+
+#include "arith/Var.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tnt;
+
+VarPool &VarPool::get() {
+  static VarPool Pool;
+  return Pool;
+}
+
+VarId VarPool::intern(const std::string &Name) {
+  auto It = std::lower_bound(
+      Index.begin(), Index.end(), Name,
+      [](const auto &Entry, const std::string &N) { return Entry.first < N; });
+  if (It != Index.end() && It->first == Name)
+    return It->second;
+  VarId Id = static_cast<VarId>(Names.size());
+  Names.push_back(Name);
+  Index.insert(It, {Name, Id});
+  return Id;
+}
+
+VarId VarPool::fresh(const std::string &Base) {
+  // The '!' separator cannot appear in parsed identifiers, so fresh names
+  // never collide with program or specification variables.
+  for (;;) {
+    std::string Candidate = Base + "!" + std::to_string(FreshCounter++);
+    auto It = std::lower_bound(Index.begin(), Index.end(), Candidate,
+                               [](const auto &Entry, const std::string &N) {
+                                 return Entry.first < N;
+                               });
+    if (It == Index.end() || It->first != Candidate) {
+      VarId Id = static_cast<VarId>(Names.size());
+      Names.push_back(Candidate);
+      Index.insert(It, {Candidate, Id});
+      return Id;
+    }
+  }
+}
+
+const std::string &VarPool::name(VarId Id) const {
+  assert(Id < Names.size() && "unknown VarId");
+  return Names[Id];
+}
+
+VarId tnt::mkVar(const std::string &Name) {
+  return VarPool::get().intern(Name);
+}
+
+VarId tnt::freshVar(const std::string &Base) {
+  return VarPool::get().fresh(Base);
+}
+
+const std::string &tnt::varName(VarId Id) { return VarPool::get().name(Id); }

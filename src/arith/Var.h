@@ -1,0 +1,68 @@
+//===- arith/Var.h - Interned logical variables ----------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Logical variables used throughout the pure (Presburger) layer, the
+/// specification logic and the symbolic executor. Variables are interned
+/// in a process-wide pool; a VarId is a dense index, so analyses can use
+/// ordered containers keyed on it and stay deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_ARITH_VAR_H
+#define TNT_ARITH_VAR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// Dense identifier of an interned variable.
+using VarId = uint32_t;
+
+/// Process-wide variable pool. Interning is by name: two lookups of the
+/// same spelling yield the same VarId. Fresh variables get a unique
+/// suffixed spelling derived from a base name.
+class VarPool {
+public:
+  /// The singleton pool.
+  static VarPool &get();
+
+  /// Interns \p Name, returning its id.
+  VarId intern(const std::string &Name);
+
+  /// Creates a variable guaranteed not to collide with any existing one,
+  /// spelled "<Base>!<n>".
+  VarId fresh(const std::string &Base);
+
+  /// The spelling of \p Id.
+  const std::string &name(VarId Id) const;
+
+  /// Number of interned variables so far.
+  size_t size() const { return Names.size(); }
+
+private:
+  VarPool() = default;
+
+  std::vector<std::string> Names;
+  // Name -> id; kept as a sorted vector of (name,id) to avoid a map
+  // dependency in this tiny hot path.
+  std::vector<std::pair<std::string, VarId>> Index;
+  uint64_t FreshCounter = 0;
+};
+
+/// Convenience: intern \p Name in the global pool.
+VarId mkVar(const std::string &Name);
+/// Convenience: fresh variable from \p Base in the global pool.
+VarId freshVar(const std::string &Base);
+/// Convenience: spelling of \p Id.
+const std::string &varName(VarId Id);
+
+} // namespace tnt
+
+#endif // TNT_ARITH_VAR_H

@@ -1,0 +1,23 @@
+//===- baselines/Alternate.cpp --------------------------------*- C++ -*-===//
+
+#include "baselines/Baselines.h"
+
+using namespace tnt;
+
+AnalyzerConfig tnt::alternateConfig() {
+  AnalyzerConfig C;
+  // Alternation between the two provers, but no abductive case-split
+  // inference: conditional programs cannot be decomposed, so they end
+  // as Unknown — the ULTIMATE-class behavior in the evaluation.
+  C.Solve.EnableAbduction = false;
+  C.Solve.GroupFuel = 180;
+  C.Solve.GroupDeadlineMs = 1200;
+  C.BailoutIsTimeout = true;
+  return C;
+}
+
+std::vector<ToolSpec> tnt::fig10Tools() {
+  return {{"TermOnly (AProVE-like)", termOnlyConfig()},
+          {"Alternate (ULTIMATE-like)", alternateConfig()},
+          {"HipTNT+ (this work)", hipTntPlusConfig()}};
+}

@@ -1,0 +1,60 @@
+//===- baselines/Baselines.h - Comparator analyzers --------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-ins for the evaluation's comparator tools (DESIGN.md 4(1)).
+/// Each reconfigures the same engine to the comparator's *mechanism
+/// class*:
+///
+///  - TermOnly   (AProVE-like): termination proving only — never
+///    answers N; rewriting-style strength on numeric programs.
+///  - Alternate  (ULTIMATE-like): alternates termination and
+///    non-termination proofs for the whole input, but performs no
+///    abductive case-split inference, so conditional programs stay U.
+///  - Monolithic (T2-like): whole-program (non-modular) analysis of the
+///    collapsed call graph with no case splitting.
+///
+/// Baselines carry a finite fuel budget (solver queries), emulating the
+/// evaluation's 300 s wall-clock limit on a deterministic measure;
+/// HipTNT+ runs unbounded and, as in the paper, never times out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_BASELINES_BASELINES_H
+#define TNT_BASELINES_BASELINES_H
+
+#include "api/Analyzer.h"
+
+namespace tnt {
+
+/// The full modular engine (the paper's tool).
+AnalyzerConfig hipTntPlusConfig();
+
+/// AProVE-like termination-only prover.
+AnalyzerConfig termOnlyConfig();
+
+/// ULTIMATE-like alternation without case-split inference.
+AnalyzerConfig alternateConfig();
+
+/// T2-like monolithic whole-program analysis.
+AnalyzerConfig monolithicConfig();
+
+/// A named tool for the evaluation harnesses.
+struct ToolSpec {
+  std::string Name;
+  AnalyzerConfig Config;
+};
+
+/// The Fig. 10 tool lineup: TermOnly / Alternate / HipTNT+.
+std::vector<ToolSpec> fig10Tools();
+
+/// The Fig. 11 lineup: Monolithic / HipTNT+.
+std::vector<ToolSpec> fig11Tools();
+
+} // namespace tnt
+
+#endif // TNT_BASELINES_BASELINES_H

@@ -1,0 +1,23 @@
+//===- baselines/Monolithic.cpp -------------------------------*- C++ -*-===//
+
+#include "baselines/Baselines.h"
+
+using namespace tnt;
+
+AnalyzerConfig tnt::monolithicConfig() {
+  AnalyzerConfig C;
+  // One flat group over the whole program: no modular summary reuse
+  // (the classical transition-system regime of T2-class provers), and
+  // no case-split inference.
+  C.Modular = false;
+  C.Solve.EnableAbduction = false;
+  C.Solve.GroupFuel = 200;
+  C.Solve.GroupDeadlineMs = 1200;
+  C.BailoutIsTimeout = true;
+  return C;
+}
+
+std::vector<ToolSpec> tnt::fig11Tools() {
+  return {{"Monolithic (T2-like)", monolithicConfig()},
+          {"HipTNT+ (this work)", hipTntPlusConfig()}};
+}

@@ -1,0 +1,25 @@
+//===- baselines/TermOnly.cpp ---------------------------------*- C++ -*-===//
+
+#include "baselines/Baselines.h"
+
+using namespace tnt;
+
+AnalyzerConfig tnt::hipTntPlusConfig() {
+  AnalyzerConfig C;
+  // The paper's configuration: modular, both proofs, abduction on, no
+  // budget (the tool finishes every benchmark well inside the limit).
+  return C;
+}
+
+AnalyzerConfig tnt::termOnlyConfig() {
+  AnalyzerConfig C;
+  C.Solve.EnableNonTermProof = false;
+  C.Solve.EnableAbduction = false;
+  // Rewriting-based provers search an unbounded ordering space and run
+  // until killed on hard instances: a tight internal budget whose
+  // exhaustion classifies as Timeout.
+  C.Solve.GroupFuel = 220;
+  C.Solve.GroupDeadlineMs = 1500;
+  C.BailoutIsTimeout = true;
+  return C;
+}

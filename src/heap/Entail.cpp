@@ -1,0 +1,375 @@
+//===- heap/Entail.cpp ----------------------------------------*- C++ -*-===//
+
+#include "heap/Entail.h"
+
+#include "solver/Solver.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+constexpr unsigned MaxDepth = 8;
+
+bool provEq(const Formula &Pure, const LinExpr &A, const LinExpr &B) {
+  return Solver::entails(Pure, Formula::cmp(A, CmpKind::Eq, B));
+}
+
+LinExpr applyBindings(const LinExpr &E,
+                      const std::map<VarId, LinExpr> &Bindings) {
+  LinExpr Out = E;
+  // Iterate to a fixpoint-free result: bindings never mention ghosts
+  // bound later (they are built from source-side expressions).
+  for (const auto &[G, Repl] : Bindings)
+    Out = Out.substitute(G, Repl);
+  return Out;
+}
+
+/// Finds an unbound ghost with a unit coefficient in \p E.
+std::optional<std::pair<VarId, int64_t>>
+unitGhost(const LinExpr &E, const std::set<VarId> &Ghosts,
+          const std::map<VarId, LinExpr> &Bindings) {
+  for (const auto &[V, C] : E.coeffs())
+    if ((C == 1 || C == -1) && Ghosts.count(V) && !Bindings.count(V))
+      return std::make_pair(V, C);
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::vector<HeapProver::Branch>>
+HeapProver::entail(const Formula &Pure, const SymHeap &Src,
+                   const SymHeap &Tgt, const std::set<VarId> &Ghosts) {
+  Branch Acc;
+  return entailRec(Pure, Src, Tgt, Ghosts, std::move(Acc), MaxDepth);
+}
+
+std::optional<std::vector<HeapProver::Branch>>
+HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
+                      std::set<VarId> Ghosts, Branch Acc, unsigned Depth) {
+  if (Depth == 0)
+    return std::nullopt;
+  if (Tgt.empty()) {
+    Acc.Frame = Src;
+    return std::vector<Branch>{Acc};
+  }
+  Formula PureAll = Formula::conj2(Pure, Acc.PureAdd);
+
+  // Eager normalization: a source predicate with exactly one feasible
+  // unfolding branch can be expanded deterministically (e.g. a segment
+  // whose root is provably null collapses to its base case, exposing
+  // its size equalities).
+  for (unsigned Round = 0; Round < Src.size() + 4; ++Round) {
+    bool Changed = false;
+    for (size_t I = 0; I < Src.size() && !Changed; ++I) {
+      if (Src[I].K != HeapAtom::Kind::Pred || !Env.pred(Src[I].Name))
+        continue;
+      std::vector<HeapEnv::UnfoldBranch> Branches = Env.unfold(Src[I]);
+      const HeapEnv::UnfoldBranch *Feasible = nullptr;
+      bool Single = true;
+      for (const HeapEnv::UnfoldBranch &UB : Branches) {
+        Formula BranchPure = Formula::conj(
+            {PureAll, UB.Pure, UB.Facts});
+        if (Solver::isSat(BranchPure) == Tri::False)
+          continue;
+        if (Feasible) {
+          Single = false;
+          break;
+        }
+        Feasible = &UB;
+      }
+      if (!Single || !Feasible)
+        continue;
+      Acc.PureAdd = Formula::conj(
+          {Acc.PureAdd, Feasible->Pure, Feasible->Facts});
+      PureAll = Formula::conj2(Pure, Acc.PureAdd);
+      SymHeap NewSrc;
+      for (size_t J = 0; J < Src.size(); ++J)
+        if (J != I)
+          NewSrc.push_back(Src[J]);
+      NewSrc.insert(NewSrc.end(), Feasible->Atoms.begin(),
+                    Feasible->Atoms.end());
+      Src = std::move(NewSrc);
+      Changed = true;
+    }
+    if (!Changed)
+      break;
+  }
+
+  HeapAtom T = Tgt.front();
+  SymHeap TgtRest(Tgt.begin() + 1, Tgt.end());
+  for (LinExpr &Arg : T.Args)
+    Arg = applyBindings(Arg, Acc.Bindings);
+
+  /// Unifies source argument \p SArg against target argument \p TArg,
+  /// extending \p B. Returns false when they cannot be reconciled.
+  auto unifyArg = [&](const LinExpr &SArg, const LinExpr &TArg,
+                      Branch &B) -> bool {
+    LinExpr TA = applyBindings(TArg, B.Bindings);
+    if (auto G = unitGhost(TA, Ghosts, B.Bindings)) {
+      // TA == c*g + rest; bind g := (SArg - rest) * c.
+      LinExpr Rest = TA.substitute(G->first, LinExpr(0));
+      LinExpr Val = (SArg - Rest) * G->second;
+      B.Bindings[G->first] = Val;
+      B.PureAdd = Formula::conj2(
+          B.PureAdd,
+          Formula::cmp(LinExpr::var(G->first), CmpKind::Eq, Val));
+      return true;
+    }
+    return provEq(Formula::conj2(Pure, B.PureAdd), SArg, TA);
+  };
+
+  // --- Target points-to ---------------------------------------------------
+  if (T.K == HeapAtom::Kind::PointsTo) {
+    LinExpr TRoot = applyBindings(LinExpr::var(T.Root), Acc.Bindings);
+    // 1. Direct match against a source points-to.
+    for (size_t I = 0; I < Src.size(); ++I) {
+      const HeapAtom &S = Src[I];
+      if (S.K != HeapAtom::Kind::PointsTo || S.Name != T.Name)
+        continue;
+      if (!provEq(PureAll, LinExpr::var(S.Root), TRoot))
+        continue;
+      if (S.Args.size() != T.Args.size())
+        continue;
+      Branch B = Acc;
+      bool Ok = true;
+      for (size_t J = 0; J < S.Args.size() && Ok; ++J)
+        Ok = unifyArg(S.Args[J], T.Args[J], B);
+      if (!Ok)
+        continue;
+      SymHeap SrcRest = Src;
+      SrcRest.erase(SrcRest.begin() + I);
+      if (auto R = entailRec(Pure, SrcRest, TgtRest, Ghosts, std::move(B),
+                             Depth - 1))
+        return R;
+    }
+    // 2. Unfold a source predicate covering the root (case analysis:
+    //    every feasible branch must succeed).
+    for (size_t I = 0; I < Src.size(); ++I) {
+      const HeapAtom &S = Src[I];
+      if (S.K != HeapAtom::Kind::Pred || !Env.pred(S.Name))
+        continue;
+      if (S.Args.empty() || !provEq(PureAll, S.Args[0], TRoot))
+        continue;
+      SymHeap SrcRest = Src;
+      SrcRest.erase(SrcRest.begin() + I);
+      std::vector<Branch> Combined;
+      bool AllOk = true;
+      for (const HeapEnv::UnfoldBranch &UB : Env.unfold(S)) {
+        Formula BranchFacts = Formula::conj2(UB.Pure, UB.Facts);
+        Formula BranchPure = Formula::conj2(PureAll, BranchFacts);
+        if (Solver::isSat(BranchPure) == Tri::False)
+          continue; // Vacuous branch.
+        SymHeap SrcB = SrcRest;
+        SrcB.insert(SrcB.end(), UB.Atoms.begin(), UB.Atoms.end());
+        Branch B = Acc;
+        B.PureAdd = Formula::conj2(B.PureAdd, BranchFacts);
+        if (auto R =
+                entailRec(Pure, SrcB, Tgt, Ghosts, std::move(B), Depth - 1)) {
+          Combined.insert(Combined.end(), R->begin(), R->end());
+        } else {
+          AllOk = false;
+          break;
+        }
+      }
+      if (AllOk && !Combined.empty())
+        return Combined;
+    }
+    return std::nullopt;
+  }
+
+  // --- Target predicate ----------------------------------------------------
+  const PredInfo *TInfo = Env.pred(T.Name);
+  if (!TInfo)
+    return std::nullopt;
+  LinExpr TRoot = T.Args.empty() ? LinExpr(0) : T.Args[0];
+
+  // 1. Direct match against a source predicate instance.
+  for (size_t I = 0; I < Src.size(); ++I) {
+    const HeapAtom &S = Src[I];
+    if (S.K != HeapAtom::Kind::Pred || S.Name != T.Name ||
+        S.Args.size() != T.Args.size())
+      continue;
+    if (S.Args.empty() || !provEq(PureAll, S.Args[0], TRoot))
+      continue;
+    Branch B = Acc;
+    bool Ok = true;
+    for (size_t J = 1; J < S.Args.size() && Ok; ++J)
+      Ok = unifyArg(S.Args[J], T.Args[J], B);
+    if (!Ok)
+      continue;
+    SymHeap SrcRest = Src;
+    SrcRest.erase(SrcRest.begin() + I);
+    if (auto R = entailRec(Pure, SrcRest, TgtRest, Ghosts, std::move(B),
+                           Depth - 1))
+      return R;
+  }
+
+  // 2. Segment tail-extension lemma:
+  //    self(a,b,n) * b|->d(..c..)  |-  self(a,c,n+1).
+  if (TInfo->IsSegment) {
+    for (size_t I = 0; I < Src.size(); ++I) {
+      const HeapAtom &Seg = Src[I];
+      if (Seg.K != HeapAtom::Kind::Pred || Seg.Name != T.Name)
+        continue;
+      if (!provEq(PureAll, Seg.Args[0], TRoot))
+        continue;
+      const LinExpr &End = Seg.Args[TInfo->SegEndIdx];
+      for (size_t J = 0; J < Src.size(); ++J) {
+        if (J == I)
+          continue;
+        const HeapAtom &Pts = Src[J];
+        if (Pts.K != HeapAtom::Kind::PointsTo || Pts.Name != TInfo->SegData)
+          continue;
+        if (!provEq(PureAll, LinExpr::var(Pts.Root), End))
+          continue;
+        // Rewrite the two atoms into the extended segment and retry.
+        HeapAtom Ext = Seg;
+        Ext.Args[TInfo->SegEndIdx] = Pts.Args[TInfo->SegNextField];
+        Ext.Args[TInfo->SegSizeIdx] = Seg.Args[TInfo->SegSizeIdx] + 1;
+        SymHeap SrcNew;
+        for (size_t K = 0; K < Src.size(); ++K)
+          if (K != I && K != J)
+            SrcNew.push_back(Src[K]);
+        SrcNew.push_back(Ext);
+        if (auto R = entailRec(Pure, SrcNew, Tgt, Ghosts, Acc, Depth - 1))
+          return R;
+      }
+    }
+  }
+
+  // 3. Fold: unfold the target predicate; each branch is an alternative.
+  for (const HeapEnv::UnfoldBranch &UB : Env.unfold(T)) {
+    Branch B = Acc;
+    // The branch's fresh existentials become unification variables.
+    std::set<VarId> GhostsB = Ghosts;
+    for (VarId F : UB.Fresh)
+      GhostsB.insert(F);
+    // Branch pure becomes obligations: ghost-defining equalities bind,
+    // the rest must be entailed.
+    std::optional<std::vector<ConstraintConj>> DNF = UB.Pure.toDNF(16);
+    if (!DNF || DNF->size() != 1) {
+      // Disjunctive side conditions inside one branch: unsupported shape.
+      continue;
+    }
+    bool Ok = true;
+    // Two passes: bind ghosts first, then prove the residue.
+    std::vector<Constraint> Residue;
+    for (const Constraint &C : (*DNF)[0]) {
+      LinExpr E = applyBindings(C.expr(), B.Bindings);
+      if (C.isEq()) {
+        if (auto G = unitGhost(E, GhostsB, B.Bindings)) {
+          LinExpr Rest = E.substitute(G->first, LinExpr(0));
+          LinExpr Val = (-Rest) * G->second;
+          B.Bindings[G->first] = Val;
+          B.PureAdd = Formula::conj2(
+              B.PureAdd,
+              Formula::cmp(LinExpr::var(G->first), CmpKind::Eq, Val));
+          continue;
+        }
+      }
+      Residue.push_back(Constraint(E, C.rel()));
+    }
+    Formula PureB = Formula::conj2(Pure, B.PureAdd);
+    for (const Constraint &C : Residue) {
+      LinExpr E = applyBindings(C.expr(), B.Bindings);
+      if (!Solver::entails(PureB, Formula::atom(Constraint(E, C.rel())))) {
+        Ok = false;
+        break;
+      }
+    }
+    if (!Ok)
+      continue;
+    SymHeap TgtNew;
+    for (const HeapAtom &A : UB.Atoms) {
+      HeapAtom N = A;
+      for (LinExpr &Arg : N.Args)
+        Arg = applyBindings(Arg, B.Bindings);
+      TgtNew.push_back(std::move(N));
+    }
+    TgtNew.insert(TgtNew.end(), TgtRest.begin(), TgtRest.end());
+    if (auto R =
+            entailRec(Pure, Src, TgtNew, GhostsB, std::move(B), Depth - 1))
+      return R;
+  }
+
+  // 4. Unfold a source predicate sharing the root (case analysis).
+  for (size_t I = 0; I < Src.size(); ++I) {
+    const HeapAtom &S = Src[I];
+    if (S.K != HeapAtom::Kind::Pred || !Env.pred(S.Name))
+      continue;
+    if (S.Args.empty() || !provEq(PureAll, S.Args[0], TRoot))
+      continue;
+    if (S.Name == T.Name && S.Args.size() == T.Args.size())
+      continue; // Already tried as a direct match; unfolding loops.
+    SymHeap SrcRest = Src;
+    SrcRest.erase(SrcRest.begin() + I);
+    std::vector<Branch> Combined;
+    bool AllOk = true;
+    for (const HeapEnv::UnfoldBranch &UB : Env.unfold(S)) {
+      Formula BranchFacts = Formula::conj2(UB.Pure, UB.Facts);
+      Formula BranchPure = Formula::conj2(PureAll, BranchFacts);
+      if (Solver::isSat(BranchPure) == Tri::False)
+        continue;
+      SymHeap SrcB = SrcRest;
+      SrcB.insert(SrcB.end(), UB.Atoms.begin(), UB.Atoms.end());
+      Branch B = Acc;
+      B.PureAdd = Formula::conj2(B.PureAdd, BranchFacts);
+      if (auto R =
+              entailRec(Pure, SrcB, Tgt, Ghosts, std::move(B), Depth - 1)) {
+        Combined.insert(Combined.end(), R->begin(), R->end());
+      } else {
+        AllOk = false;
+        break;
+      }
+    }
+    if (AllOk && !Combined.empty())
+      return Combined;
+  }
+
+  return std::nullopt;
+}
+
+std::optional<std::vector<HeapProver::MatBranch>>
+HeapProver::materialize(const Formula &Pure, const SymHeap &Heap,
+                        VarId Root) {
+  LinExpr R = LinExpr::var(Root);
+  // Direct points-to.
+  for (size_t I = 0; I < Heap.size(); ++I)
+    if (Heap[I].K == HeapAtom::Kind::PointsTo &&
+        provEq(Pure, LinExpr::var(Heap[I].Root), R))
+      return std::vector<MatBranch>{{Formula::top(), Heap, I}};
+
+  // Unfold a predicate whose root covers R.
+  for (size_t I = 0; I < Heap.size(); ++I) {
+    const HeapAtom &A = Heap[I];
+    if (A.K != HeapAtom::Kind::Pred || !Env.pred(A.Name) || A.Args.empty())
+      continue;
+    if (!provEq(Pure, A.Args[0], R))
+      continue;
+    SymHeap Rest = Heap;
+    Rest.erase(Rest.begin() + I);
+    std::vector<MatBranch> Out;
+    for (const HeapEnv::UnfoldBranch &UB : Env.unfold(A)) {
+      Formula BranchFacts = Formula::conj2(UB.Pure, UB.Facts);
+      Formula BranchPure = Formula::conj2(Pure, BranchFacts);
+      if (Solver::isSat(BranchPure) == Tri::False)
+        continue;
+      SymHeap H = Rest;
+      H.insert(H.end(), UB.Atoms.begin(), UB.Atoms.end());
+      // Recurse: the branch may still hide R under another predicate.
+      std::optional<std::vector<MatBranch>> Sub =
+          materialize(BranchPure, H, Root);
+      if (!Sub)
+        return std::nullopt; // R unreachable in a feasible branch.
+      for (MatBranch &MB : *Sub) {
+        MB.PureAdd = Formula::conj2(BranchFacts, MB.PureAdd);
+        Out.push_back(std::move(MB));
+      }
+    }
+    if (!Out.empty())
+      return Out;
+  }
+  return std::nullopt;
+}

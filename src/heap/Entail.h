@@ -1,0 +1,69 @@
+//===- heap/Entail.h - Separation-logic entailment --------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded unfold/fold entailment prover with frame inference and
+/// ghost-variable unification — the fragment of [9]'s entailment the
+/// paper's heap examples need (Fig. 4): matching, source unfolding
+/// (case analysis), target folding, and the segment tail-extension
+/// lemma  lseg(a,b,n) * b |-> d(..c..) |- lseg(a,c,n+1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_HEAP_ENTAIL_H
+#define TNT_HEAP_ENTAIL_H
+
+#include "heap/HeapFormula.h"
+
+namespace tnt {
+
+/// The entailment prover. Stateless apart from the environment.
+class HeapProver {
+public:
+  explicit HeapProver(const HeapEnv &Env) : Env(Env) {}
+
+  /// One successful way through the source case analysis.
+  struct Branch {
+    /// Pure facts to conjoin (unfold branch pures + ghost bindings).
+    Formula PureAdd = Formula::top();
+    /// The frame: source atoms not consumed by the target.
+    SymHeap Frame;
+    /// Ghost instantiations discovered by unification.
+    std::map<VarId, LinExpr> Bindings;
+  };
+
+  /// Proves  Pure /\ Src |- exists Ghosts . Tgt * Frame. On success the
+  /// returned branches cover the source case analysis; the caller must
+  /// continue along each. Returns std::nullopt on failure.
+  std::optional<std::vector<Branch>> entail(const Formula &Pure,
+                                            const SymHeap &Src,
+                                            const SymHeap &Tgt,
+                                            const std::set<VarId> &Ghosts);
+
+  /// Exposes a points-to for \p Root, unfolding predicates as needed.
+  struct MatBranch {
+    Formula PureAdd = Formula::top();
+    SymHeap Heap;      ///< Updated heap (points-to materialized).
+    size_t PtsIndex;   ///< Index of the points-to atom in Heap.
+  };
+  /// Returns the case analysis, or std::nullopt when no atom covers
+  /// \p Root (a memory-safety failure).
+  std::optional<std::vector<MatBranch>>
+  materialize(const Formula &Pure, const SymHeap &Heap, VarId Root);
+
+private:
+  std::optional<std::vector<Branch>> entailRec(const Formula &Pure,
+                                               SymHeap Src, SymHeap Tgt,
+                                               std::set<VarId> Ghosts,
+                                               Branch Acc, unsigned Depth);
+
+  const HeapEnv &Env;
+};
+
+} // namespace tnt
+
+#endif // TNT_HEAP_ENTAIL_H

@@ -1,0 +1,297 @@
+//===- heap/HeapFormula.cpp -----------------------------------*- C++ -*-===//
+
+#include "heap/HeapFormula.h"
+
+#include "solver/Solver.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+SymHeap tnt::substHeap(const SymHeap &H, VarId V, const LinExpr &Repl) {
+  SymHeap Out;
+  Out.reserve(H.size());
+  for (const HeapAtom &A : H) {
+    HeapAtom N = A;
+    for (LinExpr &Arg : N.Args)
+      Arg = Arg.substitute(V, Repl);
+    if (N.K == HeapAtom::Kind::PointsTo && N.Root == V) {
+      // Points-to roots must stay variables; only variable-for-variable
+      // substitution is meaningful here.
+      const auto &Coeffs = Repl.coeffs();
+      assert(Repl.constant() == 0 && Coeffs.size() == 1 &&
+             Coeffs.begin()->second == 1 &&
+             "points-to root substituted by non-variable");
+      N.Root = Coeffs.begin()->first;
+    }
+    Out.push_back(std::move(N));
+  }
+  return Out;
+}
+
+std::string tnt::heapStr(const SymHeap &H) {
+  if (H.empty())
+    return "emp";
+  std::string Out;
+  for (size_t I = 0; I < H.size(); ++I) {
+    if (I)
+      Out += " * ";
+    Out += H[I].str();
+  }
+  return Out;
+}
+
+namespace {
+
+/// Tries candidate invariants "param >= 0" / "param >= 1" and keeps the
+/// inductively valid ones. \p Known holds invariants of previously
+/// processed predicates (declaration order), enabling nesting (cll uses
+/// lseg's invariant).
+Formula inferInvariant(const PredDecl &D,
+                       const std::map<std::string, Formula> &Known,
+                       const std::map<std::string, const PredDecl *> &Decls) {
+  std::vector<Formula> Kept;
+  auto instantiate = [&](const Formula &Inv, const PredDecl &Of,
+                         const std::vector<LinExpr> &Args) {
+    Formula F = Inv;
+    // Parallel substitution via fresh intermediates.
+    std::map<VarId, VarId> Tmp;
+    for (VarId P : Of.Params)
+      Tmp[P] = freshVar("inv_tmp");
+    F = F.rename(Tmp);
+    for (size_t I = 0; I < Of.Params.size() && I < Args.size(); ++I)
+      F = F.substitute(Tmp[Of.Params[I]], Args[I]);
+    return F;
+  };
+
+  auto holdsInductively = [&](const Formula &Cand) {
+    for (const PredDecl::Branch &B : D.Branches) {
+      std::vector<Formula> Ante{B.Pure};
+      for (const HeapAtom &A : B.Heap.Atoms) {
+        if (A.K == HeapAtom::Kind::PointsTo) {
+          Ante.push_back(Formula::cmp(LinExpr::var(A.Root), CmpKind::Ne,
+                                      LinExpr(0)));
+          continue;
+        }
+        if (A.Name == D.Name) {
+          Ante.push_back(instantiate(Cand, D, A.Args));
+          continue;
+        }
+        auto It = Known.find(A.Name);
+        auto ItD = Decls.find(A.Name);
+        if (It != Known.end() && ItD != Decls.end())
+          Ante.push_back(instantiate(It->second, *ItD->second, A.Args));
+      }
+      if (Solver::implies(Formula::conj(Ante), Cand) != Tri::True)
+        return false;
+    }
+    return true;
+  };
+
+  for (VarId P : D.Params) {
+    Formula Ge0 = Formula::cmp(LinExpr::var(P), CmpKind::Ge, LinExpr(0));
+    Formula Ge1 = Formula::cmp(LinExpr::var(P), CmpKind::Ge, LinExpr(1));
+    if (holdsInductively(Ge1))
+      Kept.push_back(Ge1);
+    else if (holdsInductively(Ge0))
+      Kept.push_back(Ge0);
+  }
+  return Formula::conj(Kept);
+}
+
+/// Detects the lseg shape (see PredInfo::IsSegment).
+void detectSegment(PredInfo &Info) {
+  const PredDecl &D = *Info.Decl;
+  if (D.Params.size() < 3 || D.Branches.size() != 2)
+    return;
+  const PredDecl::Branch *Base = nullptr, *Rec = nullptr;
+  for (const PredDecl::Branch &B : D.Branches) {
+    if (B.Heap.isEmp())
+      Base = &B;
+    else
+      Rec = &B;
+  }
+  if (!Base || !Rec || Rec->Heap.Atoms.size() != 2)
+    return;
+  const HeapAtom *Pts = nullptr, *Self = nullptr;
+  for (const HeapAtom &A : Rec->Heap.Atoms) {
+    if (A.K == HeapAtom::Kind::PointsTo)
+      Pts = &A;
+    else if (A.Name == D.Name)
+      Self = &A;
+  }
+  if (!Pts || !Self || Pts->Root != D.Params[0])
+    return;
+  // Base must say root = end and size = 0.
+  VarId Root = D.Params[0], End = D.Params[1], Size = D.Params[2];
+  Formula BaseExpect = Formula::conj2(
+      Formula::cmp(LinExpr::var(Root), CmpKind::Eq, LinExpr::var(End)),
+      Formula::cmp(LinExpr::var(Size), CmpKind::Eq, LinExpr(0)));
+  if (Solver::implies(Base->Pure, BaseExpect) != Tri::True ||
+      Solver::implies(BaseExpect, Base->Pure) != Tri::True)
+    return;
+  // Recursive: self(p, End, Size - 1) where p is some points-to field.
+  if (Self->Args.size() != D.Params.size())
+    return;
+  if (Self->Args[1] != LinExpr::var(End))
+    return;
+  if (Self->Args[2] != LinExpr::var(Size) - 1)
+    return;
+  const LinExpr &Hook = Self->Args[0];
+  if (Hook.coeffs().size() != 1 || Hook.constant() != 0)
+    return;
+  VarId P = Hook.coeffs().begin()->first;
+  for (size_t F = 0; F < Pts->Args.size(); ++F) {
+    if (Pts->Args[F] == LinExpr::var(P)) {
+      Info.IsSegment = true;
+      Info.SegEndIdx = 1;
+      Info.SegSizeIdx = 2;
+      Info.SegData = Pts->Name;
+      Info.SegNextField = F;
+      return;
+    }
+  }
+}
+
+} // namespace
+
+HeapEnv::HeapEnv(const Program &P) : Prog(P) {
+  std::map<std::string, Formula> KnownInvs;
+  std::map<std::string, const PredDecl *> Decls;
+  for (const PredDecl &D : P.Preds)
+    Decls[D.Name] = &D;
+  for (const PredDecl &D : P.Preds) {
+    PredInfo Info;
+    Info.Decl = &D;
+    Info.Invariant = inferInvariant(D, KnownInvs, Decls);
+    detectSegment(Info);
+    KnownInvs[D.Name] = Info.Invariant;
+    Preds[D.Name] = std::move(Info);
+  }
+}
+
+const PredInfo *HeapEnv::pred(const std::string &Name) const {
+  auto It = Preds.find(Name);
+  return It == Preds.end() ? nullptr : &It->second;
+}
+
+std::optional<size_t> HeapEnv::fieldIndex(const std::string &DataName,
+                                          const std::string &Field) const {
+  const DataDecl *D = Prog.findData(DataName);
+  if (!D)
+    return std::nullopt;
+  for (size_t I = 0; I < D->Fields.size(); ++I)
+    if (D->Fields[I].second == Field)
+      return I;
+  return std::nullopt;
+}
+
+Formula HeapEnv::invariantAt(const std::string &Name,
+                             const std::vector<LinExpr> &Args) const {
+  const PredInfo *Info = pred(Name);
+  if (!Info)
+    return Formula::top();
+  Formula F = Info->Invariant;
+  const std::vector<VarId> &Params = Info->Decl->Params;
+  std::map<VarId, VarId> Tmp;
+  for (VarId P : Params)
+    Tmp[P] = freshVar("inv_tmp");
+  F = F.rename(Tmp);
+  for (size_t I = 0; I < Params.size() && I < Args.size(); ++I)
+    F = F.substitute(Tmp[Params[I]], Args[I]);
+  return F;
+}
+
+std::vector<HeapEnv::UnfoldBranch>
+HeapEnv::unfold(const HeapAtom &Atom) const {
+  assert(Atom.K == HeapAtom::Kind::Pred && "unfold needs a predicate atom");
+  const PredInfo *Info = pred(Atom.Name);
+  assert(Info && "unfold of unknown predicate");
+  const PredDecl &D = *Info->Decl;
+  assert(Atom.Args.size() == D.Params.size() && "predicate arity mismatch");
+
+  std::vector<UnfoldBranch> Out;
+  for (const PredDecl::Branch &B : D.Branches) {
+    // Existentials: branch variables that are not parameters.
+    std::set<VarId> BranchVars = B.Pure.freeVars();
+    for (const HeapAtom &A : B.Heap.Atoms) {
+      for (const LinExpr &Arg : A.Args)
+        Arg.collectVars(BranchVars);
+      if (A.K == HeapAtom::Kind::PointsTo)
+        BranchVars.insert(A.Root);
+    }
+    std::map<VarId, VarId> Renaming;
+    std::vector<VarId> Fresh;
+    for (VarId V : BranchVars) {
+      bool IsParam = false;
+      for (VarId P : D.Params)
+        if (P == V)
+          IsParam = true;
+      if (!IsParam) {
+        VarId NV = freshVar(varName(V));
+        Renaming[V] = NV;
+        Fresh.push_back(NV);
+      }
+    }
+    // Rename existentials, then substitute parameters (two phases keep
+    // the substitution capture-free).
+    std::map<VarId, VarId> ParamTmp;
+    for (VarId P : D.Params)
+      ParamTmp[P] = freshVar("uf_tmp");
+    Formula Pure = B.Pure.rename(Renaming).rename(ParamTmp);
+    SymHeap Atoms;
+    for (const HeapAtom &A : B.Heap.Atoms) {
+      HeapAtom N = A;
+      if (N.K == HeapAtom::Kind::PointsTo) {
+        auto It = Renaming.find(N.Root);
+        if (It != Renaming.end())
+          N.Root = It->second;
+        else {
+          auto It2 = ParamTmp.find(N.Root);
+          if (It2 != ParamTmp.end())
+            N.Root = It2->second;
+        }
+      }
+      for (LinExpr &Arg : N.Args) {
+        Arg = Arg.rename(Renaming);
+        Arg = Arg.rename(ParamTmp);
+      }
+      Atoms.push_back(std::move(N));
+    }
+    for (size_t I = 0; I < D.Params.size(); ++I) {
+      Pure = Pure.substitute(ParamTmp[D.Params[I]], Atom.Args[I]);
+      for (HeapAtom &A : Atoms) {
+        for (LinExpr &Arg : A.Args)
+          Arg = Arg.substitute(ParamTmp[D.Params[I]], Atom.Args[I]);
+        if (A.K == HeapAtom::Kind::PointsTo &&
+            A.Root == ParamTmp[D.Params[I]]) {
+          const auto &Cs = Atom.Args[I].coeffs();
+          if (Atom.Args[I].constant() == 0 && Cs.size() == 1 &&
+              Cs.begin()->second == 1) {
+            A.Root = Cs.begin()->first;
+          } else {
+            // Root instantiated by a non-variable (e.g. null): route it
+            // through a fresh variable pinned by an equality, so the
+            // branch's root != 0 fact can refute it where appropriate.
+            VarId R = freshVar("uf_root");
+            Pure = Formula::conj2(
+                Pure, Formula::cmp(LinExpr::var(R), CmpKind::Eq,
+                                   Atom.Args[I]));
+            A.Root = R;
+          }
+        }
+      }
+    }
+    std::vector<Formula> Facts;
+    for (const HeapAtom &A : Atoms) {
+      if (A.K == HeapAtom::Kind::PointsTo)
+        Facts.push_back(Formula::cmp(LinExpr::var(A.Root), CmpKind::Ne,
+                                     LinExpr(0)));
+      else
+        Facts.push_back(invariantAt(A.Name, A.Args));
+    }
+    Out.push_back(
+        {Pure, std::move(Atoms), std::move(Fresh), Formula::conj(Facts)});
+  }
+  return Out;
+}

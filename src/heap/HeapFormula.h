@@ -1,0 +1,96 @@
+//===- heap/HeapFormula.h - Symbolic heaps and predicate info --*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic-heap machinery over the separation-logic fragment of Fig. 2:
+/// predicate registration (with inductively checked numeric invariants
+/// and segment-shape detection for lemma support), unfolding, and
+/// renaming. Pointers are integers in the pure layer; a points-to atom
+/// implies its root is non-null.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_HEAP_HEAPFORMULA_H
+#define TNT_HEAP_HEAPFORMULA_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace tnt {
+
+/// A symbolic heap: spatial conjunction of atoms over logical variables.
+using SymHeap = std::vector<HeapAtom>;
+
+/// Substitutes a variable in every atom argument (and points-to roots,
+/// when the replacement is a plain variable).
+SymHeap substHeap(const SymHeap &H, VarId V, const LinExpr &Repl);
+
+std::string heapStr(const SymHeap &H);
+
+/// Processed information about one declared predicate.
+struct PredInfo {
+  const PredDecl *Decl = nullptr;
+  /// Inductively verified numeric invariant over the parameters
+  /// (conjunction of param >= 0 / param >= 1 facts; may be top).
+  Formula Invariant = Formula::top();
+  /// Segment shape: branches are exactly
+  ///   base: emp with root = Params[1] (the "to" param) and size = 0,
+  ///   rec:  root |-> d(p,...) * self(p, Params[1], size - 1).
+  /// Enables the tail-extension lemma
+  ///   self(a,b,n) * b |-> d(c,..) |- self(a,c,n+1).
+  bool IsSegment = false;
+  /// For segments: indices of the root, end and size parameters, the
+  /// data type name and the index of the "next" field.
+  size_t SegEndIdx = 1;
+  size_t SegSizeIdx = 2;
+  std::string SegData;
+  size_t SegNextField = 0;
+};
+
+/// Registry of predicates and data layouts for one program.
+class HeapEnv {
+public:
+  explicit HeapEnv(const Program &P);
+
+  const Program &program() const { return Prog; }
+  const PredInfo *pred(const std::string &Name) const;
+  /// Field index of \p Field in data type \p DataName (or nullopt).
+  std::optional<size_t> fieldIndex(const std::string &DataName,
+                                   const std::string &Field) const;
+
+  /// The predicate invariant instantiated at \p Args, conjoined with
+  /// root-nonnull facts where derivable. Top for unknown predicates.
+  Formula invariantAt(const std::string &Name,
+                      const std::vector<LinExpr> &Args) const;
+
+  /// One branch of a predicate unfolding.
+  struct UnfoldBranch {
+    Formula Pure;
+    SymHeap Atoms;
+    /// Freshened existentials of the branch (unification variables when
+    /// the unfolding happens on the entailment's target side).
+    std::vector<VarId> Fresh;
+    /// Derived facts about the branch atoms (points-to roots non-null,
+    /// nested predicate invariants). Sound as *assumptions* on the
+    /// source side of an entailment; not obligations.
+    Formula Facts;
+  };
+  /// Unfolds a predicate atom: instantiates parameters with the atom's
+  /// arguments and freshens existentials.
+  std::vector<UnfoldBranch> unfold(const HeapAtom &Atom) const;
+
+private:
+  const Program &Prog;
+  std::map<std::string, PredInfo> Preds;
+};
+
+} // namespace tnt
+
+#endif // TNT_HEAP_HEAPFORMULA_H

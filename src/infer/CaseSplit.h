@@ -1,0 +1,32 @@
+//===- infer/CaseSplit.h - Exclusive case partitioning ----------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The split procedure of Section 5.6: partitions a set of (possibly
+/// overlapping) abduced conditions into a feasible, mutually exclusive
+/// and exhaustive guard set (a missing-case complement is added).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_INFER_CASESPLIT_H
+#define TNT_INFER_CASESPLIT_H
+
+#include "arith/Formula.h"
+
+#include <vector>
+
+namespace tnt {
+
+/// Partitions \p Conditions into exclusive guards covering their union,
+/// then appends the complement of the union when satisfiable, so the
+/// result is exhaustive. Returns an empty vector iff \p Conditions is
+/// empty.
+std::vector<Formula> splitConditions(const std::vector<Formula> &Conditions);
+
+} // namespace tnt
+
+#endif // TNT_INFER_CASESPLIT_H

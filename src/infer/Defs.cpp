@@ -1,0 +1,152 @@
+//===- infer/Defs.cpp -----------------------------------------*- C++ -*-===//
+
+#include "infer/Defs.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+void Theta::init(UnkId Pre) {
+  assert(!Defs.count(Pre) && "double initialization");
+  DefCase C;
+  C.Guard = Formula::top();
+  C.K = DefCase::Kind::Pending;
+  Defs[Pre] = {C};
+  if (!Regions.count(Pre))
+    Regions[Pre] = Formula::top();
+}
+
+Formula Theta::region(UnkId Pre) const {
+  auto It = Regions.find(Pre);
+  return It == Regions.end() ? Formula::top() : It->second;
+}
+
+const std::vector<DefCase> &Theta::cases(UnkId Pre) const {
+  auto It = Defs.find(Pre);
+  assert(It != Defs.end() && "unknown predicate has no definition");
+  return It->second;
+}
+
+bool Theta::isPendingLeaf(UnkId Pre) const {
+  const std::vector<DefCase> &Cs = cases(Pre);
+  return Cs.size() == 1 && Cs[0].K == DefCase::Kind::Pending;
+}
+
+void Theta::resolve(UnkId Pre, DefCase::Kind K,
+                    std::vector<LinExpr> Measure) {
+  assert(K != DefCase::Kind::Pending && K != DefCase::Kind::Sub &&
+         "resolve needs a known kind");
+  assert(isPendingLeaf(Pre) && "resolving a non-leaf predicate");
+  DefCase C;
+  C.Guard = Formula::top();
+  C.K = K;
+  C.Measure = std::move(Measure);
+  Defs[Pre] = {C};
+}
+
+std::vector<UnkId> Theta::refineBase(UnkId Pre, const Formula &BaseGuard,
+                                     const std::vector<Formula> &MuGuards) {
+  assert(isPendingLeaf(Pre) && "refining a non-leaf predicate");
+  std::vector<DefCase> Cs;
+  DefCase Base;
+  Base.Guard = BaseGuard;
+  Base.K = DefCase::Kind::Term;
+  Cs.push_back(std::move(Base));
+  std::vector<UnkId> Subs;
+  for (const Formula &Mu : MuGuards) {
+    DefCase C;
+    C.Guard = Mu;
+    C.K = DefCase::Kind::Sub;
+    C.SubPre = Reg.createAuxPair(Pre);
+    Subs.push_back(C.SubPre);
+    Cs.push_back(std::move(C));
+    Regions[Subs.back()] = Formula::conj2(region(Pre), Mu);
+    init(Subs.back());
+  }
+  Defs[Pre] = std::move(Cs);
+  return Subs;
+}
+
+std::vector<UnkId> Theta::split(UnkId Pre,
+                                const std::vector<Formula> &Guards) {
+  assert(isPendingLeaf(Pre) && "splitting a non-leaf predicate");
+  assert(!Guards.empty() && "split needs at least one guard");
+  std::vector<DefCase> Cs;
+  std::vector<UnkId> Subs;
+  for (const Formula &G : Guards) {
+    DefCase C;
+    C.Guard = G;
+    C.K = DefCase::Kind::Sub;
+    C.SubPre = Reg.createAuxPair(Pre);
+    Subs.push_back(C.SubPre);
+    Cs.push_back(std::move(C));
+    Regions[Subs.back()] = Formula::conj2(region(Pre), G);
+    init(Subs.back());
+  }
+  Defs[Pre] = std::move(Cs);
+  return Subs;
+}
+
+void Theta::collectPending(UnkId Pre, std::set<UnkId> &Out) const {
+  for (const DefCase &C : cases(Pre)) {
+    if (C.K == DefCase::Kind::Pending)
+      Out.insert(Pre);
+    else if (C.K == DefCase::Kind::Sub)
+      collectPending(C.SubPre, Out);
+  }
+}
+
+bool Theta::fullyResolved(UnkId Pre) const {
+  std::set<UnkId> Pending;
+  collectPending(Pre, Pending);
+  return Pending.empty();
+}
+
+void Theta::finalize(UnkId Pre) {
+  std::set<UnkId> Pending;
+  collectPending(Pre, Pending);
+  for (UnkId U : Pending)
+    resolve(U, DefCase::Kind::MayLoop);
+}
+
+CaseTree Theta::toTree(UnkId Pre) const {
+  const std::vector<DefCase> &Cs = cases(Pre);
+  auto leafOf = [](const DefCase &C) {
+    CaseTree L;
+    switch (C.K) {
+    case DefCase::Kind::Term:
+      L.Temporal = TemporalSpec::term(C.Measure);
+      L.PostReachable = true;
+      break;
+    case DefCase::Kind::Loop:
+      L.Temporal = TemporalSpec::loop();
+      L.PostReachable = false;
+      break;
+    case DefCase::Kind::MayLoop:
+    case DefCase::Kind::Pending:
+      L.Temporal = TemporalSpec::mayLoop();
+      L.PostReachable = true;
+      break;
+    case DefCase::Kind::Sub:
+      assert(false && "leafOf on Sub case");
+    }
+    return L;
+  };
+  if (Cs.size() == 1 && Cs[0].K != DefCase::Kind::Sub &&
+      Cs[0].Guard.isTop())
+    return leafOf(Cs[0]);
+  CaseTree Node;
+  for (const DefCase &C : Cs) {
+    if (C.K == DefCase::Kind::Sub)
+      Node.Children.push_back({C.Guard, toTree(C.SubPre)});
+    else
+      Node.Children.push_back({C.Guard, leafOf(C)});
+  }
+  return Node;
+}
+
+const DefCase &Theta::leafCase(UnkId Pre) const {
+  const std::vector<DefCase> &Cs = cases(Pre);
+  assert(Cs.size() == 1 && "leafCase on refined predicate");
+  return Cs[0];
+}

@@ -1,0 +1,102 @@
+//===- infer/Defs.h - Definition store Theta ---------------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The store Theta of Definition 2: for each unknown pre-predicate, a
+/// guarded case list whose guards are feasible, mutually exclusive and
+/// exhaustive over the predicate's parameters. The partner
+/// post-predicate's definition is kept in lockstep (Term/MayLoop cases
+/// have reachable posts, Loop cases unreachable ones), which is an
+/// invariant of the paper's refinement steps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_INFER_DEFS_H
+#define TNT_INFER_DEFS_H
+
+#include "spec/Spec.h"
+#include "spec/Temporal.h"
+
+#include <map>
+
+namespace tnt {
+
+/// One case of an unknown pre-predicate's definition.
+struct DefCase {
+  /// Guard over the predicate's canonical parameters.
+  Formula Guard;
+  enum class Kind {
+    Pending, ///< Still this (leaf) unknown itself.
+    Sub,     ///< Refined into the auxiliary pair SubPre.
+    Term,
+    Loop,
+    MayLoop
+  };
+  Kind K = Kind::Pending;
+  UnkId SubPre = InvalidUnk;
+  std::vector<LinExpr> Measure; // for Kind::Term
+};
+
+/// The definition store.
+class Theta {
+public:
+  explicit Theta(UnkRegistry &Reg) : Reg(Reg) {}
+
+  /// Installs the initial definition true && Upr for a scenario root.
+  void init(UnkId Pre);
+
+  bool known(UnkId Pre) const { return Defs.count(Pre) != 0; }
+  const std::vector<DefCase> &cases(UnkId Pre) const;
+
+  /// Is this predicate a pending leaf (single Pending case)?
+  bool isPendingLeaf(UnkId Pre) const;
+
+  /// Resolves a pending leaf to a known temporal classification.
+  void resolve(UnkId Pre, DefCase::Kind K,
+               std::vector<LinExpr> Measure = {});
+
+  /// Base-case refinement (Section 5.1): the base guard becomes Term;
+  /// each remaining disjunct gets a fresh auxiliary pair. Returns the
+  /// fresh pre ids (parallel to MuGuards).
+  std::vector<UnkId> refineBase(UnkId Pre, const Formula &BaseGuard,
+                                const std::vector<Formula> &MuGuards);
+
+  /// Case split (Section 5.6): every guard gets a fresh auxiliary pair.
+  std::vector<UnkId> split(UnkId Pre, const std::vector<Formula> &Guards);
+
+  /// All pending leaves reachable from \p Pre.
+  void collectPending(UnkId Pre, std::set<UnkId> &Out) const;
+
+  /// True when no pending leaf remains under \p Pre.
+  bool fullyResolved(UnkId Pre) const;
+
+  /// Marks every remaining pending leaf under \p Pre as MayLoop
+  /// (the finalize step of Fig. 6).
+  void finalize(UnkId Pre);
+
+  /// Builds the output case tree for a scenario root.
+  CaseTree toTree(UnkId Pre) const;
+
+  /// The resolved classification of a leaf (valid when the single case
+  /// is a known kind).
+  const DefCase &leafCase(UnkId Pre) const;
+
+  /// The accumulated guard region of a predicate (conjunction of the
+  /// guards from its scenario root), over its canonical parameters.
+  /// Used to reject case-split conditions that cannot separate anything
+  /// within the region.
+  Formula region(UnkId Pre) const;
+
+private:
+  UnkRegistry &Reg;
+  std::map<UnkId, std::vector<DefCase>> Defs;
+  std::map<UnkId, Formula> Regions;
+};
+
+} // namespace tnt
+
+#endif // TNT_INFER_DEFS_H

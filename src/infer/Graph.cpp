@@ -1,0 +1,79 @@
+//===- infer/Graph.cpp ----------------------------------------*- C++ -*-===//
+
+#include "infer/Graph.h"
+
+#include <algorithm>
+
+using namespace tnt;
+
+TemporalGraph TemporalGraph::build(const std::vector<PreAssume> &S,
+                                   const std::set<UnkId> &Pending) {
+  TemporalGraph G;
+  std::map<UnkId, std::set<UnkId>> Succ;
+  for (UnkId U : Pending)
+    Succ[U]; // ensure vertex
+  for (size_t I = 0; I < S.size(); ++I) {
+    const PreAssume &A = S[I];
+    if (!Pending.count(A.Src))
+      continue;
+    G.Out[A.Src].push_back(I);
+    if (A.TK == PreAssume::Target::Unknown && Pending.count(A.Dst))
+      Succ[A.Src].insert(A.Dst);
+  }
+
+  // Iterative-friendly recursive Tarjan (graphs here are tiny).
+  std::map<UnkId, int> Index, Low;
+  std::map<UnkId, bool> OnStack;
+  std::vector<UnkId> Stack;
+  int Next = 0;
+
+  struct Ctx {
+    std::map<UnkId, std::set<UnkId>> &Succ;
+    std::map<UnkId, int> &Index, &Low;
+    std::map<UnkId, bool> &OnStack;
+    std::vector<UnkId> &Stack;
+    int &Next;
+    std::vector<std::vector<UnkId>> &Sccs;
+
+    void strongConnect(UnkId V) {
+      Index[V] = Low[V] = Next++;
+      Stack.push_back(V);
+      OnStack[V] = true;
+      for (UnkId W : Succ[V]) {
+        if (!Index.count(W)) {
+          strongConnect(W);
+          Low[V] = std::min(Low[V], Low[W]);
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+      }
+      if (Low[V] == Index[V]) {
+        std::vector<UnkId> Scc;
+        for (;;) {
+          UnkId W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Scc.push_back(W);
+          if (W == V)
+            break;
+        }
+        std::sort(Scc.begin(), Scc.end());
+        Sccs.push_back(std::move(Scc));
+      }
+    }
+  };
+
+  Ctx C{Succ, Index, Low, OnStack, Stack, Next, G.Sccs};
+  for (const auto &[V, Ss] : Succ) {
+    (void)Ss;
+    if (!Index.count(V))
+      C.strongConnect(V);
+  }
+  return G;
+}
+
+const std::vector<size_t> &TemporalGraph::edges(UnkId U) const {
+  static const std::vector<size_t> Empty;
+  auto It = Out.find(U);
+  return It == Out.end() ? Empty : It->second;
+}

@@ -1,0 +1,48 @@
+//===- infer/Graph.h - Temporal reachability graph --------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The temporal reachability graph of Definition 4, built from the
+/// specialized pre-assumptions: vertices are the pending unknown
+/// pre-predicates, edges the rho-labelled transitions; known temporal
+/// predicates (Term/Loop/MayLoop) are terminal. SCCs are processed
+/// bottom-up ([Fig. 6] line 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_INFER_GRAPH_H
+#define TNT_INFER_GRAPH_H
+
+#include "verify/Assumptions.h"
+
+#include <map>
+#include <vector>
+
+namespace tnt {
+
+/// The reachability graph over pending unknown pre-predicates.
+class TemporalGraph {
+public:
+  /// Builds the graph from specialized pre-assumptions; \p Pending is
+  /// the universe of vertices (pending leaves may have no assumptions).
+  static TemporalGraph build(const std::vector<PreAssume> &S,
+                             const std::set<UnkId> &Pending);
+
+  /// SCCs in bottom-up (successor-first) topological order.
+  const std::vector<std::vector<UnkId>> &sccs() const { return Sccs; }
+
+  /// Indices into the assumption vector of edges leaving \p U.
+  const std::vector<size_t> &edges(UnkId U) const;
+
+private:
+  std::vector<std::vector<UnkId>> Sccs;
+  std::map<UnkId, std::vector<size_t>> Out;
+};
+
+} // namespace tnt
+
+#endif // TNT_INFER_GRAPH_H

@@ -1,0 +1,233 @@
+//===- infer/ProveNonTerm.cpp ---------------------------------*- C++ -*-===//
+
+#include "infer/ProveNonTerm.h"
+
+#include "infer/CaseSplit.h"
+#include "solver/Solver.h"
+#include "synth/Abduction.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+/// A selection of nondet branches (angelic witness policy).
+using Selection = std::map<unsigned, bool>;
+
+bool consistent(const ChoiceSet &Choices, const Selection &Sel) {
+  for (const auto &[Tag, Taken] : Choices) {
+    auto It = Sel.find(Tag);
+    if (It != Sel.end() && It->second != Taken)
+      return false;
+  }
+  return true;
+}
+
+/// The disjuncts available to cover an exit's context: guards of
+/// definitely-false items and of unknown items whose predicate belongs
+/// to the analyzed SCC (the paper's eta_i and mu_j).
+std::vector<Formula> coverageDisjuncts(const PostAssume &T,
+                                       const std::set<UnkId> &SccPosts) {
+  std::vector<Formula> Out;
+  for (const PostItem &It : T.Items) {
+    if (It.K == PostItem::Kind::False)
+      Out.push_back(It.Guard);
+    else if (SccPosts.count(It.U))
+      Out.push_back(It.Guard);
+  }
+  return Out;
+}
+
+/// Does the unreachability check of Fig. 9 succeed for this exit?
+bool coverageHolds(const PostAssume &T, const std::set<UnkId> &SccPosts) {
+  Formula Lhs = Formula::conj2(T.Ctx, T.Guard);
+  if (Solver::isSat(Lhs) == Tri::False)
+    return true; // Vacuously unreachable exit.
+  std::vector<Formula> Disj = coverageDisjuncts(T, SccPosts);
+  if (Disj.empty())
+    return false; // Base-case exit that is reachable.
+  return Solver::entails(Lhs, Formula::disj(Disj));
+}
+
+} // namespace
+
+NonTermResult
+tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
+                     const std::vector<const PreAssume *> &Internal,
+                     const std::vector<PostAssume> &T, const UnkRegistry &Reg,
+                     Theta &Th, bool EnableAbduction,
+                     unsigned MaxVarsPerCondition) {
+  NonTermResult Out;
+  std::set<UnkId> SccSet(Preds.begin(), Preds.end());
+  std::set<UnkId> SccPosts;
+  for (UnkId U : Preds)
+    SccPosts.insert(Reg.partner(U));
+
+  // Relevant exits per predicate.
+  std::map<UnkId, std::vector<const PostAssume *>> ByPred;
+  for (UnkId U : Preds)
+    ByPred[U];
+  for (const PostAssume &A : T) {
+    UnkId Pre = Reg.partner(A.Tgt);
+    if (SccSet.count(Pre))
+      ByPred[Pre].push_back(&A);
+  }
+
+  // Nondet tags involved; angelic enumeration up to 2^5 selections.
+  std::set<unsigned> Tags;
+  for (const auto &[U, As] : ByPred) {
+    (void)U;
+    for (const PostAssume *A : As)
+      for (const auto &[Tag, B] : A->Choices) {
+        (void)B;
+        Tags.insert(Tag);
+      }
+  }
+  for (const PreAssume *A : Internal)
+    for (const auto &[Tag, B] : A->Choices) {
+      (void)B;
+      Tags.insert(Tag);
+    }
+
+  std::vector<Selection> Selections;
+  if (Tags.empty() || Tags.size() > 5) {
+    Selections.push_back({});
+  } else {
+    std::vector<unsigned> TagV(Tags.begin(), Tags.end());
+    for (size_t Mask = 0; Mask < (size_t(1) << TagV.size()); ++Mask) {
+      Selection Sel;
+      for (size_t I = 0; I < TagV.size(); ++I)
+        Sel[TagV[I]] = (Mask >> I) & 1;
+      Selections.push_back(std::move(Sel));
+    }
+  }
+
+  std::vector<const PostAssume *> BestFailures;
+  bool HaveBest = false;
+  for (const Selection &Sel : Selections) {
+    bool AllPass = true;
+    std::vector<const PostAssume *> Failures;
+    for (UnkId U : Preds) {
+      // The recursion must continue under this selection: some internal
+      // edge from U must stay consistent.
+      bool HasEdge = false, HasConsistentEdge = false;
+      for (const PreAssume *A : Internal) {
+        if (A->Src != U)
+          continue;
+        HasEdge = true;
+        if (consistent(A->Choices, Sel))
+          HasConsistentEdge = true;
+      }
+      if (HasEdge && !HasConsistentEdge) {
+        AllPass = false;
+        break;
+      }
+      for (const PostAssume *A : ByPred[U]) {
+        if (!consistent(A->Choices, Sel))
+          continue; // Exit avoided by the angelic policy.
+        if (!coverageHolds(*A, SccPosts)) {
+          AllPass = false;
+          Failures.push_back(A);
+        }
+      }
+    }
+    if (AllPass) {
+      for (UnkId U : Preds)
+        Th.resolve(U, DefCase::Kind::Loop);
+      Out.Proved = true;
+      return Out;
+    }
+    if (!HaveBest ||
+        (!Failures.empty() && Failures.size() < BestFailures.size())) {
+      BestFailures = std::move(Failures);
+      HaveBest = true;
+    }
+  }
+
+  if (!EnableAbduction)
+    return Out;
+
+  // abd_inf: derive case-split conditions from the failed proofs. A
+  // condition is only worth splitting on when it actually separates the
+  // predicate's region (both halves satisfiable) — otherwise the split
+  // makes no progress.
+  std::map<UnkId, std::vector<Formula>> Conditions;
+  auto addCondition = [&](UnkId Pred, const Formula &C) {
+    Formula Region = Th.region(Pred);
+    if (!Solver::definitelySat(Formula::conj2(Region, C)) ||
+        !Solver::definitelySat(Formula::conj2(Region, Formula::neg(C))))
+      return;
+    for (const Formula &Old : Conditions[Pred])
+      if (Old.structEq(C))
+        return;
+    Conditions[Pred].push_back(C);
+  };
+  for (const PostAssume *A : BestFailures) {
+    UnkId Pred = Reg.partner(A->Tgt);
+    Formula Lhs = Formula::conj2(A->Ctx, A->Guard);
+    std::vector<Formula> Betas = coverageDisjuncts(*A, SccPosts);
+    std::optional<std::vector<ConstraintConj>> LhsDNF = Lhs.toDNF(64);
+    if (!LhsDNF)
+      continue;
+    const std::vector<VarId> &Params = Reg.pred(Pred).Params;
+
+    // Exit-unreachability candidates: conditions over the parameters
+    // that contradict this exit's context altogether — the paper's
+    // "potential non-termination pre-condition" route (the mu of
+    // Section 5.5/5.6; cf. how foo's base guard is avoided).
+    {
+      std::set<VarId> Keep(Params.begin(), Params.end());
+      std::set<VarId> Elim;
+      for (VarId V : Lhs.freeVars())
+        if (!Keep.count(V))
+          Elim.insert(V);
+      Solver::ElimResult Proj = Solver::eliminate(Lhs, Elim);
+      Formula NotCtx = Solver::simplify(Formula::neg(Proj.F));
+      std::optional<std::vector<ConstraintConj>> NotDNF = NotCtx.toDNF(8);
+      if (NotDNF && NotDNF->size() <= 4) {
+        for (const ConstraintConj &Conj : *NotDNF) {
+          if (Omega::isSatConj(Conj) != Tri::True)
+            continue;
+          addCondition(Pred, conjToFormula(Conj));
+        }
+      }
+    }
+    if (Betas.empty())
+      continue; // Base-case form: no beta-directed abduction (5.6).
+    for (const Formula &Beta : Betas) {
+      if (Solver::isSat(Formula::conj2(Lhs, Beta)) != Tri::True)
+        continue; // Candidate must be jointly satisfiable.
+      std::optional<std::vector<ConstraintConj>> BetaDNF = Beta.toDNF(8);
+      if (!BetaDNF || BetaDNF->size() != 1)
+        continue;
+      for (const ConstraintConj &Ctx : *LhsDNF) {
+        if (Omega::isSatConj(Ctx) != Tri::True)
+          continue;
+        AbductionResult R =
+            abduce(Ctx, (*BetaDNF)[0], Params, MaxVarsPerCondition);
+        if (!R.Success)
+          continue;
+        Formula Alpha = Formula::atom(R.Alpha);
+        if (Alpha.isTop())
+          continue;
+        addCondition(Pred, Alpha);
+        break;
+      }
+    }
+  }
+
+  bool Split = false;
+  for (auto &[Pred, Cs] : Conditions) {
+    if (Cs.empty())
+      continue;
+    std::vector<Formula> Guards = splitConditions(Cs);
+    if (Guards.size() < 2)
+      continue; // A single guard would not refine anything.
+    Th.split(Pred, Guards);
+    Split = true;
+  }
+  Out.DidSplit = Split;
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- infer/ProveNonTerm.h - Non-termination proof over an SCC -*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// prove_NonTerm (Fig. 9): inductive unreachability of the SCC's
+/// post-predicates, with abductive case-split inference (abd_inf,
+/// Section 5.6) on failure. Nondeterministic branch choices are treated
+/// angelically (Section 8): a selection of branches witnessing
+/// non-termination may be fixed per conditional.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_INFER_PROVENONTERM_H
+#define TNT_INFER_PROVENONTERM_H
+
+#include "infer/Defs.h"
+#include "verify/Assumptions.h"
+
+namespace tnt {
+
+/// Outcome of a non-termination attempt.
+struct NonTermResult {
+  /// Every SCC member was resolved Loop.
+  bool Proved = false;
+  /// A case split was installed; the solve loop must re-specialize.
+  bool DidSplit = false;
+};
+
+/// Attempts the non-termination proof for \p Preds using the
+/// (specialized) post-assumptions \p T and internal edges \p Internal.
+/// On failure with \p EnableAbduction, abduces case-split conditions
+/// and refines \p Th.
+NonTermResult proveNonTermScc(const std::vector<UnkId> &Preds,
+                              const std::vector<const PreAssume *> &Internal,
+                              const std::vector<PostAssume> &T,
+                              const UnkRegistry &Reg, Theta &Th,
+                              bool EnableAbduction,
+                              unsigned MaxVarsPerCondition = 2);
+
+} // namespace tnt
+
+#endif // TNT_INFER_PROVENONTERM_H

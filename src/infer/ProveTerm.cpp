@@ -1,0 +1,44 @@
+//===- infer/ProveTerm.cpp ------------------------------------*- C++ -*-===//
+
+#include "infer/ProveTerm.h"
+
+#include "synth/Ranking.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tnt;
+
+bool tnt::proveTermScc(const std::vector<UnkId> &Preds,
+                       const std::vector<const PreAssume *> &Internal,
+                       const UnkRegistry &Reg, Theta &Th, unsigned MaxLex) {
+  std::vector<std::vector<VarId>> PredParams;
+  std::map<UnkId, size_t> IndexOf;
+  for (UnkId U : Preds) {
+    IndexOf[U] = PredParams.size();
+    PredParams.push_back(Reg.pred(U).Params);
+  }
+
+  std::vector<RankEdge> Edges;
+  for (const PreAssume *A : Internal) {
+    assert(A->TK == PreAssume::Target::Unknown && "internal edge kind");
+    std::optional<std::vector<ConstraintConj>> DNF = A->Ctx.toDNF(64);
+    if (!DNF)
+      return false; // Context too disjunctive to encode.
+    for (const ConstraintConj &Conj : *DNF) {
+      RankEdge E;
+      E.Src = IndexOf.at(A->Src);
+      E.Dst = IndexOf.at(A->Dst);
+      E.Ctx = Conj;
+      E.DstArgs = A->DstArgs;
+      Edges.push_back(std::move(E));
+    }
+  }
+
+  RankResult R = synthesizeRanking(PredParams, Edges, MaxLex);
+  if (!R.Success)
+    return false;
+  for (UnkId U : Preds)
+    Th.resolve(U, DefCase::Kind::Term, R.Measures[IndexOf.at(U)]);
+  return true;
+}

@@ -1,0 +1,32 @@
+//===- infer/ProveTerm.h - Termination proof over an SCC --------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// prove_Term (Fig. 8): ranking-function synthesis over the internal
+/// edges of an SCC of the temporal reachability graph, resolving every
+/// member to Term[measure] on success (subst_rank).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_INFER_PROVETERM_H
+#define TNT_INFER_PROVETERM_H
+
+#include "infer/Defs.h"
+#include "verify/Assumptions.h"
+
+namespace tnt {
+
+/// Attempts a (lexicographic) termination proof for the SCC \p Preds
+/// with internal edges \p Internal. On success, resolves every member
+/// in \p Th and returns true.
+bool proveTermScc(const std::vector<UnkId> &Preds,
+                  const std::vector<const PreAssume *> &Internal,
+                  const UnkRegistry &Reg, Theta &Th, unsigned MaxLex = 4);
+
+} // namespace tnt
+
+#endif // TNT_INFER_PROVETERM_H

@@ -1,0 +1,494 @@
+//===- infer/Solve.cpp ----------------------------------------*- C++ -*-===//
+
+#include "infer/Solve.h"
+
+#include "infer/Graph.h"
+#include "infer/ProveNonTerm.h"
+#include "infer/ProveTerm.h"
+#include "solver/Solver.h"
+#include "spec/Capacity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+using namespace tnt;
+
+namespace {
+
+/// Projects a formula onto the given parameter set (over-approximate
+/// when exact elimination is impossible, which is the sound direction
+/// for every use below).
+Formula projectOnto(const Formula &F, const std::vector<VarId> &Params) {
+  std::set<VarId> Keep(Params.begin(), Params.end());
+  std::set<VarId> Elim;
+  for (VarId V : F.freeVars())
+    if (!Keep.count(V))
+      Elim.insert(V);
+  return Solver::eliminate(F, Elim).F;
+}
+
+/// Walks a definition chain to its pending leaves, accumulating guards.
+/// Guards are formulas over the predicate's canonical parameters; they
+/// are instantiated through \p Inst (identity for source expansion,
+/// argument substitution for target expansion).
+void forEachLeaf(const Theta &Th, UnkId Pre,
+                 const std::function<Formula(const Formula &)> &Inst,
+                 const Formula &Acc,
+                 const std::function<void(UnkId, const Formula &)> &OnPending,
+                 const std::function<void(const DefCase &, const Formula &)>
+                     &OnKnown) {
+  for (const DefCase &C : Th.cases(Pre)) {
+    Formula G = Formula::conj2(Acc, Inst(C.Guard));
+    switch (C.K) {
+    case DefCase::Kind::Pending:
+      OnPending(Pre, G);
+      break;
+    case DefCase::Kind::Sub:
+      forEachLeaf(Th, C.SubPre, Inst, G, OnPending, OnKnown);
+      break;
+    default:
+      OnKnown(C, G);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::vector<PreAssume> tnt::specializePre(const std::vector<PreAssume> &S,
+                                          const UnkRegistry &Reg,
+                                          const Theta &Th) {
+  std::vector<PreAssume> Out;
+  auto Id = [](const Formula &F) { return F; };
+  for (const PreAssume &A : S) {
+    // Expand the source chain (LHS); known source cases are dropped
+    // (they are re-checked by re-verification, not by inference).
+    forEachLeaf(
+        Th, A.Src, Id, Formula::top(),
+        [&](UnkId SrcLeaf, const Formula &SrcG) {
+          Formula Ctx1 = Formula::conj2(A.Ctx, SrcG);
+          if (Solver::isSat(Ctx1) == Tri::False)
+            return;
+          if (A.TK != PreAssume::Target::Unknown) {
+            PreAssume N = A;
+            N.Src = SrcLeaf;
+            N.Ctx = Ctx1;
+            Out.push_back(std::move(N));
+            return;
+          }
+          // Expand the target chain (RHS), instantiating guards at the
+          // call arguments.
+          const std::vector<VarId> &DstParams = Reg.pred(A.Dst).Params;
+          auto Inst = [&](const Formula &G) {
+            return substParallelFormula(G, DstParams, A.DstArgs);
+          };
+          forEachLeaf(
+              Th, A.Dst, Inst, Formula::top(),
+              [&](UnkId DstLeaf, const Formula &DstG) {
+                Formula Ctx2 = Formula::conj2(Ctx1, DstG);
+                if (Solver::isSat(Ctx2) == Tri::False)
+                  return;
+                PreAssume N = A;
+                N.Src = SrcLeaf;
+                N.Dst = DstLeaf;
+                N.Ctx = Ctx2;
+                Out.push_back(std::move(N));
+              },
+              [&](const DefCase &C, const Formula &DstG) {
+                Formula Ctx2 = Formula::conj2(Ctx1, DstG);
+                if (Solver::isSat(Ctx2) == Tri::False)
+                  return;
+                PreAssume N;
+                N.Src = SrcLeaf;
+                N.Ctx = Ctx2;
+                N.Choices = A.Choices;
+                switch (C.K) {
+                case DefCase::Kind::Term:
+                  N.TK = PreAssume::Target::Term;
+                  for (const LinExpr &M : C.Measure)
+                    N.TermMeasure.push_back(
+                        substParallelExpr(M, DstParams, A.DstArgs));
+                  break;
+                case DefCase::Kind::Loop:
+                  N.TK = PreAssume::Target::Loop;
+                  break;
+                case DefCase::Kind::MayLoop:
+                  N.TK = PreAssume::Target::MayLoop;
+                  break;
+                default:
+                  assert(false && "known case expected");
+                }
+                Out.push_back(std::move(N));
+              });
+        },
+        [](const DefCase &, const Formula &) {});
+  }
+  return Out;
+}
+
+std::vector<PostAssume> tnt::specializePost(const std::vector<PostAssume> &T,
+                                            const UnkRegistry &Reg,
+                                            const Theta &Th) {
+  std::vector<PostAssume> Out;
+  auto Id = [](const Formula &F) { return F; };
+  for (const PostAssume &A : T) {
+    // Expand the items first (conjunctive: no case product).
+    std::vector<PostItem> Items;
+    for (const PostItem &It : A.Items) {
+      if (It.K == PostItem::Kind::False) {
+        Items.push_back(It);
+        continue;
+      }
+      UnkId ItemPre = Reg.partner(It.U);
+      const std::vector<VarId> &Params = Reg.pred(ItemPre).Params;
+      auto Inst = [&](const Formula &G) {
+        return substParallelFormula(G, Params, It.Args);
+      };
+      forEachLeaf(
+          Th, ItemPre, Inst, It.Guard,
+          [&](UnkId Leaf, const Formula &G) {
+            PostItem N;
+            N.Guard = G;
+            N.K = PostItem::Kind::Unknown;
+            N.U = Reg.partner(Leaf);
+            N.Args = It.Args;
+            Items.push_back(std::move(N));
+          },
+          [&](const DefCase &C, const Formula &G) {
+            if (C.K == DefCase::Kind::Loop) {
+              PostItem N;
+              N.Guard = G;
+              N.K = PostItem::Kind::False;
+              Items.push_back(std::move(N));
+            }
+            // Term/MayLoop posts are reachable (true): no information.
+          });
+    }
+    // Expand the target post chain.
+    UnkId TgtPre = Reg.partner(A.Tgt);
+    forEachLeaf(
+        Th, TgtPre, Id, A.Guard,
+        [&](UnkId Leaf, const Formula &G) {
+          if (Solver::isSat(Formula::conj2(A.Ctx, G)) == Tri::False)
+            return;
+          PostAssume N;
+          N.Ctx = A.Ctx;
+          N.Items = Items;
+          N.Guard = G;
+          N.Tgt = Reg.partner(Leaf);
+          N.Choices = A.Choices;
+          Out.push_back(std::move(N));
+        },
+        [](const DefCase &, const Formula &) {
+          // Known target posts: true is trivial, false was proven when
+          // it was installed; nothing to collect.
+        });
+  }
+  return Out;
+}
+
+Formula tnt::synBase(const ScenarioProblem &P, const UnkRegistry &Reg) {
+  const std::vector<VarId> &Params = Reg.pred(P.PreId).Params;
+  // rho: contexts in which any not-known-to-terminate call is reached.
+  std::vector<Formula> RhoParts;
+  for (const PreAssume &A : P.S)
+    RhoParts.push_back(projectOnto(A.Ctx, Params));
+  Formula Rho = Solver::simplify(Formula::disj(RhoParts));
+  // %: exit contexts whose antecedents carry no unknown post-predicate;
+  // definitely-false items contribute their guard's negation.
+  std::vector<Formula> PctParts;
+  for (const PostAssume &A : P.T) {
+    bool HasUnknown = false;
+    std::vector<Formula> Parts{A.Ctx, A.Guard};
+    for (const PostItem &It : A.Items) {
+      if (It.K == PostItem::Kind::Unknown) {
+        HasUnknown = true;
+        break;
+      }
+      Parts.push_back(Formula::neg(It.Guard));
+    }
+    if (HasUnknown)
+      continue;
+    PctParts.push_back(projectOnto(Formula::conj(Parts), Params));
+  }
+  Formula Pct = Solver::simplify(Formula::disj(PctParts));
+  return Solver::simplify(Formula::conj2(Pct, Formula::neg(Rho)));
+}
+
+bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
+                     UnkRegistry &Reg, Theta &Th, const SolveOptions &Opt) {
+  for (const ScenarioProblem &P : Problems)
+    Th.init(P.PreId);
+
+  // Base-case inference and refinement (Section 5.1).
+  if (Opt.EnableBaseCase) {
+    for (const ScenarioProblem &P : Problems) {
+      Formula Base = synBase(P, Reg);
+      if (!Solver::definitelySat(Base))
+        continue;
+      Formula NotBase = Solver::simplify(Formula::neg(Base));
+      if (Solver::isSat(NotBase) == Tri::False) {
+        // The whole input space is base-case terminating.
+        Th.resolve(P.PreId, DefCase::Kind::Term);
+        continue;
+      }
+      std::vector<Formula> Mus;
+      std::optional<std::vector<ConstraintConj>> DNF = NotBase.toDNF(32);
+      if (DNF) {
+        for (const ConstraintConj &Conj : *DNF) {
+          if (Omega::isSatConj(Conj) == Tri::False)
+            continue;
+          Mus.push_back(conjToFormula(Conj));
+        }
+      }
+      if (Mus.empty())
+        Mus.push_back(NotBase);
+      Th.refineBase(P.PreId, Base, Mus);
+    }
+  }
+
+  bool Trace = std::getenv("TNT_TRACE") != nullptr;
+  unsigned Iter = 0;
+  unsigned Pass = 0;
+  uint64_t FuelStart = Solver::stats().SatQueries;
+  auto StartTime = std::chrono::steady_clock::now();
+  auto expired = [&]() {
+    if (Opt.GroupFuel != 0 &&
+        Solver::stats().SatQueries - FuelStart > Opt.GroupFuel)
+      return true;
+    if (Opt.GroupDeadlineMs != 0) {
+      auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - StartTime)
+                         .count();
+      if (static_cast<uint64_t>(Elapsed) > Opt.GroupDeadlineMs)
+        return true;
+    }
+    return false;
+  };
+  bool Bailed = false;
+  for (;;) {
+    if (expired()) {
+      Bailed = true;
+      break; // Out of fuel/time: finalize the rest as MayLoop.
+    }
+    if (Trace)
+      fprintf(stderr, "[solve] pass=%u iter=%u queries=%llu\n", Pass++,
+              Iter, (unsigned long long)Solver::stats().SatQueries);
+    // Pending universe.
+    std::set<UnkId> Pending;
+    for (const ScenarioProblem &P : Problems)
+      Th.collectPending(P.PreId, Pending);
+    if (Pending.empty())
+      break;
+
+    // spec_relass on the union of all assumption sets (Section 5.2).
+    std::vector<PreAssume> SAll, SIn;
+    std::vector<PostAssume> TAll, TIn;
+    for (const ScenarioProblem &P : Problems) {
+      SIn.insert(SIn.end(), P.S.begin(), P.S.end());
+      TIn.insert(TIn.end(), P.T.begin(), P.T.end());
+    }
+    SAll = specializePre(SIn, Reg, Th);
+    TAll = specializePost(TIn, Reg, Th);
+
+    TemporalGraph G = TemporalGraph::build(SAll, Pending);
+
+    bool Progressed = false;
+    for (const std::vector<UnkId> &Scc : G.sccs()) {
+      if (expired())
+        break;
+      bool AnyPending = false;
+      for (UnkId U : Scc)
+        AnyPending |= Pending.count(U) != 0;
+      if (!AnyPending)
+        continue;
+
+      // Classify edges.
+      std::set<UnkId> SccSet(Scc.begin(), Scc.end());
+      std::vector<const PreAssume *> Internal;
+      bool ExternTerm = false, ExternLoopOrMay = false, Deferred = false;
+      for (UnkId U : Scc) {
+        for (size_t Idx : G.edges(U)) {
+          const PreAssume &A = SAll[Idx];
+          switch (A.TK) {
+          case PreAssume::Target::Unknown:
+            if (SccSet.count(A.Dst))
+              Internal.push_back(&A);
+            else
+              Deferred = true; // Unresolved lower SCC; process it first.
+            break;
+          case PreAssume::Target::Term:
+            ExternTerm = true;
+            break;
+          case PreAssume::Target::Loop:
+          case PreAssume::Target::MayLoop:
+            ExternLoopOrMay = true;
+            break;
+          }
+        }
+      }
+      if (Deferred)
+        continue;
+
+      // TNT_analysis (Fig. 7): trivial termination for an isolated
+      // acyclic node; ranking synthesis when every outside successor is
+      // Term; otherwise (or on failure) the non-termination proof.
+      bool Resolved = false, DidSplit = false;
+      if (Internal.empty() && !ExternTerm && !ExternLoopOrMay &&
+          Scc.size() == 1) {
+        Th.resolve(Scc[0], DefCase::Kind::Term);
+        Resolved = true;
+      } else if (ExternTerm && !ExternLoopOrMay && Opt.EnableTermProof &&
+                 proveTermScc(Scc, Internal, Reg, Th, Opt.MaxLex)) {
+        Resolved = true;
+      } else if (Opt.EnableNonTermProof) {
+        NonTermResult R =
+            proveNonTermScc(Scc, Internal, TAll, Reg, Th,
+                            Opt.EnableAbduction && Iter < Opt.MaxIter,
+                            Opt.MaxVarsPerCondition);
+        if (R.Proved) {
+          Resolved = true;
+        } else if (R.DidSplit) {
+          DidSplit = true;
+          ++Iter;
+        } else {
+          for (UnkId U : Scc)
+            Th.resolve(U, DefCase::Kind::MayLoop);
+          Resolved = true;
+        }
+      } else {
+        for (UnkId U : Scc)
+          Th.resolve(U, DefCase::Kind::MayLoop);
+        Resolved = true;
+      }
+
+      if (DidSplit) {
+        Progressed = true;
+        break; // Re-specialize and rebuild the graph.
+      }
+      if (Resolved) {
+        Progressed = true;
+        // Later SCCs whose successors just resolved are stale; they are
+        // skipped by the Deferred check and handled next pass.
+      }
+    }
+
+    if (!Progressed)
+      break;
+  }
+
+  // finalize: whatever is still unknown becomes MayLoop (Fig. 6).
+  for (const ScenarioProblem &P : Problems) {
+    if (!Th.fullyResolved(P.PreId))
+      Bailed = true;
+    Th.finalize(P.PreId);
+  }
+  return Bailed;
+}
+
+bool tnt::reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
+                        const UnkRegistry &Reg, const Theta &Th) {
+  // Gather the final flat case list per root: (guard, kind, measure).
+  struct FlatCase {
+    Formula Guard;
+    DefCase::Kind K;
+    std::vector<LinExpr> Measure;
+  };
+  auto flatten = [&](UnkId Pre) {
+    std::vector<FlatCase> Out;
+    auto Id = [](const Formula &F) { return F; };
+    forEachLeaf(
+        Th, Pre, Id, Formula::top(),
+        [&](UnkId, const Formula &G) {
+          Out.push_back({G, DefCase::Kind::MayLoop, {}});
+        },
+        [&](const DefCase &C, const Formula &G) {
+          Out.push_back({G, C.K, C.Measure});
+        });
+    return Out;
+  };
+
+  for (const ScenarioProblem &P : Problems) {
+    std::vector<FlatCase> Root = flatten(P.PreId);
+    // Pre-assumptions: a Term source must only reach Term targets, with
+    // a lexicographic decrease; Loop/MayLoop sources need no check here.
+    for (const PreAssume &A : P.S) {
+      for (const FlatCase &Src : flatten(A.Src)) {
+        if (Src.K != DefCase::Kind::Term)
+          continue;
+        Formula Ctx1 = Formula::conj2(A.Ctx, Src.Guard);
+        if (Solver::isSat(Ctx1) == Tri::False)
+          continue;
+        switch (A.TK) {
+        case PreAssume::Target::Term:
+          if (checkLexDecrease(Ctx1, Src.Measure, A.TermMeasure) !=
+              Tri::True)
+            return false;
+          break;
+        case PreAssume::Target::Loop:
+        case PreAssume::Target::MayLoop:
+          return false; // Terminating case reaches a non-terminating call.
+        case PreAssume::Target::Unknown: {
+          const std::vector<VarId> &DstParams = Reg.pred(A.Dst).Params;
+          for (const FlatCase &Dst : flatten(A.Dst)) {
+            Formula DstG =
+                substParallelFormula(Dst.Guard, DstParams, A.DstArgs);
+            Formula Ctx2 = Formula::conj2(Ctx1, DstG);
+            if (Solver::isSat(Ctx2) == Tri::False)
+              continue;
+            if (Dst.K != DefCase::Kind::Term)
+              return false;
+            std::vector<LinExpr> DstM;
+            for (const LinExpr &M : Dst.Measure)
+              DstM.push_back(substParallelExpr(M, DstParams, A.DstArgs));
+            // The strict decrease is only required on (mutually)
+            // recursive cycles; sameness of predicates approximates it.
+            if (Reg.pred(A.Src).Method == Reg.pred(A.Dst).Method &&
+                checkLexDecrease(Ctx2, Src.Measure, DstM) != Tri::True)
+              return false;
+          }
+          break;
+        }
+        }
+      }
+    }
+    // Post-assumptions: Loop cases must have every exit covered.
+    for (const PostAssume &A : P.T) {
+      UnkId TgtPre = Reg.partner(A.Tgt);
+      for (const FlatCase &Tgt : flatten(TgtPre)) {
+        if (Tgt.K != DefCase::Kind::Loop)
+          continue;
+        Formula Lhs = Formula::conj(
+            {A.Ctx, A.Guard, Tgt.Guard});
+        if (Solver::isSat(Lhs) == Tri::False)
+          continue;
+        // Coverage disjuncts: definitely-false item guards plus unknown
+        // items that resolved to Loop under their instantiated guards.
+        std::vector<Formula> Disj;
+        bool Fail = false;
+        for (const PostItem &It : A.Items) {
+          if (It.K == PostItem::Kind::False) {
+            Disj.push_back(It.Guard);
+            continue;
+          }
+          UnkId ItemPre = Reg.partner(It.U);
+          const std::vector<VarId> &Params = Reg.pred(ItemPre).Params;
+          for (const FlatCase &IC : flatten(ItemPre)) {
+            if (IC.K != DefCase::Kind::Loop)
+              continue;
+            Disj.push_back(Formula::conj2(
+                It.Guard,
+                substParallelFormula(IC.Guard, Params, It.Args)));
+          }
+        }
+        if (Fail || !Solver::entails(Lhs, Formula::disj(Disj)))
+          return false;
+      }
+    }
+  }
+  return true;
+}

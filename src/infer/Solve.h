@@ -1,0 +1,90 @@
+//===- infer/Solve.h - The overall inference algorithm ----------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solve procedure of Fig. 6: base-case inference (syn_base /
+/// refine_base, Section 5.1), assumption specialization (spec_relass,
+/// Section 5.2), reachability-graph SCC scheduling with TNT_analysis
+/// (Fig. 7), termination and non-termination proofs, abductive case
+/// splitting, and finalization of leftovers to MayLoop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_INFER_SOLVE_H
+#define TNT_INFER_SOLVE_H
+
+#include "infer/Defs.h"
+#include "verify/Assumptions.h"
+
+namespace tnt {
+
+/// Knobs of the solve procedure (the ablation benches sweep these).
+struct SolveOptions {
+  /// MAX_ITER of Fig. 6: bound on case-split restarts.
+  unsigned MaxIter = 6;
+  /// Abductive case-split inference (Section 5.6).
+  bool EnableAbduction = true;
+  /// Base-case inference (Section 5.1).
+  bool EnableBaseCase = true;
+  /// Non-termination proving (Section 5.5); off for the
+  /// termination-only baseline.
+  bool EnableNonTermProof = true;
+  /// Termination proving (Section 5.4); off for a nontermination-only
+  /// configuration.
+  bool EnableTermProof = true;
+  /// Maximum lexicographic components.
+  unsigned MaxLex = 4;
+  /// Maximum variables in an abduced condition.
+  unsigned MaxVarsPerCondition = 2;
+  /// Solver-query fuel per group; when exhausted, remaining unknowns
+  /// finalize to MayLoop (keeps pathological case ladders bounded).
+  uint64_t GroupFuel = 15000;
+  /// Wall-clock deadline per group in milliseconds (0 = none); on
+  /// expiry remaining unknowns finalize to MayLoop.
+  uint64_t GroupDeadlineMs = 5000;
+};
+
+/// One scenario's inference problem: its root unknown pair and the
+/// assumption sets collected by the verifier.
+struct ScenarioProblem {
+  UnkId PreId = InvalidUnk;
+  std::vector<PreAssume> S;
+  std::vector<PostAssume> T;
+};
+
+/// Solves a whole group of mutually recursive scenarios ([TNT-INF]).
+/// On return every scenario root is fully resolved in \p Th. Returns
+/// true when a resource limit (fuel / deadline / MAX_ITER) forced the
+/// finalize step while work remained — the graceful bail-out that
+/// distinguishes the paper's tool from comparators that run until
+/// killed.
+bool solveGroup(const std::vector<ScenarioProblem> &Problems,
+                UnkRegistry &Reg, Theta &Th, const SolveOptions &Opt = {});
+
+/// spec_relass for pre-assumptions (exposed for tests).
+std::vector<PreAssume> specializePre(const std::vector<PreAssume> &S,
+                                     const UnkRegistry &Reg, const Theta &Th);
+
+/// spec_relass for post-assumptions (exposed for tests).
+std::vector<PostAssume> specializePost(const std::vector<PostAssume> &T,
+                                       const UnkRegistry &Reg,
+                                       const Theta &Th);
+
+/// syn_base of Section 5.1 (exposed for tests): the inferred base-case
+/// precondition over the scenario's parameters.
+Formula synBase(const ScenarioProblem &P, const UnkRegistry &Reg);
+
+/// Re-verification of the inferred outcome against the collected
+/// assumptions (the optional but useful check of Section 6): Term cases
+/// must decrease lexicographically into Term cases and never reach
+/// Loop/MayLoop ones; Loop cases must have all exits covered.
+bool reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
+                   const UnkRegistry &Reg, const Theta &Th);
+
+} // namespace tnt
+
+#endif // TNT_INFER_SOLVE_H

@@ -1,0 +1,301 @@
+//===- lang/Ast.cpp -------------------------------------------*- C++ -*-===//
+
+#include "lang/Ast.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Int:
+    return "int";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Void:
+    return "void";
+  case Kind::Data:
+    return DataName;
+  }
+  return "?";
+}
+
+namespace {
+
+const char *binOpStr(BinOp B) {
+  switch (B) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::And:
+    return "&&";
+  case BinOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+std::string indentStr(unsigned N) { return std::string(N * 2, ' '); }
+
+} // namespace
+
+std::string Expr::str() const {
+  switch (K) {
+  case Kind::IntLit:
+    return std::to_string(IntVal);
+  case Kind::BoolLit:
+    return BoolVal ? "true" : "false";
+  case Kind::Null:
+    return "null";
+  case Kind::Var:
+    return Name;
+  case Kind::FieldRead:
+    return Name + "." + Field;
+  case Kind::Unary:
+    return std::string(Un == UnOp::Neg ? "-" : "!") + "(" + Lhs->str() + ")";
+  case Kind::Binary:
+    return "(" + Lhs->str() + " " + binOpStr(Bin) + " " + Rhs->str() + ")";
+  case Kind::Call:
+  case Kind::New: {
+    std::string Out = (K == Kind::New ? "new " : "") + Name + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I]->str();
+    }
+    return Out + ")";
+  }
+  case Kind::NondetInt:
+    return "nondet_int()";
+  case Kind::NondetBool:
+    return "nondet_bool()";
+  }
+  return "?";
+}
+
+ExprPtr tnt::cloneExpr(const Expr &E) {
+  auto C = std::make_unique<Expr>(E.K, E.Loc);
+  C->IntVal = E.IntVal;
+  C->BoolVal = E.BoolVal;
+  C->Name = E.Name;
+  C->Field = E.Field;
+  C->Bin = E.Bin;
+  C->Un = E.Un;
+  if (E.Lhs)
+    C->Lhs = cloneExpr(*E.Lhs);
+  if (E.Rhs)
+    C->Rhs = cloneExpr(*E.Rhs);
+  for (const ExprPtr &A : E.Args)
+    C->Args.push_back(cloneExpr(*A));
+  return C;
+}
+
+std::string Stmt::str(unsigned Indent) const {
+  std::string Pad = indentStr(Indent);
+  switch (K) {
+  case Kind::Block: {
+    std::string Out = Pad + "{\n";
+    for (const StmtPtr &S : Stmts)
+      Out += S->str(Indent + 1);
+    return Out + Pad + "}\n";
+  }
+  case Kind::VarDecl:
+    return Pad + DeclTy.str() + " " + Name +
+           (E ? " = " + E->str() : std::string()) + ";\n";
+  case Kind::Assign:
+    return Pad + Name + " = " + E->str() + ";\n";
+  case Kind::FieldAssign:
+    return Pad + Name + "." + Field + " = " + E->str() + ";\n";
+  case Kind::If: {
+    std::string Out = Pad + "if (" + E->str() + ")\n" + Then->str(Indent + 1);
+    if (Else)
+      Out += Pad + "else\n" + Else->str(Indent + 1);
+    return Out;
+  }
+  case Kind::While:
+    return Pad + "while (" + E->str() + ")\n" + Body->str(Indent + 1);
+  case Kind::Return:
+    return Pad + "return" + (E ? " " + E->str() : std::string()) + ";\n";
+  case Kind::CallStmt:
+    return Pad + E->str() + ";\n";
+  case Kind::Assume:
+    return Pad + "assume(" + PureF.str() + ");\n";
+  }
+  return Pad + "?;\n";
+}
+
+StmtPtr tnt::cloneStmt(const Stmt &S) {
+  auto C = std::make_unique<Stmt>(S.K, S.Loc);
+  for (const StmtPtr &Sub : S.Stmts)
+    C->Stmts.push_back(cloneStmt(*Sub));
+  C->DeclTy = S.DeclTy;
+  C->Name = S.Name;
+  C->Field = S.Field;
+  if (S.E)
+    C->E = cloneExpr(*S.E);
+  if (S.Then)
+    C->Then = cloneStmt(*S.Then);
+  if (S.Else)
+    C->Else = cloneStmt(*S.Else);
+  if (S.Body)
+    C->Body = cloneStmt(*S.Body);
+  C->PureF = S.PureF;
+  return C;
+}
+
+std::string HeapAtom::str() const {
+  std::string Out;
+  if (K == Kind::PointsTo) {
+    Out = varName(Root) + " |-> " + Name + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I].str();
+    }
+    return Out + ")";
+  }
+  Out = Name + "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Args[I].str();
+  }
+  return Out + ")";
+}
+
+std::string HeapFormula::str() const {
+  if (Atoms.empty())
+    return "emp";
+  std::string Out;
+  for (size_t I = 0; I < Atoms.size(); ++I) {
+    if (I)
+      Out += " * ";
+    Out += Atoms[I].str();
+  }
+  return Out;
+}
+
+std::string TemporalSpec::str() const {
+  switch (K) {
+  case Kind::Unknown:
+    return "Unknown";
+  case Kind::Term: {
+    std::string Out = "Term[";
+    for (size_t I = 0; I < Measure.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Measure[I].str();
+    }
+    return Out + "]";
+  }
+  case Kind::Loop:
+    return "Loop";
+  case Kind::MayLoop:
+    return "MayLoop";
+  }
+  return "?";
+}
+
+std::string MethodSpec::str() const {
+  std::string Out = "requires " + PreHeap.str() + " & " + PrePure.str();
+  if (Temporal.K != TemporalSpec::Kind::Unknown)
+    Out += " & " + Temporal.str();
+  Out += " ensures " + PostHeap.str() + " & " + PostPure.str() + ";";
+  return Out;
+}
+
+std::string PredDecl::str() const {
+  std::string Out = "pred " + Name + "(";
+  for (size_t I = 0; I < Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += varName(Params[I]);
+  }
+  Out += ") == ";
+  for (size_t I = 0; I < Branches.size(); ++I) {
+    if (I)
+      Out += " or ";
+    Out += Branches[I].Heap.str() + " & " + Branches[I].Pure.str();
+  }
+  return Out + ";";
+}
+
+std::string MethodDecl::str() const {
+  std::string Out = RetTy.str() + " " + Name + "(";
+  for (size_t I = 0; I < Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    if (Params[I].ByRef)
+      Out += "ref ";
+    Out += Params[I].Ty.str() + " " + Params[I].Name;
+  }
+  Out += ")\n";
+  for (const MethodSpec &S : Specs)
+    Out += "  " + S.str() + "\n";
+  if (Body)
+    Out += Body->str(0);
+  else
+    Out += "  ; // primitive\n";
+  return Out;
+}
+
+std::string DataDecl::str() const {
+  std::string Out = "data " + Name + " { ";
+  for (const auto &[Ty, FName] : Fields)
+    Out += Ty.str() + " " + FName + "; ";
+  return Out + "}";
+}
+
+const DataDecl *Program::findData(const std::string &Name) const {
+  for (const DataDecl &D : Datas)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+const PredDecl *Program::findPred(const std::string &Name) const {
+  for (const PredDecl &P : Preds)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+const MethodDecl *Program::findMethod(const std::string &Name) const {
+  for (const MethodDecl &M : Methods)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+MethodDecl *Program::findMethod(const std::string &Name) {
+  for (MethodDecl &M : Methods)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const DataDecl &D : Datas)
+    Out += D.str() + "\n";
+  for (const PredDecl &P : Preds)
+    Out += P.str() + "\n";
+  for (const MethodDecl &M : Methods)
+    Out += M.str() + "\n";
+  return Out;
+}

@@ -1,0 +1,264 @@
+//===- lang/Ast.h - Core imperative language AST ---------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the core imperative language of Fig. 5 — data
+/// declarations, methods with (ref) parameters, assignments, field
+/// access, allocation, conditionals, calls, returns — extended with
+/// `while` (lowered to tail recursion, as the paper assumes), `assume`,
+/// and nondeterministic values. Also the specification attachments of
+/// Fig. 2: pre/post pairs over a separation-logic heap fragment, pure
+/// Presburger formulas and temporal predicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_LANG_AST_H
+#define TNT_LANG_AST_H
+
+#include "arith/Formula.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// A source-level type: int, bool, void or a declared data type.
+struct Type {
+  enum class Kind { Int, Bool, Void, Data };
+  Kind K = Kind::Int;
+  std::string DataName; // for Kind::Data
+
+  static Type intTy() { return {Kind::Int, ""}; }
+  static Type boolTy() { return {Kind::Bool, ""}; }
+  static Type voidTy() { return {Kind::Void, ""}; }
+  static Type dataTy(std::string Name) {
+    return {Kind::Data, std::move(Name)};
+  }
+
+  bool isData() const { return K == Kind::Data; }
+  bool isVoid() const { return K == Kind::Void; }
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Binary operators (Mul is restricted to a constant operand by the
+/// resolver, keeping the language linear).
+enum class BinOp { Add, Sub, Mul, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+enum class UnOp { Neg, Not };
+
+/// Expression node; a tagged union in the LLVM style (Kind + fields).
+struct Expr {
+  enum class Kind {
+    IntLit,    ///< IntVal
+    BoolLit,   ///< BoolVal
+    Null,      ///<
+    Var,       ///< Name
+    FieldRead, ///< Name.Field
+    Unary,     ///< Un, Lhs
+    Binary,    ///< Bin, Lhs, Rhs
+    Call,      ///< Name(Args)
+    New,       ///< new Name(Args)
+    NondetInt, ///< nondet_int()
+    NondetBool ///< nondet_bool()
+  };
+
+  Kind K;
+  SourceLoc Loc;
+
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::string Name;
+  std::string Field;
+  BinOp Bin = BinOp::Add;
+  UnOp Un = UnOp::Neg;
+  ExprPtr Lhs, Rhs;
+  std::vector<ExprPtr> Args;
+
+  explicit Expr(Kind K, SourceLoc Loc = {}) : K(K), Loc(Loc) {}
+
+  std::string str() const;
+};
+
+ExprPtr cloneExpr(const Expr &E);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class Kind {
+    Block,       ///< Stmts
+    VarDecl,     ///< DeclTy Name (= E)?
+    Assign,      ///< Name = E
+    FieldAssign, ///< Name.Field = E
+    If,          ///< if (E) Then else Else
+    While,       ///< while (E) Body   (lowered before analysis)
+    Return,      ///< return E?
+    CallStmt,    ///< E (a Call expression in statement position)
+    Assume       ///< assume(PureF)
+  };
+
+  Kind K;
+  SourceLoc Loc;
+
+  std::vector<StmtPtr> Stmts;
+  Type DeclTy;
+  std::string Name;
+  std::string Field;
+  ExprPtr E;
+  StmtPtr Then, Else, Body;
+  Formula PureF; // Assume
+
+  explicit Stmt(Kind K, SourceLoc Loc = {}) : K(K), Loc(Loc) {}
+
+  std::string str(unsigned Indent = 0) const;
+};
+
+StmtPtr cloneStmt(const Stmt &S);
+
+//===----------------------------------------------------------------------===//
+// Specifications
+//===----------------------------------------------------------------------===//
+
+/// One separation-logic heap atom: a points-to or a predicate instance.
+/// Pointers are encoded as integers in the pure layer (null == 0), so
+/// all arguments are linear expressions over interned spec variables.
+struct HeapAtom {
+  enum class Kind { PointsTo, Pred };
+  Kind K = Kind::Pred;
+  /// PointsTo: the root variable; Pred: unused (Args[0] is the root).
+  VarId Root = 0;
+  /// PointsTo: the data type name; Pred: the predicate name.
+  std::string Name;
+  /// PointsTo: one value per declared field; Pred: predicate arguments.
+  std::vector<LinExpr> Args;
+
+  std::string str() const;
+};
+
+/// A (possibly empty == emp) spatial conjunction of heap atoms.
+struct HeapFormula {
+  std::vector<HeapAtom> Atoms;
+
+  bool isEmp() const { return Atoms.empty(); }
+  std::string str() const;
+};
+
+/// The temporal component theta of a precondition (Fig. 2).
+struct TemporalSpec {
+  enum class Kind { Unknown, Term, Loop, MayLoop };
+  Kind K = Kind::Unknown;
+  /// Lexicographic measure for Term (may be empty: base-case Term []).
+  std::vector<LinExpr> Measure;
+
+  static TemporalSpec unknown() { return {}; }
+  static TemporalSpec term(std::vector<LinExpr> M = {}) {
+    return {Kind::Term, std::move(M)};
+  }
+  static TemporalSpec loop() { return {Kind::Loop, {}}; }
+  static TemporalSpec mayLoop() { return {Kind::MayLoop, {}}; }
+
+  std::string str() const;
+};
+
+/// One requires/ensures scenario. A method may carry several (e.g. the
+/// paper's append over lseg and over cll).
+struct MethodSpec {
+  Formula PrePure;   // defaults to true
+  HeapFormula PreHeap;
+  TemporalSpec Temporal;
+  Formula PostPure;  // defaults to true; may mention res and primed refs
+  HeapFormula PostHeap;
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A user-defined inductive heap predicate (e.g. lseg, cll): a
+/// disjunction of (pure, heap) branches over the parameters; variables
+/// in a branch that are not parameters are implicitly existential.
+struct PredDecl {
+  std::string Name;
+  std::vector<VarId> Params;
+  struct Branch {
+    Formula Pure;
+    HeapFormula Heap;
+  };
+  std::vector<Branch> Branches;
+  SourceLoc Loc;
+
+  std::string str() const;
+};
+
+/// A method parameter.
+struct Param {
+  Type Ty;
+  std::string Name;
+  bool ByRef = false;
+};
+
+/// A method declaration. Primitive/library methods have no body and
+/// must carry specifications (including temporal ones).
+struct MethodDecl {
+  Type RetTy;
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<MethodSpec> Specs; // empty: a single default scenario
+  StmtPtr Body;                  // null for primitives
+  SourceLoc Loc;
+  /// Set by the loop-lowering transform for synthesized loop methods.
+  bool FromLoop = false;
+
+  bool isPrimitive() const { return Body == nullptr; }
+  std::string str() const;
+};
+
+/// A data type declaration.
+struct DataDecl {
+  std::string Name;
+  std::vector<std::pair<Type, std::string>> Fields;
+  SourceLoc Loc;
+
+  std::string str() const;
+};
+
+/// A whole program.
+struct Program {
+  std::vector<DataDecl> Datas;
+  std::vector<PredDecl> Preds;
+  std::vector<MethodDecl> Methods;
+
+  const DataDecl *findData(const std::string &Name) const;
+  const PredDecl *findPred(const std::string &Name) const;
+  const MethodDecl *findMethod(const std::string &Name) const;
+  MethodDecl *findMethod(const std::string &Name);
+
+  std::string str() const;
+};
+
+} // namespace tnt
+
+#endif // TNT_LANG_AST_H

@@ -1,0 +1,143 @@
+//===- lang/CallGraph.cpp -------------------------------------*- C++ -*-===//
+
+#include "lang/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+void collectCalls(const Expr &E, std::set<std::string> &Out) {
+  if (E.K == Expr::Kind::Call)
+    Out.insert(E.Name);
+  if (E.Lhs)
+    collectCalls(*E.Lhs, Out);
+  if (E.Rhs)
+    collectCalls(*E.Rhs, Out);
+  for (const ExprPtr &A : E.Args)
+    collectCalls(*A, Out);
+}
+
+void collectCallsStmt(const Stmt &S, std::set<std::string> &Out) {
+  if (S.E)
+    collectCalls(*S.E, Out);
+  for (const StmtPtr &Sub : S.Stmts)
+    collectCallsStmt(*Sub, Out);
+  if (S.Then)
+    collectCallsStmt(*S.Then, Out);
+  if (S.Else)
+    collectCallsStmt(*S.Else, Out);
+  if (S.Body)
+    collectCallsStmt(*S.Body, Out);
+}
+
+/// Iterative Tarjan SCC. Deterministic: nodes and successors are visited
+/// in program / lexicographic order.
+struct Tarjan {
+  const std::vector<std::string> &Nodes;
+  const std::map<std::string, std::set<std::string>> &Succ;
+
+  std::map<std::string, int> Index, Low;
+  std::map<std::string, bool> OnStack;
+  std::vector<std::string> Stack;
+  int NextIndex = 0;
+  std::vector<std::vector<std::string>> Sccs;
+
+  void strongConnect(const std::string &V) {
+    Index[V] = Low[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    auto It = Succ.find(V);
+    if (It != Succ.end()) {
+      for (const std::string &W : It->second) {
+        if (!Index.count(W)) {
+          strongConnect(W);
+          Low[V] = std::min(Low[V], Low[W]);
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+      }
+    }
+    if (Low[V] == Index[V]) {
+      std::vector<std::string> Scc;
+      for (;;) {
+        std::string W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        Scc.push_back(W);
+        if (W == V)
+          break;
+      }
+      std::sort(Scc.begin(), Scc.end());
+      Sccs.push_back(std::move(Scc));
+    }
+  }
+
+  void run() {
+    for (const std::string &V : Nodes)
+      if (!Index.count(V))
+        strongConnect(V);
+    // Tarjan emits SCCs in reverse topological order of the condensation
+    // with successors-first, which is exactly callee-first.
+  }
+};
+
+} // namespace
+
+CallGraph CallGraph::build(const Program &P) {
+  CallGraph G;
+  std::vector<std::string> Nodes;
+  for (const MethodDecl &M : P.Methods) {
+    Nodes.push_back(M.Name);
+    std::set<std::string> Calls;
+    if (M.Body)
+      collectCallsStmt(*M.Body, Calls);
+    // Keep only calls to known methods (resolver already diagnosed the
+    // rest).
+    std::set<std::string> Known;
+    for (const std::string &C : Calls)
+      if (P.findMethod(C))
+        Known.insert(C);
+    G.Callees[M.Name] = std::move(Known);
+  }
+
+  Tarjan T{Nodes, G.Callees, {}, {}, {}, {}, 0, {}};
+  T.run();
+  G.Sccs = std::move(T.Sccs);
+  for (size_t I = 0; I < G.Sccs.size(); ++I)
+    for (const std::string &M : G.Sccs[I])
+      G.SccIndex[M] = I;
+
+  // A method is recursive iff its SCC has >1 member or it calls itself.
+  for (const auto &Scc : G.Sccs) {
+    if (Scc.size() > 1) {
+      for (const std::string &M : Scc)
+        G.Recursive.insert(M);
+      continue;
+    }
+    const std::string &M = Scc[0];
+    auto It = G.Callees.find(M);
+    if (It != G.Callees.end() && It->second.count(M))
+      G.Recursive.insert(M);
+  }
+  return G;
+}
+
+const std::set<std::string> &
+CallGraph::callees(const std::string &Method) const {
+  static const std::set<std::string> Empty;
+  auto It = Callees.find(Method);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+bool CallGraph::sameScc(const std::string &A, const std::string &B) const {
+  auto IA = SccIndex.find(A), IB = SccIndex.find(B);
+  return IA != SccIndex.end() && IB != SccIndex.end() &&
+         IA->second == IB->second;
+}
+
+bool CallGraph::isRecursive(const std::string &Method) const {
+  return Recursive.count(Method) != 0;
+}

@@ -1,0 +1,55 @@
+//===- lang/CallGraph.h - Call graph and SCC order --------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over method names with Tarjan SCC decomposition in
+/// bottom-up (callee-first) topological order — the verification and
+/// inference order of rule [TNT-INF]: a whole group of mutually
+/// recursive methods is solved together, after all its callees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_LANG_CALLGRAPH_H
+#define TNT_LANG_CALLGRAPH_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// The call graph of a program.
+class CallGraph {
+public:
+  /// Builds the graph and its SCC decomposition.
+  static CallGraph build(const Program &P);
+
+  /// SCCs in bottom-up (callee-first) topological order.
+  const std::vector<std::vector<std::string>> &sccs() const { return Sccs; }
+
+  /// Direct callees of \p Method.
+  const std::set<std::string> &callees(const std::string &Method) const;
+
+  /// Are the two methods mutually recursive (same SCC)?
+  bool sameScc(const std::string &A, const std::string &B) const;
+
+  /// Is the method (possibly mutually) recursive — i.e. in a cycle?
+  bool isRecursive(const std::string &Method) const;
+
+private:
+  std::vector<std::vector<std::string>> Sccs;
+  std::map<std::string, std::set<std::string>> Callees;
+  std::map<std::string, size_t> SccIndex;
+  std::set<std::string> Recursive;
+};
+
+} // namespace tnt
+
+#endif // TNT_LANG_CALLGRAPH_H

@@ -1,0 +1,102 @@
+//===- lang/Lexer.h - Tokenizer for the core language ----------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer. Identifiers may carry one trailing prime (x'),
+/// used for post-state values of ref parameters in specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_LANG_LEXER_H
+#define TNT_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// Token kinds. Keywords are distinguished from plain identifiers.
+enum class Tok {
+  Eof,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwData,
+  KwPred,
+  KwInt,
+  KwBool,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwRequires,
+  KwEnsures,
+  KwCase,
+  KwNull,
+  KwNew,
+  KwRef,
+  KwTrue,
+  KwFalse,
+  KwAssume,
+  KwNondetInt,
+  KwNondetBool,
+  KwTerm,
+  KwLoop,
+  KwMayLoop,
+  KwEmp,
+  KwOr, // 'or' in spec formulas
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Assign,    // =
+  EqEq,      // ==
+  NotEq,     // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Amp,       // &
+  AmpAmp,    // &&
+  PipePipe,  // ||
+  Bang,      // !
+  PointsTo,  // |->
+  Arrow,     // ->
+};
+
+/// One token with its location and payload.
+struct Token {
+  Tok K = Tok::Eof;
+  SourceLoc Loc;
+  std::string Text; // identifier spelling
+  int64_t IntVal = 0;
+};
+
+/// Tokenizes \p Source; reports malformed input to \p Diags and carries
+/// on where possible. Comments: // to end of line and /* ... */.
+std::vector<Token> tokenize(const std::string &Source,
+                            DiagnosticEngine &Diags);
+
+/// Human-readable token kind (diagnostics).
+const char *tokName(Tok K);
+
+} // namespace tnt
+
+#endif // TNT_LANG_LEXER_H

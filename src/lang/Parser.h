@@ -1,0 +1,43 @@
+//===- lang/Parser.h - Recursive-descent parser ----------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the core language (Fig. 5) and its specification syntax
+/// (Fig. 2): data/pred/method declarations, requires/ensures scenarios
+/// over heap * pure & temporal formulas.
+///
+/// Grammar sketch (specs):
+///   spec      := 'requires' conj 'ensures' conj ';'
+///   conj      := atom (('&' | '*') atom)*
+///   atom      := 'emp' | 'true' | 'false'
+///             | 'Term' ('[' arith (',' arith)* ']')? | 'Loop' | 'MayLoop'
+///             | ident '|->' ident '(' args ')'      (points-to)
+///             | ident '(' args ')'                  (heap predicate)
+///             | arith cmp arith                     (pure atom)
+///             | '!' '(' disj ')' | '(' disj ')'     (pure only)
+///   disj      := conj ('or' conj)*
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_LANG_PARSER_H
+#define TNT_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+#include <optional>
+
+namespace tnt {
+
+/// Parses \p Source into a Program. Returns std::nullopt (with
+/// diagnostics) on any syntax error.
+std::optional<Program> parseProgram(const std::string &Source,
+                                    DiagnosticEngine &Diags);
+
+} // namespace tnt
+
+#endif // TNT_LANG_PARSER_H

@@ -1,0 +1,269 @@
+//===- lang/Resolve.cpp ---------------------------------------*- C++ -*-===//
+
+#include "lang/Resolve.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace tnt;
+
+namespace {
+
+ExprTy typeToExprTy(const Type &T) {
+  switch (T.K) {
+  case Type::Kind::Int:
+    return ExprTy::Int;
+  case Type::Kind::Bool:
+    return ExprTy::Bool;
+  case Type::Kind::Void:
+    return ExprTy::Void;
+  case Type::Kind::Data:
+    return ExprTy::Ptr;
+  }
+  return ExprTy::Int;
+}
+
+/// Per-method checking context.
+class MethodChecker {
+public:
+  MethodChecker(const Program &P, const MethodDecl &M, DiagnosticEngine &Diags)
+      : P(P), M(M), Diags(Diags) {
+    for (const Param &Prm : M.Params)
+      Env[Prm.Name] = Prm.Ty;
+  }
+
+  void run() {
+    std::set<std::string> Seen;
+    for (const Param &Prm : M.Params)
+      if (!Seen.insert(Prm.Name).second)
+        Diags.error(M.Loc, "duplicate parameter '" + Prm.Name + "' in '" +
+                               M.Name + "'");
+    if (M.Body)
+      checkStmt(*M.Body, /*InWhile=*/false);
+  }
+
+private:
+  void checkStmt(const Stmt &S, bool InWhile) {
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      // Block scope: remember and restore declarations.
+      std::map<std::string, Type> Saved = Env;
+      for (const StmtPtr &Sub : S.Stmts)
+        checkStmt(*Sub, InWhile);
+      Env = std::move(Saved);
+      return;
+    }
+    case Stmt::Kind::VarDecl:
+      if (S.E)
+        checkExpr(*S.E);
+      if (Env.count(S.Name))
+        Diags.error(S.Loc, "redeclaration of '" + S.Name + "'");
+      Env[S.Name] = S.DeclTy;
+      return;
+    case Stmt::Kind::Assign: {
+      if (!Env.count(S.Name))
+        Diags.error(S.Loc, "assignment to undeclared variable '" + S.Name +
+                               "'");
+      checkExpr(*S.E);
+      return;
+    }
+    case Stmt::Kind::FieldAssign: {
+      checkFieldAccess(S.Loc, S.Name, S.Field);
+      checkExpr(*S.E);
+      return;
+    }
+    case Stmt::Kind::If:
+      checkExpr(*S.E);
+      checkStmt(*S.Then, InWhile);
+      if (S.Else)
+        checkStmt(*S.Else, InWhile);
+      return;
+    case Stmt::Kind::While:
+      checkExpr(*S.E);
+      checkStmt(*S.Body, /*InWhile=*/true);
+      return;
+    case Stmt::Kind::Return:
+      if (InWhile)
+        Diags.error(S.Loc,
+                    "'return' inside 'while' is not supported (the loop "
+                    "lowering assumes structured exits)");
+      if (S.E)
+        checkExpr(*S.E);
+      else if (M.RetTy.K != Type::Kind::Void)
+        Diags.error(S.Loc, "missing return value in non-void method '" +
+                               M.Name + "'");
+      return;
+    case Stmt::Kind::CallStmt:
+      checkExpr(*S.E);
+      return;
+    case Stmt::Kind::Assume:
+      return;
+    }
+  }
+
+  void checkFieldAccess(SourceLoc Loc, const std::string &Base,
+                        const std::string &Field) {
+    auto It = Env.find(Base);
+    if (It == Env.end()) {
+      Diags.error(Loc, "use of undeclared variable '" + Base + "'");
+      return;
+    }
+    if (!It->second.isData()) {
+      Diags.error(Loc, "field access on non-data variable '" + Base + "'");
+      return;
+    }
+    const DataDecl *D = P.findData(It->second.DataName);
+    if (!D) {
+      Diags.error(Loc, "unknown data type '" + It->second.DataName + "'");
+      return;
+    }
+    for (const auto &[FT, FN] : D->Fields)
+      if (FN == Field)
+        return;
+    Diags.error(Loc, "data type '" + D->Name + "' has no field '" + Field +
+                         "'");
+  }
+
+  void checkExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::BoolLit:
+    case Expr::Kind::Null:
+    case Expr::Kind::NondetInt:
+    case Expr::Kind::NondetBool:
+      return;
+    case Expr::Kind::Var:
+      if (!Env.count(E.Name))
+        Diags.error(E.Loc, "use of undeclared variable '" + E.Name + "'");
+      return;
+    case Expr::Kind::FieldRead:
+      checkFieldAccess(E.Loc, E.Name, E.Field);
+      return;
+    case Expr::Kind::Unary:
+      checkExpr(*E.Lhs);
+      return;
+    case Expr::Kind::Binary: {
+      checkExpr(*E.Lhs);
+      checkExpr(*E.Rhs);
+      if (E.Bin == BinOp::Mul) {
+        // Linearity: one operand must be a literal (possibly negated).
+        auto IsConst = [](const Expr &X) {
+          if (X.K == Expr::Kind::IntLit)
+            return true;
+          return X.K == Expr::Kind::Unary && X.Un == UnOp::Neg &&
+                 X.Lhs->K == Expr::Kind::IntLit;
+        };
+        if (!IsConst(*E.Lhs) && !IsConst(*E.Rhs))
+          Diags.error(E.Loc, "nonlinear multiplication");
+      }
+      return;
+    }
+    case Expr::Kind::Call: {
+      const MethodDecl *Callee = P.findMethod(E.Name);
+      if (!Callee) {
+        Diags.error(E.Loc, "call to unknown method '" + E.Name + "'");
+        return;
+      }
+      if (Callee->Params.size() != E.Args.size()) {
+        Diags.error(E.Loc, "wrong number of arguments to '" + E.Name + "'");
+        return;
+      }
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        checkExpr(*E.Args[I]);
+        if (Callee->Params[I].ByRef && E.Args[I]->K != Expr::Kind::Var)
+          Diags.error(E.Args[I]->Loc,
+                      "ref argument must be a plain variable");
+      }
+      return;
+    }
+    case Expr::Kind::New: {
+      const DataDecl *D = P.findData(E.Name);
+      if (!D) {
+        Diags.error(E.Loc, "unknown data type '" + E.Name + "' in new");
+        return;
+      }
+      if (D->Fields.size() != E.Args.size())
+        Diags.error(E.Loc, "wrong number of field initializers");
+      for (const ExprPtr &A : E.Args)
+        checkExpr(*A);
+      return;
+    }
+    }
+  }
+
+  const Program &P;
+  const MethodDecl &M;
+  DiagnosticEngine &Diags;
+  std::map<std::string, Type> Env;
+};
+
+} // namespace
+
+ExprTy tnt::exprType(const Program &P, const std::map<std::string, Type> &Env,
+                     const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::NondetInt:
+    return ExprTy::Int;
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::NondetBool:
+    return ExprTy::Bool;
+  case Expr::Kind::Null:
+  case Expr::Kind::New:
+    return ExprTy::Ptr;
+  case Expr::Kind::Var: {
+    auto It = Env.find(E.Name);
+    return It == Env.end() ? ExprTy::Int : typeToExprTy(It->second);
+  }
+  case Expr::Kind::FieldRead: {
+    auto It = Env.find(E.Name);
+    if (It == Env.end() || !It->second.isData())
+      return ExprTy::Int;
+    const DataDecl *D = P.findData(It->second.DataName);
+    if (!D)
+      return ExprTy::Int;
+    for (const auto &[FT, FN] : D->Fields)
+      if (FN == E.Field)
+        return typeToExprTy(FT);
+    return ExprTy::Int;
+  }
+  case Expr::Kind::Unary:
+    return E.Un == UnOp::Not ? ExprTy::Bool : ExprTy::Int;
+  case Expr::Kind::Binary:
+    switch (E.Bin) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+      return ExprTy::Int;
+    default:
+      return ExprTy::Bool;
+    }
+  case Expr::Kind::Call: {
+    const MethodDecl *Callee = P.findMethod(E.Name);
+    return Callee ? typeToExprTy(Callee->RetTy) : ExprTy::Int;
+  }
+  }
+  return ExprTy::Int;
+}
+
+bool tnt::resolveProgram(const Program &P, DiagnosticEngine &Diags) {
+  std::set<std::string> Names;
+  for (const DataDecl &D : P.Datas)
+    if (!Names.insert(D.Name).second)
+      Diags.error(D.Loc, "duplicate declaration '" + D.Name + "'");
+  for (const PredDecl &Pr : P.Preds)
+    if (!Names.insert(Pr.Name).second)
+      Diags.error(Pr.Loc, "duplicate declaration '" + Pr.Name + "'");
+  for (const MethodDecl &M : P.Methods)
+    if (!Names.insert(M.Name).second)
+      Diags.error(M.Loc, "duplicate declaration '" + M.Name + "'");
+
+  for (const MethodDecl &M : P.Methods) {
+    if (M.isPrimitive() && M.Specs.empty())
+      Diags.error(M.Loc, "primitive method '" + M.Name +
+                             "' must carry a specification");
+    MethodChecker(P, M, Diags).run();
+  }
+  return !Diags.hasErrors();
+}

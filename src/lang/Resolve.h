@@ -1,0 +1,37 @@
+//===- lang/Resolve.h - Name resolution and type checking ------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic checks over a parsed program: declaration/use consistency,
+/// call arities, field accesses against data declarations, linearity of
+/// multiplication, and the structural restrictions the analyses rely on
+/// (no `return` inside `while` bodies before lowering; ref arguments are
+/// plain variables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_LANG_RESOLVE_H
+#define TNT_LANG_RESOLVE_H
+
+#include "lang/Ast.h"
+
+namespace tnt {
+
+/// Runs all semantic checks; returns false (with diagnostics) on error.
+bool resolveProgram(const Program &P, DiagnosticEngine &Diags);
+
+/// Classification of an expression's type, as computed by the resolver.
+enum class ExprTy { Int, Bool, Ptr, Void };
+
+/// Infers the type of \p E given variable types \p Env (name -> Type).
+/// Call expressions consult \p P for the callee's return type.
+ExprTy exprType(const Program &P, const std::map<std::string, Type> &Env,
+                const Expr &E);
+
+} // namespace tnt
+
+#endif // TNT_LANG_RESOLVE_H

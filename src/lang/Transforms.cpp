@@ -1,0 +1,386 @@
+//===- lang/Transforms.cpp ------------------------------------*- C++ -*-===//
+
+#include "lang/Transforms.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace tnt;
+
+namespace {
+
+/// Does this expression stay within the pure fragment (no heap access,
+/// no calls, no nondeterminism)? Such conditions can be negated into the
+/// synthesized loop method's postcondition.
+bool isPureCond(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::Null:
+  case Expr::Kind::Var:
+    return true;
+  case Expr::Kind::Unary:
+    return isPureCond(*E.Lhs);
+  case Expr::Kind::Binary:
+    return isPureCond(*E.Lhs) && isPureCond(*E.Rhs);
+  default:
+    return false;
+  }
+}
+
+/// Translates a pure condition into a Formula, renaming every variable
+/// through \p Rename (used to prime variables for postconditions).
+/// Returns an invalid Formula on unsupported shapes (caller checks
+/// isPureCond first, so this only guards internal consistency).
+Formula condToFormula(const Expr &E,
+                      const std::map<std::string, std::string> &Rename,
+                      bool Negate);
+
+/// Pure *arithmetic* expression to LinExpr (asserts on non-arithmetic).
+LinExpr arithToLin(const Expr &E,
+                   const std::map<std::string, std::string> &Rename) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return LinExpr(E.IntVal);
+  case Expr::Kind::Null:
+    return LinExpr(0);
+  case Expr::Kind::Var: {
+    auto It = Rename.find(E.Name);
+    return LinExpr::var(mkVar(It == Rename.end() ? E.Name : It->second));
+  }
+  case Expr::Kind::Unary:
+    assert(E.Un == UnOp::Neg && "non-arithmetic unary");
+    return -arithToLin(*E.Lhs, Rename);
+  case Expr::Kind::Binary: {
+    LinExpr L = arithToLin(*E.Lhs, Rename);
+    LinExpr R = arithToLin(*E.Rhs, Rename);
+    switch (E.Bin) {
+    case BinOp::Add:
+      return L + R;
+    case BinOp::Sub:
+      return L - R;
+    case BinOp::Mul:
+      if (L.isConstant())
+        return R * L.constant();
+      assert(R.isConstant() && "nonlinear multiplication survived resolve");
+      return L * R.constant();
+    default:
+      assert(false && "comparison in arithmetic position");
+      return LinExpr(0);
+    }
+  }
+  default:
+    assert(false && "impure expression in arithmetic position");
+    return LinExpr(0);
+  }
+}
+
+Formula condToFormula(const Expr &E,
+                      const std::map<std::string, std::string> &Rename,
+                      bool Negate) {
+  switch (E.K) {
+  case Expr::Kind::BoolLit:
+    return (E.BoolVal != Negate) ? Formula::top() : Formula::bottom();
+  case Expr::Kind::Var: {
+    // A boolean variable b is encoded as b != 0.
+    auto It = Rename.find(E.Name);
+    LinExpr V =
+        LinExpr::var(mkVar(It == Rename.end() ? E.Name : It->second));
+    return Formula::cmp(V, Negate ? CmpKind::Eq : CmpKind::Ne, LinExpr(0));
+  }
+  case Expr::Kind::Unary:
+    assert(E.Un == UnOp::Not && "arithmetic unary in boolean position");
+    return condToFormula(*E.Lhs, Rename, !Negate);
+  case Expr::Kind::Binary: {
+    switch (E.Bin) {
+    case BinOp::And:
+    case BinOp::Or: {
+      Formula L = condToFormula(*E.Lhs, Rename, Negate);
+      Formula R = condToFormula(*E.Rhs, Rename, Negate);
+      bool IsAnd = (E.Bin == BinOp::And) != Negate;
+      return IsAnd ? Formula::conj2(L, R) : Formula::disj2(L, R);
+    }
+    default: {
+      LinExpr L = arithToLin(*E.Lhs, Rename);
+      LinExpr R = arithToLin(*E.Rhs, Rename);
+      CmpKind C;
+      switch (E.Bin) {
+      case BinOp::Eq:
+        C = Negate ? CmpKind::Ne : CmpKind::Eq;
+        break;
+      case BinOp::Ne:
+        C = Negate ? CmpKind::Eq : CmpKind::Ne;
+        break;
+      case BinOp::Lt:
+        C = Negate ? CmpKind::Ge : CmpKind::Lt;
+        break;
+      case BinOp::Le:
+        C = Negate ? CmpKind::Gt : CmpKind::Le;
+        break;
+      case BinOp::Gt:
+        C = Negate ? CmpKind::Le : CmpKind::Gt;
+        break;
+      case BinOp::Ge:
+        C = Negate ? CmpKind::Lt : CmpKind::Ge;
+        break;
+      default:
+        assert(false && "unexpected operator");
+        C = CmpKind::Eq;
+      }
+      return Formula::cmp(L, C, R);
+    }
+    }
+  }
+  default:
+    assert(false && "impure condition");
+    return Formula::top();
+  }
+}
+
+/// Collects variable names used by an expression / statement.
+void usedVarsExpr(const Expr &E, std::set<std::string> &Out) {
+  switch (E.K) {
+  case Expr::Kind::Var:
+    Out.insert(E.Name);
+    return;
+  case Expr::Kind::FieldRead:
+    Out.insert(E.Name);
+    return;
+  case Expr::Kind::Unary:
+    usedVarsExpr(*E.Lhs, Out);
+    return;
+  case Expr::Kind::Binary:
+    usedVarsExpr(*E.Lhs, Out);
+    usedVarsExpr(*E.Rhs, Out);
+    return;
+  case Expr::Kind::Call:
+  case Expr::Kind::New:
+    for (const ExprPtr &A : E.Args)
+      usedVarsExpr(*A, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+void usedVarsStmt(const Stmt &S, std::set<std::string> &Used,
+                  std::set<std::string> &Declared) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Sub : S.Stmts)
+      usedVarsStmt(*Sub, Used, Declared);
+    return;
+  case Stmt::Kind::VarDecl:
+    if (S.E)
+      usedVarsExpr(*S.E, Used);
+    Declared.insert(S.Name);
+    return;
+  case Stmt::Kind::Assign:
+    Used.insert(S.Name);
+    usedVarsExpr(*S.E, Used);
+    return;
+  case Stmt::Kind::FieldAssign:
+    Used.insert(S.Name);
+    usedVarsExpr(*S.E, Used);
+    return;
+  case Stmt::Kind::If:
+    usedVarsExpr(*S.E, Used);
+    usedVarsStmt(*S.Then, Used, Declared);
+    if (S.Else)
+      usedVarsStmt(*S.Else, Used, Declared);
+    return;
+  case Stmt::Kind::While:
+    usedVarsExpr(*S.E, Used);
+    usedVarsStmt(*S.Body, Used, Declared);
+    return;
+  case Stmt::Kind::Return:
+  case Stmt::Kind::CallStmt:
+    if (S.E)
+      usedVarsExpr(*S.E, Used);
+    return;
+  case Stmt::Kind::Assume: {
+    for (VarId V : S.PureF.freeVars())
+      Used.insert(varName(V));
+    return;
+  }
+  }
+}
+
+/// Whether the statement touches the heap (field access / allocation).
+bool touchesHeapExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::FieldRead:
+  case Expr::Kind::New:
+    return true;
+  case Expr::Kind::Unary:
+    return touchesHeapExpr(*E.Lhs);
+  case Expr::Kind::Binary:
+    return touchesHeapExpr(*E.Lhs) || touchesHeapExpr(*E.Rhs);
+  case Expr::Kind::Call:
+    for (const ExprPtr &A : E.Args)
+      if (touchesHeapExpr(*A))
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+bool touchesHeapStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Sub : S.Stmts)
+      if (touchesHeapStmt(*Sub))
+        return true;
+    return false;
+  case Stmt::Kind::FieldAssign:
+    return true;
+  case Stmt::Kind::VarDecl:
+  case Stmt::Kind::Assign:
+  case Stmt::Kind::Return:
+  case Stmt::Kind::CallStmt:
+    return S.E && touchesHeapExpr(*S.E);
+  case Stmt::Kind::If:
+    return touchesHeapExpr(*S.E) || touchesHeapStmt(*S.Then) ||
+           (S.Else && touchesHeapStmt(*S.Else));
+  case Stmt::Kind::While:
+    return touchesHeapExpr(*S.E) || touchesHeapStmt(*S.Body);
+  case Stmt::Kind::Assume:
+    return false;
+  }
+  return false;
+}
+
+class LoopLowering {
+public:
+  LoopLowering(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    // Synthesized methods are appended while iterating: index loop.
+    for (size_t I = 0; I < P.Methods.size(); ++I) {
+      MethodDecl &M = P.Methods[I];
+      if (!M.Body)
+        continue;
+      std::map<std::string, Type> Env;
+      for (const Param &Prm : M.Params)
+        Env[Prm.Name] = Prm.Ty;
+      CurrentMethod = M.Name;
+      lowerStmt(*P.Methods[I].Body, Env);
+    }
+    return !Diags.hasErrors();
+  }
+
+private:
+  void lowerStmt(Stmt &S, std::map<std::string, Type> &Env) {
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      std::map<std::string, Type> Saved = Env;
+      for (StmtPtr &Sub : S.Stmts)
+        lowerStmt(*Sub, Env);
+      Env = std::move(Saved);
+      return;
+    }
+    case Stmt::Kind::VarDecl:
+      Env[S.Name] = S.DeclTy;
+      return;
+    case Stmt::Kind::If: {
+      lowerStmt(*S.Then, Env);
+      if (S.Else)
+        lowerStmt(*S.Else, Env);
+      return;
+    }
+    case Stmt::Kind::While:
+      lowerWhile(S, Env);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void lowerWhile(Stmt &S, std::map<std::string, Type> &Env) {
+    // Inner loops first so the synthesized body is while-free.
+    {
+      std::map<std::string, Type> Inner = Env;
+      lowerStmt(*S.Body, Inner);
+    }
+
+    if (touchesHeapExpr(*S.E) || touchesHeapStmt(*S.Body)) {
+      Diags.error(S.Loc, "heap-manipulating while-loops are not lowered; "
+                         "use recursion with heap specifications");
+      return;
+    }
+
+    // Free variables of the loop, in deterministic (Env) order.
+    std::set<std::string> Used, Declared;
+    usedVarsExpr(*S.E, Used);
+    usedVarsStmt(*S.Body, Used, Declared);
+    std::vector<std::string> Free;
+    for (const auto &[Name, Ty] : Env) {
+      (void)Ty;
+      if (Used.count(Name) && !Declared.count(Name))
+        Free.push_back(Name);
+    }
+
+    // Synthesize the loop method.
+    MethodDecl LM;
+    LM.RetTy = Type::voidTy();
+    LM.Name = CurrentMethod + "_loop" + std::to_string(Counter++);
+    LM.Loc = S.Loc;
+    LM.FromLoop = true;
+    for (const std::string &Name : Free)
+      LM.Params.push_back({Env.at(Name), Name, /*ByRef=*/true});
+
+    MethodSpec Spec;
+    Spec.PrePure = Formula::top();
+    Spec.PostPure = Formula::top();
+    if (isPureCond(*S.E)) {
+      // On exit the condition is false over the primed (final) values.
+      std::map<std::string, std::string> Prime;
+      for (const std::string &Name : Free)
+        Prime[Name] = Name + "'";
+      Spec.PostPure = condToFormula(*S.E, Prime, /*Negate=*/true);
+    }
+    LM.Specs.push_back(std::move(Spec));
+
+    auto SelfCall = std::make_unique<Expr>(Expr::Kind::Call, S.Loc);
+    SelfCall->Name = LM.Name;
+    for (const std::string &Name : Free) {
+      auto V = std::make_unique<Expr>(Expr::Kind::Var, S.Loc);
+      V->Name = Name;
+      SelfCall->Args.push_back(std::move(V));
+    }
+
+    auto CallTail = std::make_unique<Stmt>(Stmt::Kind::CallStmt, S.Loc);
+    CallTail->E = cloneExpr(*SelfCall);
+
+    auto ThenBlock = std::make_unique<Stmt>(Stmt::Kind::Block, S.Loc);
+    ThenBlock->Stmts.push_back(cloneStmt(*S.Body));
+    ThenBlock->Stmts.push_back(std::move(CallTail));
+
+    auto IfStmt = std::make_unique<Stmt>(Stmt::Kind::If, S.Loc);
+    IfStmt->E = cloneExpr(*S.E);
+    IfStmt->Then = std::move(ThenBlock);
+
+    auto Body = std::make_unique<Stmt>(Stmt::Kind::Block, S.Loc);
+    Body->Stmts.push_back(std::move(IfStmt));
+    LM.Body = std::move(Body);
+    P.Methods.push_back(std::move(LM));
+
+    // Replace the while statement with the initial call in place.
+    S.K = Stmt::Kind::CallStmt;
+    S.E = std::move(SelfCall);
+    S.Body.reset();
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::string CurrentMethod;
+  unsigned Counter = 0;
+};
+
+} // namespace
+
+bool tnt::lowerLoops(Program &P, DiagnosticEngine &Diags) {
+  return LoopLowering(P, Diags).run();
+}

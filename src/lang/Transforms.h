@@ -1,0 +1,37 @@
+//===- lang/Transforms.h - AST transforms ----------------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop lowering: the core language of Fig. 5 "does not include the
+/// while-loop construct, as it assumes an automatic translation of loops
+/// into tail-recursive methods". This pass is that translation: each
+/// `while (c) body` becomes a call to a synthesized method
+///
+///   void <mn>_loop<k>(ref t1 x1, ..., ref tn xn)
+///     requires true ensures <!c primed>;   // when c is pure
+///   { if (c) { body; <mn>_loop<k>(x1,...,xn); } }
+///
+/// over the loop's free variables, all passed by reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_LANG_TRANSFORMS_H
+#define TNT_LANG_TRANSFORMS_H
+
+#include "lang/Ast.h"
+
+namespace tnt {
+
+/// Lowers every while-loop in \p P to a tail-recursive method, appending
+/// the synthesized methods. Returns false (with diagnostics) when a loop
+/// cannot be lowered (e.g. heap-manipulating loop bodies, which the
+/// benchmark corpus expresses recursively).
+bool lowerLoops(Program &P, DiagnosticEngine &Diags);
+
+} // namespace tnt
+
+#endif // TNT_LANG_TRANSFORMS_H

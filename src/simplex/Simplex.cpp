@@ -1,0 +1,226 @@
+//===- simplex/Simplex.cpp ------------------------------------*- C++ -*-===//
+
+#include "simplex/Simplex.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+LVar Simplex::addVar(const std::string &Name, bool NonNeg) {
+  VarInfo VI;
+  VI.Name = Name;
+  VI.NonNeg = NonNeg;
+  Vars.push_back(VI);
+  return static_cast<LVar>(Vars.size() - 1);
+}
+
+void Simplex::addRow(const std::vector<LinTerm> &Terms, LpRel Rel,
+                     const Rational &Rhs) {
+  Rows.push_back({Terms, Rel, Rhs});
+}
+
+Rational Simplex::value(LVar V) const {
+  auto It = Solution.find(V);
+  return It == Solution.end() ? Rational(0) : It->second;
+}
+
+Simplex::Result Simplex::checkFeasible() { return run(nullptr); }
+
+Simplex::Result Simplex::maximize(const std::vector<LinTerm> &Objective) {
+  return run(&Objective);
+}
+
+namespace {
+
+/// Dense tableau in "dictionary" style: basic variable per row, the
+/// matrix holds the coefficients of non-basic columns after elimination.
+struct Tableau {
+  size_t M; // rows
+  size_t N; // structural + slack columns (artificials appended after)
+  std::vector<std::vector<Rational>> A; // M x TotalCols
+  std::vector<Rational> B;              // M
+  std::vector<size_t> Basis;            // M, column index of basic var
+  size_t TotalCols;
+
+  /// Pivots on (Row, Col): Col enters the basis, Basis[Row] leaves.
+  void pivot(size_t Row, size_t Col) {
+    Rational P = A[Row][Col];
+    assert(!P.isZero() && "pivot on zero element");
+    for (size_t J = 0; J < TotalCols; ++J)
+      A[Row][J] /= P;
+    B[Row] /= P;
+    for (size_t I = 0; I < M; ++I) {
+      if (I == Row)
+        continue;
+      Rational F = A[I][Col];
+      if (F.isZero())
+        continue;
+      for (size_t J = 0; J < TotalCols; ++J)
+        A[I][J] -= F * A[Row][J];
+      B[I] -= F * B[Row];
+    }
+    Basis[Row] = Col;
+  }
+
+  /// Runs primal simplex maximizing the reduced objective Z (a row of
+  /// length TotalCols) with current objective constant \p Z0, restricted
+  /// to columns < ColLimit. Bland's rule; returns false on unbounded.
+  bool optimize(std::vector<Rational> &Z, Rational &Z0, size_t ColLimit) {
+    // Make the objective consistent with the current basis: eliminate
+    // basic columns from Z.
+    for (size_t I = 0; I < M; ++I) {
+      Rational F = Z[Basis[I]];
+      if (F.isZero())
+        continue;
+      for (size_t J = 0; J < TotalCols; ++J)
+        Z[J] -= F * A[I][J];
+      Z0 += F * B[I];
+    }
+    for (;;) {
+      // Bland: the lowest-index column with positive reduced cost.
+      size_t Enter = ColLimit;
+      for (size_t J = 0; J < ColLimit; ++J)
+        if (Z[J].isPos()) {
+          Enter = J;
+          break;
+        }
+      if (Enter == ColLimit)
+        return true; // Optimal.
+      // Ratio test, Bland tie-break on basic variable index.
+      size_t Leave = M;
+      Rational BestRatio;
+      for (size_t I = 0; I < M; ++I) {
+        if (!A[I][Enter].isPos())
+          continue;
+        Rational Ratio = B[I] / A[I][Enter];
+        if (Leave == M || Ratio < BestRatio ||
+            (Ratio == BestRatio && Basis[I] < Basis[Leave])) {
+          Leave = I;
+          BestRatio = Ratio;
+        }
+      }
+      if (Leave == M)
+        return false; // Unbounded.
+      pivot(Leave, Enter);
+      // Maintain reduced costs.
+      Rational F = Z[Enter];
+      if (!F.isZero()) {
+        for (size_t J = 0; J < TotalCols; ++J)
+          Z[J] -= F * A[Leave][J];
+        Z0 += F * B[Leave];
+      }
+    }
+  }
+};
+
+} // namespace
+
+Simplex::Result Simplex::run(const std::vector<LinTerm> *Objective) {
+  Solution.clear();
+  ObjValue = Rational(0);
+
+  // Column layout: per-variable columns, then one slack per inequality
+  // row, then one artificial per row.
+  size_t NextCol = 0;
+  for (VarInfo &V : Vars) {
+    V.Pos = NextCol++;
+    if (!V.NonNeg)
+      V.Neg = NextCol++;
+  }
+  size_t NumSlacks = 0;
+  for (const RowInfo &R : Rows)
+    if (R.Rel != LpRel::Eq)
+      ++NumSlacks;
+  size_t SlackBase = NextCol;
+  size_t StructCols = NextCol + NumSlacks;
+  size_t M = Rows.size();
+  size_t ArtBase = StructCols;
+  size_t TotalCols = StructCols + M;
+
+  Tableau T;
+  T.M = M;
+  T.N = StructCols;
+  T.TotalCols = TotalCols;
+  T.A.assign(M, std::vector<Rational>(TotalCols, Rational(0)));
+  T.B.assign(M, Rational(0));
+  T.Basis.assign(M, 0);
+
+  size_t SlackIdx = 0;
+  for (size_t I = 0; I < M; ++I) {
+    const RowInfo &R = Rows[I];
+    std::vector<Rational> RowCoef(StructCols, Rational(0));
+    for (const LinTerm &Term : R.Terms) {
+      const VarInfo &V = Vars[Term.Var];
+      RowCoef[V.Pos] += Term.Coef;
+      if (!V.NonNeg)
+        RowCoef[V.Neg] -= Term.Coef;
+    }
+    Rational Rhs = R.Rhs;
+    if (R.Rel == LpRel::Le)
+      RowCoef[SlackBase + SlackIdx++] = Rational(1);
+    else if (R.Rel == LpRel::Ge)
+      RowCoef[SlackBase + SlackIdx++] = Rational(-1);
+    // Normalize to Rhs >= 0 for the artificial basis.
+    bool Flip = Rhs.isNeg();
+    for (size_t J = 0; J < StructCols; ++J)
+      T.A[I][J] = Flip ? -RowCoef[J] : RowCoef[J];
+    T.B[I] = Flip ? -Rhs : Rhs;
+    T.A[I][ArtBase + I] = Rational(1);
+    T.Basis[I] = ArtBase + I;
+  }
+
+  // Phase 1: maximize -(sum of artificials).
+  std::vector<Rational> Z1(TotalCols, Rational(0));
+  for (size_t I = 0; I < M; ++I)
+    Z1[ArtBase + I] = Rational(-1);
+  Rational Z10(0);
+  bool Bounded = T.optimize(Z1, Z10, TotalCols);
+  assert(Bounded && "phase-1 objective is bounded by construction");
+  (void)Bounded;
+  if (Z10 != Rational(0))
+    return Result::Infeasible;
+
+  // Drive remaining artificial basics out (degenerate rows).
+  for (size_t I = 0; I < M; ++I) {
+    if (T.Basis[I] < ArtBase)
+      continue;
+    size_t Col = StructCols;
+    for (size_t J = 0; J < StructCols; ++J)
+      if (!T.A[I][J].isZero()) {
+        Col = J;
+        break;
+      }
+    if (Col < StructCols)
+      T.pivot(I, Col);
+    // Otherwise the row is 0 = 0 and harmless.
+  }
+
+  // Phase 2 (optional objective), restricted to structural columns so
+  // artificials stay at zero.
+  if (Objective) {
+    std::vector<Rational> Z2(TotalCols, Rational(0));
+    for (const LinTerm &Term : *Objective) {
+      const VarInfo &V = Vars[Term.Var];
+      Z2[V.Pos] += Term.Coef;
+      if (!V.NonNeg)
+        Z2[V.Neg] -= Term.Coef;
+    }
+    Rational Z20(0);
+    if (!T.optimize(Z2, Z20, StructCols))
+      return Result::Unbounded;
+    ObjValue = Z20;
+  }
+
+  // Extract the model.
+  std::vector<Rational> ColVal(TotalCols, Rational(0));
+  for (size_t I = 0; I < M; ++I)
+    ColVal[T.Basis[I]] = T.B[I];
+  for (LVar V = 0; V < Vars.size(); ++V) {
+    const VarInfo &VI = Vars[V];
+    Rational Val = ColVal[VI.Pos];
+    if (!VI.NonNeg)
+      Val -= ColVal[VI.Neg];
+    Solution[V] = Val;
+  }
+  return Result::Feasible;
+}

@@ -1,0 +1,100 @@
+//===- simplex/Simplex.h - Exact rational simplex ---------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-phase primal simplex over exact rationals with Bland's rule.
+/// This is the LP backend for the Farkas-lemma constraint systems of the
+/// ranking-function synthesizer (5.4) and the abductive case-split
+/// inference (5.6). Systems are tiny (tens of variables), so a dense
+/// tableau is appropriate.
+///
+/// The paper's implementation hands the corresponding constraints to a
+/// nonlinear solver; see DESIGN.md 4(3) for why our systems are linear
+/// and an exact LP suffices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SIMPLEX_SIMPLEX_H
+#define TNT_SIMPLEX_SIMPLEX_H
+
+#include "support/Rational.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// Dense index of an LP variable.
+using LVar = uint32_t;
+
+/// One objective / constraint term: Coef * Var.
+struct LinTerm {
+  LVar Var;
+  Rational Coef;
+};
+
+/// Relation of an LP row.
+enum class LpRel { Le, Ge, Eq };
+
+/// An exact-arithmetic LP: declare variables, add rows, then check
+/// feasibility or maximize an objective. Instances are single-use after
+/// a solve (further rows may be added and the problem re-solved from
+/// scratch).
+class Simplex {
+public:
+  /// Declares a variable. Non-negative variables get one column; free
+  /// variables are split internally.
+  LVar addVar(const std::string &Name, bool NonNeg);
+
+  /// Adds the row "sum Terms Rel Rhs".
+  void addRow(const std::vector<LinTerm> &Terms, LpRel Rel,
+              const Rational &Rhs);
+
+  enum class Result { Feasible, Infeasible, Unbounded };
+
+  /// Phase-1 feasibility.
+  Result checkFeasible();
+
+  /// Phase-1 then phase-2 maximization of "sum Objective".
+  Result maximize(const std::vector<LinTerm> &Objective);
+
+  /// Model access; valid after a Feasible solve.
+  Rational value(LVar V) const;
+
+  /// Objective value; valid after a Feasible maximize().
+  Rational objectiveValue() const { return ObjValue; }
+
+  size_t numVars() const { return Vars.size(); }
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct VarInfo {
+    std::string Name;
+    bool NonNeg;
+    // Column indices in the standard-form tableau. Neg is used only for
+    // free variables (x = Pos - Neg).
+    size_t Pos = 0;
+    size_t Neg = 0;
+  };
+  struct RowInfo {
+    std::vector<LinTerm> Terms;
+    LpRel Rel;
+    Rational Rhs;
+  };
+
+  Result run(const std::vector<LinTerm> *Objective);
+
+  std::vector<VarInfo> Vars;
+  std::vector<RowInfo> Rows;
+  std::map<LVar, Rational> Solution;
+  Rational ObjValue;
+};
+
+} // namespace tnt
+
+#endif // TNT_SIMPLEX_SIMPLEX_H

@@ -1,0 +1,110 @@
+//===- solver/Model.cpp ---------------------------------------*- C++ -*-===//
+
+#include "solver/Model.h"
+
+#include <vector>
+
+using namespace tnt;
+
+namespace {
+
+/// Hard cap on enumeration steps: beyond this the box is too large to
+/// sweep and callers must cope with "no model found".
+constexpr uint64_t MaxSteps = 20000;
+
+template <typename Pred>
+std::optional<Model> search(const std::vector<VarId> &Vars, int64_t Bound,
+                            Pred Holds) {
+  Model M;
+  for (VarId V : Vars)
+    M[V] = -Bound;
+  if (Vars.empty())
+    return Holds(M) ? std::optional<Model>(M) : std::nullopt;
+  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+    if (Holds(M))
+      return M;
+    // Odometer increment.
+    size_t I = 0;
+    for (; I < Vars.size(); ++I) {
+      int64_t &Slot = M[Vars[I]];
+      if (Slot < Bound) {
+        ++Slot;
+        break;
+      }
+      Slot = -Bound;
+    }
+    if (I == Vars.size())
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Model> tnt::findModel(const Formula &F, int64_t Bound) {
+  std::set<VarId> Free = F.freeVars();
+  std::vector<VarId> Vars(Free.begin(), Free.end());
+  return search(Vars, Bound, [&F](const Model &M) { return F.eval(M); });
+}
+
+std::optional<Model> tnt::findModelConj(const ConstraintConj &Conj,
+                                        int64_t Bound) {
+  std::set<VarId> Free;
+  for (const Constraint &C : Conj)
+    C.collectVars(Free);
+  std::vector<VarId> Vars(Free.begin(), Free.end());
+  return search(Vars, Bound, [&Conj](const Model &M) {
+    for (const Constraint &C : Conj)
+      if (!C.eval(M))
+        return false;
+    return true;
+  });
+}
+
+std::vector<Model> tnt::findModelsConj(const ConstraintConj &Conj,
+                                       int64_t Bound, size_t MaxCount) {
+  std::set<VarId> Free;
+  for (const Constraint &C : Conj)
+    C.collectVars(Free);
+  std::vector<VarId> Vars(Free.begin(), Free.end());
+  if (Vars.size() > 4)
+    return {}; // Box too large to sweep.
+  std::vector<Model> Out;
+  // Reuse the single-model search by rejecting already-collected models:
+  // since enumeration is ordered, it suffices to remember the last one
+  // and resume conceptually; we simply re-run with a growing filter via
+  // one pass collecting everything (bounded by MaxCount).
+  Model M;
+  for (VarId V : Vars)
+    M[V] = -Bound;
+  auto Holds = [&Conj](const Model &A) {
+    for (const Constraint &C : Conj)
+      if (!C.eval(A))
+        return false;
+    return true;
+  };
+  if (Vars.empty()) {
+    if (Holds(M))
+      Out.push_back(M);
+    return Out;
+  }
+  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+    if (Holds(M)) {
+      Out.push_back(M);
+      if (Out.size() >= MaxCount)
+        return Out;
+    }
+    size_t I = 0;
+    for (; I < Vars.size(); ++I) {
+      int64_t &Slot = M[Vars[I]];
+      if (Slot < Bound) {
+        ++Slot;
+        break;
+      }
+      Slot = -Bound;
+    }
+    if (I == Vars.size())
+      return Out;
+  }
+  return Out;
+}

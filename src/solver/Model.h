@@ -1,0 +1,42 @@
+//===- solver/Model.h - Bounded model search --------------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded enumeration of integer models. This is a testing and
+/// witness-production utility: property tests cross-check the Omega
+/// test's answers against exhaustive search on small boxes, and
+/// non-termination analyses can surface a concrete seed state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SOLVER_MODEL_H
+#define TNT_SOLVER_MODEL_H
+
+#include "arith/Formula.h"
+
+#include <optional>
+
+namespace tnt {
+
+/// A total assignment to the free variables of a formula.
+using Model = std::map<VarId, int64_t>;
+
+/// Searches the box [-Bound, Bound]^n over the free variables of \p F
+/// for a satisfying assignment. Intended for n <= 4 and small bounds.
+std::optional<Model> findModel(const Formula &F, int64_t Bound);
+
+/// Same search over a conjunction.
+std::optional<Model> findModelConj(const ConstraintConj &Conj, int64_t Bound);
+
+/// Collects up to \p MaxCount satisfying assignments (in enumeration
+/// order). Used to seed synthesis with diverse anchor states.
+std::vector<Model> findModelsConj(const ConstraintConj &Conj, int64_t Bound,
+                                  size_t MaxCount);
+
+} // namespace tnt
+
+#endif // TNT_SOLVER_MODEL_H

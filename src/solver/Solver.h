@@ -1,0 +1,84 @@
+//===- solver/Solver.h - Formula-level decision facade ---------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formula-level satisfiability, entailment, projection and
+/// simplification built on the Omega test, with a query cache. These are
+/// the SAT/UNSAT/entailment oracles used throughout the inference engine
+/// (guard feasibility in Def. 2, base-case inference in 5.1,
+/// unreachability proofs in 5.5, case-split feasibility in 5.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SOLVER_SOLVER_H
+#define TNT_SOLVER_SOLVER_H
+
+#include "arith/Formula.h"
+#include "solver/Omega.h"
+
+#include <cstdint>
+
+namespace tnt {
+
+/// Stateless decision facade. All answers are three-valued; helpers with
+/// boolean results resolve Unknown in the documented conservative
+/// direction.
+class Solver {
+public:
+  /// Satisfiability of an arbitrary formula (via DNF + Omega).
+  static Tri isSat(const Formula &F);
+
+  /// Validity of A => B (via isSat(A && !B)).
+  static Tri implies(const Formula &A, const Formula &B);
+
+  /// True iff implies(A,B) is definitely valid. Unknown maps to false
+  /// (claiming an entailment requires proof).
+  static bool entails(const Formula &A, const Formula &B) {
+    return implies(A, B) == Tri::True;
+  }
+
+  /// True iff F is definitely satisfiable. Unknown maps to false.
+  static bool definitelySat(const Formula &F) {
+    return isSat(F) == Tri::True;
+  }
+
+  /// True iff F is definitely unsatisfiable. Unknown maps to false.
+  static bool definitelyUnsat(const Formula &F) {
+    return isSat(F) == Tri::False;
+  }
+
+  /// Result of existential elimination.
+  struct ElimResult {
+    Formula F;
+    /// False when the result over-approximates exists Vars . Input.
+    bool Exact = true;
+  };
+
+  /// Eliminates \p Vars existentially (quantifier elimination on the
+  /// DNF, disjunct by disjunct).
+  static ElimResult eliminate(const Formula &F, const std::set<VarId> &Vars);
+
+  /// Semantic cleanup: drops unsatisfiable disjuncts, redundant
+  /// conjuncts, and subsumed disjuncts. Returns the input unchanged when
+  /// DNF expansion overflows.
+  static Formula simplify(const Formula &F);
+
+  /// Counters for the micro benches.
+  struct Stats {
+    uint64_t SatQueries = 0;
+    uint64_t CacheHits = 0;
+  };
+  static Stats stats();
+  static void resetStats();
+
+private:
+  static Tri isSatConjCached(const ConstraintConj &Conj);
+};
+
+} // namespace tnt
+
+#endif // TNT_SOLVER_SOLVER_H

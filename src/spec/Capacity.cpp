@@ -1,0 +1,85 @@
+//===- spec/Capacity.cpp --------------------------------------*- C++ -*-===//
+
+#include "spec/Capacity.h"
+
+#include "solver/Solver.h"
+
+using namespace tnt;
+
+std::string Capacity::str() const {
+  std::string U = SymbolicFinite ? "fin" : Upper.str();
+  return "RC<" + Lower.str() + ", " + U + ">";
+}
+
+bool tnt::capSubsumes(const Capacity &A, const Capacity &B) {
+  // L_A <= L_B.
+  if (!(A.Lower <= B.Lower))
+    return false;
+  // U_B <= U_A, treating the symbolic finite bound as below infinity and
+  // incomparable-by-default against another symbolic bound (measures are
+  // checked separately).
+  if (A.SymbolicFinite && B.SymbolicFinite)
+    return true; // Same shape; measure comparison is the caller's duty.
+  if (A.SymbolicFinite)
+    return false; // fin >= U_B only if U_B finite-concrete; conservative.
+  if (B.SymbolicFinite)
+    return A.Upper.isInf();
+  return B.Upper <= A.Upper;
+}
+
+std::optional<Capacity> tnt::capConsume(const Capacity &A, const Capacity &C) {
+  // Upper-bound check: U_C <= U_A.
+  if (C.SymbolicFinite) {
+    if (!A.Upper.isInf() && !A.SymbolicFinite)
+      return std::nullopt; // finite concrete cannot be shown >= fin.
+  } else if (A.SymbolicFinite) {
+    if (!C.Upper.isInf() && !C.Upper.isZero())
+      return std::nullopt; // fin >= concrete positive: unknown.
+    if (C.Upper.isInf())
+      return std::nullopt;
+  } else if (!(C.Upper <= A.Upper)) {
+    return std::nullopt;
+  }
+  Capacity R;
+  R.Lower = A.Lower.subLower(C.Lower);
+  if (A.SymbolicFinite || C.SymbolicFinite) {
+    // fin -U fin stays a symbolic finite bound; fin -U 0 likewise.
+    R.Upper = ExtNat::infinity();
+    R.SymbolicFinite = true;
+  } else {
+    R.Upper = A.Upper.subUpper(C.Upper);
+    R.SymbolicFinite = false;
+  }
+  if (!R.SymbolicFinite && !(R.Lower <= R.Upper))
+    return std::nullopt;
+  return R;
+}
+
+Tri tnt::checkLexDecrease(const Formula &Ctx,
+                          const std::vector<LinExpr> &Caller,
+                          const std::vector<LinExpr> &Callee) {
+  // Callee <l Caller: exists a position k such that all earlier
+  // components are equal, component k strictly decreases and is bounded
+  // below at the caller. The empty measure is below every non-empty one
+  // ([] <l e:es); a non-empty measure is never below the empty one.
+  if (Caller.empty())
+    return Tri::False;
+  std::vector<Formula> Cases;
+  size_t Common = std::min(Caller.size(), Callee.size());
+  for (size_t K = 0; K < Common; ++K) {
+    std::vector<Formula> Parts;
+    for (size_t J = 0; J < K; ++J)
+      Parts.push_back(Formula::cmp(Callee[J], CmpKind::Eq, Caller[J]));
+    Parts.push_back(Formula::cmp(Callee[K], CmpKind::Lt, Caller[K]));
+    Parts.push_back(Formula::cmp(Caller[K], CmpKind::Ge, LinExpr(0)));
+    Cases.push_back(Formula::conj(Parts));
+  }
+  if (Callee.size() < Caller.size()) {
+    // Callee ran out first: equal on the common prefix suffices.
+    std::vector<Formula> Parts;
+    for (size_t J = 0; J < Common; ++J)
+      Parts.push_back(Formula::cmp(Callee[J], CmpKind::Eq, Caller[J]));
+    Cases.push_back(Formula::conj(Parts));
+  }
+  return Solver::implies(Ctx, Formula::disj(Cases));
+}

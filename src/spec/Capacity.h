@@ -1,0 +1,71 @@
+//===- spec/Capacity.h - Resource capacities RC<L,U> -----------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource-capacity semantics of the temporal predicates
+/// (Section 3):
+///
+///   Term [e] = RC<0, f([e])>    Loop = RC<inf, inf>    MayLoop = RC<0, inf>
+///
+/// with the subsumption relation =>r and the consumption entailment |-t
+/// computed with the -L / -U operators of ExtNat. Term's finite upper
+/// bound f([e]) is symbolic; concrete entailments between Term measures
+/// are discharged by the lexicographic-decrease check below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SPEC_CAPACITY_H
+#define TNT_SPEC_CAPACITY_H
+
+#include "arith/Formula.h"
+#include "solver/Omega.h"
+#include "support/ExtNat.h"
+
+#include <optional>
+
+namespace tnt {
+
+/// A resource capacity RC<L,U> with L <= U over N-infinity. Term's
+/// symbolic finite bound is represented by Finite=true on the upper
+/// bound (the concrete value is measure-dependent).
+struct Capacity {
+  ExtNat Lower;
+  ExtNat Upper;
+  /// True when Upper stands for the symbolic finite bound f([e]).
+  bool SymbolicFinite = false;
+
+  static Capacity term() {
+    return {ExtNat(0), ExtNat::infinity(), /*SymbolicFinite=*/true};
+  }
+  static Capacity loop() {
+    return {ExtNat::infinity(), ExtNat::infinity(), false};
+  }
+  static Capacity mayLoop() { return {ExtNat(0), ExtNat::infinity(), false}; }
+
+  std::string str() const;
+};
+
+/// The subsumption A =>r B: L_A <= L_B and U_B <= U_A.
+/// MayLoop subsumes both Loop and Term; Loop and Term are incomparable.
+bool capSubsumes(const Capacity &A, const Capacity &B);
+
+/// The consumption entailment  rho && A |-t C ~> residue. Returns
+/// std::nullopt when the upper-bound check fails (C may consume more
+/// than A provides).
+std::optional<Capacity> capConsume(const Capacity &A, const Capacity &C);
+
+/// Checks the lexicographic decrease  ctx |= Callee <l Caller  together
+/// with boundedness of the caller measure (each deciding component
+/// non-negative), i.e. the proof obligation for Term[Caller] |-t
+/// Term[Callee] at a (mutually) recursive call. Measures may have
+/// different lengths; the shorter is compared per <l of Fig. 2.
+Tri checkLexDecrease(const Formula &Ctx, const std::vector<LinExpr> &Caller,
+                     const std::vector<LinExpr> &Callee);
+
+} // namespace tnt
+
+#endif // TNT_SPEC_CAPACITY_H

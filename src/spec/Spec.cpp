@@ -1,0 +1,91 @@
+//===- spec/Spec.cpp ------------------------------------------*- C++ -*-===//
+
+#include "spec/Spec.h"
+
+using namespace tnt;
+
+std::string CaseOutcome::str() const {
+  return Guard.str() + " -> requires " + Temporal.str() + " ensures " +
+         (PostReachable ? "true" : "false") + ";";
+}
+
+std::vector<CaseOutcome> CaseTree::flatten() const {
+  std::vector<CaseOutcome> Out;
+  if (isLeaf()) {
+    CaseOutcome C;
+    C.Guard = Formula::top();
+    C.Temporal = Temporal;
+    C.PostReachable = PostReachable;
+    Out.push_back(std::move(C));
+    return Out;
+  }
+  for (const auto &[Guard, Child] : Children) {
+    for (CaseOutcome Sub : Child.flatten()) {
+      Sub.Guard = Formula::conj2(Guard, Sub.Guard);
+      Out.push_back(std::move(Sub));
+    }
+  }
+  return Out;
+}
+
+std::string CaseTree::str(unsigned Indent) const {
+  std::string Pad(Indent * 2, ' ');
+  if (isLeaf())
+    return Pad + "requires " + Temporal.str() + " ensures " +
+           (PostReachable ? "true" : "false") + ";\n";
+  std::string Out = Pad + "case {\n";
+  for (const auto &[Guard, Child] : Children) {
+    Out += Pad + "  " + Guard.str() + " ->";
+    if (Child.isLeaf()) {
+      Out += " requires " + Child.Temporal.str() + " ensures " +
+             (Child.PostReachable ? "true" : "false") + ";\n";
+    } else {
+      Out += "\n" + Child.str(Indent + 2);
+    }
+  }
+  return Out + Pad + "}\n";
+}
+
+std::string TntSummary::str() const {
+  std::string Out = Method + " (scenario " + std::to_string(SpecIdx) + ")\n";
+  return Out + Cases.str(1);
+}
+
+TntSummary::Verdict TntSummary::verdict() const {
+  bool SawTerm = false, SawLoop = false, SawMay = false;
+  for (const CaseOutcome &C : flatten()) {
+    switch (C.Temporal.K) {
+    case TemporalSpec::Kind::Term:
+      SawTerm = true;
+      break;
+    case TemporalSpec::Kind::Loop:
+      SawLoop = true;
+      break;
+    case TemporalSpec::Kind::MayLoop:
+    case TemporalSpec::Kind::Unknown:
+      SawMay = true;
+      break;
+    }
+  }
+  if (SawMay)
+    return Verdict::Unknown;
+  if (SawTerm && SawLoop)
+    return Verdict::Conditional;
+  if (SawLoop)
+    return Verdict::NonTerminating;
+  return Verdict::Terminating;
+}
+
+const char *tnt::verdictStr(TntSummary::Verdict V) {
+  switch (V) {
+  case TntSummary::Verdict::Terminating:
+    return "terminating";
+  case TntSummary::Verdict::NonTerminating:
+    return "non-terminating";
+  case TntSummary::Verdict::Conditional:
+    return "conditional";
+  case TntSummary::Verdict::Unknown:
+    return "unknown";
+  }
+  return "?";
+}

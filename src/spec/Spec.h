@@ -1,0 +1,81 @@
+//===- spec/Spec.h - Inferred case-based summaries --------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result shape of the inference: for each method scenario, a
+/// case-based specification partitioning the input space into guards
+/// classified Term[measure] / Loop / MayLoop with reachable (true) or
+/// unreachable (false) post — the `case { ... }` form of Section 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SPEC_SPEC_H
+#define TNT_SPEC_SPEC_H
+
+#include "arith/Formula.h"
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// One leaf case of an inferred summary.
+struct CaseOutcome {
+  /// Conjunction of the guards on the path from the root split.
+  Formula Guard;
+  /// Resolved temporal classification.
+  TemporalSpec Temporal;
+  /// Post reachability: true (exit reachable) or false (unreachable).
+  bool PostReachable = true;
+
+  std::string str() const;
+};
+
+/// Hierarchical case structure, mirroring the refinement tree so the
+/// printer can reproduce the paper's nested `case { ... }` output.
+struct CaseTree {
+  /// Leaf payload (valid when Children empty).
+  TemporalSpec Temporal;
+  bool PostReachable = true;
+  /// Inner node: guarded children.
+  std::vector<std::pair<Formula, CaseTree>> Children;
+
+  bool isLeaf() const { return Children.empty(); }
+
+  /// Flattens to leaf cases with accumulated guards.
+  std::vector<CaseOutcome> flatten() const;
+
+  /// Pretty-prints in the paper's nested case syntax.
+  std::string str(unsigned Indent = 0) const;
+};
+
+/// The summary of one method specification scenario.
+struct TntSummary {
+  std::string Method;
+  unsigned SpecIdx = 0;
+  /// Canonical parameters the guards range over.
+  std::vector<VarId> Params;
+  CaseTree Cases;
+
+  std::vector<CaseOutcome> flatten() const { return Cases.flatten(); }
+  std::string str() const;
+
+  /// Classification of the whole scenario:
+  ///   - Terminating: every feasible case is Term;
+  ///   - NonTerminating: every feasible case is Loop;
+  ///   - Conditional: both Term and Loop cases, no MayLoop;
+  ///   - Unknown: some MayLoop case remains.
+  enum class Verdict { Terminating, NonTerminating, Conditional, Unknown };
+  Verdict verdict() const;
+};
+
+const char *verdictStr(TntSummary::Verdict V);
+
+} // namespace tnt
+
+#endif // TNT_SPEC_SPEC_H

@@ -1,0 +1,54 @@
+//===- spec/Temporal.cpp --------------------------------------*- C++ -*-===//
+
+#include "spec/Temporal.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+UnkId UnkRegistry::createPair(const std::string &Method, unsigned SpecIdx,
+                              const std::vector<VarId> &Params) {
+  UnkId PreId = static_cast<UnkId>(Preds.size());
+  UnkId PostId = PreId + 1;
+  UnkPred Pre;
+  Pre.Id = PreId;
+  Pre.IsPre = true;
+  Pre.Method = Method;
+  Pre.SpecIdx = SpecIdx;
+  Pre.Params = Params;
+  Pre.Partner = PostId;
+  Pre.Name = "Upr_" + Method + "#" + std::to_string(SpecIdx);
+  UnkPred Post = Pre;
+  Post.Id = PostId;
+  Post.IsPre = false;
+  Post.Partner = PreId;
+  Post.Name = "Upo_" + Method + "#" + std::to_string(SpecIdx);
+  Preds.push_back(std::move(Pre));
+  Preds.push_back(std::move(Post));
+  return PreId;
+}
+
+UnkId UnkRegistry::createAuxPair(UnkId Parent) {
+  const UnkPred &P = pred(Parent);
+  assert(P.IsPre && "auxiliary pairs are created from pre-predicates");
+  UnkId PreId = static_cast<UnkId>(Preds.size());
+  UnkId PostId = PreId + 1;
+  unsigned N = ++AuxCounter;
+  UnkPred Pre = P;
+  Pre.Id = PreId;
+  Pre.Partner = PostId;
+  Pre.Name = "U" + std::to_string(N) + "pr_" + P.Method;
+  UnkPred Post = Pre;
+  Post.Id = PostId;
+  Post.IsPre = false;
+  Post.Partner = PreId;
+  Post.Name = "U" + std::to_string(N) + "po_" + P.Method;
+  Preds.push_back(std::move(Pre));
+  Preds.push_back(std::move(Post));
+  return PreId;
+}
+
+const UnkPred &UnkRegistry::pred(UnkId Id) const {
+  assert(Id < Preds.size() && "unknown predicate id");
+  return Preds[Id];
+}

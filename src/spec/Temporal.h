@@ -1,0 +1,72 @@
+//===- spec/Temporal.h - Unknown temporal predicates ------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unknown temporal pre-predicates Upr(v) and post-predicates Upo(v)
+/// of Section 2/3, and the registry that tracks them during inference.
+/// Each method specification scenario gets one (pre, post) pair; case
+/// refinement creates fresh auxiliary pairs (the U^i of Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SPEC_TEMPORAL_H
+#define TNT_SPEC_TEMPORAL_H
+
+#include "arith/LinExpr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// Identifier of an unknown temporal predicate (pre or post).
+using UnkId = uint32_t;
+
+/// Sentinel for "no predicate".
+constexpr UnkId InvalidUnk = ~static_cast<UnkId>(0);
+
+/// One unknown temporal predicate.
+struct UnkPred {
+  UnkId Id = InvalidUnk;
+  bool IsPre = true;
+  /// Owning method and spec scenario index.
+  std::string Method;
+  unsigned SpecIdx = 0;
+  /// Canonical parameters (method parameters + specification ghosts).
+  std::vector<VarId> Params;
+  /// The partner predicate (pre <-> post).
+  UnkId Partner = InvalidUnk;
+  /// Display name, e.g. "U2pr_foo".
+  std::string Name;
+};
+
+/// Registry of unknown predicates; owned by one analysis run.
+class UnkRegistry {
+public:
+  /// Creates a fresh (pre, post) pair for a method scenario.
+  /// Returns the pre-predicate id; the post is its Partner.
+  UnkId createPair(const std::string &Method, unsigned SpecIdx,
+                   const std::vector<VarId> &Params);
+
+  /// Creates an auxiliary (pre, post) pair for case refinement of the
+  /// scenario owning \p Parent.
+  UnkId createAuxPair(UnkId Parent);
+
+  const UnkPred &pred(UnkId Id) const;
+  UnkId partner(UnkId Id) const { return pred(Id).Partner; }
+
+  size_t size() const { return Preds.size(); }
+
+private:
+  std::vector<UnkPred> Preds;
+  unsigned AuxCounter = 0;
+};
+
+} // namespace tnt
+
+#endif // TNT_SPEC_TEMPORAL_H

@@ -1,0 +1,40 @@
+//===- support/Diagnostics.cpp --------------------------------*- C++ -*-===//
+
+#include "support/Diagnostics.h"
+
+using namespace tnt;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+std::string Diagnostic::str() const {
+  const char *Tag = Kind == DiagKind::Error     ? "error"
+                    : Kind == DiagKind::Warning ? "warning"
+                                                : "note";
+  return Loc.str() + ": " + Tag + ": " + Message;
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, const std::string &Message) {
+  Diags.push_back({DiagKind::Error, Loc, Message});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, const std::string &Message) {
+  Diags.push_back({DiagKind::Warning, Loc, Message});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, const std::string &Message) {
+  Diags.push_back({DiagKind::Note, Loc, Message});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

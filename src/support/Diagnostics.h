@@ -1,0 +1,66 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine used by the frontend and the verifier.
+/// The library never throws: fallible passes report here and return a
+/// failure indicator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SUPPORT_DIAGNOSTICS_H
+#define TNT_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// A 1-based line/column position in a source buffer.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted by a pass; owned by the caller so that
+/// library code stays exception-free and side-effect-free.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Message);
+  void warning(SourceLoc Loc, const std::string &Message);
+  void note(SourceLoc Loc, const std::string &Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics rendered one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace tnt
+
+#endif // TNT_SUPPORT_DIAGNOSTICS_H

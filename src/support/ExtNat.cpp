@@ -1,0 +1,36 @@
+//===- support/ExtNat.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/ExtNat.h"
+
+using namespace tnt;
+
+ExtNat ExtNat::operator+(const ExtNat &O) const {
+  if (Inf || O.Inf)
+    return infinity();
+  return ExtNat(Value + O.Value);
+}
+
+ExtNat ExtNat::subLower(const ExtNat &O) const {
+  // min{ r | r + O >= *this }.
+  if (O.Inf)
+    return ExtNat(0); // r + inf >= anything already for r = 0.
+  if (Inf)
+    return infinity(); // only inf + finite reaches inf.
+  if (O.Value >= Value)
+    return ExtNat(0);
+  return ExtNat(Value - O.Value);
+}
+
+ExtNat ExtNat::subUpper(const ExtNat &O) const {
+  // max{ r | r + O <= *this }, defined iff *this >= O.
+  assert(*this >= O && "subUpper requires minuend >= subtrahend");
+  if (Inf)
+    return infinity(); // r + O <= inf for every r, including inf.
+  return ExtNat(Value - O.Value);
+}
+
+std::string ExtNat::str() const {
+  if (Inf)
+    return "inf";
+  return std::to_string(Value);
+}

@@ -1,0 +1,91 @@
+//===- support/ExtNat.h - Naturals extended with infinity ------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The integer domain N-infinity of Section 3 of the paper, together with
+/// the two saturating subtraction operators used by the resource
+/// consumption entailment:
+///
+///   L1 -L L2 == min{ r in Ninf | r + L2 >= L1 }
+///   U1 -U U2 == max{ r in Ninf | r + U2 <= U1 }   (defined iff U1 >= U2)
+///
+/// so that inf -L inf == 0 and inf -U inf == inf, giving the residue the
+/// best possible lower and upper execution-capacity bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SUPPORT_EXTNAT_H
+#define TNT_SUPPORT_EXTNAT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace tnt {
+
+/// A natural number extended with a single infinity element.
+class ExtNat {
+public:
+  /// Zero.
+  ExtNat() : Value(0), Inf(false) {}
+  /// A finite natural; asserts \p V >= 0.
+  ExtNat(int64_t V) : Value(V), Inf(false) {
+    assert(V >= 0 && "ExtNat must be non-negative");
+  }
+
+  /// The infinity element.
+  static ExtNat infinity() {
+    ExtNat N;
+    N.Inf = true;
+    return N;
+  }
+
+  bool isInf() const { return Inf; }
+  bool isZero() const { return !Inf && Value == 0; }
+
+  /// Finite payload; only valid when !isInf().
+  int64_t finite() const {
+    assert(!Inf && "finite() on infinity");
+    return Value;
+  }
+
+  bool operator==(const ExtNat &O) const {
+    return Inf == O.Inf && (Inf || Value == O.Value);
+  }
+  bool operator!=(const ExtNat &O) const { return !(*this == O); }
+  bool operator<(const ExtNat &O) const {
+    if (Inf)
+      return false;
+    if (O.Inf)
+      return true;
+    return Value < O.Value;
+  }
+  bool operator<=(const ExtNat &O) const { return *this < O || *this == O; }
+  bool operator>(const ExtNat &O) const { return O < *this; }
+  bool operator>=(const ExtNat &O) const { return O <= *this; }
+
+  /// Saturating addition: inf absorbs.
+  ExtNat operator+(const ExtNat &O) const;
+
+  /// The paper's lower-bound subtraction -L: never negative and
+  /// inf -L inf == 0.
+  ExtNat subLower(const ExtNat &O) const;
+
+  /// The paper's upper-bound subtraction -U: requires *this >= O and
+  /// inf -U anything == inf.
+  ExtNat subUpper(const ExtNat &O) const;
+
+  std::string str() const;
+
+private:
+  int64_t Value;
+  bool Inf;
+};
+
+} // namespace tnt
+
+#endif // TNT_SUPPORT_EXTNAT_H

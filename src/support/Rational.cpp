@@ -1,0 +1,151 @@
+//===- support/Rational.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/Rational.h"
+
+#include <cstdlib>
+
+using namespace tnt;
+
+namespace {
+
+/// Narrows a 128-bit intermediate back to 64 bits, asserting that no
+/// information is lost.
+int64_t narrow(__int128 V) {
+  assert(V <= INT64_MAX && V >= INT64_MIN && "rational overflow");
+  return static_cast<int64_t>(V);
+}
+
+} // namespace
+
+int64_t tnt::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t tnt::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd64(A, B);
+  return narrow(static_cast<__int128>(A < 0 ? -A : A) / G *
+                (B < 0 ? -B : B));
+}
+
+int64_t tnt::floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t tnt::ceilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+int64_t tnt::floorMod(int64_t A, int64_t B) {
+  assert(B > 0 && "floorMod needs a positive modulus");
+  int64_t R = A - floorDiv(A, B) * B;
+  assert(R >= 0 && "floorMod must be non-negative");
+  return R;
+}
+
+int64_t tnt::hatMod(int64_t A, int64_t B) {
+  assert(B > 0 && "hatMod needs a positive modulus");
+  int64_t R = floorMod(A, B);
+  // Shift into (-B/2, B/2]. The Omega test's equality elimination relies
+  // on |hatMod(A,B)| <= B/2 to shrink coefficients geometrically.
+  if (2 * R > B)
+    R -= B;
+  return R;
+}
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = gcd64(N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+Rational Rational::operator+(const Rational &O) const {
+  __int128 N = static_cast<__int128>(Num) * O.Den +
+               static_cast<__int128>(O.Num) * Den;
+  __int128 D = static_cast<__int128>(Den) * O.Den;
+  // Reduce in 128 bits before narrowing so temporary magnitude cannot trip
+  // the narrowing assertion for representable results.
+  __int128 A = N < 0 ? -N : N, B = D;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  if (A == 0)
+    A = 1;
+  return Rational(narrow(N / A), narrow(D / A));
+}
+
+Rational Rational::operator-(const Rational &O) const {
+  return *this + (-O);
+}
+
+Rational Rational::operator*(const Rational &O) const {
+  // Cross-reduce first to keep intermediates small.
+  int64_t G1 = gcd64(Num, O.Den);
+  int64_t G2 = gcd64(O.Num, Den);
+  if (G1 == 0)
+    G1 = 1;
+  if (G2 == 0)
+    G2 = 1;
+  __int128 N = static_cast<__int128>(Num / G1) * (O.Num / G2);
+  __int128 D = static_cast<__int128>(Den / G2) * (O.Den / G1);
+  return Rational(narrow(N), narrow(D));
+}
+
+Rational Rational::operator/(const Rational &O) const {
+  assert(!O.isZero() && "rational division by zero");
+  return *this * Rational(O.Den, O.Num);
+}
+
+Rational Rational::operator-() const {
+  Rational R;
+  R.Num = -Num;
+  R.Den = Den;
+  return R;
+}
+
+bool Rational::operator<(const Rational &O) const {
+  return static_cast<__int128>(Num) * O.Den <
+         static_cast<__int128>(O.Num) * Den;
+}
+
+bool Rational::operator<=(const Rational &O) const {
+  return static_cast<__int128>(Num) * O.Den <=
+         static_cast<__int128>(O.Num) * Den;
+}
+
+int64_t Rational::floor() const { return floorDiv(Num, Den); }
+
+int64_t Rational::ceil() const { return ceilDiv(Num, Den); }
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

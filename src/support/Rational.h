@@ -1,0 +1,97 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over 64-bit numerator/denominator with
+/// overflow-checked 128-bit intermediates. Used by the simplex LP backend
+/// and the Farkas-based synthesis engine, where all quantities stay tiny.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SUPPORT_RATIONAL_H
+#define TNT_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace tnt {
+
+/// An exact rational number kept in lowest terms with a positive
+/// denominator. All operations assert on 64-bit overflow; the synthesis
+/// systems this backs never approach those magnitudes.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t N) : Num(N), Den(1) {}
+  Rational(int64_t N, int64_t D);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isNeg() const { return Num < 0; }
+  bool isPos() const { return Num > 0; }
+  bool isInt() const { return Den == 1; }
+
+  /// Returns the integer value; only valid when isInt().
+  int64_t asInt() const {
+    assert(Den == 1 && "asInt on non-integer rational");
+    return Num;
+  }
+
+  Rational operator+(const Rational &O) const;
+  Rational operator-(const Rational &O) const;
+  Rational operator*(const Rational &O) const;
+  Rational operator/(const Rational &O) const;
+  Rational operator-() const;
+
+  Rational &operator+=(const Rational &O) { return *this = *this + O; }
+  Rational &operator-=(const Rational &O) { return *this = *this - O; }
+  Rational &operator*=(const Rational &O) { return *this = *this * O; }
+  Rational &operator/=(const Rational &O) { return *this = *this / O; }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const;
+  bool operator<=(const Rational &O) const;
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  /// Largest integer <= this.
+  int64_t floor() const;
+  /// Smallest integer >= this.
+  int64_t ceil() const;
+
+  std::string str() const;
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+/// Greatest common divisor of the absolute values; gcd(0,0) == 0.
+int64_t gcd64(int64_t A, int64_t B);
+/// Least common multiple of the absolute values; asserts on overflow.
+int64_t lcm64(int64_t A, int64_t B);
+
+/// Euclidean floor division (rounds toward negative infinity).
+int64_t floorDiv(int64_t A, int64_t B);
+/// Euclidean ceiling division (rounds toward positive infinity).
+int64_t ceilDiv(int64_t A, int64_t B);
+/// Non-negative remainder of A modulo B (B > 0).
+int64_t floorMod(int64_t A, int64_t B);
+
+/// The symmetric ("hat") modulo of the Omega test: a value congruent to
+/// A mod B in the interval (-B/2, B/2].
+int64_t hatMod(int64_t A, int64_t B);
+
+} // namespace tnt
+
+#endif // TNT_SUPPORT_RATIONAL_H

@@ -1,0 +1,170 @@
+//===- synth/Abduction.cpp ------------------------------------*- C++ -*-===//
+
+#include "synth/Abduction.h"
+
+#include "solver/Model.h"
+#include "solver/Solver.h"
+#include "synth/Farkas.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+/// Tries one variable subset; returns the abduced constraint on success.
+std::optional<Constraint> trySubset(const ConstraintConj &Ctx,
+                                    const ConstraintConj &Pending,
+                                    const std::vector<VarId> &Subset,
+                                    const std::optional<Model> &Witness) {
+  // Template alpha = c0 + sum ci * vi over the subset.
+  std::vector<VarId> Params;
+  Params.push_back(freshVar("abd_c"));
+  std::vector<LinExpr> Args;
+  for (VarId V : Subset) {
+    Params.push_back(freshVar("abd_c"));
+    Args.push_back(LinExpr::var(V));
+  }
+  ParamLinExpr Alpha = ParamLinExpr::applyTemplate(Params, Args);
+
+  FarkasSystem FS;
+  for (const Constraint &T : Pending) {
+    // Target conjunct in ">= 0" orientation(s).
+    if (T.isLe()) {
+      FS.addImplicationWithTemplate(Ctx, Alpha,
+                                    ParamLinExpr::fromConcrete(-T.expr()));
+    } else {
+      assert(T.isEq() && "Ne targets must be split by the caller");
+      FS.addImplicationWithTemplate(Ctx, Alpha,
+                                    ParamLinExpr::fromConcrete(T.expr()));
+      FS.addImplicationWithTemplate(Ctx, Alpha,
+                                    ParamLinExpr::fromConcrete(-T.expr()));
+    }
+  }
+  // Anchor the condition at a concrete state of the context, so the
+  // degenerate "false" template (e.g. -1 >= 0) is excluded up front.
+  if (Witness) {
+    LinExpr AtWitness = Alpha.Const;
+    for (const auto &[V, C] : Alpha.Coeffs) {
+      auto It = Witness->find(V);
+      int64_t Val = It == Witness->end() ? 0 : It->second;
+      AtWitness = AtWitness + C * Val;
+    }
+    FS.addParamConstraint(AtWitness, LpRel::Ge);
+  }
+  if (!FS.solve())
+    return std::nullopt;
+
+  LinExpr Synthesized = Alpha.instantiate(FS.params());
+  // alpha >= 0 in canonical Le form: -alpha <= 0.
+  Constraint C = Constraint::leZero(-Synthesized);
+  std::optional<Constraint> N = C.normalized();
+  return N ? *N : C;
+}
+
+} // namespace
+
+AbductionResult tnt::abduce(const ConstraintConj &Ctx,
+                            const ConstraintConj &Target,
+                            const std::vector<VarId> &Over,
+                            unsigned MaxVars) {
+  AbductionResult Out;
+  Formula CtxF = conjToFormula(Ctx);
+
+  // Split Ne targets up front (each side would need its own case; we
+  // conservatively reject them here — the engine's targets are Eq/Le).
+  ConstraintConj Pending;
+  for (const Constraint &T : Target) {
+    if (T.isNe())
+      return Out;
+    // Skip conjuncts already implied by the context.
+    if (Solver::entails(CtxF, Formula::atom(T)))
+      continue;
+    Pending.push_back(T);
+  }
+  if (Pending.empty()) {
+    // Nothing to abduce: the context suffices.
+    Out.Success = true;
+    Out.Alpha = Constraint::leZero(LinExpr(0)); // 0 <= 0, i.e. true.
+    return Out;
+  }
+
+  // Concrete witnesses of the context anchor the template away from
+  // vacuous (unsatisfiable) conditions. The first attempt runs
+  // unanchored; further attempts pin the condition at diverse states
+  // (a witness can lie outside the right condition, so no single anchor
+  // is authoritative — every result is re-verified below).
+  std::vector<std::optional<Model>> Anchors;
+  Anchors.push_back(std::nullopt);
+  {
+    std::vector<Model> Ms = findModelsConj(Ctx, 2, 60);
+    if (Ms.empty())
+      Ms = findModelsConj(Ctx, 5, 60);
+    auto Pick = [&Anchors](const Model &M) { Anchors.emplace_back(M); };
+    if (!Ms.empty()) {
+      // Most-nonnegative witness first (benchmarks live near the
+      // positive orthant), then the extremes.
+      size_t Best = 0, BestScore = 0;
+      for (size_t I = 0; I < Ms.size(); ++I) {
+        size_t Score = 0;
+        for (const auto &[V, Val] : Ms[I])
+          if (Val >= 0)
+            ++Score;
+        if (Score > BestScore) {
+          BestScore = Score;
+          Best = I;
+        }
+      }
+      Pick(Ms[Best]);
+      Pick(Ms.back());
+      Pick(Ms.front());
+    }
+  }
+
+  // Enumerate variable subsets by increasing size: the paper's
+  // minimum-variable-count preference.
+  std::vector<std::vector<VarId>> Subsets;
+  Subsets.push_back({});
+  for (unsigned Size = 1; Size <= MaxVars && Size <= Over.size(); ++Size) {
+    // Generate all subsets of the given size (Over is small).
+    std::vector<size_t> Idx(Size);
+    for (size_t I = 0; I < Size; ++I)
+      Idx[I] = I;
+    for (;;) {
+      std::vector<VarId> S;
+      for (size_t I : Idx)
+        S.push_back(Over[I]);
+      Subsets.push_back(S);
+      // Next combination.
+      size_t K = Size;
+      while (K > 0 && Idx[K - 1] == Over.size() - Size + K - 1)
+        --K;
+      if (K == 0)
+        break;
+      ++Idx[K - 1];
+      for (size_t I = K; I < Size; ++I)
+        Idx[I] = Idx[I - 1] + 1;
+    }
+  }
+
+  for (const std::vector<VarId> &Subset : Subsets) {
+    for (const std::optional<Model> &Anchor : Anchors) {
+      std::optional<Constraint> Alpha =
+          trySubset(Ctx, Pending, Subset, Anchor);
+      if (!Alpha)
+        continue;
+      // Re-verify both abduction conditions with the exact solver:
+      // (i) consistency, (ii) sufficiency.
+      Formula AlphaF = Formula::atom(*Alpha);
+      Formula Strengthened = Formula::conj2(CtxF, AlphaF);
+      if (!Solver::definitelySat(Strengthened))
+        continue;
+      if (!Solver::entails(Strengthened, conjToFormula(Pending)))
+        continue;
+      Out.Success = true;
+      Out.Alpha = *Alpha;
+      return Out;
+    }
+  }
+  return Out;
+}

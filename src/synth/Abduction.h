@@ -1,0 +1,53 @@
+//===- synth/Abduction.h - Abductive case-split inference ------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abductive inference of case-split conditions (Section 5.6): given a
+/// failed proof obligation  ctx ==> target, find a linear condition
+/// alpha over the method's parameters such that
+///
+///   (i)  ctx && alpha is satisfiable, and
+///   (ii) ctx && alpha ==> target,
+///
+/// preferring conditions over the fewest program variables (the paper's
+/// "maximum number of zero coefficients" optimality), via the same
+/// Farkas-based constraint solving as ranking synthesis, with the
+/// template's multiplier normalized to 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SYNTH_ABDUCTION_H
+#define TNT_SYNTH_ABDUCTION_H
+
+#include "arith/Formula.h"
+
+#include <optional>
+#include <vector>
+
+namespace tnt {
+
+/// Outcome of one abduction query.
+struct AbductionResult {
+  bool Success = false;
+  /// The abduced condition "Alpha >= 0" as a constraint over the
+  /// parameter variables; valid when Success.
+  Constraint Alpha;
+};
+
+/// Abduces a condition over \p Over (the method's parameters) that,
+/// conjoined to \p Ctx, entails \p Target.
+///
+/// \param Ctx the satisfiable context of the failed proof.
+/// \param Target the conjunction to be established.
+/// \param Over candidate variables for the condition.
+/// \param MaxVars maximum number of variables in the condition.
+AbductionResult abduce(const ConstraintConj &Ctx, const ConstraintConj &Target,
+                       const std::vector<VarId> &Over, unsigned MaxVars = 2);
+
+} // namespace tnt
+
+#endif // TNT_SYNTH_ABDUCTION_H

@@ -1,0 +1,164 @@
+//===- synth/Ranking.cpp --------------------------------------*- C++ -*-===//
+
+#include "synth/Ranking.h"
+
+#include "solver/Solver.h"
+#include "synth/Farkas.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+/// Fresh template parameter lists, one per predicate: c0 + sum ci * vi.
+std::vector<std::vector<VarId>>
+makeTemplates(const std::vector<std::vector<VarId>> &PredParams) {
+  std::vector<std::vector<VarId>> Tpls;
+  for (size_t I = 0; I < PredParams.size(); ++I) {
+    std::vector<VarId> T;
+    T.push_back(freshVar("rk_c"));
+    for (size_t J = 0; J < PredParams[I].size(); ++J)
+      T.push_back(freshVar("rk_c"));
+    Tpls.push_back(std::move(T));
+  }
+  return Tpls;
+}
+
+std::vector<LinExpr> varsAsArgs(const std::vector<VarId> &Vs) {
+  std::vector<LinExpr> Args;
+  Args.reserve(Vs.size());
+  for (VarId V : Vs)
+    Args.push_back(LinExpr::var(V));
+  return Args;
+}
+
+/// The source-side template over the source pred's own parameters.
+ParamLinExpr srcRank(const std::vector<std::vector<VarId>> &Tpls,
+                     const std::vector<std::vector<VarId>> &PredParams,
+                     const RankEdge &E) {
+  return ParamLinExpr::applyTemplate(Tpls[E.Src],
+                                     varsAsArgs(PredParams[E.Src]));
+}
+
+/// The destination-side template applied to the edge's actual arguments.
+ParamLinExpr dstRank(const std::vector<std::vector<VarId>> &Tpls,
+                     const RankEdge &E) {
+  return ParamLinExpr::applyTemplate(Tpls[E.Dst], E.DstArgs);
+}
+
+/// Instantiates pred \p I's measure component from solved parameters.
+LinExpr measureOf(const std::vector<VarId> &Tpl,
+                  const std::vector<VarId> &Params,
+                  const std::map<VarId, int64_t> &Sol) {
+  ParamLinExpr P = ParamLinExpr::applyTemplate(Tpl, varsAsArgs(Params));
+  return P.instantiate(Sol);
+}
+
+/// Simultaneous substitution Params[j] := Args[j] (capture-safe even when
+/// the argument expressions mention the parameters themselves).
+LinExpr substParallel(const LinExpr &E, const std::vector<VarId> &Params,
+                      const std::vector<LinExpr> &Args) {
+  assert(Params.size() == Args.size() && "parallel substitution arity");
+  LinExpr Out(E.constant());
+  for (const auto &[V, C] : E.coeffs()) {
+    size_t J = 0;
+    for (; J < Params.size(); ++J)
+      if (Params[J] == V)
+        break;
+    if (J < Params.size())
+      Out = Out + Args[J] * C;
+    else
+      Out = Out + LinExpr::var(V, C);
+  }
+  return Out;
+}
+
+} // namespace
+
+RankResult
+tnt::synthesizeRanking(const std::vector<std::vector<VarId>> &PredParams,
+                       const std::vector<RankEdge> &Edges, unsigned MaxLex) {
+  RankResult Out;
+  Out.Measures.resize(PredParams.size());
+
+  // Keep only feasible edges; infeasible contexts make their implication
+  // trivially valid (and the Farkas encoding incomplete).
+  std::vector<RankEdge> Live;
+  for (const RankEdge &E : Edges) {
+    assert(E.Src < PredParams.size() && E.Dst < PredParams.size());
+    assert(E.DstArgs.size() == PredParams[E.Dst].size() &&
+           "edge arity mismatch");
+    if (Omega::isSatConj(E.Ctx) != Tri::False)
+      Live.push_back(E);
+  }
+  if (Live.empty()) {
+    // No recursive transition can fire: the zero measure witnesses
+    // termination.
+    Out.Success = true;
+    for (size_t I = 0; I < PredParams.size(); ++I)
+      Out.Measures[I] = {LinExpr(0)};
+    return Out;
+  }
+
+  std::vector<RankEdge> Remaining = Live;
+  for (unsigned Round = 0; Round < MaxLex && !Remaining.empty(); ++Round) {
+    bool Progress = false;
+    // Try to make some remaining edge strictly decreasing while every
+    // remaining edge stays non-increasing and bounded.
+    for (size_t Strict = 0; Strict < Remaining.size() && !Progress;
+         ++Strict) {
+      std::vector<std::vector<VarId>> Tpls = makeTemplates(PredParams);
+      FarkasSystem FS;
+      for (size_t K = 0; K < Remaining.size(); ++K) {
+        const RankEdge &E = Remaining[K];
+        ParamLinExpr RS = srcRank(Tpls, PredParams, E);
+        ParamLinExpr RD = dstRank(Tpls, E);
+        // Bounded: rho => r_src >= 0.
+        FS.addImplication(E.Ctx, RS);
+        // Non-increase (or strict decrease for the chosen edge).
+        ParamLinExpr Diff = RS - RD;
+        if (K == Strict)
+          Diff = Diff - 1;
+        FS.addImplication(E.Ctx, Diff);
+      }
+      if (!FS.solve())
+        continue;
+
+      // Instantiate this component and drop every edge it strictly
+      // decreases (the chosen one by construction; possibly more).
+      const std::map<VarId, int64_t> &Sol = FS.params();
+      std::vector<LinExpr> Component;
+      for (size_t I = 0; I < PredParams.size(); ++I)
+        Component.push_back(measureOf(Tpls[I], PredParams[I], Sol));
+
+      std::vector<RankEdge> Next;
+      for (const RankEdge &E : Remaining) {
+        LinExpr RS = Component[E.Src];
+        // Destination measure over the actual arguments (simultaneous
+        // substitution: args may mention the canonical params).
+        LinExpr RD =
+            substParallel(Component[E.Dst], PredParams[E.Dst], E.DstArgs);
+        Formula Ctx = conjToFormula(E.Ctx);
+        Formula StrictDec =
+            Formula::cmp(RS - RD, CmpKind::Ge, LinExpr(1));
+        if (!Solver::entails(Ctx, StrictDec))
+          Next.push_back(E);
+      }
+      assert(Next.size() < Remaining.size() &&
+             "chosen strict edge must be eliminated");
+      Remaining = std::move(Next);
+      for (size_t I = 0; I < PredParams.size(); ++I)
+        Out.Measures[I].push_back(Component[I]);
+      Progress = true;
+    }
+    if (!Progress)
+      break;
+  }
+
+  Out.Success = Remaining.empty();
+  if (!Out.Success)
+    for (auto &M : Out.Measures)
+      M.clear();
+  return Out;
+}

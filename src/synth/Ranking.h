@@ -1,0 +1,61 @@
+//===- synth/Ranking.h - Ranking function synthesis ------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear and lexicographic ranking-function synthesis over the internal
+/// edges of a strongly connected component of the temporal reachability
+/// graph — the prove_Term / gen / syn_rank / subst_rank procedures of
+/// Section 5.4 (Fig. 8).
+///
+/// Lexicographic measures use the order-free scheme: every component is
+/// non-increasing and bounded on every edge, and every edge strictly
+/// decreases at least one component. Over the integers this rules out
+/// infinite paths regardless of component order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SYNTH_RANKING_H
+#define TNT_SYNTH_RANKING_H
+
+#include "arith/Constraint.h"
+
+#include <map>
+#include <vector>
+
+namespace tnt {
+
+/// One (mutually) recursive transition between unknown pre-predicates of
+/// the same SCC: from pred \p Src (over its canonical parameters) to pred
+/// \p Dst whose actual arguments are \p DstArgs, under context \p Ctx
+/// (the rho label of the reachability-graph edge).
+struct RankEdge {
+  size_t Src = 0;
+  size_t Dst = 0;
+  ConstraintConj Ctx;
+  std::vector<LinExpr> DstArgs;
+};
+
+/// Result of ranking synthesis for one SCC.
+struct RankResult {
+  bool Success = false;
+  /// Pred index -> lexicographic measure [e1, e2, ...] over the pred's
+  /// canonical parameters. Single-element for plain linear ranking.
+  std::vector<std::vector<LinExpr>> Measures;
+};
+
+/// Synthesizes per-predicate ranking measures for an SCC.
+///
+/// \param PredParams canonical parameter lists, one per predicate.
+/// \param Edges the internal transitions.
+/// \param MaxLex maximum number of lexicographic components.
+RankResult synthesizeRanking(const std::vector<std::vector<VarId>> &PredParams,
+                             const std::vector<RankEdge> &Edges,
+                             unsigned MaxLex = 4);
+
+} // namespace tnt
+
+#endif // TNT_SYNTH_RANKING_H

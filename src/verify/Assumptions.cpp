@@ -1,0 +1,58 @@
+//===- verify/Assumptions.cpp ---------------------------------*- C++ -*-===//
+
+#include "verify/Assumptions.h"
+
+using namespace tnt;
+
+namespace {
+
+std::string argsStr(const std::vector<LinExpr> &Args) {
+  std::string Out = "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Args[I].str();
+  }
+  return Out + ")";
+}
+
+} // namespace
+
+std::string PreAssume::str(const UnkRegistry &Reg) const {
+  std::string Out = Ctx.str() + " && " + Reg.pred(Src).Name + " ==> ";
+  switch (TK) {
+  case Target::Unknown:
+    Out += Reg.pred(Dst).Name + argsStr(DstArgs);
+    break;
+  case Target::Term: {
+    Out += "Term[";
+    for (size_t I = 0; I < TermMeasure.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += TermMeasure[I].str();
+    }
+    Out += "]";
+    break;
+  }
+  case Target::Loop:
+    Out += "Loop";
+    break;
+  case Target::MayLoop:
+    Out += "MayLoop";
+    break;
+  }
+  return Out;
+}
+
+std::string PostAssume::str(const UnkRegistry &Reg) const {
+  std::string Out = Ctx.str();
+  for (const PostItem &It : Items) {
+    Out += " && (" + It.Guard.str() + " => ";
+    if (It.K == PostItem::Kind::False)
+      Out += "false)";
+    else
+      Out += Reg.pred(It.U).Name + argsStr(It.Args) + ")";
+  }
+  Out += " ==> (" + Guard.str() + " => " + Reg.pred(Tgt).Name + ")";
+  return Out;
+}

@@ -1,0 +1,94 @@
+//===- verify/Assumptions.h - Temporal relational assumptions --*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The temporal relational assumptions of Definition 1, collected by
+/// Hoare-style forward verification ([TNT-METH]):
+///
+///   pre-assumptions  S:  rho /\ Upr(v) ==> theta_c     (call sites)
+///   post-assumptions T:  rho /\ /\ items ==> (mu => Upo(v))  (exits)
+///
+/// Items are the guarded callee posts accumulated in the program state;
+/// Choices tag the nondeterministic branch decisions on the path
+/// (Section 8's nondet handling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_VERIFY_ASSUMPTIONS_H
+#define TNT_VERIFY_ASSUMPTIONS_H
+
+#include "arith/Formula.h"
+#include "spec/Temporal.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// Branch decisions taken at nondeterministic conditionals:
+/// (conditional id, branch taken).
+using ChoiceSet = std::set<std::pair<unsigned, bool>>;
+
+/// A pre-assumption (element of S).
+struct PreAssume {
+  /// Path context rho, over the source predicate's canonical parameters
+  /// and fresh path variables.
+  Formula Ctx;
+  /// The caller-side unknown pre-predicate (LHS).
+  UnkId Src = InvalidUnk;
+
+  enum class Target { Unknown, Term, Loop, MayLoop };
+  Target TK = Target::Unknown;
+  /// Target::Unknown: the callee-side pre-predicate and its arguments.
+  UnkId Dst = InvalidUnk;
+  std::vector<LinExpr> DstArgs;
+  /// Target::Term: the callee's instantiated ranking measure.
+  std::vector<LinExpr> TermMeasure;
+
+  ChoiceSet Choices;
+
+  std::string str(const UnkRegistry &Reg) const;
+};
+
+/// One guarded callee-post fact in the antecedent of a post-assumption.
+struct PostItem {
+  Formula Guard;
+  enum class Kind { False, Unknown } K = Kind::Unknown;
+  /// Kind::Unknown: the callee post-predicate and arguments.
+  UnkId U = InvalidUnk;
+  std::vector<LinExpr> Args;
+};
+
+/// A post-assumption (element of T).
+struct PostAssume {
+  Formula Ctx;
+  std::vector<PostItem> Items;
+  /// The guard mu of the target post scenario (true initially).
+  Formula Guard;
+  /// The method's unknown post-predicate.
+  UnkId Tgt = InvalidUnk;
+
+  ChoiceSet Choices;
+
+  std::string str(const UnkRegistry &Reg) const;
+};
+
+/// Everything the verifier collects for one method spec scenario.
+struct ScenarioAssumptions {
+  /// The scenario's unknown pre-predicate (post is its partner).
+  UnkId PreId = InvalidUnk;
+  std::vector<PreAssume> S;
+  std::vector<PostAssume> T;
+  /// Safety verification failed (precondition or postcondition); the
+  /// scenario is reported MayLoop.
+  bool SafetyFailed = false;
+};
+
+} // namespace tnt
+
+#endif // TNT_VERIFY_ASSUMPTIONS_H

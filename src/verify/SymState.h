@@ -1,0 +1,55 @@
+//===- verify/SymState.h - Symbolic execution state -------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program state threaded by the forward verifier: a valuation of
+/// program variables into logical variables, a pure path condition, a
+/// symbolic heap, the accumulated guarded callee posts (Definition 1's
+/// antecedent items), and the nondet branch choices on the path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_VERIFY_SYMSTATE_H
+#define TNT_VERIFY_SYMSTATE_H
+
+#include "heap/HeapFormula.h"
+#include "verify/Assumptions.h"
+
+#include <cassert>
+#include <map>
+#include <string>
+
+namespace tnt {
+
+/// One path state of the symbolic executor.
+struct SymState {
+  /// Program variable -> current logical variable.
+  std::map<std::string, VarId> Vals;
+  /// Pure path condition.
+  Formula Pure = Formula::top();
+  /// Spatial state.
+  SymHeap Heap;
+  /// Guarded callee posts accumulated after calls.
+  std::vector<PostItem> Items;
+  /// Nondet branch decisions.
+  ChoiceSet Choices;
+
+  /// Current logical value of a program variable.
+  LinExpr val(const std::string &Name) const {
+    auto It = Vals.find(Name);
+    assert(It != Vals.end() && "unbound program variable");
+    return LinExpr::var(It->second);
+  }
+
+  std::string str() const {
+    return Pure.str() + " | " + heapStr(Heap);
+  }
+};
+
+} // namespace tnt
+
+#endif // TNT_VERIFY_SYMSTATE_H

@@ -1,0 +1,1012 @@
+//===- verify/Verifier.cpp ------------------------------------*- C++ -*-===//
+
+#include "verify/Verifier.h"
+
+#include "solver/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+/// Is this (post-hoist) expression boolean-shaped (needs 0/1 encoding
+/// when stored into a variable)?
+bool isCondExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::BoolLit:
+    return true;
+  case Expr::Kind::Unary:
+    return E.Un == UnOp::Not;
+  case Expr::Kind::Binary:
+    switch (E.Bin) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+      return false;
+    default:
+      return true;
+    }
+  default:
+    return false;
+  }
+}
+
+ExprPtr mkVarExpr(const std::string &Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Expr::Kind::Var, Loc);
+  E->Name = Name;
+  return E;
+}
+
+} // namespace
+
+Verifier::Verifier(const Program &P, const CallGraph &CG, const HeapEnv &HEnv,
+                   UnkRegistry &Reg, DiagnosticEngine &Diags)
+    : P(P), CG(CG), HEnv(HEnv), Reg(Reg), Diags(Diags), Prover(HEnv) {}
+
+void Verifier::registerResolved(const std::string &Method,
+                                std::vector<ResolvedScenario> RS) {
+  Resolved[Method] = std::move(RS);
+}
+
+const std::vector<ResolvedScenario> *
+Verifier::resolved(const std::string &M) const {
+  auto It = Resolved.find(M);
+  return It == Resolved.end() ? nullptr : &It->second;
+}
+
+MethodSpec Verifier::defaultSpec() {
+  MethodSpec S;
+  S.PrePure = Formula::top();
+  S.PostPure = Formula::top();
+  return S;
+}
+
+std::vector<VarId> Verifier::canonicalParams(const MethodDecl &M,
+                                             const MethodSpec &Spec) {
+  std::vector<VarId> Params;
+  std::set<VarId> ParamSet;
+  for (const Param &Prm : M.Params) {
+    VarId V = mkVar(Prm.Name);
+    Params.push_back(V);
+    ParamSet.insert(V);
+  }
+  // Specification ghosts: free variables of the precondition that are
+  // not parameters (sorted by name for determinism).
+  std::set<VarId> GhostSet = Spec.PrePure.freeVars();
+  for (const HeapAtom &A : Spec.PreHeap.Atoms) {
+    for (const LinExpr &Arg : A.Args)
+      Arg.collectVars(GhostSet);
+    if (A.K == HeapAtom::Kind::PointsTo)
+      GhostSet.insert(A.Root);
+  }
+  std::vector<std::pair<std::string, VarId>> Ghosts;
+  for (VarId V : GhostSet)
+    if (!ParamSet.count(V))
+      Ghosts.emplace_back(varName(V), V);
+  std::sort(Ghosts.begin(), Ghosts.end());
+  for (const auto &[Name, V] : Ghosts) {
+    (void)Name;
+    Params.push_back(V);
+  }
+  return Params;
+}
+
+bool Verifier::feasible(const SymState &St) const {
+  if (Solver::isSat(St.Pure) == Tri::False)
+    return false;
+  // Heap-aware pruning: a predicate instance with no feasible unfolding
+  // contradicts the state (e.g. a non-empty segment rooted at null).
+  for (const HeapAtom &A : St.Heap) {
+    if (A.K != HeapAtom::Kind::Pred || !HEnv.pred(A.Name))
+      continue;
+    bool Any = false;
+    for (const HeapEnv::UnfoldBranch &UB : HEnv.unfold(A)) {
+      Formula BranchPure =
+          Formula::conj({St.Pure, UB.Pure, UB.Facts});
+      if (Solver::isSat(BranchPure) != Tri::False) {
+        Any = true;
+        break;
+      }
+    }
+    if (!Any)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression handling
+//===----------------------------------------------------------------------===//
+
+LinExpr Verifier::pureExprToLin(const SymState &St, const Expr &E) const {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return LinExpr(E.IntVal);
+  case Expr::Kind::BoolLit:
+    return LinExpr(E.BoolVal ? 1 : 0);
+  case Expr::Kind::Null:
+    return LinExpr(0);
+  case Expr::Kind::Var:
+    return St.val(E.Name);
+  case Expr::Kind::Unary:
+    assert(E.Un == UnOp::Neg && "boolean unary in arithmetic position");
+    return -pureExprToLin(St, *E.Lhs);
+  case Expr::Kind::Binary: {
+    LinExpr L = pureExprToLin(St, *E.Lhs);
+    LinExpr R = pureExprToLin(St, *E.Rhs);
+    switch (E.Bin) {
+    case BinOp::Add:
+      return L + R;
+    case BinOp::Sub:
+      return L - R;
+    case BinOp::Mul:
+      if (L.isConstant())
+        return R * L.constant();
+      assert(R.isConstant() && "nonlinear multiplication");
+      return L * R.constant();
+    default:
+      assert(false && "comparison in arithmetic position");
+      return LinExpr(0);
+    }
+  }
+  default:
+    assert(false && "impure expression after hoisting");
+    return LinExpr(0);
+  }
+}
+
+Formula Verifier::pureCondToFormula(const SymState &St, const Expr &E,
+                                    bool Negate) const {
+  switch (E.K) {
+  case Expr::Kind::BoolLit:
+    return (E.BoolVal != Negate) ? Formula::top() : Formula::bottom();
+  case Expr::Kind::Var:
+    // Boolean (or nondet) variable: b encodes b != 0.
+    return Formula::cmp(St.val(E.Name), Negate ? CmpKind::Eq : CmpKind::Ne,
+                        LinExpr(0));
+  case Expr::Kind::Unary:
+    assert(E.Un == UnOp::Not && "arithmetic unary in boolean position");
+    return pureCondToFormula(St, *E.Lhs, !Negate);
+  case Expr::Kind::Binary: {
+    switch (E.Bin) {
+    case BinOp::And:
+    case BinOp::Or: {
+      Formula L = pureCondToFormula(St, *E.Lhs, Negate);
+      Formula R = pureCondToFormula(St, *E.Rhs, Negate);
+      return ((E.Bin == BinOp::And) != Negate) ? Formula::conj2(L, R)
+                                               : Formula::disj2(L, R);
+    }
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+      assert(false && "arithmetic in boolean position");
+      return Formula::top();
+    default: {
+      LinExpr L = pureExprToLin(St, *E.Lhs);
+      LinExpr R = pureExprToLin(St, *E.Rhs);
+      CmpKind C = CmpKind::Eq;
+      switch (E.Bin) {
+      case BinOp::Eq:
+        C = Negate ? CmpKind::Ne : CmpKind::Eq;
+        break;
+      case BinOp::Ne:
+        C = Negate ? CmpKind::Eq : CmpKind::Ne;
+        break;
+      case BinOp::Lt:
+        C = Negate ? CmpKind::Ge : CmpKind::Lt;
+        break;
+      case BinOp::Le:
+        C = Negate ? CmpKind::Gt : CmpKind::Le;
+        break;
+      case BinOp::Gt:
+        C = Negate ? CmpKind::Le : CmpKind::Gt;
+        break;
+      case BinOp::Ge:
+        C = Negate ? CmpKind::Lt : CmpKind::Ge;
+        break;
+      default:
+        break;
+      }
+      return Formula::cmp(L, C, R);
+    }
+    }
+  }
+  default:
+    assert(false && "impure condition after hoisting");
+    return Formula::top();
+  }
+}
+
+std::vector<Verifier::Hoisted> Verifier::hoist(const SymState &St,
+                                               const Expr &E) {
+  std::vector<Hoisted> Out;
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::Null:
+  case Expr::Kind::Var: {
+    Hoisted H;
+    H.St = St;
+    H.E = cloneExpr(E);
+    Out.push_back(std::move(H));
+    return Out;
+  }
+  case Expr::Kind::Unary: {
+    for (Hoisted &HL : hoist(St, *E.Lhs)) {
+      Hoisted H;
+      H.St = std::move(HL.St);
+      H.HasNondet = HL.HasNondet;
+      H.E = std::make_unique<Expr>(Expr::Kind::Unary, E.Loc);
+      H.E->Un = E.Un;
+      H.E->Lhs = std::move(HL.E);
+      Out.push_back(std::move(H));
+    }
+    return Out;
+  }
+  case Expr::Kind::Binary: {
+    for (Hoisted &HL : hoist(St, *E.Lhs)) {
+      for (Hoisted &HR : hoist(HL.St, *E.Rhs)) {
+        Hoisted H;
+        H.St = std::move(HR.St);
+        H.HasNondet = HL.HasNondet || HR.HasNondet;
+        H.E = std::make_unique<Expr>(Expr::Kind::Binary, E.Loc);
+        H.E->Bin = E.Bin;
+        H.E->Lhs = cloneExpr(*HL.E);
+        H.E->Rhs = std::move(HR.E);
+        Out.push_back(std::move(H));
+      }
+    }
+    return Out;
+  }
+  case Expr::Kind::NondetInt:
+  case Expr::Kind::NondetBool: {
+    Hoisted H;
+    H.St = St;
+    H.HasNondet = true;
+    VarId D = freshVar("nd");
+    std::string Tmp = "$" + varName(D);
+    H.St.Vals[Tmp] = D;
+    H.E = mkVarExpr(Tmp, E.Loc);
+    Out.push_back(std::move(H));
+    return Out;
+  }
+  case Expr::Kind::FieldRead: {
+    auto Mat = Prover.materialize(St.Pure, St.Heap,
+                                  St.Vals.count(E.Name)
+                                      ? St.Vals.at(E.Name)
+                                      : mkVar(E.Name));
+    if (!Mat) {
+      Diags.error(E.Loc, "memory safety: cannot access '" + E.Name + "." +
+                             E.Field + "' in " + CurMethod->Name);
+      if (CurOut)
+        CurOut->SafetyFailed = true;
+      return Out; // Path dropped.
+    }
+    for (const HeapProver::MatBranch &MB : *Mat) {
+      SymState St2 = St;
+      St2.Pure = Formula::conj2(St2.Pure, MB.PureAdd);
+      St2.Heap = MB.Heap;
+      if (!feasible(St2))
+        continue;
+      const HeapAtom &Pts = St2.Heap[MB.PtsIndex];
+      std::optional<size_t> FIdx = HEnv.fieldIndex(Pts.Name, E.Field);
+      if (!FIdx) {
+        Diags.error(E.Loc, "unknown field '" + E.Field + "'");
+        continue;
+      }
+      VarId T = freshVar(E.Name + "_" + E.Field);
+      St2.Pure = Formula::conj2(
+          St2.Pure,
+          Formula::cmp(LinExpr::var(T), CmpKind::Eq, Pts.Args[*FIdx]));
+      std::string Tmp = "$" + varName(T);
+      St2.Vals[Tmp] = T;
+      Hoisted H;
+      H.St = std::move(St2);
+      H.E = mkVarExpr(Tmp, E.Loc);
+      Out.push_back(std::move(H));
+    }
+    return Out;
+  }
+  case Expr::Kind::New: {
+    // Evaluate field initializers left to right.
+    std::vector<Hoisted> ArgStates;
+    {
+      Hoisted Init;
+      Init.St = St;
+      ArgStates.push_back(std::move(Init));
+    }
+    std::vector<std::vector<LinExpr>> ValsPerState(1);
+    for (const ExprPtr &A : E.Args) {
+      std::vector<Hoisted> Next;
+      std::vector<std::vector<LinExpr>> NextVals;
+      for (size_t I = 0; I < ArgStates.size(); ++I) {
+        for (Hoisted &HA : hoist(ArgStates[I].St, *A)) {
+          LinExpr V = pureExprToLin(HA.St, *HA.E);
+          Hoisted H;
+          H.St = std::move(HA.St);
+          H.HasNondet = ArgStates[I].HasNondet || HA.HasNondet;
+          Next.push_back(std::move(H));
+          std::vector<LinExpr> Vs = ValsPerState[I];
+          Vs.push_back(V);
+          NextVals.push_back(std::move(Vs));
+        }
+      }
+      ArgStates = std::move(Next);
+      ValsPerState = std::move(NextVals);
+    }
+    for (size_t I = 0; I < ArgStates.size(); ++I) {
+      SymState St2 = std::move(ArgStates[I].St);
+      VarId Addr = freshVar("new_" + E.Name);
+      St2.Pure = Formula::conj2(
+          St2.Pure, Formula::cmp(LinExpr::var(Addr), CmpKind::Ne,
+                                 LinExpr(0)));
+      HeapAtom A;
+      A.K = HeapAtom::Kind::PointsTo;
+      A.Root = Addr;
+      A.Name = E.Name;
+      A.Args = ValsPerState[I];
+      St2.Heap.push_back(std::move(A));
+      std::string Tmp = "$" + varName(Addr);
+      St2.Vals[Tmp] = Addr;
+      Hoisted H;
+      H.St = std::move(St2);
+      H.HasNondet = ArgStates[I].HasNondet;
+      H.E = mkVarExpr(Tmp, E.Loc);
+      Out.push_back(std::move(H));
+    }
+    return Out;
+  }
+  case Expr::Kind::Call: {
+    for (CallOut &CO : execCall(St, E)) {
+      Hoisted H;
+      if (CO.Res) {
+        VarId T = freshVar("ret_" + E.Name);
+        CO.St.Pure = Formula::conj2(
+            CO.St.Pure,
+            Formula::cmp(LinExpr::var(T), CmpKind::Eq, *CO.Res));
+        std::string Tmp = "$" + varName(T);
+        CO.St.Vals[Tmp] = T;
+        H.E = mkVarExpr(Tmp, E.Loc);
+      } else {
+        H.E = std::make_unique<Expr>(Expr::Kind::IntLit, E.Loc);
+      }
+      H.St = std::move(CO.St);
+      Out.push_back(std::move(H));
+    }
+    return Out;
+  }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+std::vector<Verifier::CallOut> Verifier::execCall(const SymState &St,
+                                                  const Expr &Call) {
+  std::vector<CallOut> Out;
+  const MethodDecl *Callee = P.findMethod(Call.Name);
+  assert(Callee && "unresolved callee");
+
+  // Evaluate arguments left to right (with hoisting).
+  struct ArgState {
+    SymState St;
+    std::vector<LinExpr> Args;
+  };
+  std::vector<ArgState> AS{{St, {}}};
+  for (const ExprPtr &A : Call.Args) {
+    std::vector<ArgState> Next;
+    for (ArgState &Cur : AS) {
+      for (Hoisted &H : hoist(Cur.St, *A)) {
+        ArgState N;
+        LinExpr V;
+        if (isCondExpr(*H.E)) {
+          VarId B = freshVar("b");
+          Formula F = pureCondToFormula(H.St, *H.E, false);
+          Formula NF = pureCondToFormula(H.St, *H.E, true);
+          H.St.Pure = Formula::conj2(
+              H.St.Pure,
+              Formula::disj2(
+                  Formula::conj2(F, Formula::cmp(LinExpr::var(B), CmpKind::Eq,
+                                                 LinExpr(1))),
+                  Formula::conj2(NF, Formula::cmp(LinExpr::var(B),
+                                                  CmpKind::Eq, LinExpr(0)))));
+          V = LinExpr::var(B);
+        } else {
+          V = pureExprToLin(H.St, *H.E);
+        }
+        N.St = std::move(H.St);
+        N.Args = Cur.Args;
+        N.Args.push_back(V);
+        Next.push_back(std::move(N));
+      }
+    }
+    AS = std::move(Next);
+  }
+
+  std::vector<MethodSpec> Specs = Callee->Specs;
+  if (Specs.empty())
+    Specs.push_back(defaultSpec());
+
+  for (ArgState &Cur : AS) {
+    if (!feasible(Cur.St))
+      continue;
+    bool Applied = false;
+    for (unsigned Idx = 0; Idx < Specs.size() && !Applied; ++Idx) {
+      const MethodSpec &Spec = Specs[Idx];
+      std::vector<VarId> Canon = canonicalParams(*Callee, Spec);
+      std::vector<VarId> ParamVars;
+      for (const Param &Prm : Callee->Params)
+        ParamVars.push_back(mkVar(Prm.Name));
+      // Ghosts: canonical minus params, renamed to unification vars.
+      std::vector<VarId> GhostVars(Canon.begin() + ParamVars.size(),
+                                   Canon.end());
+      std::map<VarId, VarId> GhostRen;
+      std::set<VarId> GhostUnis;
+      for (VarId G : GhostVars) {
+        VarId U = freshVar(varName(G));
+        GhostRen[G] = U;
+        GhostUnis.insert(U);
+      }
+
+      // Instantiate the precondition.
+      Formula PreP = substParallelFormula(Spec.PrePure, ParamVars, Cur.Args)
+                         .rename(GhostRen);
+      SymHeap PreH;
+      bool BadShape = false;
+      for (const HeapAtom &A : Spec.PreHeap.Atoms) {
+        HeapAtom N = A;
+        for (LinExpr &Arg : N.Args) {
+          Arg = substParallelExpr(Arg, ParamVars, Cur.Args);
+          Arg = Arg.rename(GhostRen);
+        }
+        if (N.K == HeapAtom::Kind::PointsTo) {
+          LinExpr R = substParallelExpr(LinExpr::var(N.Root), ParamVars,
+                                        Cur.Args)
+                          .rename(GhostRen);
+          if (R.coeffs().size() != 1 || R.constant() != 0) {
+            BadShape = true;
+            break;
+          }
+          N.Root = R.coeffs().begin()->first;
+        }
+        PreH.push_back(std::move(N));
+      }
+      if (BadShape)
+        continue;
+
+      // Prove the precondition (heap entailment + pure check).
+      std::vector<HeapProver::Branch> Branches;
+      if (PreH.empty()) {
+        Formula Goal = PreP;
+        if (!GhostUnis.empty())
+          Goal = Formula::exists(
+              std::vector<VarId>(GhostUnis.begin(), GhostUnis.end()), Goal);
+        if (!Goal.isTop() && !Solver::entails(Cur.St.Pure, Goal))
+          continue;
+        HeapProver::Branch B;
+        B.Frame = Cur.St.Heap;
+        Branches.push_back(std::move(B));
+      } else {
+        auto R = Prover.entail(Cur.St.Pure, Cur.St.Heap, PreH, GhostUnis);
+        if (!R)
+          continue;
+        bool PureOk = true;
+        for (const HeapProver::Branch &B : *R) {
+          Formula Ante = Formula::conj2(Cur.St.Pure, B.PureAdd);
+          Formula Goal = PreP;
+          for (const auto &[G, V] : B.Bindings)
+            Goal = Goal.substitute(G, V);
+          if (!Goal.isTop() && !Solver::entails(Ante, Goal)) {
+            PureOk = false;
+            break;
+          }
+        }
+        if (!PureOk)
+          continue;
+        Branches = std::move(*R);
+      }
+      Applied = true;
+
+      // Locate the callee's temporal status for this scenario.
+      auto GU = GroupUnknowns.find({Callee->Name, Idx});
+      const std::vector<ResolvedScenario> *RS = resolved(Callee->Name);
+      std::optional<ResolvedScenario> Inline;
+      if (GU == GroupUnknowns.end() && (!RS || Idx >= RS->size())) {
+        // Known temporal spec of a method in the current group (or a
+        // primitive): build an inline resolved view.
+        ResolvedScenario R;
+        R.Safety = Spec;
+        R.Params = Canon;
+        CaseOutcome C;
+        C.Guard = Formula::top();
+        C.Temporal = Spec.Temporal.K == TemporalSpec::Kind::Unknown
+                         ? TemporalSpec::term()
+                         : Spec.Temporal;
+        C.PostReachable = !Spec.PostPure.isBottom();
+        R.Cases.push_back(std::move(C));
+        Inline = std::move(R);
+      }
+
+      for (HeapProver::Branch &B : Branches) {
+        SymState NS = Cur.St;
+        NS.Pure = Formula::conj2(NS.Pure, B.PureAdd);
+        NS.Heap = B.Frame;
+        if (!feasible(NS))
+          continue;
+
+        // Canonical argument vector: params then ghost values.
+        std::vector<LinExpr> CanonArgs = Cur.Args;
+        for (VarId G : GhostVars) {
+          VarId U = GhostRen.at(G);
+          auto ItB = B.Bindings.find(U);
+          CanonArgs.push_back(ItB != B.Bindings.end() ? ItB->second
+                                                      : LinExpr::var(U));
+        }
+
+        // Temporal obligations (pre-assumptions) and post items.
+        if (GU != GroupUnknowns.end()) {
+          UnkId DstPre = GU->second;
+          if (CurPre != InvalidUnk) {
+            PreAssume PA;
+            PA.Ctx = NS.Pure;
+            PA.Src = CurPre;
+            PA.TK = PreAssume::Target::Unknown;
+            PA.Dst = DstPre;
+            PA.DstArgs = CanonArgs;
+            PA.Choices = NS.Choices;
+            CurOut->S.push_back(std::move(PA));
+          }
+          PostItem It;
+          It.Guard = Formula::top();
+          It.K = PostItem::Kind::Unknown;
+          It.U = Reg.partner(DstPre);
+          It.Args = CanonArgs;
+          NS.Items.push_back(std::move(It));
+        } else {
+          const ResolvedScenario &R =
+              Inline ? *Inline : (*RS)[Idx];
+          for (const CaseOutcome &C : R.Cases) {
+            Formula GInst =
+                substParallelFormula(C.Guard, R.Params, CanonArgs);
+            Formula Ctx = Formula::conj2(NS.Pure, GInst);
+            if (Solver::isSat(Ctx) == Tri::False)
+              continue;
+            if (CurPre != InvalidUnk) {
+              switch (C.Temporal.K) {
+              case TemporalSpec::Kind::Term: {
+                // Trivial unless mutually recursive ([TNT-CALL] filter).
+                if (CG.sameScc(CurMethod->Name, Callee->Name)) {
+                  PreAssume PA;
+                  PA.Ctx = Ctx;
+                  PA.Src = CurPre;
+                  PA.TK = PreAssume::Target::Term;
+                  for (const LinExpr &M : C.Temporal.Measure)
+                    PA.TermMeasure.push_back(
+                        substParallelExpr(M, R.Params, CanonArgs));
+                  PA.Choices = NS.Choices;
+                  CurOut->S.push_back(std::move(PA));
+                }
+                break;
+              }
+              case TemporalSpec::Kind::Loop:
+              case TemporalSpec::Kind::MayLoop: {
+                PreAssume PA;
+                PA.Ctx = Ctx;
+                PA.Src = CurPre;
+                PA.TK = C.Temporal.K == TemporalSpec::Kind::Loop
+                            ? PreAssume::Target::Loop
+                            : PreAssume::Target::MayLoop;
+                PA.Choices = NS.Choices;
+                CurOut->S.push_back(std::move(PA));
+                break;
+              }
+              case TemporalSpec::Kind::Unknown:
+                break;
+              }
+            }
+            if (!C.PostReachable) {
+              PostItem It;
+              It.Guard = GInst;
+              It.K = PostItem::Kind::False;
+              NS.Items.push_back(std::move(It));
+            }
+          }
+        }
+
+        // Safety postcondition: primed refs, result, ghosts.
+        std::map<VarId, VarId> PostRen;
+        for (size_t I = 0; I < Callee->Params.size(); ++I) {
+          if (!Callee->Params[I].ByRef)
+            continue;
+          assert(Call.Args[I]->K == Expr::Kind::Var &&
+                 "ref argument must be a variable");
+          VarId Fresh = freshVar(Call.Args[I]->Name);
+          PostRen[mkVar(Callee->Params[I].Name + "'")] = Fresh;
+          NS.Vals[Call.Args[I]->Name] = Fresh;
+        }
+        std::optional<LinExpr> Res;
+        if (Callee->RetTy.K != Type::Kind::Void) {
+          VarId RV = freshVar("res");
+          PostRen[mkVar("res")] = RV;
+          Res = LinExpr::var(RV);
+        }
+        Formula PostP =
+            substParallelFormula(Spec.PostPure, ParamVars, Cur.Args)
+                .rename(GhostRen)
+                .rename(PostRen);
+        for (const auto &[G, V] : B.Bindings)
+          PostP = PostP.substitute(G, V);
+        NS.Pure = Formula::conj2(NS.Pure, PostP);
+
+        // Post heap: instantiate and add to the frame.
+        for (const HeapAtom &A : Spec.PostHeap.Atoms) {
+          HeapAtom N = A;
+          bool Bad = false;
+          for (LinExpr &Arg : N.Args) {
+            Arg = substParallelExpr(Arg, ParamVars, Cur.Args);
+            Arg = Arg.rename(GhostRen);
+            Arg = Arg.rename(PostRen);
+            for (const auto &[G, V] : B.Bindings)
+              Arg = Arg.substitute(G, V);
+          }
+          if (N.K == HeapAtom::Kind::PointsTo) {
+            LinExpr R2 = substParallelExpr(LinExpr::var(N.Root), ParamVars,
+                                           Cur.Args)
+                             .rename(GhostRen)
+                             .rename(PostRen);
+            for (const auto &[G, V] : B.Bindings)
+              R2 = R2.substitute(G, V);
+            if (R2.coeffs().size() != 1 || R2.constant() != 0) {
+              Bad = true;
+            } else {
+              N.Root = R2.coeffs().begin()->first;
+            }
+          } else {
+            NS.Pure = Formula::conj2(NS.Pure, HEnv.invariantAt(N.Name, N.Args));
+          }
+          if (!Bad)
+            NS.Heap.push_back(std::move(N));
+        }
+
+        if (!feasible(NS))
+          continue;
+        Out.push_back({std::move(NS), Res});
+      }
+    }
+    if (!Applied) {
+      Diags.error(Call.Loc, "no specification scenario of '" + Call.Name +
+                                "' applies at this call site in " +
+                                CurMethod->Name);
+      if (CurOut)
+        CurOut->SafetyFailed = true;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Verifier::execSeq(const std::vector<StmtPtr> &Stmts, size_t From,
+                       std::vector<SymState> States,
+                       std::vector<SymState> &Out,
+                       std::vector<ExitRec> &Exits) {
+  if (From == Stmts.size()) {
+    for (SymState &St : States)
+      Out.push_back(std::move(St));
+    return;
+  }
+  std::vector<SymState> Next;
+  execStmt(*Stmts[From], std::move(States), Next, Exits);
+  execSeq(Stmts, From + 1, std::move(Next), Out, Exits);
+}
+
+void Verifier::execStmt(const Stmt &S, std::vector<SymState> States,
+                        std::vector<SymState> &Out,
+                        std::vector<ExitRec> &Exits) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    execSeq(S.Stmts, 0, std::move(States), Out, Exits);
+    return;
+  case Stmt::Kind::VarDecl:
+  case Stmt::Kind::Assign: {
+    for (SymState &St : States) {
+      if (S.K == Stmt::Kind::VarDecl && !S.E) {
+        St.Vals[S.Name] = freshVar(S.Name);
+        Out.push_back(std::move(St));
+        continue;
+      }
+      for (Hoisted &H : hoist(St, *S.E)) {
+        VarId V = freshVar(S.Name);
+        if (isCondExpr(*H.E)) {
+          Formula F = pureCondToFormula(H.St, *H.E, false);
+          Formula NF = pureCondToFormula(H.St, *H.E, true);
+          H.St.Pure = Formula::conj2(
+              H.St.Pure,
+              Formula::disj2(
+                  Formula::conj2(F, Formula::cmp(LinExpr::var(V), CmpKind::Eq,
+                                                 LinExpr(1))),
+                  Formula::conj2(NF, Formula::cmp(LinExpr::var(V),
+                                                  CmpKind::Eq, LinExpr(0)))));
+        } else {
+          H.St.Pure = Formula::conj2(
+              H.St.Pure, Formula::cmp(LinExpr::var(V), CmpKind::Eq,
+                                      pureExprToLin(H.St, *H.E)));
+        }
+        H.St.Vals[S.Name] = V;
+        if (feasible(H.St))
+          Out.push_back(std::move(H.St));
+      }
+    }
+    return;
+  }
+  case Stmt::Kind::FieldAssign: {
+    for (SymState &St : States) {
+      for (Hoisted &H : hoist(St, *S.E)) {
+        LinExpr V = pureExprToLin(H.St, *H.E);
+        auto Mat =
+            Prover.materialize(H.St.Pure, H.St.Heap, H.St.Vals.at(S.Name));
+        if (!Mat) {
+          Diags.error(S.Loc, "memory safety: cannot assign '" + S.Name + "." +
+                                 S.Field + "' in " + CurMethod->Name);
+          if (CurOut)
+            CurOut->SafetyFailed = true;
+          continue;
+        }
+        for (const HeapProver::MatBranch &MB : *Mat) {
+          SymState NS = H.St;
+          NS.Pure = Formula::conj2(NS.Pure, MB.PureAdd);
+          NS.Heap = MB.Heap;
+          if (!feasible(NS))
+            continue;
+          std::optional<size_t> FIdx =
+              HEnv.fieldIndex(NS.Heap[MB.PtsIndex].Name, S.Field);
+          assert(FIdx && "resolver admitted unknown field");
+          NS.Heap[MB.PtsIndex].Args[*FIdx] = V;
+          Out.push_back(std::move(NS));
+        }
+      }
+    }
+    return;
+  }
+  case Stmt::Kind::If: {
+    for (SymState &St : States) {
+      for (Hoisted &H : hoist(St, *S.E)) {
+        Formula F = pureCondToFormula(H.St, *H.E, false);
+        Formula NF = pureCondToFormula(H.St, *H.E, true);
+        std::optional<unsigned> Tag;
+        if (H.HasNondet)
+          Tag = NextChoiceTag++;
+
+        SymState ThenSt = H.St;
+        ThenSt.Pure = Formula::conj2(ThenSt.Pure, F);
+        if (Tag)
+          ThenSt.Choices.insert({*Tag, true});
+        if (feasible(ThenSt)) {
+          std::vector<SymState> In{std::move(ThenSt)};
+          execStmt(*S.Then, std::move(In), Out, Exits);
+        }
+
+        SymState ElseSt = std::move(H.St);
+        ElseSt.Pure = Formula::conj2(ElseSt.Pure, NF);
+        if (Tag)
+          ElseSt.Choices.insert({*Tag, false});
+        if (feasible(ElseSt)) {
+          if (S.Else) {
+            std::vector<SymState> In{std::move(ElseSt)};
+            execStmt(*S.Else, std::move(In), Out, Exits);
+          } else {
+            Out.push_back(std::move(ElseSt));
+          }
+        }
+      }
+    }
+    return;
+  }
+  case Stmt::Kind::While:
+    Diags.error(S.Loc, "while must be lowered before verification");
+    return;
+  case Stmt::Kind::Return: {
+    for (SymState &St : States) {
+      if (!S.E) {
+        Exits.push_back({std::move(St), std::nullopt});
+        continue;
+      }
+      for (Hoisted &H : hoist(St, *S.E)) {
+        LinExpr V;
+        if (isCondExpr(*H.E)) {
+          VarId B = freshVar("res_b");
+          Formula F = pureCondToFormula(H.St, *H.E, false);
+          Formula NF = pureCondToFormula(H.St, *H.E, true);
+          H.St.Pure = Formula::conj2(
+              H.St.Pure,
+              Formula::disj2(
+                  Formula::conj2(F, Formula::cmp(LinExpr::var(B), CmpKind::Eq,
+                                                 LinExpr(1))),
+                  Formula::conj2(NF, Formula::cmp(LinExpr::var(B),
+                                                  CmpKind::Eq, LinExpr(0)))));
+          V = LinExpr::var(B);
+        } else {
+          V = pureExprToLin(H.St, *H.E);
+        }
+        if (feasible(H.St))
+          Exits.push_back({std::move(H.St), V});
+      }
+    }
+    return;
+  }
+  case Stmt::Kind::CallStmt: {
+    for (SymState &St : States)
+      for (Hoisted &H : hoist(St, *S.E))
+        if (feasible(H.St))
+          Out.push_back(std::move(H.St));
+    return;
+  }
+  case Stmt::Kind::Assume: {
+    for (SymState &St : States) {
+      std::map<VarId, VarId> Ren;
+      for (VarId V : S.PureF.freeVars()) {
+        auto It = St.Vals.find(varName(V));
+        if (It != St.Vals.end())
+          Ren[V] = It->second;
+      }
+      St.Pure = Formula::conj2(St.Pure, S.PureF.rename(Ren));
+      if (feasible(St))
+        Out.push_back(std::move(St));
+    }
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Exits and group driver
+//===----------------------------------------------------------------------===//
+
+void Verifier::checkExit(const ExitRec &E) {
+  const MethodSpec &Spec = *CurSpec;
+
+  // Safety postcondition: unprimed parameters denote their initial
+  // (canonical) values; primed ones the final values of ref params; res
+  // the return value.
+  std::map<VarId, VarId> Ren;
+  for (const Param &Prm : CurMethod->Params) {
+    if (!Prm.ByRef)
+      continue;
+    auto It = E.St.Vals.find(Prm.Name);
+    if (It != E.St.Vals.end())
+      Ren[mkVar(Prm.Name + "'")] = It->second;
+  }
+  Formula PostP = Spec.PostPure.rename(Ren);
+  if (E.Res)
+    PostP = PostP.substitute(mkVar("res"), *E.Res);
+  else
+    PostP = PostP.substitute(mkVar("res"),
+                             LinExpr::var(freshVar("res")));
+  if (!PostP.isTop() && !Solver::entails(E.St.Pure, PostP)) {
+    Diags.error(CurMethod->Loc, "cannot prove postcondition of '" +
+                                    CurMethod->Name + "' (scenario pure "
+                                    "part)");
+    CurOut->SafetyFailed = true;
+  }
+
+  // Heap postcondition (post-only variables are existential).
+  if (!Spec.PostHeap.isEmp()) {
+    SymHeap Tgt;
+    std::set<VarId> Ghosts;
+    std::vector<VarId> Canon = canonicalParams(*CurMethod, Spec);
+    std::set<VarId> Known(Canon.begin(), Canon.end());
+    for (const HeapAtom &A : Spec.PostHeap.Atoms) {
+      HeapAtom N = A;
+      for (LinExpr &Arg : N.Args) {
+        Arg = Arg.rename(Ren);
+        if (E.Res)
+          Arg = Arg.substitute(mkVar("res"), *E.Res);
+        for (VarId V : [&] {
+               std::set<VarId> Vs;
+               Arg.collectVars(Vs);
+               return Vs;
+             }())
+          if (!Known.count(V))
+            Ghosts.insert(V);
+      }
+      Tgt.push_back(std::move(N));
+    }
+    if (!Prover.entail(E.St.Pure, E.St.Heap, Tgt, Ghosts)) {
+      Diags.error(CurMethod->Loc, "cannot prove heap postcondition of '" +
+                                      CurMethod->Name + "'");
+      CurOut->SafetyFailed = true;
+    }
+  }
+
+  // Temporal post-assumption ([TNT-METH]'s T set).
+  if (CurPre != InvalidUnk) {
+    PostAssume PA;
+    PA.Ctx = E.St.Pure;
+    PA.Items = E.St.Items;
+    PA.Guard = Formula::top();
+    PA.Tgt = Reg.partner(CurPre);
+    PA.Choices = E.St.Choices;
+    CurOut->T.push_back(std::move(PA));
+  }
+}
+
+std::vector<Verifier::ScenarioResult>
+Verifier::runGroup(const std::vector<std::string> &Group) {
+  CurGroup = Group;
+  GroupUnknowns.clear();
+  std::vector<ScenarioResult> Results;
+
+  // Pass 1: allocate unknown pairs.
+  for (const std::string &Name : Group) {
+    const MethodDecl *M = P.findMethod(Name);
+    assert(M && "group member not found");
+    std::vector<MethodSpec> Specs = M->Specs;
+    if (Specs.empty())
+      Specs.push_back(defaultSpec());
+    for (unsigned Idx = 0; Idx < Specs.size(); ++Idx) {
+      ScenarioResult SR;
+      SR.Method = Name;
+      SR.SpecIdx = Idx;
+      SR.Safety = Specs[Idx];
+      SR.Params = canonicalParams(*M, Specs[Idx]);
+      if (Specs[Idx].Temporal.K != TemporalSpec::Kind::Unknown) {
+        SR.GivenTemporal = Specs[Idx].Temporal;
+      } else if (M->isPrimitive()) {
+        // Library methods without a temporal spec are assumed Term.
+        SR.GivenTemporal = TemporalSpec::term();
+      } else {
+        UnkId Pre = Reg.createPair(Name, Idx, SR.Params);
+        GroupUnknowns[{Name, Idx}] = Pre;
+        SR.Assumptions.PreId = Pre;
+      }
+      Results.push_back(std::move(SR));
+    }
+  }
+
+  // Pass 2: verify bodies of scenarios under inference.
+  for (ScenarioResult &SR : Results) {
+    if (SR.GivenTemporal)
+      continue;
+    const MethodDecl *M = P.findMethod(SR.Method);
+    CurMethod = M;
+    CurSpec = &SR.Safety;
+    CurPre = SR.Assumptions.PreId;
+    CurOut = &SR.Assumptions;
+
+    SymState Init;
+    for (const Param &Prm : M->Params)
+      Init.Vals[Prm.Name] = mkVar(Prm.Name);
+    Init.Pure = SR.Safety.PrePure;
+    for (const HeapAtom &A : SR.Safety.PreHeap.Atoms) {
+      Init.Heap.push_back(A);
+      if (A.K == HeapAtom::Kind::PointsTo)
+        Init.Pure = Formula::conj2(
+            Init.Pure, Formula::cmp(LinExpr::var(A.Root), CmpKind::Ne,
+                                    LinExpr(0)));
+      else
+        Init.Pure =
+            Formula::conj2(Init.Pure, HEnv.invariantAt(A.Name, A.Args));
+    }
+
+    std::vector<SymState> Out;
+    std::vector<ExitRec> Exits;
+    execStmt(*M->Body, {std::move(Init)}, Out, Exits);
+    // Fallthrough states are implicit void returns.
+    for (SymState &St : Out)
+      Exits.push_back({std::move(St), std::nullopt});
+    for (const ExitRec &E : Exits)
+      checkExit(E);
+  }
+
+  CurMethod = nullptr;
+  CurSpec = nullptr;
+  CurPre = InvalidUnk;
+  CurOut = nullptr;
+  return Results;
+}

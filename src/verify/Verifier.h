@@ -1,0 +1,143 @@
+//===- verify/Verifier.h - Hoare-style forward verification ----*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The forward symbolic executor of Section 4: verifies safety
+/// (pre/post, memory) against the given specifications and collects the
+/// temporal relational assumptions S and T ([TNT-METH], [TNT-CALL])
+/// with the trivial-assumption filter applied. One SCC group of the
+/// call graph is verified at a time; resolved summaries of lower groups
+/// are consulted at call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_VERIFY_VERIFIER_H
+#define TNT_VERIFY_VERIFIER_H
+
+#include "heap/Entail.h"
+#include "lang/CallGraph.h"
+#include "spec/Spec.h"
+#include "verify/SymState.h"
+
+#include <map>
+#include <optional>
+
+namespace tnt {
+
+/// A fully analyzed method scenario, usable at call sites.
+struct ResolvedScenario {
+  /// The safety part (pre/post formulas and heap).
+  MethodSpec Safety;
+  /// Canonical parameters (method params + spec ghosts).
+  std::vector<VarId> Params;
+  /// Flattened temporal summary cases over Params.
+  std::vector<CaseOutcome> Cases;
+};
+
+/// The forward verifier for one program.
+class Verifier {
+public:
+  Verifier(const Program &P, const CallGraph &CG, const HeapEnv &HEnv,
+           UnkRegistry &Reg, DiagnosticEngine &Diags);
+
+  /// Registers the summaries of an already-solved method.
+  void registerResolved(const std::string &Method,
+                        std::vector<ResolvedScenario> RS);
+  const std::vector<ResolvedScenario> *resolved(const std::string &M) const;
+
+  /// One verified scenario of the current group.
+  struct ScenarioResult {
+    std::string Method;
+    unsigned SpecIdx = 0;
+    /// The scenario's safety spec and canonical parameters.
+    MethodSpec Safety;
+    std::vector<VarId> Params;
+    /// Known temporal given in the source (no inference needed) —
+    /// Assumptions.PreId is invalid in that case.
+    std::optional<TemporalSpec> GivenTemporal;
+    ScenarioAssumptions Assumptions;
+  };
+
+  /// Verifies every method of \p Group (an SCC of the call graph),
+  /// creating unknown predicate pairs for scenarios whose temporal
+  /// status must be inferred, and collecting their assumption sets.
+  std::vector<ScenarioResult> runGroup(const std::vector<std::string> &Group);
+
+  /// Canonical parameters of a scenario: method parameters followed by
+  /// the specification's ghost variables (sorted by name).
+  static std::vector<VarId> canonicalParams(const MethodDecl &M,
+                                            const MethodSpec &Spec);
+
+  /// The default scenario for spec-less methods.
+  static MethodSpec defaultSpec();
+
+  const UnkRegistry &registry() const { return Reg; }
+
+private:
+  struct ExitRec {
+    SymState St;
+    std::optional<LinExpr> Res;
+  };
+
+  // Statement execution over sets of path states.
+  void execStmt(const Stmt &S, std::vector<SymState> States,
+                std::vector<SymState> &Out, std::vector<ExitRec> &Exits);
+  void execSeq(const std::vector<StmtPtr> &Stmts, size_t From,
+               std::vector<SymState> States, std::vector<SymState> &Out,
+               std::vector<ExitRec> &Exits);
+
+  /// Rewrites calls / field reads / allocations / nondets inside an
+  /// expression into fresh bound variables, splitting states as needed.
+  struct Hoisted {
+    SymState St;
+    ExprPtr E;
+    bool HasNondet = false;
+  };
+  std::vector<Hoisted> hoist(const SymState &St, const Expr &E);
+
+  /// Pure post-hoist expression to LinExpr under a state's valuation.
+  LinExpr pureExprToLin(const SymState &St, const Expr &E) const;
+  /// Pure post-hoist condition to Formula under a state's valuation.
+  Formula pureCondToFormula(const SymState &St, const Expr &E,
+                            bool Negate) const;
+
+  /// Executes a call; returns resulting states with the optional result
+  /// value bound to a fresh variable.
+  struct CallOut {
+    SymState St;
+    std::optional<LinExpr> Res;
+  };
+  std::vector<CallOut> execCall(const SymState &St, const Expr &Call);
+
+  void checkExit(const ExitRec &E);
+
+  bool feasible(const SymState &St) const;
+
+  const Program &P;
+  const CallGraph &CG;
+  const HeapEnv &HEnv;
+  UnkRegistry &Reg;
+  DiagnosticEngine &Diags;
+  HeapProver Prover;
+
+  std::map<std::string, std::vector<ResolvedScenario>> Resolved;
+
+  // Per-group context.
+  std::vector<std::string> CurGroup;
+  /// (method, specIdx) -> unknown pre id for scenarios under inference.
+  std::map<std::pair<std::string, unsigned>, UnkId> GroupUnknowns;
+  // Per-scenario context while executing one body.
+  const MethodDecl *CurMethod = nullptr;
+  const MethodSpec *CurSpec = nullptr;
+  UnkId CurPre = InvalidUnk;
+  ScenarioAssumptions *CurOut = nullptr;
+  unsigned NextChoiceTag = 0;
+};
+
+} // namespace tnt
+
+#endif // TNT_VERIFY_VERIFIER_H

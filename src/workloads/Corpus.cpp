@@ -1,0 +1,118 @@
+//===- workloads/Corpus.cpp -----------------------------------*- C++ -*-===//
+
+#include "workloads/Corpus.h"
+
+#include "workloads/Generator.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+/// Appends \p Count programs of \p Family to \p Out under \p Category.
+void add(std::vector<BenchProgram> &Out, const std::string &Family,
+         const std::string &Category, unsigned Count) {
+  std::vector<BenchProgram> Ps = generateFamily(Family, Category, Count);
+  for (BenchProgram &P : Ps)
+    Out.push_back(std::move(P));
+}
+
+std::vector<BenchProgram> buildCorpus() {
+  std::vector<BenchProgram> Out;
+
+  // --- crafted (39): the paper-team style hand-crafted set: foo-like
+  // conditional behaviors, step misses, nondet loops. Mix leans on
+  // conditional/nonterminating cases, as in the original.
+  add(Out, "foo-term", "crafted", 8);
+  add(Out, "foo-nonterm", "crafted", 8);
+  add(Out, "step-miss", "crafted", 5);
+  add(Out, "step-hit", "crafted", 5);
+  add(Out, "down-up", "crafted", 6);
+  add(Out, "nondet-loop", "crafted", 4);
+  add(Out, "gcd-like", "crafted", 2);
+  add(Out, "hard-ladder", "crafted", 1);
+
+  // --- crafted-lit (150): the literature set: loops of many shapes.
+  add(Out, "countdown", "crafted-lit", 40);
+  add(Out, "two-phase", "crafted-lit", 25);
+  add(Out, "nested-loops", "crafted-lit", 20);
+  add(Out, "countup-nonterm", "crafted-lit", 16);
+  add(Out, "mutual", "crafted-lit", 15);
+  add(Out, "nondet-down", "crafted-lit", 12);
+  add(Out, "foo-term", "crafted-lit", 8);
+  add(Out, "foo-nonterm", "crafted-lit", 4);
+  add(Out, "gcd-like", "crafted-lit", 3);
+  add(Out, "two-phase", "crafted-lit", 3);
+  add(Out, "nondet-loop", "crafted-lit", 3);
+  add(Out, "hard-ladder", "crafted-lit", 1);
+
+  // --- numeric (68): purely numeric, mostly terminating (the paper's
+  // numeric column has zero N for AProVE and 66 Y for HIPTNT+).
+  add(Out, "countdown", "numeric", 24);
+  add(Out, "two-phase", "numeric", 14);
+  add(Out, "nested-loops", "numeric", 12);
+  add(Out, "nondet-down", "numeric", 10);
+  add(Out, "mutual", "numeric", 6);
+  add(Out, "gcd-like", "numeric", 2);
+
+  // --- memory-alloca (81): allocation and list programs.
+  add(Out, "alloc-rec", "memory-alloca", 24);
+  add(Out, "list-traverse", "memory-alloca", 18);
+  add(Out, "append-lseg", "memory-alloca", 15);
+  add(Out, "cll-traverse", "memory-alloca", 4);
+  add(Out, "append-cll", "memory-alloca", 2);
+  add(Out, "alloc-nonterm", "memory-alloca", 2);
+  add(Out, "countdown", "memory-alloca", 8); // alloca-with-counter style
+  add(Out, "nondet-loop", "memory-alloca", 4);
+  add(Out, "gcd-like", "memory-alloca", 2);
+  add(Out, "alloc-rec", "memory-alloca", 2);
+
+  // Unique names across families repeated in categories.
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I].Name = Out[I].Category + "/" + Out[I].Name + "#" +
+                  std::to_string(I);
+  return Out;
+}
+
+} // namespace
+
+const std::vector<BenchProgram> &tnt::corpus() {
+  static const std::vector<BenchProgram> C = buildCorpus();
+  return C;
+}
+
+std::vector<const BenchProgram *>
+tnt::byCategory(const std::string &Category) {
+  std::vector<const BenchProgram *> Out;
+  for (const BenchProgram &P : corpus())
+    if (P.Category == Category)
+      Out.push_back(&P);
+  return Out;
+}
+
+std::vector<const BenchProgram *> tnt::loopBasedPrograms() {
+  // Fig. 11: loop-based integer programs drawn from the first three
+  // categories (no heap). 39 + 150 + 68 = 257 minus the recursive-only
+  // and heap entries; we take the loop/integer ones in corpus order and
+  // cap at the paper's 221.
+  std::vector<const BenchProgram *> Out;
+  for (const BenchProgram &P : corpus()) {
+    if (P.Category == "memory-alloca")
+      continue;
+    if (P.Source.find("data ") != std::string::npos)
+      continue;
+    Out.push_back(&P);
+    if (Out.size() == 221)
+      break;
+  }
+  return Out;
+}
+
+bool tnt::soundAnswer(const BenchProgram &P, Outcome O) {
+  if (O == Outcome::Yes)
+    return P.GroundTruth != Truth::NonTerminating;
+  if (O == Outcome::No)
+    return P.GroundTruth != Truth::Terminating;
+  return true;
+}

@@ -1,0 +1,57 @@
+//===- workloads/Corpus.h - Benchmark program corpus ------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus standing in for the SV-COMP'15 Termination
+/// suites of the evaluation (Fig. 10: crafted 39 / crafted-lit 150 /
+/// numeric 68 / memory-alloca 81) and the 221 loop-based integer
+/// programs of Fig. 11 — written in the paper's own core language,
+/// with known ground truth (see DESIGN.md section 4, substitution 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_WORKLOADS_CORPUS_H
+#define TNT_WORKLOADS_CORPUS_H
+
+#include "api/Analyzer.h"
+
+#include <string>
+#include <vector>
+
+namespace tnt {
+
+/// Ground truth of a benchmark program.
+enum class Truth { Terminating, NonTerminating, Open };
+
+/// One benchmark program.
+struct BenchProgram {
+  std::string Name;
+  std::string Category; ///< crafted | crafted-lit | numeric | memory-alloca
+  std::string Source;
+  Truth GroundTruth = Truth::Open;
+  std::string Entry = "main";
+};
+
+/// The full corpus, grouped and sized like the paper's four benchmark
+/// families (hand-written seeds plus generated variants).
+const std::vector<BenchProgram> &corpus();
+
+/// Programs of one category, in corpus order.
+std::vector<const BenchProgram *> byCategory(const std::string &Category);
+
+/// The Fig. 11 set: loop-based integer programs (the first three
+/// categories restricted to loop/recursion-on-integers programs),
+/// exactly 221 entries.
+std::vector<const BenchProgram *> loopBasedPrograms();
+
+/// Checks a tool answer against ground truth: Y against NonTerminating
+/// or N against Terminating is unsound.
+bool soundAnswer(const BenchProgram &P, Outcome O);
+
+} // namespace tnt
+
+#endif // TNT_WORKLOADS_CORPUS_H

@@ -1,0 +1,245 @@
+//===- workloads/Generator.cpp --------------------------------*- C++ -*-===//
+
+#include "workloads/Generator.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+namespace {
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+/// Grid helper: the I-th value of a small cycle.
+template <typename T> T pick(const std::vector<T> &Grid, unsigned I) {
+  return Grid[I % Grid.size()];
+}
+
+BenchProgram make(const std::string &Family, const std::string &Category,
+                  unsigned I, std::string Source, Truth T) {
+  BenchProgram P;
+  P.Name = Family + "_" + num(I);
+  P.Category = Category;
+  P.Source = std::move(Source);
+  P.GroundTruth = T;
+  return P;
+}
+
+} // namespace
+
+std::vector<BenchProgram> tnt::generateFamily(const std::string &Family,
+                                              const std::string &Category,
+                                              unsigned Count) {
+  std::vector<BenchProgram> Out;
+  for (unsigned I = 0; I < Count; ++I) {
+    if (Family == "countdown") {
+      // while (x > b) x -= d;  from a concrete start: terminating.
+      int64_t X0 = pick<int64_t>({5, 12, 100, 77, 31}, I);
+      int64_t B = pick<int64_t>({0, 1, -3}, I / 5);
+      int64_t D = pick<int64_t>({1, 2, 5}, I / 15);
+      Out.push_back(make(
+          Family, Category, I,
+          "void main() { int x; x = " + num(X0) + "; while (x > " + num(B) +
+              ") { x = x - " + num(D) + "; } }",
+          Truth::Terminating));
+    } else if (Family == "countup-nonterm") {
+      // while (x >= b) x += d; started inside the region: diverges.
+      int64_t X0 = pick<int64_t>({0, 3, 50, 7}, I);
+      int64_t D = pick<int64_t>({1, 2, 4}, I / 4);
+      Out.push_back(make(Family, Category, I,
+                         "void main() { int x; x = " + num(X0) +
+                             "; while (x >= 0) { x = x + " + num(D) +
+                             "; } }",
+                         Truth::NonTerminating));
+    } else if (Family == "nondet-down") {
+      // Arbitrary start, strictly decreasing: terminating for all inputs.
+      int64_t D = pick<int64_t>({1, 2, 3, 8}, I);
+      Out.push_back(make(Family, Category, I,
+                         "void main() { int x; x = nondet_int(); while (x > "
+                         "0) { x = x - " +
+                             num(D) + "; } }",
+                         Truth::Terminating));
+    } else if (Family == "foo-term") {
+      // The paper's foo with a terminating concrete seed (y < 0).
+      int64_t A = pick<int64_t>({10, 0, 55, 3}, I);
+      int64_t B = pick<int64_t>({-1, -2, -7}, I / 4);
+      Out.push_back(make(Family, Category, I,
+                         "void foo(int x, int y) { if (x < 0) return; else "
+                         "foo(x + y, y); }\n"
+                         "void main() { foo(" +
+                             num(A) + ", " + num(B) + "); }",
+                         Truth::Terminating));
+    } else if (Family == "foo-nonterm") {
+      // foo seeded in the Loop region (x >= 0, y >= 0).
+      int64_t A = pick<int64_t>({0, 4, 19}, I);
+      int64_t B = pick<int64_t>({0, 1, 6}, I / 3);
+      Out.push_back(make(Family, Category, I,
+                         "void foo(int x, int y) { if (x < 0) return; else "
+                         "foo(x + y, y); }\n"
+                         "void main() { foo(" +
+                             num(A) + ", " + num(B) + "); }",
+                         Truth::NonTerminating));
+    } else if (Family == "two-phase") {
+      // Phase change: i moves slowly then quickly; terminating.
+      int64_t M = pick<int64_t>({10, 25, 60}, I);
+      int64_t A = pick<int64_t>({1, 2}, I / 3);
+      int64_t B = pick<int64_t>({3, 5, 9}, I / 6);
+      Out.push_back(make(
+          Family, Category, I,
+          "void main() { int i; int n; i = 0; n = " + num(2 * M) +
+              "; while (i < n) { if (i < " + num(M) + ") i = i + " + num(A) +
+              "; else i = i + " + num(B) + "; } }",
+          Truth::Terminating));
+    } else if (Family == "nested-loops") {
+      int64_t N = pick<int64_t>({4, 9, 17}, I);
+      int64_t M = pick<int64_t>({3, 6, 11}, I / 3);
+      Out.push_back(make(
+          Family, Category, I,
+          "void main() { int i; int j; i = " + num(N) +
+              "; while (i > 0) { j = " + num(M) +
+              "; while (j > 0) { j = j - 1; } i = i - 1; } }",
+          Truth::Terminating));
+    } else if (Family == "mutual") {
+      // Mutual recursion terminating from a non-negative even seed.
+      int64_t N = pick<int64_t>({6, 12, 40, 9}, I);
+      Out.push_back(make(
+          Family, Category, I,
+          "void even(int n) { if (n == 0) return; else odd(n - 1); }\n"
+          "void odd(int n) { if (n == 0) return; else even(n - 1); }\n"
+          "void main() { even(" +
+              num(N) + "); }",
+          Truth::Terminating));
+    } else if (Family == "step-miss") {
+      // f(x) = f(x - 2) with base x == 0: odd seeds never hit the base.
+      int64_t N = pick<int64_t>({7, 3, 15, 21}, I);
+      Out.push_back(make(
+          Family, Category, I,
+          "void f(int x) { if (x == 0) return; else f(x - 2); }\n"
+          "void main() { f(" +
+              num(N) + "); }",
+          Truth::NonTerminating));
+    } else if (Family == "step-hit") {
+      int64_t N = pick<int64_t>({8, 4, 16, 22}, I);
+      Out.push_back(make(
+          Family, Category, I,
+          "void f(int x) { if (x <= 0) return; else f(x - 2); }\n"
+          "void main() { f(" +
+              num(N) + "); }",
+          Truth::Terminating));
+    } else if (Family == "gcd-like") {
+      // Subtractive gcd: terminating but needs a joint measure; several
+      // tools (including ours) answer U here.
+      int64_t A = pick<int64_t>({21, 12, 35}, I);
+      int64_t B = pick<int64_t>({6, 9, 10}, I / 3);
+      Out.push_back(make(
+          Family, Category, I,
+          "void main() { int x; int y; x = " + num(A) + "; y = " + num(B) +
+              "; while (x != y) { if (x > y) x = x - y; else y = y - x; } }",
+          Truth::Terminating));
+    } else if (Family == "nondet-loop") {
+      // Nondet step direction: may diverge (truth: non-terminating in
+      // the SV-COMP sense — a diverging run exists).
+      Out.push_back(make(
+          Family, Category, I,
+          "void main() { int x; x = " + num(pick<int64_t>({5, 9}, I)) +
+              "; while (x > 0) { if (nondet_bool()) x = x - 1; else x = x + "
+              "1; } }",
+          Truth::NonTerminating));
+    } else if (Family == "alloc-rec") {
+      // Allocation along a terminating recursion.
+      int64_t N = pick<int64_t>({3, 8, 20}, I);
+      Out.push_back(make(
+          Family, Category, I,
+          "data node { node next; }\n"
+          "node build(int n) { if (n <= 0) return null; else { node t; t = "
+          "build(n - 1); return new node(t); } }\n"
+          "void main() { node l; l = build(" +
+              num(N) + "); }",
+          Truth::Terminating));
+    } else if (Family == "alloc-nonterm") {
+      // Unbounded allocation recursion: no base case.
+      Out.push_back(make(
+          Family, Category, I,
+          "data node { node next; }\n"
+          "void grow(node p) { grow(new node(p)); }\n"
+          "void main() { grow(null); }",
+          Truth::NonTerminating));
+    } else if (Family == "list-traverse") {
+      // Traversal over a null-terminated segment: terminating.
+      Out.push_back(make(
+          Family, Category, I,
+          "data node { node next; }\n"
+          "pred lseg(root, q, n) == root = q & n = 0\n"
+          "  or root |-> node(p) * lseg(p, q, n - 1);\n"
+          "void walk(node x)\n"
+          "  requires lseg(x, null, n) ensures true;\n"
+          "{ if (x == null) return; else walk(x.next); }\n"
+          "void main() { node l; l = null; walk(l); }",
+          Truth::Terminating));
+    } else if (Family == "cll-traverse") {
+      // Chasing a circular list: never terminates.
+      Out.push_back(make(
+          Family, Category, I,
+          "data node { node next; }\n"
+          "pred lseg(root, q, n) == root = q & n = 0\n"
+          "  or root |-> node(p) * lseg(p, q, n - 1);\n"
+          "pred cll(root, n) == root |-> node(p) * lseg(p, root, n - 1);\n"
+          "void chase(node x)\n"
+          "  requires cll(x, n) ensures true;\n"
+          "{ chase(x.next); }\n"
+          "void main() { node c; c = new node(null); c.next = c; "
+          "chase(c); }",
+          Truth::NonTerminating));
+    } else if (Family == "append-lseg") {
+      Out.push_back(make(
+          Family, Category, I,
+          "data node { node next; }\n"
+          "pred lseg(root, q, n) == root = q & n = 0\n"
+          "  or root |-> node(p) * lseg(p, q, n - 1);\n"
+          "void append(node x, node y)\n"
+          "  requires lseg(x, null, n) & x != null ensures lseg(x, y, n);\n"
+          "{ if (x.next == null) x.next = y; else append(x.next, y); }\n"
+          "void main() { node a; node b; a = new node(null); b = new "
+          "node(null); append(a, b); }",
+          Truth::Terminating));
+    } else if (Family == "append-cll") {
+      Out.push_back(make(
+          Family, Category, I,
+          "data node { node next; }\n"
+          "pred lseg(root, q, n) == root = q & n = 0\n"
+          "  or root |-> node(p) * lseg(p, q, n - 1);\n"
+          "pred cll(root, n) == root |-> node(p) * lseg(p, root, n - 1);\n"
+          "void append(node x, node y)\n"
+          "  requires cll(x, n) ensures true;\n"
+          "{ if (x.next == null) x.next = y; else append(x.next, y); }\n"
+          "void main() { node a; node b; a = new node(null); a.next = a; "
+          "b = new node(null); append(a, b); }",
+          Truth::NonTerminating));
+    } else if (Family == "down-up") {
+      // Conditional: diverges above a threshold (concrete seeds on both
+      // sides alternate Y/N).
+      bool High = I % 2 == 0;
+      int64_t Seed = High ? 100 + int64_t(I) : -int64_t(I) - 1;
+      Out.push_back(make(
+          Family, Category, I,
+          "void f(int x) { if (x < 0) return; else f(x + 1); }\n"
+          "void main() { f(" +
+              num(Seed) + "); }",
+          High ? Truth::NonTerminating : Truth::Terminating));
+    } else if (Family == "hard-ladder") {
+      // Expensive case analysis (Ackermann without its helper spec):
+      // everyone struggles; strong tools answer U, weak ones time out.
+      Out.push_back(make(
+          Family, Category, I,
+          "int Ack(int m, int n) { if (m == 0) return n + 1; else if (n == "
+          "0) return Ack(m - 1, 1); else return Ack(m - 1, Ack(m, n - 1)); "
+          "}\n"
+          "void main() { int r; r = Ack(" +
+              num(2 + (I % 2)) + ", " + num(2 + (I % 3)) + "); }",
+          Truth::Terminating));
+    } else {
+      assert(false && "unknown benchmark family");
+    }
+  }
+  return Out;
+}

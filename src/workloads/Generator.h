@@ -1,0 +1,34 @@
+//===- workloads/Generator.h - Benchmark family generators ------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized program families used to populate the corpus at the
+/// paper's category sizes: countdowns, count-ups, conditional
+/// (foo-style) recursions, phase-change loops, nested loops, mutual
+/// recursion, nondeterministic loops, and heap/list programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_WORKLOADS_GENERATOR_H
+#define TNT_WORKLOADS_GENERATOR_H
+
+#include "workloads/Corpus.h"
+
+namespace tnt {
+
+/// Deterministically generates \p Count programs of the family named
+/// \p Family into \p Category, cycling a parameter grid. Families:
+///   countdown, countup-nonterm, nondet-down, foo-term, foo-nonterm,
+///   two-phase, nested-loops, mutual, step-miss, gcd-like, nondet-loop,
+///   alloc-rec, list-traverse, cll-traverse, list-build, alloc-nonterm.
+std::vector<BenchProgram> generateFamily(const std::string &Family,
+                                         const std::string &Category,
+                                         unsigned Count);
+
+} // namespace tnt
+
+#endif // TNT_WORKLOADS_GENERATOR_H

@@ -1,0 +1,98 @@
+//===- tests/ApiTest.cpp - public facade behavior ---------------*- C++ -*-===//
+
+#include "api/Analyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+TEST(Api, ParseErrorReported) {
+  AnalysisResult R = analyzeProgram("void m( {");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Diagnostics.empty());
+  EXPECT_EQ(R.outcome("m"), Outcome::Unknown);
+}
+
+TEST(Api, MissingEntryIsUnknown) {
+  AnalysisResult R = analyzeProgram("void m() { return; }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.outcome("nonexistent"), Outcome::Unknown);
+  EXPECT_EQ(R.outcome("m"), Outcome::Yes);
+}
+
+TEST(Api, FindByScenario) {
+  AnalysisResult R = analyzeProgram(R"(
+data node { node next; }
+pred lseg(root, q, n) == root = q & n = 0
+  or root |-> node(p) * lseg(p, q, n - 1);
+void w(node x)
+  requires lseg(x, null, n) ensures true;
+  requires true ensures true;
+{ return; }
+)");
+  ASSERT_TRUE(R.Ok) << R.Diagnostics;
+  EXPECT_NE(R.find("w", 0), nullptr);
+  EXPECT_NE(R.find("w", 1), nullptr);
+  EXPECT_EQ(R.find("w", 2), nullptr);
+}
+
+TEST(Api, StrRendersSummaries) {
+  AnalysisResult R = analyzeProgram("void m(int x) { return; }");
+  EXPECT_NE(R.str().find("Term"), std::string::npos);
+}
+
+TEST(Api, FuelAndTimeReported) {
+  AnalysisResult R = analyzeProgram(R"(
+void cd(int n) { if (n <= 0) return; else cd(n - 1); }
+)");
+  EXPECT_GT(R.FuelUsed, 0u);
+  EXPECT_GT(R.Millis, 0.0);
+  EXPECT_FALSE(R.BailedOut);
+}
+
+TEST(Api, DeterministicAcrossRuns) {
+  const char *Src = R"(
+void foo(int x, int y)
+{
+  if (x < 0) return;
+  else foo(x + y, y);
+}
+)";
+  AnalysisResult A = analyzeProgram(Src);
+  AnalysisResult B = analyzeProgram(Src);
+  ASSERT_TRUE(A.Ok);
+  ASSERT_TRUE(B.Ok);
+  ASSERT_EQ(A.Methods.size(), B.Methods.size());
+  // Same structure and classifications.
+  std::vector<CaseOutcome> FA = A.Methods[0].Summary.flatten();
+  std::vector<CaseOutcome> FB = B.Methods[0].Summary.flatten();
+  ASSERT_EQ(FA.size(), FB.size());
+  for (size_t I = 0; I < FA.size(); ++I) {
+    EXPECT_EQ(FA[I].Temporal.K, FB[I].Temporal.K);
+    EXPECT_EQ(FA[I].PostReachable, FB[I].PostReachable);
+    EXPECT_TRUE(FA[I].Guard.structEq(FB[I].Guard));
+  }
+}
+
+TEST(Api, MultipleMethodsAllSummarized) {
+  AnalysisResult R = analyzeProgram(R"(
+void a() { return; }
+void b(int x) { if (x > 0) b(x - 1); }
+void c() { a(); b(5); }
+)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Methods.size(), 3u);
+  EXPECT_EQ(R.outcome("c"), Outcome::Yes);
+}
+
+TEST(Api, LoopMethodSummariesExposed) {
+  AnalysisResult R = analyzeProgram(
+      "void m(int i) { while (i > 0) { i = i - 1; } }");
+  ASSERT_TRUE(R.Ok);
+  // The synthesized loop method appears alongside the wrapper.
+  bool SawLoopMethod = false;
+  for (const MethodResult &M : R.Methods)
+    if (M.Method.find("_loop") != std::string::npos)
+      SawLoopMethod = true;
+  EXPECT_TRUE(SawLoopMethod);
+}

@@ -1,0 +1,98 @@
+//===- tests/CorpusTest.cpp - corpus integrity and soundness ----*- C++ -*-===//
+
+#include "baselines/Baselines.h"
+#include "lang/Parser.h"
+#include "lang/Resolve.h"
+#include "lang/Transforms.h"
+#include "workloads/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+TEST(Corpus, CategorySizesMatchPaper) {
+  EXPECT_EQ(byCategory("crafted").size(), 39u);
+  EXPECT_EQ(byCategory("crafted-lit").size(), 150u);
+  EXPECT_EQ(byCategory("numeric").size(), 68u);
+  EXPECT_EQ(byCategory("memory-alloca").size(), 81u);
+  EXPECT_EQ(corpus().size(), 39u + 150u + 68u + 81u);
+  EXPECT_EQ(loopBasedPrograms().size(), 221u);
+}
+
+TEST(Corpus, NamesUnique) {
+  std::set<std::string> Names;
+  for (const BenchProgram &P : corpus())
+    EXPECT_TRUE(Names.insert(P.Name).second) << P.Name;
+}
+
+TEST(Corpus, EveryProgramParsesAndResolves) {
+  for (const BenchProgram &P : corpus()) {
+    DiagnosticEngine Diags;
+    std::optional<Program> Parsed = parseProgram(P.Source, Diags);
+    ASSERT_TRUE(Parsed.has_value()) << P.Name << "\n" << Diags.str();
+    EXPECT_TRUE(resolveProgram(*Parsed, Diags))
+        << P.Name << "\n" << Diags.str();
+    EXPECT_TRUE(lowerLoops(*Parsed, Diags)) << P.Name << "\n" << Diags.str();
+    EXPECT_NE(Parsed->findMethod(P.Entry), nullptr) << P.Name;
+  }
+}
+
+TEST(Corpus, GroundTruthMixPresent) {
+  // Every category has both terminating and (except numeric)
+  // non-terminating programs.
+  for (const char *Cat : {"crafted", "crafted-lit", "memory-alloca"}) {
+    bool SawT = false, SawN = false;
+    for (const BenchProgram *P : byCategory(Cat)) {
+      SawT |= P->GroundTruth == Truth::Terminating;
+      SawN |= P->GroundTruth == Truth::NonTerminating;
+    }
+    EXPECT_TRUE(SawT) << Cat;
+    EXPECT_TRUE(SawN) << Cat;
+  }
+}
+
+TEST(Corpus, SoundAnswerMatrix) {
+  BenchProgram P;
+  P.GroundTruth = Truth::Terminating;
+  EXPECT_TRUE(soundAnswer(P, Outcome::Yes));
+  EXPECT_FALSE(soundAnswer(P, Outcome::No));
+  EXPECT_TRUE(soundAnswer(P, Outcome::Unknown));
+  P.GroundTruth = Truth::NonTerminating;
+  EXPECT_FALSE(soundAnswer(P, Outcome::Yes));
+  EXPECT_TRUE(soundAnswer(P, Outcome::No));
+  P.GroundTruth = Truth::Open;
+  EXPECT_TRUE(soundAnswer(P, Outcome::Yes));
+  EXPECT_TRUE(soundAnswer(P, Outcome::No));
+}
+
+TEST(Corpus, BaselineConfigsDiffer) {
+  EXPECT_FALSE(termOnlyConfig().Solve.EnableNonTermProof);
+  EXPECT_TRUE(alternateConfig().Solve.EnableNonTermProof);
+  EXPECT_FALSE(alternateConfig().Solve.EnableAbduction);
+  EXPECT_FALSE(monolithicConfig().Modular);
+  // The paper's tool never times out; comparator classes treat a
+  // budget-exhausted undecided run as T/O and carry tight budgets.
+  EXPECT_FALSE(hipTntPlusConfig().BailoutIsTimeout);
+  EXPECT_TRUE(termOnlyConfig().BailoutIsTimeout);
+  EXPECT_TRUE(alternateConfig().BailoutIsTimeout);
+  EXPECT_TRUE(monolithicConfig().BailoutIsTimeout);
+  EXPECT_LT(termOnlyConfig().Solve.GroupFuel,
+            hipTntPlusConfig().Solve.GroupFuel);
+}
+
+// Spot-check the engine on a few corpus programs of each category
+// (parameterized over indices to keep runtime modest).
+class CorpusSpot : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CorpusSpot, HipTntSoundOnSample) {
+  const std::vector<BenchProgram> &All = corpus();
+  // A deterministic stride through the corpus.
+  const BenchProgram &P = All[(GetParam() * 17) % All.size()];
+  AnalysisResult R = analyzeProgram(P.Source, hipTntPlusConfig());
+  ASSERT_TRUE(R.Ok) << P.Name << "\n" << R.Diagnostics;
+  Outcome O = R.outcome(P.Entry);
+  EXPECT_TRUE(soundAnswer(P, O)) << P.Name << " answered "
+                                 << outcomeStr(O);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, CorpusSpot, ::testing::Range(0u, 20u));

@@ -1,0 +1,206 @@
+//===- tests/SpecTest.cpp - capacities, temporal registry, summaries -----===//
+
+#include "spec/Capacity.h"
+#include "spec/Spec.h"
+#include "spec/Temporal.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+//===----------------------------------------------------------------------===//
+// Capacity semantics (Section 3)
+//===----------------------------------------------------------------------===//
+
+TEST(Capacity, SubsumptionHierarchy) {
+  // MayLoop =>r Loop and MayLoop =>r Term; Loop and Term incomparable.
+  EXPECT_TRUE(capSubsumes(Capacity::mayLoop(), Capacity::loop()));
+  EXPECT_TRUE(capSubsumes(Capacity::mayLoop(), Capacity::term()));
+  EXPECT_FALSE(capSubsumes(Capacity::loop(), Capacity::term()));
+  EXPECT_FALSE(capSubsumes(Capacity::term(), Capacity::loop()));
+  EXPECT_FALSE(capSubsumes(Capacity::loop(), Capacity::mayLoop()));
+  EXPECT_FALSE(capSubsumes(Capacity::term(), Capacity::mayLoop()));
+}
+
+TEST(Capacity, SubsumptionReflexive) {
+  EXPECT_TRUE(capSubsumes(Capacity::term(), Capacity::term()));
+  EXPECT_TRUE(capSubsumes(Capacity::loop(), Capacity::loop()));
+  EXPECT_TRUE(capSubsumes(Capacity::mayLoop(), Capacity::mayLoop()));
+}
+
+TEST(Capacity, ConsumeLoopByLoop) {
+  // Loop |-t Loop: residue has lower bound inf -L inf = 0.
+  auto R = capConsume(Capacity::loop(), Capacity::loop());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Lower.isZero());
+  EXPECT_TRUE(R->Upper.isInf());
+}
+
+TEST(Capacity, ConsumeTermByTerm) {
+  auto R = capConsume(Capacity::term(), Capacity::term());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->SymbolicFinite);
+}
+
+TEST(Capacity, LoopCannotConsumeMayLoopUpper) {
+  // MayLoop |-t Loop: U_C = inf <= inf = U_A holds; residue lower is 0.
+  auto R = capConsume(Capacity::mayLoop(), Capacity::loop());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Lower.isZero());
+}
+
+TEST(Capacity, TermCannotConsumeLoop) {
+  // Term (finite) cannot pay for Loop (infinite).
+  EXPECT_FALSE(capConsume(Capacity::term(), Capacity::loop()).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Lexicographic decrease (the <l order of Fig. 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+LinExpr ex(VarId V) { return LinExpr::var(V); }
+} // namespace
+
+TEST(LexDecrease, SingleComponent) {
+  VarId X = mkVar("cx"), XP = mkVar("cx'");
+  Formula Ctx = Formula::conj2(
+      Formula::cmp(ex(XP), CmpKind::Eq, ex(X) - 1),
+      Formula::cmp(ex(X), CmpKind::Ge, LinExpr(1)));
+  EXPECT_EQ(checkLexDecrease(Ctx, {ex(X)}, {ex(XP)}), Tri::True);
+  // Not decreasing without the guard.
+  Formula Weak = Formula::cmp(ex(XP), CmpKind::Eq, ex(X) + 1);
+  EXPECT_NE(checkLexDecrease(Weak, {ex(X)}, {ex(XP)}), Tri::True);
+}
+
+TEST(LexDecrease, TwoComponentsSecondDecides) {
+  VarId A = mkVar("ca"), B = mkVar("cb"), AP = mkVar("ca'"),
+        BP = mkVar("cb'");
+  // a' = a, b' = b - 1, b >= 0: [a, b] decreases lexicographically.
+  Formula Ctx = Formula::conj(
+      {Formula::cmp(ex(AP), CmpKind::Eq, ex(A)),
+       Formula::cmp(ex(BP), CmpKind::Eq, ex(B) - 1),
+       Formula::cmp(ex(B), CmpKind::Ge, LinExpr(0))});
+  EXPECT_EQ(checkLexDecrease(Ctx, {ex(A), ex(B)}, {ex(AP), ex(BP)}),
+            Tri::True);
+}
+
+TEST(LexDecrease, EmptyCalleeMeasureBelowNonEmpty) {
+  VarId X = mkVar("cx");
+  Formula Ctx = Formula::cmp(ex(X), CmpKind::Ge, LinExpr(0));
+  // [] <l [x] under x >= 0... the shorter-callee rule needs equality on
+  // the (empty) common prefix: trivially true.
+  EXPECT_EQ(checkLexDecrease(Ctx, {ex(X)}, {}), Tri::True);
+  // Caller [] is never above anything.
+  EXPECT_EQ(checkLexDecrease(Ctx, {}, {ex(X)}), Tri::False);
+}
+
+TEST(LexDecrease, UnboundedMeasureRejected) {
+  VarId X = mkVar("cx"), XP = mkVar("cx'");
+  // x' = x - 1 but no lower bound: not a valid decrease certificate.
+  Formula Ctx = Formula::cmp(ex(XP), CmpKind::Eq, ex(X) - 1);
+  EXPECT_NE(checkLexDecrease(Ctx, {ex(X)}, {ex(XP)}), Tri::True);
+}
+
+//===----------------------------------------------------------------------===//
+// Unknown-predicate registry
+//===----------------------------------------------------------------------===//
+
+TEST(UnkRegistry, PairsArePartnered) {
+  UnkRegistry Reg;
+  VarId X = mkVar("ux");
+  UnkId Pre = Reg.createPair("m", 0, {X});
+  UnkId Post = Reg.partner(Pre);
+  EXPECT_NE(Pre, Post);
+  EXPECT_TRUE(Reg.pred(Pre).IsPre);
+  EXPECT_FALSE(Reg.pred(Post).IsPre);
+  EXPECT_EQ(Reg.partner(Post), Pre);
+  EXPECT_EQ(Reg.pred(Post).Method, "m");
+}
+
+TEST(UnkRegistry, AuxPairsInheritScenario) {
+  UnkRegistry Reg;
+  VarId X = mkVar("ux");
+  UnkId Pre = Reg.createPair("m", 2, {X});
+  UnkId Aux = Reg.createAuxPair(Pre);
+  EXPECT_EQ(Reg.pred(Aux).Method, "m");
+  EXPECT_EQ(Reg.pred(Aux).SpecIdx, 2u);
+  EXPECT_EQ(Reg.pred(Aux).Params.size(), 1u);
+  EXPECT_NE(Reg.pred(Aux).Name, Reg.pred(Pre).Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Case trees and verdicts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CaseTree leaf(TemporalSpec T, bool Reach) {
+  CaseTree C;
+  C.Temporal = T;
+  C.PostReachable = Reach;
+  return C;
+}
+
+} // namespace
+
+TEST(CaseTree, FlattenAccumulatesGuards) {
+  VarId X = mkVar("ux"), Y = mkVar("uy");
+  CaseTree Root;
+  Formula XNeg = Formula::cmp(ex(X), CmpKind::Lt, LinExpr(0));
+  Formula XPos = Formula::cmp(ex(X), CmpKind::Ge, LinExpr(0));
+  Formula YNeg = Formula::cmp(ex(Y), CmpKind::Lt, LinExpr(0));
+  Formula YPos = Formula::cmp(ex(Y), CmpKind::Ge, LinExpr(0));
+
+  CaseTree Inner;
+  Inner.Children.push_back({YNeg, leaf(TemporalSpec::term({ex(X)}), true)});
+  Inner.Children.push_back({YPos, leaf(TemporalSpec::loop(), false)});
+  Root.Children.push_back({XNeg, leaf(TemporalSpec::term(), true)});
+  Root.Children.push_back({XPos, Inner});
+
+  std::vector<CaseOutcome> Flat = Root.flatten();
+  ASSERT_EQ(Flat.size(), 3u);
+  // The nested Loop case carries both guards.
+  EXPECT_EQ(Flat[2].Temporal.K, TemporalSpec::Kind::Loop);
+  EXPECT_FALSE(Flat[2].PostReachable);
+  EXPECT_TRUE(Flat[2].Guard.eval({{X, 1}, {Y, 1}}));
+  EXPECT_FALSE(Flat[2].Guard.eval({{X, 1}, {Y, -1}}));
+}
+
+TEST(CaseTree, PrinterShowsNestedCases) {
+  VarId X = mkVar("ux");
+  CaseTree Root;
+  Root.Children.push_back({Formula::cmp(ex(X), CmpKind::Lt, LinExpr(0)),
+                           leaf(TemporalSpec::term(), true)});
+  Root.Children.push_back({Formula::cmp(ex(X), CmpKind::Ge, LinExpr(0)),
+                           leaf(TemporalSpec::loop(), false)});
+  std::string S = Root.str();
+  EXPECT_NE(S.find("case {"), std::string::npos);
+  EXPECT_NE(S.find("Term"), std::string::npos);
+  EXPECT_NE(S.find("ensures false"), std::string::npos);
+}
+
+TEST(TntSummary, Verdicts) {
+  VarId X = mkVar("ux");
+  Formula G = Formula::cmp(ex(X), CmpKind::Ge, LinExpr(0));
+  Formula NG = Formula::cmp(ex(X), CmpKind::Lt, LinExpr(0));
+
+  TntSummary S;
+  S.Cases = leaf(TemporalSpec::term({ex(X)}), true);
+  EXPECT_EQ(S.verdict(), TntSummary::Verdict::Terminating);
+
+  S.Cases = leaf(TemporalSpec::loop(), false);
+  EXPECT_EQ(S.verdict(), TntSummary::Verdict::NonTerminating);
+
+  CaseTree Mixed;
+  Mixed.Children.push_back({NG, leaf(TemporalSpec::term(), true)});
+  Mixed.Children.push_back({G, leaf(TemporalSpec::loop(), false)});
+  S.Cases = Mixed;
+  EXPECT_EQ(S.verdict(), TntSummary::Verdict::Conditional);
+
+  CaseTree WithMay;
+  WithMay.Children.push_back({NG, leaf(TemporalSpec::term(), true)});
+  WithMay.Children.push_back({G, leaf(TemporalSpec::mayLoop(), true)});
+  S.Cases = WithMay;
+  EXPECT_EQ(S.verdict(), TntSummary::Verdict::Unknown);
+}

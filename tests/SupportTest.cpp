@@ -1,0 +1,172 @@
+//===- tests/SupportTest.cpp - support layer unit tests --------*- C++ -*-===//
+
+#include "support/ExtNat.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+//===----------------------------------------------------------------------===//
+// Integer helpers
+//===----------------------------------------------------------------------===//
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(7, 13), 1);
+}
+
+TEST(Lcm, Basics) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+  EXPECT_EQ(lcm64(0, 6), 0);
+  EXPECT_EQ(lcm64(7, 13), 91);
+}
+
+TEST(FloorDiv, RoundsTowardNegInfinity) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+}
+
+TEST(CeilDiv, RoundsTowardPosInfinity) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+}
+
+TEST(FloorMod, NonNegative) {
+  EXPECT_EQ(floorMod(7, 3), 1);
+  EXPECT_EQ(floorMod(-7, 3), 2);
+  EXPECT_EQ(floorMod(6, 3), 0);
+  EXPECT_EQ(floorMod(-6, 3), 0);
+}
+
+TEST(HatMod, SymmetricInterval) {
+  // hatMod(a, b) is congruent to a mod b and lies in (-b/2, b/2].
+  for (int64_t A = -20; A <= 20; ++A) {
+    for (int64_t B = 2; B <= 9; ++B) {
+      int64_t H = hatMod(A, B);
+      EXPECT_EQ(floorMod(H - A, B), 0) << A << " mod " << B;
+      EXPECT_GT(2 * H, -B) << A << " mod " << B;
+      EXPECT_LE(2 * H, B) << A << " mod " << B;
+    }
+  }
+}
+
+TEST(HatMod, UnitCoefficientProperty) {
+  // For |a| = m-1: hatMod(a, m) == -sign(a); the modulus trick of the
+  // Omega test relies on this.
+  for (int64_t M = 3; M <= 12; ++M) {
+    EXPECT_EQ(hatMod(M - 1, M), -1);
+    EXPECT_EQ(hatMod(-(M - 1), M), 1);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+TEST(Rational, NormalizationAndSign) {
+  Rational R(6, -4);
+  EXPECT_EQ(R.num(), -3);
+  EXPECT_EQ(R.den(), 2);
+  EXPECT_TRUE(R.isNeg());
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_TRUE(Rational(3, 6) == Rational(1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-3, 2).str(), "-3/2");
+}
+
+//===----------------------------------------------------------------------===//
+// ExtNat: the N-infinity domain of Section 3
+//===----------------------------------------------------------------------===//
+
+TEST(ExtNat, Ordering) {
+  ExtNat Zero(0), Five(5), Inf = ExtNat::infinity();
+  EXPECT_LT(Zero, Five);
+  EXPECT_LT(Five, Inf);
+  EXPECT_FALSE(Inf < Inf);
+  EXPECT_LE(Inf, Inf);
+  EXPECT_TRUE(Inf == ExtNat::infinity());
+}
+
+TEST(ExtNat, Addition) {
+  EXPECT_EQ(ExtNat(2) + ExtNat(3), ExtNat(5));
+  EXPECT_TRUE((ExtNat(2) + ExtNat::infinity()).isInf());
+  EXPECT_TRUE((ExtNat::infinity() + ExtNat::infinity()).isInf());
+}
+
+TEST(ExtNat, SubLowerPaperIdentities) {
+  // L1 -L L2 == min{ r | r + L2 >= L1 }: never negative, inf -L inf == 0.
+  EXPECT_EQ(ExtNat(5).subLower(ExtNat(3)), ExtNat(2));
+  EXPECT_EQ(ExtNat(3).subLower(ExtNat(5)), ExtNat(0));
+  EXPECT_EQ(ExtNat::infinity().subLower(ExtNat::infinity()), ExtNat(0));
+  EXPECT_TRUE(ExtNat::infinity().subLower(ExtNat(7)).isInf());
+  EXPECT_EQ(ExtNat(7).subLower(ExtNat::infinity()), ExtNat(0));
+}
+
+TEST(ExtNat, SubUpperPaperIdentities) {
+  // U1 -U U2 == max{ r | r + U2 <= U1 }, defined iff U1 >= U2;
+  // inf -U inf == inf.
+  EXPECT_EQ(ExtNat(5).subUpper(ExtNat(3)), ExtNat(2));
+  EXPECT_TRUE(ExtNat::infinity().subUpper(ExtNat::infinity()).isInf());
+  EXPECT_TRUE(ExtNat::infinity().subUpper(ExtNat(3)).isInf());
+  EXPECT_EQ(ExtNat(3).subUpper(ExtNat(3)), ExtNat(0));
+}
+
+TEST(ExtNat, SubLowerIsMinimalResidue) {
+  // Exhaustively verify the defining property on a finite window.
+  for (int64_t L1 = 0; L1 <= 10; ++L1)
+    for (int64_t L2 = 0; L2 <= 10; ++L2) {
+      ExtNat R = ExtNat(L1).subLower(ExtNat(L2));
+      ASSERT_FALSE(R.isInf());
+      // r + L2 >= L1 holds.
+      EXPECT_GE(R.finite() + L2, L1);
+      // Minimality: r-1 violates it (when r > 0).
+      if (R.finite() > 0) {
+        EXPECT_LT(R.finite() - 1 + L2, L1);
+      }
+    }
+}
+
+TEST(ExtNat, Str) {
+  EXPECT_EQ(ExtNat(3).str(), "3");
+  EXPECT_EQ(ExtNat::infinity().str(), "inf");
+}

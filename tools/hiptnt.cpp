@@ -1,0 +1,64 @@
+//===- tools/hiptnt.cpp - Command-line driver -------------------*- C++ -*-===//
+//
+// hiptnt <file> [--monolithic] [--no-abduction] [--entry <name>]
+//
+// Parses the program, runs the termination/non-termination inference
+// and prints the per-method case-based specifications plus the entry
+// method's whole-program verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Analyzer.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace tnt;
+
+int main(int Argc, char **Argv) {
+  std::string Path, Entry = "main";
+  AnalyzerConfig Config;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--monolithic")
+      Config.Modular = false;
+    else if (Arg == "--no-abduction")
+      Config.Solve.EnableAbduction = false;
+    else if (Arg == "--entry" && I + 1 < Argc)
+      Entry = Argv[++I];
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "unknown option " << Arg << "\n";
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    std::cerr << "usage: hiptnt <file> [--monolithic] [--no-abduction] "
+                 "[--entry <name>]\n";
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "cannot open " << Path << "\n";
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  AnalysisResult R = analyzeProgram(Buf.str(), Config);
+  if (!R.Ok) {
+    std::cerr << R.Diagnostics;
+    return 1;
+  }
+  std::cout << R.str();
+  if (R.find(Entry))
+    std::cout << "entry '" << Entry
+              << "': " << outcomeStr(R.outcome(Entry)) << "\n";
+  std::cout << "time: " << R.Millis << " ms, solver queries: " << R.FuelUsed
+            << "\n";
+  return 0;
+}
