@@ -13,6 +13,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
 using namespace tnt;
 
 namespace {
@@ -63,6 +71,48 @@ void BM_SolverEntailment(benchmark::State &State) {
 }
 BENCHMARK(BM_SolverEntailment);
 
+/// The repeated-query workload of the BENCH_solver.json artifact: a
+/// fixed family of entailments, re-asked round after round (the shape
+/// the inference loop produces across case-split iterations).
+std::vector<std::pair<Formula, Formula>> repeatedQueries() {
+  std::vector<std::pair<Formula, Formula>> Qs;
+  for (int I = 0; I < 24; ++I) {
+    std::string X = "bm_q" + std::to_string(I);
+    std::string Y = "bm_r" + std::to_string(I);
+    std::string Z = "bm_s" + std::to_string(I);
+    std::string W = "bm_t" + std::to_string(I);
+    // A chain x < y < z < w inside a box: several eliminations per
+    // Omega run, so a cache miss carries real decision work.
+    Formula A = Formula::conj(
+        {Formula::cmp(ex(X.c_str()), CmpKind::Ge, LinExpr(I)),
+         Formula::cmp(ex(Y.c_str()), CmpKind::Ge, ex(X.c_str()) + 1),
+         Formula::cmp(ex(Z.c_str()), CmpKind::Ge, ex(Y.c_str()) + 1),
+         Formula::cmp(ex(W.c_str()), CmpKind::Ge, ex(Z.c_str()) + 1),
+         Formula::cmp(ex(W.c_str()), CmpKind::Le, LinExpr(100 + I))});
+    Formula B = Formula::cmp(ex(W.c_str()), CmpKind::Ge, LinExpr(I + 3));
+    Qs.emplace_back(A, B);
+  }
+  return Qs;
+}
+
+void BM_ContextCachedEntailment(benchmark::State &State) {
+  auto Qs = repeatedQueries();
+  SolverContext SC;
+  for (auto _ : State)
+    for (const auto &[A, B] : Qs)
+      benchmark::DoNotOptimize(SC.entails(A, B));
+}
+BENCHMARK(BM_ContextCachedEntailment);
+
+void BM_ContextUncachedEntailment(benchmark::State &State) {
+  auto Qs = repeatedQueries();
+  SolverContext SC(/*CacheCapacity=*/0);
+  for (auto _ : State)
+    for (const auto &[A, B] : Qs)
+      benchmark::DoNotOptimize(SC.entails(A, B));
+}
+BENCHMARK(BM_ContextUncachedEntailment);
+
 void BM_RankingSynthesis(benchmark::State &State) {
   VarId X = mkVar("bm_rx"), Y = mkVar("bm_ry");
   VarId XP = mkVar("bm_rx'"), YP = mkVar("bm_ry'");
@@ -101,6 +151,124 @@ void foo(int x, int y)
 }
 BENCHMARK(BM_FooEndToEnd);
 
+//===----------------------------------------------------------------------===//
+// BENCH_solver.json emitter (the perf-trajectory artifact)
+//===----------------------------------------------------------------------===//
+
+/// A program with independent SCC groups, for the parallel-speedup
+/// number.
+std::string multiSccProgram(unsigned Methods) {
+  std::string Src;
+  std::string MainBody = "int main(int n)\n{\n  return 0";
+  for (unsigned I = 0; I < Methods; ++I) {
+    std::string N = "work" + std::to_string(I);
+    Src += "int " + N + "(int k, int d)\n{\n";
+    Src += "  if (k <= " + std::to_string(I) + ") return d;\n";
+    Src += "  else return " + N + "(k - 1, d + k);\n}\n";
+    MainBody += " + " + N + "(n, " + std::to_string(I) + ")";
+  }
+  Src += MainBody + ";\n}\n";
+  return Src;
+}
+
+int emitJson(const std::string &Path) {
+  using Clock = std::chrono::steady_clock;
+  auto Secs = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double>(B - A).count();
+  };
+
+  // 1. Repeated-query throughput, uncached vs LRU-cached context.
+  auto Qs = repeatedQueries();
+  const unsigned Rounds = 400;
+  uint64_t Queries = 0;
+
+  SolverContext Uncached(/*CacheCapacity=*/0);
+  auto U0 = Clock::now();
+  for (unsigned R = 0; R < Rounds; ++R)
+    for (const auto &[A, B] : Qs)
+      benchmark::DoNotOptimize(Uncached.entails(A, B));
+  auto U1 = Clock::now();
+  double UncachedSec = Secs(U0, U1);
+  Queries = Uncached.stats().SatQueries;
+
+  SolverContext Cached;
+  auto C0 = Clock::now();
+  for (unsigned R = 0; R < Rounds; ++R)
+    for (const auto &[A, B] : Qs)
+      benchmark::DoNotOptimize(Cached.entails(A, B));
+  auto C1 = Clock::now();
+  double CachedSec = Secs(C0, C1);
+  SolverStats CS = Cached.stats();
+  double HitRate =
+      CS.SatQueries ? double(CS.CacheHits) / double(CS.SatQueries) : 0.0;
+  double UncachedQps = UncachedSec > 0 ? double(Queries) / UncachedSec : 0.0;
+  double CachedQps = CachedSec > 0 ? double(CS.SatQueries) / CachedSec : 0.0;
+  double Speedup = UncachedSec > 0 && CachedSec > 0 ? UncachedSec / CachedSec
+                                                    : 0.0;
+
+  // 2. Parallel SCC scheduler speedup on a multi-group program.
+  unsigned Hw = std::thread::hardware_concurrency();
+  unsigned Threads = Hw == 0 ? 4 : std::max(Hw, 2u);
+  std::string Prog = multiSccProgram(12);
+  AnalyzerConfig Seq;
+  Seq.Threads = 1;
+  AnalyzerConfig Par;
+  Par.Threads = Threads;
+  // Warm the variable pool so both runs intern the same spellings.
+  (void)analyzeProgram(Prog, Seq);
+  auto S0 = Clock::now();
+  AnalysisResult RS = analyzeProgram(Prog, Seq);
+  auto S1 = Clock::now();
+  auto P0 = Clock::now();
+  AnalysisResult RP = analyzeProgram(Prog, Par);
+  auto P1 = Clock::now();
+  double SeqSec = Secs(S0, S1), ParSec = Secs(P0, P1);
+  double ParSpeedup = ParSec > 0 ? SeqSec / ParSec : 0.0;
+  bool Deterministic = RS.Ok && RP.Ok && RS.str() == RP.str();
+
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << "cannot write " << Path << "\n";
+    return 1;
+  }
+  Out << "{\n";
+  Out << "  \"repeated_query\": {\n";
+  Out << "    \"queries\": " << Queries << ",\n";
+  Out << "    \"uncached_qps\": " << UncachedQps << ",\n";
+  Out << "    \"cached_qps\": " << CachedQps << ",\n";
+  Out << "    \"speedup_vs_uncached\": " << Speedup << ",\n";
+  Out << "    \"cache_hit_rate\": " << HitRate << "\n";
+  Out << "  },\n";
+  Out << "  \"parallel_scc\": {\n";
+  Out << "    \"threads\": " << Threads << ",\n";
+  Out << "    \"groups\": " << RP.GroupCount << ",\n";
+  Out << "    \"seq_ms\": " << SeqSec * 1000.0 << ",\n";
+  Out << "    \"par_ms\": " << ParSec * 1000.0 << ",\n";
+  Out << "    \"speedup\": " << ParSpeedup << ",\n";
+  Out << "    \"deterministic\": " << (Deterministic ? "true" : "false")
+      << "\n";
+  Out << "  }\n";
+  Out << "}\n";
+  std::cout << "BENCH_solver.json: cached " << CachedQps << " q/s vs uncached "
+            << UncachedQps << " q/s (x" << Speedup << ", hit rate " << HitRate
+            << "); parallel x" << ParSpeedup << " on " << Threads
+            << " threads (deterministic: " << (Deterministic ? "yes" : "no")
+            << ")\n";
+  return Deterministic ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) == "--json") {
+      std::string Path =
+          I + 1 < argc ? argv[I + 1] : std::string("BENCH_solver.json");
+      return emitJson(Path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -48,6 +48,15 @@ struct AnalyzerConfig {
   /// The paper's tool bails out gracefully via MAX_ITER and answers U;
   /// the comparator classes run until killed — their stand-ins set this.
   bool BailoutIsTimeout = false;
+  /// Worker threads for the bottom-up SCC scheduler. Independent
+  /// call-graph SCC groups (no call path between them) are analyzed
+  /// concurrently, each on its own SolverContext / unknown registry /
+  /// fresh-variable block, so results are byte-identical for any thread
+  /// count. 1 keeps the classical sequential schedule. With a nonzero
+  /// FuelBudget and Threads > 1, budget cutoff is enforced at group
+  /// start only (best-effort; which groups get skipped can depend on
+  /// scheduling).
+  unsigned Threads = 1;
 };
 
 /// Result for one method spec scenario.
@@ -76,6 +85,11 @@ struct AnalysisResult {
   bool OverBudget = false;     ///< FuelBudget exceeded.
   bool BailedOut = false;      ///< Internal limits forced a finalize.
   bool TreatBailAsTimeout = false; ///< From the config (see above).
+  /// Merged per-context solver counters (root context + every group
+  /// context), for --stats and the perf benches.
+  SolverStats SolverUsage;
+  /// Number of SCC groups scheduled.
+  size_t GroupCount = 0;
 
   const MethodResult *find(const std::string &Method,
                            unsigned SpecIdx = 0) const;

@@ -105,6 +105,11 @@ bool Constraint::eval(const std::map<VarId, int64_t> &Assign) const {
   return false;
 }
 
+size_t Constraint::hashValue() const {
+  size_t H = Expr.hashValue();
+  return H ^ (static_cast<size_t>(Rel) * 0x9e3779b97f4a7c15ull);
+}
+
 std::string Constraint::str() const {
   const char *Op = Rel == RelKind::Eq ? " = 0" : Rel == RelKind::Le ? " <= 0"
                                                                     : " != 0";

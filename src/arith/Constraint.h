@@ -87,6 +87,8 @@ public:
   bool operator==(const Constraint &O) const {
     return Rel == O.Rel && Expr == O.Expr;
   }
+  /// Structural hash, consistent with operator==.
+  size_t hashValue() const;
   bool operator<(const Constraint &O) const {
     if (Rel != O.Rel)
       return Rel < O.Rel;

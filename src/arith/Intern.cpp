@@ -1,0 +1,48 @@
+//===- arith/Intern.cpp ---------------------------------------*- C++ -*-===//
+
+#include "arith/Intern.h"
+
+#include <algorithm>
+
+using namespace tnt;
+
+ArithIntern &ArithIntern::global() {
+  static ArithIntern I;
+  return I;
+}
+
+const LinExpr *ArithIntern::expr(const LinExpr &E) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Exprs.intern(E);
+}
+
+const Constraint *ArithIntern::constraint(const Constraint &C) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Constraints.intern(C);
+}
+
+void ArithIntern::constraints(const ConstraintConj &Conj,
+                              std::vector<const Constraint *> &Out) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (const Constraint &C : Conj)
+    Out.push_back(Constraints.intern(C));
+}
+
+size_t ArithIntern::exprCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Exprs.Storage.size();
+}
+
+size_t ArithIntern::constraintCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Constraints.Storage.size();
+}
+
+InternedConj tnt::internConj(const ConstraintConj &Conj) {
+  InternedConj Out;
+  Out.reserve(Conj.size());
+  ArithIntern::global().constraints(Conj, Out);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- arith/Intern.h - Hash-consed arithmetic terms -----------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consing of LinExpr and Constraint values: structurally equal
+/// terms intern to the same stable pointer, so equality of interned
+/// terms is pointer identity and solver cache keys are vectors of
+/// pointers instead of rendered strings. The table is process-wide,
+/// append-only and mutex-protected, so analysis workers on different
+/// threads can intern concurrently; interned pointers are stable for
+/// the lifetime of the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_ARITH_INTERN_H
+#define TNT_ARITH_INTERN_H
+
+#include "arith/Constraint.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace tnt {
+
+/// The process-wide hash-cons table for arithmetic terms.
+class ArithIntern {
+public:
+  static ArithIntern &global();
+
+  /// Interns a linear expression; structurally equal inputs return the
+  /// same pointer (pointer identity <=> operator== equality).
+  const LinExpr *expr(const LinExpr &E);
+
+  /// Interns a constraint; same pointer-identity contract.
+  const Constraint *constraint(const Constraint &C);
+
+  /// Batch-interns a whole conjunction under one lock acquisition (the
+  /// solver cache-key hot path).
+  void constraints(const ConstraintConj &Conj,
+                   std::vector<const Constraint *> &Out);
+
+  /// Number of distinct interned terms (diagnostics).
+  size_t exprCount() const;
+  size_t constraintCount() const;
+
+private:
+  ArithIntern() = default;
+
+  template <typename T> struct Table {
+    /// Stable storage: deque never moves elements on growth.
+    std::deque<T> Storage;
+    /// Hash -> interned entries with that hash (collision chain).
+    std::unordered_map<size_t, std::vector<const T *>> Buckets;
+
+    const T *intern(const T &V) {
+      size_t H = V.hashValue();
+      std::vector<const T *> &Chain = Buckets[H];
+      for (const T *P : Chain)
+        if (*P == V)
+          return P;
+      Storage.push_back(V);
+      const T *P = &Storage.back();
+      Chain.push_back(P);
+      return P;
+    }
+  };
+
+  mutable std::mutex Mu;
+  Table<LinExpr> Exprs;
+  Table<Constraint> Constraints;
+};
+
+/// A canonical interned conjunction: interned constraint pointers,
+/// sorted (by pointer) and deduplicated, so conjunctions that differ
+/// only in order or repetition share one cache key.
+using InternedConj = std::vector<const Constraint *>;
+
+/// Interns every constraint of \p Conj in the global table and
+/// canonicalizes the result.
+InternedConj internConj(const ConstraintConj &Conj);
+
+/// Hash functor for InternedConj keys (pointer-identity based).
+struct InternedConjHash {
+  size_t operator()(const InternedConj &K) const {
+    uint64_t H = 1469598103934665603ull;
+    for (const Constraint *P : K) {
+      H ^= reinterpret_cast<uintptr_t>(P);
+      H *= 1099511628211ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace tnt
+
+#endif // TNT_ARITH_INTERN_H

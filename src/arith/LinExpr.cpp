@@ -126,6 +126,22 @@ LinExpr tnt::substParallelExpr(const LinExpr &E,
   return Out;
 }
 
+size_t LinExpr::hashValue() const {
+  // FNV-1a style mixing over the sorted sparse form; deterministic
+  // within a process (depends only on VarIds and coefficients).
+  uint64_t H = 1469598103934665603ull;
+  auto mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(Const));
+  for (const auto &[V, C] : Coeffs) {
+    mix(V);
+    mix(static_cast<uint64_t>(C));
+  }
+  return static_cast<size_t>(H);
+}
+
 std::string LinExpr::str() const {
   if (Coeffs.empty())
     return std::to_string(Const);

@@ -22,6 +22,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace tnt {
 
@@ -72,6 +73,10 @@ public:
 
   /// Evaluates under a total assignment; missing variables default to 0.
   int64_t eval(const std::map<VarId, int64_t> &Assign) const;
+
+  /// Structural hash, consistent with operator== (used by the arith
+  /// intern table and the solver query cache).
+  size_t hashValue() const;
 
   std::string str() const;
 

@@ -2,49 +2,83 @@
 
 #include "arith/Var.h"
 
-#include <algorithm>
 #include <cassert>
 
 using namespace tnt;
+
+thread_local VarPool::Scope *VarPool::ActiveScope = nullptr;
+
+VarPool::Scope::Scope(uint32_t Block) : Prev(ActiveScope), Block(Block) {
+  ActiveScope = this;
+}
+
+VarPool::Scope::~Scope() { ActiveScope = Prev; }
 
 VarPool &VarPool::get() {
   static VarPool Pool;
   return Pool;
 }
 
-VarId VarPool::intern(const std::string &Name) {
-  auto It = std::lower_bound(
-      Index.begin(), Index.end(), Name,
-      [](const auto &Entry, const std::string &N) { return Entry.first < N; });
-  if (It != Index.end() && It->first == Name)
-    return It->second;
-  VarId Id = static_cast<VarId>(Names.size());
-  Names.push_back(Name);
-  Index.insert(It, {Name, Id});
+VarId VarPool::allocate(const std::string &Name) {
+  VarId Id;
+  if (ActiveScope != nullptr && ActiveScope->Block < MaxBlocks) {
+    uint32_t &Next = BlockNext[ActiveScope->Block];
+    if (Next < BlockSize) {
+      Id = blockStart(ActiveScope->Block) + Next++;
+    } else {
+      // Block exhausted: fall back to the global region (sound, loses
+      // byte-determinism for this pathological analysis only).
+      Id = NextGlobal++;
+    }
+  } else {
+    Id = NextGlobal++;
+  }
+  assert(NextGlobal < BlockBase && "global variable region exhausted");
+  Names.emplace(Id, Name);
+  Index.emplace(Name, Id);
   return Id;
 }
 
+VarId VarPool::intern(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return It->second;
+  return allocate(Name);
+}
+
 VarId VarPool::fresh(const std::string &Base) {
-  // The '!' separator cannot appear in parsed identifiers, so fresh names
-  // never collide with program or specification variables.
+  std::lock_guard<std::mutex> L(Mu);
+  if (ActiveScope != nullptr) {
+    // Deterministic per-scope spelling. The '!' separator cannot appear
+    // in parsed identifiers and the block tag separates concurrent
+    // scopes, so the name cannot collide within the current analysis;
+    // a hit from a previous run reuses its id, which is exactly what
+    // keeps repeated analyses byte-identical.
+    std::string Name = Base + "!b" + std::to_string(ActiveScope->Block) +
+                       "!" + std::to_string(ActiveScope->FreshCounter++);
+    auto It = Index.find(Name);
+    if (It != Index.end())
+      return It->second;
+    return allocate(Name);
+  }
   for (;;) {
     std::string Candidate = Base + "!" + std::to_string(FreshCounter++);
-    auto It = std::lower_bound(Index.begin(), Index.end(), Candidate,
-                               [](const auto &Entry, const std::string &N) {
-                                 return Entry.first < N;
-                               });
-    if (It == Index.end() || It->first != Candidate) {
-      VarId Id = static_cast<VarId>(Names.size());
-      Names.push_back(Candidate);
-      Index.insert(It, {Candidate, Id});
-      return Id;
-    }
+    if (Index.find(Candidate) == Index.end())
+      return allocate(Candidate);
   }
 }
 
 const std::string &VarPool::name(VarId Id) const {
-  assert(Id < Names.size() && "unknown VarId");
-  return Names[Id];
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Names.find(Id);
+  assert(It != Names.end() && "unknown VarId");
+  return It->second;
+}
+
+size_t VarPool::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Names.size();
 }
 
 VarId tnt::mkVar(const std::string &Name) {

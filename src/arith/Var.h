@@ -11,14 +11,24 @@
 /// in a process-wide pool; a VarId is a dense index, so analyses can use
 /// ordered containers keyed on it and stay deterministic.
 ///
+/// The pool is thread-safe, and supports deterministic *allocation
+/// scopes* for the parallel SCC scheduler: a worker that enters
+/// VarPool::Scope(B) allocates new ids from the disjoint block B and
+/// spells fresh variables "<base>!b<B>!<n>", so the ids and names a
+/// group analysis creates depend only on the group's content and block
+/// number — never on thread interleaving. Re-interning an existing
+/// spelling always returns its original id, which keeps repeated
+/// analyses of the same program byte-identical.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TNT_ARITH_VAR_H
 #define TNT_ARITH_VAR_H
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
-#include <vector>
 
 namespace tnt {
 
@@ -36,23 +46,66 @@ public:
   /// Interns \p Name, returning its id.
   VarId intern(const std::string &Name);
 
-  /// Creates a variable guaranteed not to collide with any existing one,
-  /// spelled "<Base>!<n>".
+  /// Creates a variable guaranteed not to collide with any variable of
+  /// the current analysis. Outside a Scope the spelling is "<Base>!<n>"
+  /// with a pool-global counter (never reused); inside a Scope it is
+  /// "<Base>!b<block>!<n>" with a per-scope counter, deterministically
+  /// reusing the id of a previous run that produced the same spelling.
   VarId fresh(const std::string &Base);
 
   /// The spelling of \p Id.
   const std::string &name(VarId Id) const;
 
   /// Number of interned variables so far.
-  size_t size() const { return Names.size(); }
+  size_t size() const;
+
+  /// RAII deterministic allocation scope (see file comment). Scopes
+  /// nest per thread; ids allocated inside come from the scope's block.
+  /// Block numbers of concurrently active scopes must be distinct for
+  /// id allocation to stay deterministic.
+  class Scope {
+  public:
+    explicit Scope(uint32_t Block);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    friend class VarPool;
+    Scope *Prev;
+    uint32_t Block;
+    uint64_t FreshCounter = 0;
+  };
+
+  /// First id of allocation block \p Block (blocks are disjoint from
+  /// the global region and from each other). Blocks above MaxBlocks
+  /// would overflow the id space; allocation falls back to the global
+  /// region for them (sound, loses byte-determinism for such runs).
+  static constexpr uint32_t BlockSize = 1u << 18;
+  static constexpr uint32_t BlockBase = 1u << 24;
+  static constexpr uint32_t MaxBlocks =
+      (~static_cast<uint32_t>(0) - BlockBase) / BlockSize;
+  static uint32_t blockStart(uint32_t Block) {
+    return BlockBase + Block * BlockSize;
+  }
 
 private:
   VarPool() = default;
 
-  std::vector<std::string> Names;
-  // Name -> id; kept as a sorted vector of (name,id) to avoid a map
-  // dependency in this tiny hot path.
-  std::vector<std::pair<std::string, VarId>> Index;
+  VarId allocate(const std::string &Name);
+
+  static thread_local Scope *ActiveScope;
+
+  mutable std::mutex Mu;
+  /// Id -> spelling. Node-based so name() references stay stable under
+  /// concurrent interning.
+  std::map<VarId, std::string> Names;
+  std::map<std::string, VarId> Index;
+  /// Next id in the global (unscoped) region.
+  uint32_t NextGlobal = 0;
+  /// Next offset per block, persisted across scopes so re-running an
+  /// analysis with new names never collides with older ids.
+  std::map<uint32_t, uint32_t> BlockNext;
   uint64_t FreshCounter = 0;
 };
 

@@ -2,8 +2,6 @@
 
 #include "heap/Entail.h"
 
-#include "solver/Solver.h"
-
 #include <cassert>
 
 using namespace tnt;
@@ -12,8 +10,9 @@ namespace {
 
 constexpr unsigned MaxDepth = 8;
 
-bool provEq(const Formula &Pure, const LinExpr &A, const LinExpr &B) {
-  return Solver::entails(Pure, Formula::cmp(A, CmpKind::Eq, B));
+bool provEq(SolverContext &SC, const Formula &Pure, const LinExpr &A,
+            const LinExpr &B) {
+  return SC.entails(Pure, Formula::cmp(A, CmpKind::Eq, B));
 }
 
 LinExpr applyBindings(const LinExpr &E,
@@ -71,7 +70,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
       for (const HeapEnv::UnfoldBranch &UB : Branches) {
         Formula BranchPure = Formula::conj(
             {PureAll, UB.Pure, UB.Facts});
-        if (Solver::isSat(BranchPure) == Tri::False)
+        if (SC.isSat(BranchPure) == Tri::False)
           continue;
         if (Feasible) {
           Single = false;
@@ -117,7 +116,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
           Formula::cmp(LinExpr::var(G->first), CmpKind::Eq, Val));
       return true;
     }
-    return provEq(Formula::conj2(Pure, B.PureAdd), SArg, TA);
+    return provEq(SC, Formula::conj2(Pure, B.PureAdd), SArg, TA);
   };
 
   // --- Target points-to ---------------------------------------------------
@@ -128,7 +127,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
       const HeapAtom &S = Src[I];
       if (S.K != HeapAtom::Kind::PointsTo || S.Name != T.Name)
         continue;
-      if (!provEq(PureAll, LinExpr::var(S.Root), TRoot))
+      if (!provEq(SC, PureAll, LinExpr::var(S.Root), TRoot))
         continue;
       if (S.Args.size() != T.Args.size())
         continue;
@@ -150,7 +149,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
       const HeapAtom &S = Src[I];
       if (S.K != HeapAtom::Kind::Pred || !Env.pred(S.Name))
         continue;
-      if (S.Args.empty() || !provEq(PureAll, S.Args[0], TRoot))
+      if (S.Args.empty() || !provEq(SC, PureAll, S.Args[0], TRoot))
         continue;
       SymHeap SrcRest = Src;
       SrcRest.erase(SrcRest.begin() + I);
@@ -159,7 +158,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
       for (const HeapEnv::UnfoldBranch &UB : Env.unfold(S)) {
         Formula BranchFacts = Formula::conj2(UB.Pure, UB.Facts);
         Formula BranchPure = Formula::conj2(PureAll, BranchFacts);
-        if (Solver::isSat(BranchPure) == Tri::False)
+        if (SC.isSat(BranchPure) == Tri::False)
           continue; // Vacuous branch.
         SymHeap SrcB = SrcRest;
         SrcB.insert(SrcB.end(), UB.Atoms.begin(), UB.Atoms.end());
@@ -191,7 +190,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
     if (S.K != HeapAtom::Kind::Pred || S.Name != T.Name ||
         S.Args.size() != T.Args.size())
       continue;
-    if (S.Args.empty() || !provEq(PureAll, S.Args[0], TRoot))
+    if (S.Args.empty() || !provEq(SC, PureAll, S.Args[0], TRoot))
       continue;
     Branch B = Acc;
     bool Ok = true;
@@ -213,7 +212,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
       const HeapAtom &Seg = Src[I];
       if (Seg.K != HeapAtom::Kind::Pred || Seg.Name != T.Name)
         continue;
-      if (!provEq(PureAll, Seg.Args[0], TRoot))
+      if (!provEq(SC, PureAll, Seg.Args[0], TRoot))
         continue;
       const LinExpr &End = Seg.Args[TInfo->SegEndIdx];
       for (size_t J = 0; J < Src.size(); ++J) {
@@ -222,7 +221,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
         const HeapAtom &Pts = Src[J];
         if (Pts.K != HeapAtom::Kind::PointsTo || Pts.Name != TInfo->SegData)
           continue;
-        if (!provEq(PureAll, LinExpr::var(Pts.Root), End))
+        if (!provEq(SC, PureAll, LinExpr::var(Pts.Root), End))
           continue;
         // Rewrite the two atoms into the extended segment and retry.
         HeapAtom Ext = Seg;
@@ -274,7 +273,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
     Formula PureB = Formula::conj2(Pure, B.PureAdd);
     for (const Constraint &C : Residue) {
       LinExpr E = applyBindings(C.expr(), B.Bindings);
-      if (!Solver::entails(PureB, Formula::atom(Constraint(E, C.rel())))) {
+      if (!SC.entails(PureB, Formula::atom(Constraint(E, C.rel())))) {
         Ok = false;
         break;
       }
@@ -299,7 +298,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
     const HeapAtom &S = Src[I];
     if (S.K != HeapAtom::Kind::Pred || !Env.pred(S.Name))
       continue;
-    if (S.Args.empty() || !provEq(PureAll, S.Args[0], TRoot))
+    if (S.Args.empty() || !provEq(SC, PureAll, S.Args[0], TRoot))
       continue;
     if (S.Name == T.Name && S.Args.size() == T.Args.size())
       continue; // Already tried as a direct match; unfolding loops.
@@ -310,7 +309,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
     for (const HeapEnv::UnfoldBranch &UB : Env.unfold(S)) {
       Formula BranchFacts = Formula::conj2(UB.Pure, UB.Facts);
       Formula BranchPure = Formula::conj2(PureAll, BranchFacts);
-      if (Solver::isSat(BranchPure) == Tri::False)
+      if (SC.isSat(BranchPure) == Tri::False)
         continue;
       SymHeap SrcB = SrcRest;
       SrcB.insert(SrcB.end(), UB.Atoms.begin(), UB.Atoms.end());
@@ -338,7 +337,7 @@ HeapProver::materialize(const Formula &Pure, const SymHeap &Heap,
   // Direct points-to.
   for (size_t I = 0; I < Heap.size(); ++I)
     if (Heap[I].K == HeapAtom::Kind::PointsTo &&
-        provEq(Pure, LinExpr::var(Heap[I].Root), R))
+        provEq(SC, Pure, LinExpr::var(Heap[I].Root), R))
       return std::vector<MatBranch>{{Formula::top(), Heap, I}};
 
   // Unfold a predicate whose root covers R.
@@ -346,7 +345,7 @@ HeapProver::materialize(const Formula &Pure, const SymHeap &Heap,
     const HeapAtom &A = Heap[I];
     if (A.K != HeapAtom::Kind::Pred || !Env.pred(A.Name) || A.Args.empty())
       continue;
-    if (!provEq(Pure, A.Args[0], R))
+    if (!provEq(SC, Pure, A.Args[0], R))
       continue;
     SymHeap Rest = Heap;
     Rest.erase(Rest.begin() + I);
@@ -354,7 +353,7 @@ HeapProver::materialize(const Formula &Pure, const SymHeap &Heap,
     for (const HeapEnv::UnfoldBranch &UB : Env.unfold(A)) {
       Formula BranchFacts = Formula::conj2(UB.Pure, UB.Facts);
       Formula BranchPure = Formula::conj2(Pure, BranchFacts);
-      if (Solver::isSat(BranchPure) == Tri::False)
+      if (SC.isSat(BranchPure) == Tri::False)
         continue;
       SymHeap H = Rest;
       H.insert(H.end(), UB.Atoms.begin(), UB.Atoms.end());

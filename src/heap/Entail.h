@@ -18,13 +18,17 @@
 #define TNT_HEAP_ENTAIL_H
 
 #include "heap/HeapFormula.h"
+#include "solver/SolverContext.h"
 
 namespace tnt {
 
-/// The entailment prover. Stateless apart from the environment.
+/// The entailment prover. Stateless apart from the environment; pure
+/// side conditions are discharged through the given SolverContext.
 class HeapProver {
 public:
-  explicit HeapProver(const HeapEnv &Env) : Env(Env) {}
+  explicit HeapProver(const HeapEnv &Env,
+                      SolverContext &SC = SolverContext::defaultCtx())
+      : Env(Env), SC(SC) {}
 
   /// One successful way through the source case analysis.
   struct Branch {
@@ -62,6 +66,7 @@ private:
                                                Branch Acc, unsigned Depth);
 
   const HeapEnv &Env;
+  SolverContext &SC;
 };
 
 } // namespace tnt

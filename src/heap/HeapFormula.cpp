@@ -2,7 +2,7 @@
 
 #include "heap/HeapFormula.h"
 
-#include "solver/Solver.h"
+#include "solver/SolverContext.h"
 
 #include <cassert>
 
@@ -49,7 +49,8 @@ namespace {
 /// lseg's invariant).
 Formula inferInvariant(const PredDecl &D,
                        const std::map<std::string, Formula> &Known,
-                       const std::map<std::string, const PredDecl *> &Decls) {
+                       const std::map<std::string, const PredDecl *> &Decls,
+                       SolverContext &SC) {
   std::vector<Formula> Kept;
   auto instantiate = [&](const Formula &Inv, const PredDecl &Of,
                          const std::vector<LinExpr> &Args) {
@@ -82,7 +83,7 @@ Formula inferInvariant(const PredDecl &D,
         if (It != Known.end() && ItD != Decls.end())
           Ante.push_back(instantiate(It->second, *ItD->second, A.Args));
       }
-      if (Solver::implies(Formula::conj(Ante), Cand) != Tri::True)
+      if (SC.implies(Formula::conj(Ante), Cand) != Tri::True)
         return false;
     }
     return true;
@@ -100,7 +101,7 @@ Formula inferInvariant(const PredDecl &D,
 }
 
 /// Detects the lseg shape (see PredInfo::IsSegment).
-void detectSegment(PredInfo &Info) {
+void detectSegment(PredInfo &Info, SolverContext &SC) {
   const PredDecl &D = *Info.Decl;
   if (D.Params.size() < 3 || D.Branches.size() != 2)
     return;
@@ -127,8 +128,8 @@ void detectSegment(PredInfo &Info) {
   Formula BaseExpect = Formula::conj2(
       Formula::cmp(LinExpr::var(Root), CmpKind::Eq, LinExpr::var(End)),
       Formula::cmp(LinExpr::var(Size), CmpKind::Eq, LinExpr(0)));
-  if (Solver::implies(Base->Pure, BaseExpect) != Tri::True ||
-      Solver::implies(BaseExpect, Base->Pure) != Tri::True)
+  if (SC.implies(Base->Pure, BaseExpect) != Tri::True ||
+      SC.implies(BaseExpect, Base->Pure) != Tri::True)
     return;
   // Recursive: self(p, End, Size - 1) where p is some points-to field.
   if (Self->Args.size() != D.Params.size())
@@ -155,7 +156,10 @@ void detectSegment(PredInfo &Info) {
 
 } // namespace
 
-HeapEnv::HeapEnv(const Program &P) : Prog(P) {
+HeapEnv::HeapEnv(const Program &P)
+    : HeapEnv(P, SolverContext::defaultCtx()) {}
+
+HeapEnv::HeapEnv(const Program &P, SolverContext &SC) : Prog(P) {
   std::map<std::string, Formula> KnownInvs;
   std::map<std::string, const PredDecl *> Decls;
   for (const PredDecl &D : P.Preds)
@@ -163,8 +167,8 @@ HeapEnv::HeapEnv(const Program &P) : Prog(P) {
   for (const PredDecl &D : P.Preds) {
     PredInfo Info;
     Info.Decl = &D;
-    Info.Invariant = inferInvariant(D, KnownInvs, Decls);
-    detectSegment(Info);
+    Info.Invariant = inferInvariant(D, KnownInvs, Decls, SC);
+    detectSegment(Info, SC);
     KnownInvs[D.Name] = Info.Invariant;
     Preds[D.Name] = std::move(Info);
   }

@@ -54,10 +54,16 @@ struct PredInfo {
   size_t SegNextField = 0;
 };
 
-/// Registry of predicates and data layouts for one program.
+class SolverContext;
+
+/// Registry of predicates and data layouts for one program. Immutable
+/// after construction, so one environment may be shared by concurrent
+/// group analyses; \p SC is only used for the construction-time
+/// invariant inference and shape-detection queries.
 class HeapEnv {
 public:
   explicit HeapEnv(const Program &P);
+  HeapEnv(const Program &P, SolverContext &SC);
 
   const Program &program() const { return Prog; }
   const PredInfo *pred(const std::string &Name) const;

@@ -2,33 +2,34 @@
 
 #include "infer/CaseSplit.h"
 
-#include "solver/Solver.h"
-
 using namespace tnt;
 
 namespace {
 
-bool sat(const Formula &F) { return Solver::isSat(F) != Tri::False; }
+bool sat(SolverContext &SC, const Formula &F) {
+  return SC.isSat(F) != Tri::False;
+}
 
 /// The paper's recursive split over a worklist.
-std::vector<Formula> splitRec(const std::vector<Formula> &C) {
+std::vector<Formula> splitRec(SolverContext &SC,
+                              const std::vector<Formula> &C) {
   if (C.empty())
     return {};
   Formula C1 = C.front();
   std::vector<Formula> C2 =
-      splitRec(std::vector<Formula>(C.begin() + 1, C.end()));
+      splitRec(SC, std::vector<Formula>(C.begin() + 1, C.end()));
   std::vector<Formula> C3, C5;
   std::vector<Formula> Overlapping;
   for (const Formula &Ci : C2) {
-    if (!sat(Formula::conj2(Ci, C1))) {
+    if (!sat(SC, Formula::conj2(Ci, C1))) {
       C3.push_back(Ci);
       continue;
     }
     Overlapping.push_back(Ci);
-    C5.push_back(Solver::simplify(Formula::conj2(Ci, C1)));
+    C5.push_back(SC.simplify(Formula::conj2(Ci, C1)));
     Formula Rest = Formula::conj2(Ci, Formula::neg(C1));
-    if (sat(Rest))
-      C5.push_back(Solver::simplify(Rest));
+    if (sat(SC, Rest))
+      C5.push_back(SC.simplify(Rest));
   }
   // c = c1 && /\ !ci over the overlapping ones.
   std::vector<Formula> Parts{C1};
@@ -36,8 +37,8 @@ std::vector<Formula> splitRec(const std::vector<Formula> &C) {
     Parts.push_back(Formula::neg(Ci));
   Formula Cc = Formula::conj(Parts);
   std::vector<Formula> Out;
-  if (sat(Cc))
-    Out.push_back(Solver::simplify(Cc));
+  if (sat(SC, Cc))
+    Out.push_back(SC.simplify(Cc));
   Out.insert(Out.end(), C3.begin(), C3.end());
   Out.insert(Out.end(), C5.begin(), C5.end());
   return Out;
@@ -46,7 +47,8 @@ std::vector<Formula> splitRec(const std::vector<Formula> &C) {
 } // namespace
 
 std::vector<Formula>
-tnt::splitConditions(const std::vector<Formula> &Conditions) {
+tnt::splitConditions(const std::vector<Formula> &Conditions,
+                     SolverContext &SC) {
   if (Conditions.empty())
     return {};
   // Cost bound: partitioning is exponential in the number of
@@ -55,13 +57,13 @@ tnt::splitConditions(const std::vector<Formula> &Conditions) {
   std::vector<Formula> Bounded = Conditions;
   if (Bounded.size() > 4)
     Bounded.resize(4);
-  std::vector<Formula> Mu = splitRec(Bounded);
+  std::vector<Formula> Mu = splitRec(SC, Bounded);
   if (Mu.size() > 6) {
     // Fall back to a binary split on the first condition.
     Mu.clear();
     Mu.push_back(Bounded[0]);
-    Formula Not = Solver::simplify(Formula::neg(Bounded[0]));
-    if (sat(Not))
+    Formula Not = SC.simplify(Formula::neg(Bounded[0]));
+    if (sat(SC, Not))
       Mu.push_back(Not);
     return Mu;
   }
@@ -70,7 +72,7 @@ tnt::splitConditions(const std::vector<Formula> &Conditions) {
   for (const Formula &M : Mu)
     Negs.push_back(Formula::neg(M));
   Formula Compl = Formula::conj(Negs);
-  if (sat(Compl))
-    Mu.push_back(Solver::simplify(Compl));
+  if (sat(SC, Compl))
+    Mu.push_back(SC.simplify(Compl));
   return Mu;
 }

@@ -16,6 +16,7 @@
 #define TNT_INFER_CASESPLIT_H
 
 #include "arith/Formula.h"
+#include "solver/SolverContext.h"
 
 #include <vector>
 
@@ -24,8 +25,10 @@ namespace tnt {
 /// Partitions \p Conditions into exclusive guards covering their union,
 /// then appends the complement of the union when satisfiable, so the
 /// result is exhaustive. Returns an empty vector iff \p Conditions is
-/// empty.
-std::vector<Formula> splitConditions(const std::vector<Formula> &Conditions);
+/// empty. Feasibility queries go to \p SC.
+std::vector<Formula>
+splitConditions(const std::vector<Formula> &Conditions,
+                SolverContext &SC = SolverContext::defaultCtx());
 
 } // namespace tnt
 

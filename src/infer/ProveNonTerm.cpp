@@ -3,7 +3,6 @@
 #include "infer/ProveNonTerm.h"
 
 #include "infer/CaseSplit.h"
-#include "solver/Solver.h"
 #include "synth/Abduction.h"
 
 #include <algorithm>
@@ -41,14 +40,15 @@ std::vector<Formula> coverageDisjuncts(const PostAssume &T,
 }
 
 /// Does the unreachability check of Fig. 9 succeed for this exit?
-bool coverageHolds(const PostAssume &T, const std::set<UnkId> &SccPosts) {
+bool coverageHolds(const PostAssume &T, const std::set<UnkId> &SccPosts,
+                   SolverContext &SC) {
   Formula Lhs = Formula::conj2(T.Ctx, T.Guard);
-  if (Solver::isSat(Lhs) == Tri::False)
+  if (SC.isSat(Lhs) == Tri::False)
     return true; // Vacuously unreachable exit.
   std::vector<Formula> Disj = coverageDisjuncts(T, SccPosts);
   if (Disj.empty())
     return false; // Base-case exit that is reachable.
-  return Solver::entails(Lhs, Formula::disj(Disj));
+  return SC.entails(Lhs, Formula::disj(Disj));
 }
 
 } // namespace
@@ -58,7 +58,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
                      const std::vector<const PreAssume *> &Internal,
                      const std::vector<PostAssume> &T, const UnkRegistry &Reg,
                      Theta &Th, bool EnableAbduction,
-                     unsigned MaxVarsPerCondition) {
+                     unsigned MaxVarsPerCondition, SolverContext &SC) {
   NonTermResult Out;
   std::set<UnkId> SccSet(Preds.begin(), Preds.end());
   std::set<UnkId> SccPosts;
@@ -127,7 +127,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
       for (const PostAssume *A : ByPred[U]) {
         if (!consistent(A->Choices, Sel))
           continue; // Exit avoided by the angelic policy.
-        if (!coverageHolds(*A, SccPosts)) {
+        if (!coverageHolds(*A, SccPosts, SC)) {
           AllPass = false;
           Failures.push_back(A);
         }
@@ -156,8 +156,8 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
   std::map<UnkId, std::vector<Formula>> Conditions;
   auto addCondition = [&](UnkId Pred, const Formula &C) {
     Formula Region = Th.region(Pred);
-    if (!Solver::definitelySat(Formula::conj2(Region, C)) ||
-        !Solver::definitelySat(Formula::conj2(Region, Formula::neg(C))))
+    if (!SC.definitelySat(Formula::conj2(Region, C)) ||
+        !SC.definitelySat(Formula::conj2(Region, Formula::neg(C))))
       return;
     for (const Formula &Old : Conditions[Pred])
       if (Old.structEq(C))
@@ -183,8 +183,8 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
       for (VarId V : Lhs.freeVars())
         if (!Keep.count(V))
           Elim.insert(V);
-      Solver::ElimResult Proj = Solver::eliminate(Lhs, Elim);
-      Formula NotCtx = Solver::simplify(Formula::neg(Proj.F));
+      SolverContext::ElimResult Proj = SC.eliminate(Lhs, Elim);
+      Formula NotCtx = SC.simplify(Formula::neg(Proj.F));
       std::optional<std::vector<ConstraintConj>> NotDNF = NotCtx.toDNF(8);
       if (NotDNF && NotDNF->size() <= 4) {
         for (const ConstraintConj &Conj : *NotDNF) {
@@ -197,7 +197,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
     if (Betas.empty())
       continue; // Base-case form: no beta-directed abduction (5.6).
     for (const Formula &Beta : Betas) {
-      if (Solver::isSat(Formula::conj2(Lhs, Beta)) != Tri::True)
+      if (SC.isSat(Formula::conj2(Lhs, Beta)) != Tri::True)
         continue; // Candidate must be jointly satisfiable.
       std::optional<std::vector<ConstraintConj>> BetaDNF = Beta.toDNF(8);
       if (!BetaDNF || BetaDNF->size() != 1)
@@ -206,7 +206,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
         if (Omega::isSatConj(Ctx) != Tri::True)
           continue;
         AbductionResult R =
-            abduce(Ctx, (*BetaDNF)[0], Params, MaxVarsPerCondition);
+            abduce(Ctx, (*BetaDNF)[0], Params, MaxVarsPerCondition, SC);
         if (!R.Success)
           continue;
         Formula Alpha = Formula::atom(R.Alpha);
@@ -222,7 +222,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
   for (auto &[Pred, Cs] : Conditions) {
     if (Cs.empty())
       continue;
-    std::vector<Formula> Guards = splitConditions(Cs);
+    std::vector<Formula> Guards = splitConditions(Cs, SC);
     if (Guards.size() < 2)
       continue; // A single guard would not refine anything.
     Th.split(Pred, Guards);

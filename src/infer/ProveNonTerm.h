@@ -18,6 +18,7 @@
 #define TNT_INFER_PROVENONTERM_H
 
 #include "infer/Defs.h"
+#include "solver/SolverContext.h"
 #include "verify/Assumptions.h"
 
 namespace tnt {
@@ -39,7 +40,8 @@ NonTermResult proveNonTermScc(const std::vector<UnkId> &Preds,
                               const std::vector<PostAssume> &T,
                               const UnkRegistry &Reg, Theta &Th,
                               bool EnableAbduction,
-                              unsigned MaxVarsPerCondition = 2);
+                              unsigned MaxVarsPerCondition = 2,
+                              SolverContext &SC = SolverContext::defaultCtx());
 
 } // namespace tnt
 

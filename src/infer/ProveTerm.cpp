@@ -11,7 +11,8 @@ using namespace tnt;
 
 bool tnt::proveTermScc(const std::vector<UnkId> &Preds,
                        const std::vector<const PreAssume *> &Internal,
-                       const UnkRegistry &Reg, Theta &Th, unsigned MaxLex) {
+                       const UnkRegistry &Reg, Theta &Th, unsigned MaxLex,
+                       SolverContext &SC) {
   std::vector<std::vector<VarId>> PredParams;
   std::map<UnkId, size_t> IndexOf;
   for (UnkId U : Preds) {
@@ -35,7 +36,7 @@ bool tnt::proveTermScc(const std::vector<UnkId> &Preds,
     }
   }
 
-  RankResult R = synthesizeRanking(PredParams, Edges, MaxLex);
+  RankResult R = synthesizeRanking(PredParams, Edges, MaxLex, SC);
   if (!R.Success)
     return false;
   for (UnkId U : Preds)

@@ -16,6 +16,7 @@
 #define TNT_INFER_PROVETERM_H
 
 #include "infer/Defs.h"
+#include "solver/SolverContext.h"
 #include "verify/Assumptions.h"
 
 namespace tnt {
@@ -25,7 +26,8 @@ namespace tnt {
 /// in \p Th and returns true.
 bool proveTermScc(const std::vector<UnkId> &Preds,
                   const std::vector<const PreAssume *> &Internal,
-                  const UnkRegistry &Reg, Theta &Th, unsigned MaxLex = 4);
+                  const UnkRegistry &Reg, Theta &Th, unsigned MaxLex = 4,
+                  SolverContext &SC = SolverContext::defaultCtx());
 
 } // namespace tnt
 

@@ -5,7 +5,6 @@
 #include "infer/Graph.h"
 #include "infer/ProveNonTerm.h"
 #include "infer/ProveTerm.h"
-#include "solver/Solver.h"
 #include "spec/Capacity.h"
 
 #include <algorithm>
@@ -22,13 +21,14 @@ namespace {
 /// Projects a formula onto the given parameter set (over-approximate
 /// when exact elimination is impossible, which is the sound direction
 /// for every use below).
-Formula projectOnto(const Formula &F, const std::vector<VarId> &Params) {
+Formula projectOnto(SolverContext &SC, const Formula &F,
+                    const std::vector<VarId> &Params) {
   std::set<VarId> Keep(Params.begin(), Params.end());
   std::set<VarId> Elim;
   for (VarId V : F.freeVars())
     if (!Keep.count(V))
       Elim.insert(V);
-  return Solver::eliminate(F, Elim).F;
+  return SC.eliminate(F, Elim).F;
 }
 
 /// Walks a definition chain to its pending leaves, accumulating guards.
@@ -61,7 +61,7 @@ void forEachLeaf(const Theta &Th, UnkId Pre,
 
 std::vector<PreAssume> tnt::specializePre(const std::vector<PreAssume> &S,
                                           const UnkRegistry &Reg,
-                                          const Theta &Th) {
+                                          const Theta &Th, SolverContext &SC) {
   std::vector<PreAssume> Out;
   auto Id = [](const Formula &F) { return F; };
   for (const PreAssume &A : S) {
@@ -71,7 +71,7 @@ std::vector<PreAssume> tnt::specializePre(const std::vector<PreAssume> &S,
         Th, A.Src, Id, Formula::top(),
         [&](UnkId SrcLeaf, const Formula &SrcG) {
           Formula Ctx1 = Formula::conj2(A.Ctx, SrcG);
-          if (Solver::isSat(Ctx1) == Tri::False)
+          if (SC.isSat(Ctx1) == Tri::False)
             return;
           if (A.TK != PreAssume::Target::Unknown) {
             PreAssume N = A;
@@ -90,7 +90,7 @@ std::vector<PreAssume> tnt::specializePre(const std::vector<PreAssume> &S,
               Th, A.Dst, Inst, Formula::top(),
               [&](UnkId DstLeaf, const Formula &DstG) {
                 Formula Ctx2 = Formula::conj2(Ctx1, DstG);
-                if (Solver::isSat(Ctx2) == Tri::False)
+                if (SC.isSat(Ctx2) == Tri::False)
                   return;
                 PreAssume N = A;
                 N.Src = SrcLeaf;
@@ -100,7 +100,7 @@ std::vector<PreAssume> tnt::specializePre(const std::vector<PreAssume> &S,
               },
               [&](const DefCase &C, const Formula &DstG) {
                 Formula Ctx2 = Formula::conj2(Ctx1, DstG);
-                if (Solver::isSat(Ctx2) == Tri::False)
+                if (SC.isSat(Ctx2) == Tri::False)
                   return;
                 PreAssume N;
                 N.Src = SrcLeaf;
@@ -132,7 +132,8 @@ std::vector<PreAssume> tnt::specializePre(const std::vector<PreAssume> &S,
 
 std::vector<PostAssume> tnt::specializePost(const std::vector<PostAssume> &T,
                                             const UnkRegistry &Reg,
-                                            const Theta &Th) {
+                                            const Theta &Th,
+                                            SolverContext &SC) {
   std::vector<PostAssume> Out;
   auto Id = [](const Formula &F) { return F; };
   for (const PostAssume &A : T) {
@@ -173,7 +174,7 @@ std::vector<PostAssume> tnt::specializePost(const std::vector<PostAssume> &T,
     forEachLeaf(
         Th, TgtPre, Id, A.Guard,
         [&](UnkId Leaf, const Formula &G) {
-          if (Solver::isSat(Formula::conj2(A.Ctx, G)) == Tri::False)
+          if (SC.isSat(Formula::conj2(A.Ctx, G)) == Tri::False)
             return;
           PostAssume N;
           N.Ctx = A.Ctx;
@@ -191,13 +192,14 @@ std::vector<PostAssume> tnt::specializePost(const std::vector<PostAssume> &T,
   return Out;
 }
 
-Formula tnt::synBase(const ScenarioProblem &P, const UnkRegistry &Reg) {
+Formula tnt::synBase(const ScenarioProblem &P, const UnkRegistry &Reg,
+                     SolverContext &SC) {
   const std::vector<VarId> &Params = Reg.pred(P.PreId).Params;
   // rho: contexts in which any not-known-to-terminate call is reached.
   std::vector<Formula> RhoParts;
   for (const PreAssume &A : P.S)
-    RhoParts.push_back(projectOnto(A.Ctx, Params));
-  Formula Rho = Solver::simplify(Formula::disj(RhoParts));
+    RhoParts.push_back(projectOnto(SC, A.Ctx, Params));
+  Formula Rho = SC.simplify(Formula::disj(RhoParts));
   // %: exit contexts whose antecedents carry no unknown post-predicate;
   // definitely-false items contribute their guard's negation.
   std::vector<Formula> PctParts;
@@ -213,25 +215,26 @@ Formula tnt::synBase(const ScenarioProblem &P, const UnkRegistry &Reg) {
     }
     if (HasUnknown)
       continue;
-    PctParts.push_back(projectOnto(Formula::conj(Parts), Params));
+    PctParts.push_back(projectOnto(SC, Formula::conj(Parts), Params));
   }
-  Formula Pct = Solver::simplify(Formula::disj(PctParts));
-  return Solver::simplify(Formula::conj2(Pct, Formula::neg(Rho)));
+  Formula Pct = SC.simplify(Formula::disj(PctParts));
+  return SC.simplify(Formula::conj2(Pct, Formula::neg(Rho)));
 }
 
 bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
-                     UnkRegistry &Reg, Theta &Th, const SolveOptions &Opt) {
+                     UnkRegistry &Reg, Theta &Th, const SolveOptions &Opt,
+                     SolverContext &SC) {
   for (const ScenarioProblem &P : Problems)
     Th.init(P.PreId);
 
   // Base-case inference and refinement (Section 5.1).
   if (Opt.EnableBaseCase) {
     for (const ScenarioProblem &P : Problems) {
-      Formula Base = synBase(P, Reg);
-      if (!Solver::definitelySat(Base))
+      Formula Base = synBase(P, Reg, SC);
+      if (!SC.definitelySat(Base))
         continue;
-      Formula NotBase = Solver::simplify(Formula::neg(Base));
-      if (Solver::isSat(NotBase) == Tri::False) {
+      Formula NotBase = SC.simplify(Formula::neg(Base));
+      if (SC.isSat(NotBase) == Tri::False) {
         // The whole input space is base-case terminating.
         Th.resolve(P.PreId, DefCase::Kind::Term);
         continue;
@@ -254,11 +257,11 @@ bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
   bool Trace = std::getenv("TNT_TRACE") != nullptr;
   unsigned Iter = 0;
   unsigned Pass = 0;
-  uint64_t FuelStart = Solver::stats().SatQueries;
+  uint64_t FuelStart = SC.stats().SatQueries;
   auto StartTime = std::chrono::steady_clock::now();
   auto expired = [&]() {
     if (Opt.GroupFuel != 0 &&
-        Solver::stats().SatQueries - FuelStart > Opt.GroupFuel)
+        SC.stats().SatQueries - FuelStart > Opt.GroupFuel)
       return true;
     if (Opt.GroupDeadlineMs != 0) {
       auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -277,7 +280,7 @@ bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
     }
     if (Trace)
       fprintf(stderr, "[solve] pass=%u iter=%u queries=%llu\n", Pass++,
-              Iter, (unsigned long long)Solver::stats().SatQueries);
+              Iter, (unsigned long long)SC.stats().SatQueries);
     // Pending universe.
     std::set<UnkId> Pending;
     for (const ScenarioProblem &P : Problems)
@@ -292,8 +295,8 @@ bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
       SIn.insert(SIn.end(), P.S.begin(), P.S.end());
       TIn.insert(TIn.end(), P.T.begin(), P.T.end());
     }
-    SAll = specializePre(SIn, Reg, Th);
-    TAll = specializePost(TIn, Reg, Th);
+    SAll = specializePre(SIn, Reg, Th, SC);
+    TAll = specializePost(TIn, Reg, Th, SC);
 
     TemporalGraph G = TemporalGraph::build(SAll, Pending);
 
@@ -343,13 +346,13 @@ bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
         Th.resolve(Scc[0], DefCase::Kind::Term);
         Resolved = true;
       } else if (ExternTerm && !ExternLoopOrMay && Opt.EnableTermProof &&
-                 proveTermScc(Scc, Internal, Reg, Th, Opt.MaxLex)) {
+                 proveTermScc(Scc, Internal, Reg, Th, Opt.MaxLex, SC)) {
         Resolved = true;
       } else if (Opt.EnableNonTermProof) {
         NonTermResult R =
             proveNonTermScc(Scc, Internal, TAll, Reg, Th,
                             Opt.EnableAbduction && Iter < Opt.MaxIter,
-                            Opt.MaxVarsPerCondition);
+                            Opt.MaxVarsPerCondition, SC);
         if (R.Proved) {
           Resolved = true;
         } else if (R.DidSplit) {
@@ -391,7 +394,8 @@ bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
 }
 
 bool tnt::reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
-                        const UnkRegistry &Reg, const Theta &Th) {
+                        const UnkRegistry &Reg, const Theta &Th,
+                        SolverContext &SC) {
   // Gather the final flat case list per root: (guard, kind, measure).
   struct FlatCase {
     Formula Guard;
@@ -421,11 +425,11 @@ bool tnt::reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
         if (Src.K != DefCase::Kind::Term)
           continue;
         Formula Ctx1 = Formula::conj2(A.Ctx, Src.Guard);
-        if (Solver::isSat(Ctx1) == Tri::False)
+        if (SC.isSat(Ctx1) == Tri::False)
           continue;
         switch (A.TK) {
         case PreAssume::Target::Term:
-          if (checkLexDecrease(Ctx1, Src.Measure, A.TermMeasure) !=
+          if (checkLexDecrease(Ctx1, Src.Measure, A.TermMeasure, SC) !=
               Tri::True)
             return false;
           break;
@@ -438,7 +442,7 @@ bool tnt::reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
             Formula DstG =
                 substParallelFormula(Dst.Guard, DstParams, A.DstArgs);
             Formula Ctx2 = Formula::conj2(Ctx1, DstG);
-            if (Solver::isSat(Ctx2) == Tri::False)
+            if (SC.isSat(Ctx2) == Tri::False)
               continue;
             if (Dst.K != DefCase::Kind::Term)
               return false;
@@ -448,7 +452,7 @@ bool tnt::reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
             // The strict decrease is only required on (mutually)
             // recursive cycles; sameness of predicates approximates it.
             if (Reg.pred(A.Src).Method == Reg.pred(A.Dst).Method &&
-                checkLexDecrease(Ctx2, Src.Measure, DstM) != Tri::True)
+                checkLexDecrease(Ctx2, Src.Measure, DstM, SC) != Tri::True)
               return false;
           }
           break;
@@ -464,7 +468,7 @@ bool tnt::reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
           continue;
         Formula Lhs = Formula::conj(
             {A.Ctx, A.Guard, Tgt.Guard});
-        if (Solver::isSat(Lhs) == Tri::False)
+        if (SC.isSat(Lhs) == Tri::False)
           continue;
         // Coverage disjuncts: definitely-false item guards plus unknown
         // items that resolved to Loop under their instantiated guards.
@@ -485,7 +489,7 @@ bool tnt::reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
                 substParallelFormula(IC.Guard, Params, It.Args)));
           }
         }
-        if (Fail || !Solver::entails(Lhs, Formula::disj(Disj)))
+        if (Fail || !SC.entails(Lhs, Formula::disj(Disj)))
           return false;
       }
     }

@@ -18,6 +18,7 @@
 #define TNT_INFER_SOLVE_H
 
 #include "infer/Defs.h"
+#include "solver/SolverContext.h"
 #include "verify/Assumptions.h"
 
 namespace tnt {
@@ -63,27 +64,33 @@ struct ScenarioProblem {
 /// distinguishes the paper's tool from comparators that run until
 /// killed.
 bool solveGroup(const std::vector<ScenarioProblem> &Problems,
-                UnkRegistry &Reg, Theta &Th, const SolveOptions &Opt = {});
+                UnkRegistry &Reg, Theta &Th, const SolveOptions &Opt = {},
+                SolverContext &SC = SolverContext::defaultCtx());
 
 /// spec_relass for pre-assumptions (exposed for tests).
-std::vector<PreAssume> specializePre(const std::vector<PreAssume> &S,
-                                     const UnkRegistry &Reg, const Theta &Th);
+std::vector<PreAssume>
+specializePre(const std::vector<PreAssume> &S, const UnkRegistry &Reg,
+              const Theta &Th,
+              SolverContext &SC = SolverContext::defaultCtx());
 
 /// spec_relass for post-assumptions (exposed for tests).
-std::vector<PostAssume> specializePost(const std::vector<PostAssume> &T,
-                                       const UnkRegistry &Reg,
-                                       const Theta &Th);
+std::vector<PostAssume>
+specializePost(const std::vector<PostAssume> &T, const UnkRegistry &Reg,
+               const Theta &Th,
+               SolverContext &SC = SolverContext::defaultCtx());
 
 /// syn_base of Section 5.1 (exposed for tests): the inferred base-case
 /// precondition over the scenario's parameters.
-Formula synBase(const ScenarioProblem &P, const UnkRegistry &Reg);
+Formula synBase(const ScenarioProblem &P, const UnkRegistry &Reg,
+                SolverContext &SC = SolverContext::defaultCtx());
 
 /// Re-verification of the inferred outcome against the collected
 /// assumptions (the optional but useful check of Section 6): Term cases
 /// must decrease lexicographically into Term cases and never reach
 /// Loop/MayLoop ones; Loop cases must have all exits covered.
 bool reVerifyGroup(const std::vector<ScenarioProblem> &Problems,
-                   const UnkRegistry &Reg, const Theta &Th);
+                   const UnkRegistry &Reg, const Theta &Th,
+                   SolverContext &SC = SolverContext::defaultCtx());
 
 } // namespace tnt
 

@@ -1,4 +1,4 @@
-//===- solver/Solver.h - Formula-level decision facade ---------*- C++ -*-===//
+//===- solver/Solver.h - Legacy static decision facade ---------*- C++ -*-===//
 //
 // Part of the hiptntpp project: a reproduction of "Termination and
 // Non-Termination Specification Inference" (PLDI 2015).
@@ -6,77 +6,79 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Formula-level satisfiability, entailment, projection and
-/// simplification built on the Omega test, with a query cache. These are
-/// the SAT/UNSAT/entailment oracles used throughout the inference engine
-/// (guard feasibility in Def. 2, base-case inference in 5.1,
-/// unreachability proofs in 5.5, case-split feasibility in 5.6).
+/// Source-compatibility shim over SolverContext::defaultCtx(). The
+/// decision procedures, the query cache and the statistics live in
+/// instance-based SolverContext objects (solver/SolverContext.h); this
+/// facade forwards every call to the process-wide default context so
+/// existing call sites and tests keep working. New code — and anything
+/// that runs on the parallel SCC scheduler — should thread an explicit
+/// SolverContext instead.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TNT_SOLVER_SOLVER_H
 #define TNT_SOLVER_SOLVER_H
 
-#include "arith/Formula.h"
-#include "solver/Omega.h"
+#include "solver/SolverContext.h"
 
 #include <cstdint>
 
 namespace tnt {
 
-/// Stateless decision facade. All answers are three-valued; helpers with
-/// boolean results resolve Unknown in the documented conservative
-/// direction.
+/// Stateless forwarding facade; see SolverContext for the semantics.
 class Solver {
 public:
   /// Satisfiability of an arbitrary formula (via DNF + Omega).
-  static Tri isSat(const Formula &F);
+  static Tri isSat(const Formula &F) {
+    return SolverContext::defaultCtx().isSat(F);
+  }
 
   /// Validity of A => B (via isSat(A && !B)).
-  static Tri implies(const Formula &A, const Formula &B);
+  static Tri implies(const Formula &A, const Formula &B) {
+    return SolverContext::defaultCtx().implies(A, B);
+  }
 
   /// True iff implies(A,B) is definitely valid. Unknown maps to false
   /// (claiming an entailment requires proof).
   static bool entails(const Formula &A, const Formula &B) {
-    return implies(A, B) == Tri::True;
+    return SolverContext::defaultCtx().entails(A, B);
   }
 
   /// True iff F is definitely satisfiable. Unknown maps to false.
   static bool definitelySat(const Formula &F) {
-    return isSat(F) == Tri::True;
+    return SolverContext::defaultCtx().definitelySat(F);
   }
 
   /// True iff F is definitely unsatisfiable. Unknown maps to false.
   static bool definitelyUnsat(const Formula &F) {
-    return isSat(F) == Tri::False;
+    return SolverContext::defaultCtx().definitelyUnsat(F);
   }
 
-  /// Result of existential elimination.
-  struct ElimResult {
-    Formula F;
-    /// False when the result over-approximates exists Vars . Input.
-    bool Exact = true;
-  };
+  /// Result of existential elimination (context-independent shape).
+  using ElimResult = SolverContext::ElimResult;
 
   /// Eliminates \p Vars existentially (quantifier elimination on the
   /// DNF, disjunct by disjunct).
-  static ElimResult eliminate(const Formula &F, const std::set<VarId> &Vars);
+  static ElimResult eliminate(const Formula &F, const std::set<VarId> &Vars) {
+    return SolverContext::defaultCtx().eliminate(F, Vars);
+  }
 
   /// Semantic cleanup: drops unsatisfiable disjuncts, redundant
-  /// conjuncts, and subsumed disjuncts. Returns the input unchanged when
-  /// DNF expansion overflows.
-  static Formula simplify(const Formula &F);
+  /// conjuncts, and subsumed disjuncts.
+  static Formula simplify(const Formula &F) {
+    return SolverContext::defaultCtx().simplify(F);
+  }
 
-  /// Counters for the micro benches.
+  /// Counters of the default context, in the legacy shape.
   struct Stats {
     uint64_t SatQueries = 0;
     uint64_t CacheHits = 0;
   };
-  static Stats stats();
-  static void resetStats();
-
-private:
-  static Tri isSatConjCached(const ConstraintConj &Conj);
+  static Stats stats() {
+    SolverStats S = SolverContext::defaultCtx().stats();
+    return Stats{S.SatQueries, S.CacheHits};
+  }
+  static void resetStats() { SolverContext::defaultCtx().resetStats(); }
 };
 
 } // namespace tnt

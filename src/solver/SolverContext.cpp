@@ -1,36 +1,17 @@
-//===- solver/Solver.cpp --------------------------------------*- C++ -*-===//
+//===- solver/SolverContext.cpp -------------------------------*- C++ -*-===//
 
-#include "solver/Solver.h"
+#include "solver/SolverContext.h"
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 
 using namespace tnt;
 
 namespace {
 
-Solver::Stats GStats;
-std::map<std::string, Tri> &cache() {
-  static std::map<std::string, Tri> C;
-  return C;
-}
-
-std::string conjKey(const ConstraintConj &Conj) {
-  std::vector<std::string> Parts;
-  Parts.reserve(Conj.size());
-  for (const Constraint &C : Conj)
-    Parts.push_back(C.str());
-  std::sort(Parts.begin(), Parts.end());
-  std::string Key;
-  for (const std::string &P : Parts) {
-    Key += P;
-    Key += ';';
-  }
-  return Key;
-}
-
-/// Conjunction-level entailment: A |= c for every c in B.
+/// Conjunction-level entailment: A |= c for every c in B. Used by the
+/// cross-clause subsumption pass of simplify(); queries go straight to
+/// Omega (uncounted), matching the historical fuel accounting.
 Tri conjEntails(const ConstraintConj &A, const ConstraintConj &B) {
   bool SawUnknown = false;
   for (const Constraint &C : B) {
@@ -64,7 +45,8 @@ Tri conjEntails(const ConstraintConj &A, const ConstraintConj &B) {
 /// cleared when an inexact projection was used, in which case the result
 /// is STRONGER than the input (safe for "sat" answers, inconclusive for
 /// "unsat" ones).
-Formula rewriteNegExists(const Formula &F, bool Positive, bool &Exact) {
+Formula rewriteNegExists(SolverContext &SC, const Formula &F, bool Positive,
+                         bool &Exact) {
   const FormulaNode *N = F.node();
   switch (N->kind()) {
   case FormulaNode::Kind::True:
@@ -76,18 +58,18 @@ Formula rewriteNegExists(const Formula &F, bool Positive, bool &Exact) {
     std::vector<Formula> Kids;
     Kids.reserve(N->Children.size());
     for (const Formula &C : N->Children)
-      Kids.push_back(rewriteNegExists(C, Positive, Exact));
+      Kids.push_back(rewriteNegExists(SC, C, Positive, Exact));
     return N->kind() == FormulaNode::Kind::And ? Formula::conj(Kids)
                                                : Formula::disj(Kids);
   }
   case FormulaNode::Kind::Not:
-    return Formula::neg(rewriteNegExists(N->Children[0], !Positive, Exact));
+    return Formula::neg(rewriteNegExists(SC, N->Children[0], !Positive, Exact));
   case FormulaNode::Kind::Exists: {
-    Formula Body = rewriteNegExists(N->Children[0], Positive, Exact);
+    Formula Body = rewriteNegExists(SC, N->Children[0], Positive, Exact);
     if (Positive)
       return Formula::exists(N->Bound, Body);
     std::set<VarId> Bound(N->Bound.begin(), N->Bound.end());
-    Solver::ElimResult R = Solver::eliminate(Body, Bound);
+    SolverContext::ElimResult R = SC.eliminate(Body, Bound);
     Exact = Exact && R.Exact;
     return R.F;
   }
@@ -97,27 +79,60 @@ Formula rewriteNegExists(const Formula &F, bool Positive, bool &Exact) {
 
 } // namespace
 
-Tri Solver::isSatConjCached(const ConstraintConj &Conj) {
-  ++GStats.SatQueries;
-  std::string Key = conjKey(Conj);
-  auto It = cache().find(Key);
-  if (It != cache().end()) {
-    ++GStats.CacheHits;
-    return It->second;
+SolverContext::SolverContext(size_t CacheCapacity) : Capacity(CacheCapacity) {}
+
+SolverContext &SolverContext::defaultCtx() {
+  static SolverContext Ctx;
+  return Ctx;
+}
+
+Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
+  if (Capacity == 0) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Counters.SatQueries;
+      ++Counters.CacheMisses;
+    }
+    return Omega::isSatConj(Conj);
   }
+
+  InternedConj Key = internConj(Conj);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Counters.SatQueries;
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      ++Counters.CacheHits;
+      // Refresh LRU position.
+      Lru.splice(Lru.begin(), Lru, It->second);
+      return It->second->Val;
+    }
+    ++Counters.CacheMisses;
+  }
+
   Tri R = Omega::isSatConj(Conj);
-  cache().emplace(std::move(Key), R);
+
+  std::lock_guard<std::mutex> L(Mu);
+  if (Cache.find(Key) == Cache.end()) {
+    Lru.push_front(CacheEntry{Key, R});
+    Cache.emplace(std::move(Key), Lru.begin());
+    if (Cache.size() > Capacity) {
+      Cache.erase(Lru.back().Key);
+      Lru.pop_back();
+      ++Counters.CacheEvictions;
+    }
+  }
   return R;
 }
 
-Tri Solver::isSat(const Formula &F) {
+Tri SolverContext::isSat(const Formula &F) {
   assert(F.isValid() && "isSat on invalid formula");
   if (F.isTop())
     return Tri::True;
   if (F.isBottom())
     return Tri::False;
   bool Exact = true;
-  Formula G = rewriteNegExists(F, /*Positive=*/true, Exact);
+  Formula G = rewriteNegExists(*this, F, /*Positive=*/true, Exact);
   if (G.isTop())
     return Tri::True;
   if (G.isBottom())
@@ -127,7 +142,7 @@ Tri Solver::isSat(const Formula &F) {
     return Tri::Unknown;
   bool SawUnknown = false;
   for (const ConstraintConj &Conj : *DNF) {
-    Tri R = isSatConjCached(Conj);
+    Tri R = isSatConj(Conj);
     if (R == Tri::True)
       return Tri::True;
     if (R == Tri::Unknown)
@@ -138,7 +153,7 @@ Tri Solver::isSat(const Formula &F) {
   return Exact ? Tri::False : Tri::Unknown;
 }
 
-Tri Solver::implies(const Formula &A, const Formula &B) {
+Tri SolverContext::implies(const Formula &A, const Formula &B) {
   Tri R = isSat(Formula::conj2(A, Formula::neg(B)));
   if (R == Tri::False)
     return Tri::True;
@@ -147,8 +162,8 @@ Tri Solver::implies(const Formula &A, const Formula &B) {
   return Tri::Unknown;
 }
 
-Solver::ElimResult Solver::eliminate(const Formula &F,
-                                     const std::set<VarId> &Vars) {
+SolverContext::ElimResult SolverContext::eliminate(const Formula &F,
+                                                   const std::set<VarId> &Vars) {
   ElimResult Out;
   if (Vars.empty()) {
     Out.F = F;
@@ -172,7 +187,7 @@ Solver::ElimResult Solver::eliminate(const Formula &F,
     if (std::find(Seen.begin(), Seen.end(), P.Conj) != Seen.end())
       continue;
     Seen.push_back(P.Conj);
-    if (isSatConjCached(P.Conj) == Tri::False)
+    if (isSatConj(P.Conj) == Tri::False)
       continue;
     Disjuncts.push_back(conjToFormula(P.Conj));
   }
@@ -181,7 +196,7 @@ Solver::ElimResult Solver::eliminate(const Formula &F,
   return Out;
 }
 
-Formula Solver::simplify(const Formula &F) {
+Formula SolverContext::simplify(const Formula &F) {
   assert(F.isValid() && "simplify on invalid formula");
   std::optional<std::vector<ConstraintConj>> DNF = F.toDNF();
   if (!DNF)
@@ -198,7 +213,7 @@ Formula Solver::simplify(const Formula &F) {
   std::vector<ConstraintConj> Live;
   for (const ConstraintConj &Conj : *DNF) {
     ConstraintConj D = dedup(Conj);
-    if (isSatConjCached(D) == Tri::False)
+    if (isSatConj(D) == Tri::False)
       continue;
     if (D.size() <= MaxConjSize)
       D = dedup(Omega::dropRedundant(D));
@@ -233,6 +248,28 @@ Formula Solver::simplify(const Formula &F) {
   return Formula::disj(Disjuncts);
 }
 
-Solver::Stats Solver::stats() { return GStats; }
+SolverStats SolverContext::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Counters;
+}
 
-void Solver::resetStats() { GStats = Stats(); }
+void SolverContext::resetStats() {
+  std::lock_guard<std::mutex> L(Mu);
+  Counters = SolverStats();
+}
+
+void SolverContext::clearCache() {
+  std::lock_guard<std::mutex> L(Mu);
+  Cache.clear();
+  Lru.clear();
+}
+
+size_t SolverContext::cacheSize() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Cache.size();
+}
+
+void SolverContext::noteLpSolve() {
+  std::lock_guard<std::mutex> L(Mu);
+  ++Counters.LpSolves;
+}

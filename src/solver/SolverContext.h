@@ -1,0 +1,152 @@
+//===- solver/SolverContext.h - Instance-based decision context -*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instance-based decision-procedure context. Each SolverContext
+/// owns an LRU satisfiability cache keyed on canonical (hash-consed)
+/// constraint conjunctions and its own query statistics, on top of the
+/// stateless Omega / Simplex procedures. Contexts are internally
+/// synchronized, so one context may be shared by several threads; for
+/// deterministic parallel analysis each independent unit of work (one
+/// call-graph SCC group) gets its own context, making query counts and
+/// cache behavior a function of the work alone, not of scheduling.
+///
+/// These are the SAT/UNSAT/entailment oracles used throughout the
+/// inference engine (guard feasibility in Def. 2, base-case inference
+/// in 5.1, unreachability proofs in 5.5, case-split feasibility in
+/// 5.6). The legacy `tnt::Solver` static facade forwards to
+/// SolverContext::defaultCtx().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SOLVER_SOLVERCONTEXT_H
+#define TNT_SOLVER_SOLVERCONTEXT_H
+
+#include "arith/Formula.h"
+#include "arith/Intern.h"
+#include "solver/Omega.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+namespace tnt {
+
+/// Per-context query counters (the micro benches and the analyzer's
+/// fuel accounting read these; merged at scheduler join points).
+struct SolverStats {
+  /// Conjunction-level satisfiability queries issued (cache-transparent:
+  /// hits count too, so fuel accounting is schedule-independent).
+  uint64_t SatQueries = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  /// Farkas/simplex LP solves attributed to this context.
+  uint64_t LpSolves = 0;
+
+  SolverStats &operator+=(const SolverStats &O) {
+    SatQueries += O.SatQueries;
+    CacheHits += O.CacheHits;
+    CacheMisses += O.CacheMisses;
+    CacheEvictions += O.CacheEvictions;
+    LpSolves += O.LpSolves;
+    return *this;
+  }
+};
+
+/// An instance-based formula-level decision procedure with a bounded
+/// LRU query cache. All answers are three-valued; helpers with boolean
+/// results resolve Unknown in the documented conservative direction.
+class SolverContext {
+public:
+  /// Default cache bound: entries, not bytes; one entry is an interned
+  /// pointer vector plus a Tri.
+  static constexpr size_t DefaultCacheCapacity = 1u << 16;
+
+  /// \p CacheCapacity == 0 disables caching entirely (used as the
+  /// uncached baseline by the micro benches).
+  explicit SolverContext(size_t CacheCapacity = DefaultCacheCapacity);
+
+  SolverContext(const SolverContext &) = delete;
+  SolverContext &operator=(const SolverContext &) = delete;
+
+  /// Satisfiability of an arbitrary formula (via DNF + Omega).
+  Tri isSat(const Formula &F);
+
+  /// Validity of A => B (via isSat(A && !B)).
+  Tri implies(const Formula &A, const Formula &B);
+
+  /// True iff implies(A,B) is definitely valid. Unknown maps to false
+  /// (claiming an entailment requires proof).
+  bool entails(const Formula &A, const Formula &B) {
+    return implies(A, B) == Tri::True;
+  }
+
+  /// True iff F is definitely satisfiable. Unknown maps to false.
+  bool definitelySat(const Formula &F) { return isSat(F) == Tri::True; }
+
+  /// True iff F is definitely unsatisfiable. Unknown maps to false.
+  bool definitelyUnsat(const Formula &F) { return isSat(F) == Tri::False; }
+
+  /// Result of existential elimination.
+  struct ElimResult {
+    Formula F;
+    /// False when the result over-approximates exists Vars . Input.
+    bool Exact = true;
+  };
+
+  /// Eliminates \p Vars existentially (quantifier elimination on the
+  /// DNF, disjunct by disjunct).
+  ElimResult eliminate(const Formula &F, const std::set<VarId> &Vars);
+
+  /// Semantic cleanup: drops unsatisfiable disjuncts, redundant
+  /// conjuncts, and subsumed disjuncts. Returns the input unchanged when
+  /// DNF expansion overflows.
+  Formula simplify(const Formula &F);
+
+  /// Cached conjunction-level satisfiability (the unit every formula
+  /// query decomposes into).
+  Tri isSatConj(const ConstraintConj &Conj);
+
+  SolverStats stats() const;
+  void resetStats();
+
+  /// Drops every cached entry (stats are kept).
+  void clearCache();
+  size_t cacheSize() const;
+  size_t cacheCapacity() const { return Capacity; }
+
+  /// Attribution hook for the synthesis layer (FarkasSystem).
+  void noteLpSolve();
+
+  /// The process-wide default context behind the legacy static facade.
+  /// Internally synchronized; fine for tests and single-analysis use,
+  /// but parallel analyses should use per-group contexts.
+  static SolverContext &defaultCtx();
+
+private:
+  struct CacheEntry {
+    InternedConj Key;
+    Tri Val;
+  };
+
+  size_t Capacity;
+
+  mutable std::mutex Mu;
+  SolverStats Counters;
+  /// LRU order: front = most recently used.
+  std::list<CacheEntry> Lru;
+  std::unordered_map<InternedConj, std::list<CacheEntry>::iterator,
+                     InternedConjHash>
+      Cache;
+};
+
+} // namespace tnt
+
+#endif // TNT_SOLVER_SOLVERCONTEXT_H

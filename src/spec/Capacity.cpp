@@ -2,7 +2,7 @@
 
 #include "spec/Capacity.h"
 
-#include "solver/Solver.h"
+#include "solver/SolverContext.h"
 
 using namespace tnt;
 
@@ -57,7 +57,8 @@ std::optional<Capacity> tnt::capConsume(const Capacity &A, const Capacity &C) {
 
 Tri tnt::checkLexDecrease(const Formula &Ctx,
                           const std::vector<LinExpr> &Caller,
-                          const std::vector<LinExpr> &Callee) {
+                          const std::vector<LinExpr> &Callee,
+                          SolverContext &SC) {
   // Callee <l Caller: exists a position k such that all earlier
   // components are equal, component k strictly decreases and is bounded
   // below at the caller. The empty measure is below every non-empty one
@@ -81,5 +82,5 @@ Tri tnt::checkLexDecrease(const Formula &Ctx,
       Parts.push_back(Formula::cmp(Callee[J], CmpKind::Eq, Caller[J]));
     Cases.push_back(Formula::conj(Parts));
   }
-  return Solver::implies(Ctx, Formula::disj(Cases));
+  return SC.implies(Ctx, Formula::disj(Cases));
 }

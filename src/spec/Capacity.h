@@ -22,7 +22,7 @@
 #define TNT_SPEC_CAPACITY_H
 
 #include "arith/Formula.h"
-#include "solver/Omega.h"
+#include "solver/SolverContext.h"
 #include "support/ExtNat.h"
 
 #include <optional>
@@ -64,7 +64,8 @@ std::optional<Capacity> capConsume(const Capacity &A, const Capacity &C);
 /// Term[Callee] at a (mutually) recursive call. Measures may have
 /// different lengths; the shorter is compared per <l of Fig. 2.
 Tri checkLexDecrease(const Formula &Ctx, const std::vector<LinExpr> &Caller,
-                     const std::vector<LinExpr> &Callee);
+                     const std::vector<LinExpr> &Callee,
+                     SolverContext &SC = SolverContext::defaultCtx());
 
 } // namespace tnt
 

@@ -3,7 +3,6 @@
 #include "synth/Abduction.h"
 
 #include "solver/Model.h"
-#include "solver/Solver.h"
 #include "synth/Farkas.h"
 
 #include <cassert>
@@ -16,7 +15,8 @@ namespace {
 std::optional<Constraint> trySubset(const ConstraintConj &Ctx,
                                     const ConstraintConj &Pending,
                                     const std::vector<VarId> &Subset,
-                                    const std::optional<Model> &Witness) {
+                                    const std::optional<Model> &Witness,
+                                    SolverContext &SC) {
   // Template alpha = c0 + sum ci * vi over the subset.
   std::vector<VarId> Params;
   Params.push_back(freshVar("abd_c"));
@@ -27,7 +27,7 @@ std::optional<Constraint> trySubset(const ConstraintConj &Ctx,
   }
   ParamLinExpr Alpha = ParamLinExpr::applyTemplate(Params, Args);
 
-  FarkasSystem FS;
+  FarkasSystem FS(&SC);
   for (const Constraint &T : Pending) {
     // Target conjunct in ">= 0" orientation(s).
     if (T.isLe()) {
@@ -66,8 +66,8 @@ std::optional<Constraint> trySubset(const ConstraintConj &Ctx,
 
 AbductionResult tnt::abduce(const ConstraintConj &Ctx,
                             const ConstraintConj &Target,
-                            const std::vector<VarId> &Over,
-                            unsigned MaxVars) {
+                            const std::vector<VarId> &Over, unsigned MaxVars,
+                            SolverContext &SC) {
   AbductionResult Out;
   Formula CtxF = conjToFormula(Ctx);
 
@@ -78,7 +78,7 @@ AbductionResult tnt::abduce(const ConstraintConj &Ctx,
     if (T.isNe())
       return Out;
     // Skip conjuncts already implied by the context.
-    if (Solver::entails(CtxF, Formula::atom(T)))
+    if (SC.entails(CtxF, Formula::atom(T)))
       continue;
     Pending.push_back(T);
   }
@@ -150,16 +150,16 @@ AbductionResult tnt::abduce(const ConstraintConj &Ctx,
   for (const std::vector<VarId> &Subset : Subsets) {
     for (const std::optional<Model> &Anchor : Anchors) {
       std::optional<Constraint> Alpha =
-          trySubset(Ctx, Pending, Subset, Anchor);
+          trySubset(Ctx, Pending, Subset, Anchor, SC);
       if (!Alpha)
         continue;
       // Re-verify both abduction conditions with the exact solver:
       // (i) consistency, (ii) sufficiency.
       Formula AlphaF = Formula::atom(*Alpha);
       Formula Strengthened = Formula::conj2(CtxF, AlphaF);
-      if (!Solver::definitelySat(Strengthened))
+      if (!SC.definitelySat(Strengthened))
         continue;
-      if (!Solver::entails(Strengthened, conjToFormula(Pending)))
+      if (!SC.entails(Strengthened, conjToFormula(Pending)))
         continue;
       Out.Success = true;
       Out.Alpha = *Alpha;

@@ -24,6 +24,7 @@
 #define TNT_SYNTH_ABDUCTION_H
 
 #include "arith/Formula.h"
+#include "solver/SolverContext.h"
 
 #include <optional>
 #include <vector>
@@ -45,8 +46,10 @@ struct AbductionResult {
 /// \param Target the conjunction to be established.
 /// \param Over candidate variables for the condition.
 /// \param MaxVars maximum number of variables in the condition.
+/// \param SC the decision context used for re-verification queries.
 AbductionResult abduce(const ConstraintConj &Ctx, const ConstraintConj &Target,
-                       const std::vector<VarId> &Over, unsigned MaxVars = 2);
+                       const std::vector<VarId> &Over, unsigned MaxVars = 2,
+                       SolverContext &SC = SolverContext::defaultCtx());
 
 } // namespace tnt
 

@@ -2,6 +2,8 @@
 
 #include "synth/Farkas.h"
 
+#include "solver/SolverContext.h"
+
 #include <cassert>
 
 using namespace tnt;
@@ -196,6 +198,8 @@ void FarkasSystem::addParamConstraint(const LinExpr &E, LpRel Rel) {
 }
 
 bool FarkasSystem::solve() {
+  if (SC)
+    SC->noteLpSolve();
   IntParams.clear();
   if (LP.checkFeasible() != Simplex::Result::Feasible)
     return false;

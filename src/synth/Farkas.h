@@ -64,11 +64,15 @@ struct ParamLinExpr {
   std::string str() const;
 };
 
+class SolverContext;
+
 /// Accumulates Farkas-encoded implications into one LP and solves for the
-/// template parameters.
+/// template parameters. Each system owns its Simplex instance; when
+/// constructed with a SolverContext, LP solves are attributed to that
+/// context's statistics.
 class FarkasSystem {
 public:
-  FarkasSystem() = default;
+  explicit FarkasSystem(SolverContext *SC = nullptr) : SC(SC) {}
 
   /// Encodes "Ante ==> Conseq >= 0". Equalities in \p Ante get free
   /// multipliers, inequalities non-negative ones. The encoding is
@@ -100,6 +104,7 @@ public:
 private:
   LVar lpParam(VarId P);
 
+  SolverContext *SC = nullptr;
   Simplex LP;
   std::map<VarId, LVar> ParamToLp;
   std::map<VarId, int64_t> IntParams;

@@ -2,7 +2,6 @@
 
 #include "synth/Ranking.h"
 
-#include "solver/Solver.h"
 #include "synth/Farkas.h"
 
 #include <cassert>
@@ -78,7 +77,8 @@ LinExpr substParallel(const LinExpr &E, const std::vector<VarId> &Params,
 
 RankResult
 tnt::synthesizeRanking(const std::vector<std::vector<VarId>> &PredParams,
-                       const std::vector<RankEdge> &Edges, unsigned MaxLex) {
+                       const std::vector<RankEdge> &Edges, unsigned MaxLex,
+                       SolverContext &SC) {
   RankResult Out;
   Out.Measures.resize(PredParams.size());
 
@@ -109,7 +109,7 @@ tnt::synthesizeRanking(const std::vector<std::vector<VarId>> &PredParams,
     for (size_t Strict = 0; Strict < Remaining.size() && !Progress;
          ++Strict) {
       std::vector<std::vector<VarId>> Tpls = makeTemplates(PredParams);
-      FarkasSystem FS;
+      FarkasSystem FS(&SC);
       for (size_t K = 0; K < Remaining.size(); ++K) {
         const RankEdge &E = Remaining[K];
         ParamLinExpr RS = srcRank(Tpls, PredParams, E);
@@ -142,7 +142,7 @@ tnt::synthesizeRanking(const std::vector<std::vector<VarId>> &PredParams,
         Formula Ctx = conjToFormula(E.Ctx);
         Formula StrictDec =
             Formula::cmp(RS - RD, CmpKind::Ge, LinExpr(1));
-        if (!Solver::entails(Ctx, StrictDec))
+        if (!SC.entails(Ctx, StrictDec))
           Next.push_back(E);
       }
       assert(Next.size() < Remaining.size() &&

@@ -22,6 +22,7 @@
 #define TNT_SYNTH_RANKING_H
 
 #include "arith/Constraint.h"
+#include "solver/SolverContext.h"
 
 #include <map>
 #include <vector>
@@ -52,9 +53,11 @@ struct RankResult {
 /// \param PredParams canonical parameter lists, one per predicate.
 /// \param Edges the internal transitions.
 /// \param MaxLex maximum number of lexicographic components.
+/// \param SC the decision context for decrease checks and LP accounting.
 RankResult synthesizeRanking(const std::vector<std::vector<VarId>> &PredParams,
                              const std::vector<RankEdge> &Edges,
-                             unsigned MaxLex = 4);
+                             unsigned MaxLex = 4,
+                             SolverContext &SC = SolverContext::defaultCtx());
 
 } // namespace tnt
 

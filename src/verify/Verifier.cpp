@@ -2,8 +2,6 @@
 
 #include "verify/Verifier.h"
 
-#include "solver/Solver.h"
-
 #include <algorithm>
 #include <cassert>
 
@@ -42,18 +40,19 @@ ExprPtr mkVarExpr(const std::string &Name, SourceLoc Loc) {
 } // namespace
 
 Verifier::Verifier(const Program &P, const CallGraph &CG, const HeapEnv &HEnv,
-                   UnkRegistry &Reg, DiagnosticEngine &Diags)
-    : P(P), CG(CG), HEnv(HEnv), Reg(Reg), Diags(Diags), Prover(HEnv) {}
+                   UnkRegistry &Reg, DiagnosticEngine &Diags,
+                   SolverContext &SC, ResolvedStore *Shared)
+    : P(P), CG(CG), HEnv(HEnv), Reg(Reg), Diags(Diags), SC(SC),
+      Prover(HEnv, SC), Resolved(Shared ? Shared : &OwnResolved) {}
 
 void Verifier::registerResolved(const std::string &Method,
                                 std::vector<ResolvedScenario> RS) {
-  Resolved[Method] = std::move(RS);
+  Resolved->add(Method, std::move(RS));
 }
 
 const std::vector<ResolvedScenario> *
 Verifier::resolved(const std::string &M) const {
-  auto It = Resolved.find(M);
-  return It == Resolved.end() ? nullptr : &It->second;
+  return Resolved->find(M);
 }
 
 MethodSpec Verifier::defaultSpec() {
@@ -94,7 +93,7 @@ std::vector<VarId> Verifier::canonicalParams(const MethodDecl &M,
 }
 
 bool Verifier::feasible(const SymState &St) const {
-  if (Solver::isSat(St.Pure) == Tri::False)
+  if (SC.isSat(St.Pure) == Tri::False)
     return false;
   // Heap-aware pruning: a predicate instance with no feasible unfolding
   // contradicts the state (e.g. a non-empty segment rooted at null).
@@ -105,7 +104,7 @@ bool Verifier::feasible(const SymState &St) const {
     for (const HeapEnv::UnfoldBranch &UB : HEnv.unfold(A)) {
       Formula BranchPure =
           Formula::conj({St.Pure, UB.Pure, UB.Facts});
-      if (Solver::isSat(BranchPure) != Tri::False) {
+      if (SC.isSat(BranchPure) != Tri::False) {
         Any = true;
         break;
       }
@@ -485,7 +484,7 @@ std::vector<Verifier::CallOut> Verifier::execCall(const SymState &St,
         if (!GhostUnis.empty())
           Goal = Formula::exists(
               std::vector<VarId>(GhostUnis.begin(), GhostUnis.end()), Goal);
-        if (!Goal.isTop() && !Solver::entails(Cur.St.Pure, Goal))
+        if (!Goal.isTop() && !SC.entails(Cur.St.Pure, Goal))
           continue;
         HeapProver::Branch B;
         B.Frame = Cur.St.Heap;
@@ -500,7 +499,7 @@ std::vector<Verifier::CallOut> Verifier::execCall(const SymState &St,
           Formula Goal = PreP;
           for (const auto &[G, V] : B.Bindings)
             Goal = Goal.substitute(G, V);
-          if (!Goal.isTop() && !Solver::entails(Ante, Goal)) {
+          if (!Goal.isTop() && !SC.entails(Ante, Goal)) {
             PureOk = false;
             break;
           }
@@ -573,7 +572,7 @@ std::vector<Verifier::CallOut> Verifier::execCall(const SymState &St,
             Formula GInst =
                 substParallelFormula(C.Guard, R.Params, CanonArgs);
             Formula Ctx = Formula::conj2(NS.Pure, GInst);
-            if (Solver::isSat(Ctx) == Tri::False)
+            if (SC.isSat(Ctx) == Tri::False)
               continue;
             if (CurPre != InvalidUnk) {
               switch (C.Temporal.K) {
@@ -888,7 +887,7 @@ void Verifier::checkExit(const ExitRec &E) {
   else
     PostP = PostP.substitute(mkVar("res"),
                              LinExpr::var(freshVar("res")));
-  if (!PostP.isTop() && !Solver::entails(E.St.Pure, PostP)) {
+  if (!PostP.isTop() && !SC.entails(E.St.Pure, PostP)) {
     Diags.error(CurMethod->Loc, "cannot prove postcondition of '" +
                                     CurMethod->Name + "' (scenario pure "
                                     "part)");

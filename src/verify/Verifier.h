@@ -24,6 +24,7 @@
 #include "verify/SymState.h"
 
 #include <map>
+#include <mutex>
 #include <optional>
 
 namespace tnt {
@@ -38,11 +39,39 @@ struct ResolvedScenario {
   std::vector<CaseOutcome> Cases;
 };
 
-/// The forward verifier for one program.
+/// Thread-safe store of per-method resolved summaries, shared by the
+/// per-group Verifier instances of one analysis. The parallel SCC
+/// scheduler guarantees a group's callees are registered before the
+/// group starts, so lookups of scheduled dependencies never race with
+/// their registration; the mutex serializes writers from unrelated
+/// groups. Returned pointers stay valid (node-based map, entries are
+/// written once).
+class ResolvedStore {
+public:
+  void add(const std::string &Method, std::vector<ResolvedScenario> RS) {
+    std::lock_guard<std::mutex> L(Mu);
+    Map[Method] = std::move(RS);
+  }
+  const std::vector<ResolvedScenario> *find(const std::string &Method) const {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Map.find(Method);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::vector<ResolvedScenario>> Map;
+};
+
+/// The forward verifier for one program (one call-graph group at a
+/// time; the parallel scheduler builds one Verifier per group over a
+/// shared ResolvedStore and a group-private SolverContext).
 class Verifier {
 public:
   Verifier(const Program &P, const CallGraph &CG, const HeapEnv &HEnv,
-           UnkRegistry &Reg, DiagnosticEngine &Diags);
+           UnkRegistry &Reg, DiagnosticEngine &Diags,
+           SolverContext &SC = SolverContext::defaultCtx(),
+           ResolvedStore *Shared = nullptr);
 
   /// Registers the summaries of an already-solved method.
   void registerResolved(const std::string &Method,
@@ -122,9 +151,13 @@ private:
   const HeapEnv &HEnv;
   UnkRegistry &Reg;
   DiagnosticEngine &Diags;
+  SolverContext &SC;
   HeapProver Prover;
 
-  std::map<std::string, std::vector<ResolvedScenario>> Resolved;
+  /// Summary store: the shared one when constructed for a scheduler
+  /// worker, otherwise this verifier's own.
+  ResolvedStore OwnResolved;
+  ResolvedStore *Resolved;
 
   // Per-group context.
   std::vector<std::string> CurGroup;

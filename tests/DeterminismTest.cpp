@@ -1,0 +1,102 @@
+//===- tests/DeterminismTest.cpp - parallel scheduler determinism -*- C++ -*-===//
+//
+// The parallel SCC scheduler contract: for any thread count, the
+// analysis result renders byte-identical to the sequential schedule —
+// per-group SolverContexts, per-group unknown registries and
+// deterministic fresh-variable blocks make group results a function of
+// the group alone, and the join assembles them in group order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Analyzer.h"
+#include "workloads/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+namespace {
+
+/// A program with several independent SCC groups plus a shared callee,
+/// so the parallel scheduler actually fans out.
+const char *MultiSccSource = R"(
+int dec(int k)
+{
+  if (k <= 0) return 0;
+  else return dec(k - 1);
+}
+int up(int a)
+{
+  if (a >= 100) return a;
+  else return up(a + 1);
+}
+int spin(int b)
+{
+  if (b < 0) return 0;
+  else return spin(b + 1);
+}
+int mix(int x, int y)
+{
+  if (x <= 0) return dec(y);
+  else return mix(x - 1, y + 1);
+}
+int main(int n)
+{
+  return mix(n, dec(n)) + up(0) + spin(-1);
+}
+)";
+
+void expectIdentical(const std::string &Source, const std::string &Label) {
+  AnalyzerConfig Seq;
+  Seq.Threads = 1;
+  AnalysisResult R1 = analyzeProgram(Source, Seq);
+
+  AnalyzerConfig Par;
+  Par.Threads = 4;
+  AnalysisResult R4 = analyzeProgram(Source, Par);
+
+  ASSERT_EQ(R1.Ok, R4.Ok) << Label;
+  EXPECT_EQ(R1.str(), R4.str()) << Label;
+  EXPECT_EQ(R1.Diagnostics, R4.Diagnostics) << Label;
+  EXPECT_EQ(R1.FuelUsed, R4.FuelUsed) << Label;
+  EXPECT_EQ(R1.Methods.size(), R4.Methods.size()) << Label;
+  EXPECT_EQ(outcomeStr(R1.outcome()), outcomeStr(R4.outcome())) << Label;
+}
+
+TEST(Determinism, MultiSccProgramByteIdentical) {
+  expectIdentical(MultiSccSource, "multi-scc");
+}
+
+TEST(Determinism, RepeatedParallelRunsByteIdentical) {
+  AnalyzerConfig Par;
+  Par.Threads = 4;
+  AnalysisResult A = analyzeProgram(MultiSccSource, Par);
+  AnalysisResult B = analyzeProgram(MultiSccSource, Par);
+  ASSERT_TRUE(A.Ok);
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_EQ(A.FuelUsed, B.FuelUsed);
+}
+
+TEST(Determinism, CorpusSampleByteIdentical) {
+  // A bounded slice across the corpus categories keeps the test fast
+  // while exercising heap programs, conditionals and non-termination.
+  const std::vector<BenchProgram> &All = corpus();
+  size_t Step = All.size() / 12;
+  if (Step == 0)
+    Step = 1;
+  for (size_t I = 0; I < All.size(); I += Step)
+    expectIdentical(All[I].Source, All[I].Name);
+}
+
+TEST(Determinism, MonolithicModeUnaffectedByThreads) {
+  AnalyzerConfig C1, C4;
+  C1.Modular = C4.Modular = false;
+  C1.Threads = 1;
+  C4.Threads = 4;
+  AnalysisResult R1 = analyzeProgram(MultiSccSource, C1);
+  AnalysisResult R4 = analyzeProgram(MultiSccSource, C4);
+  ASSERT_TRUE(R1.Ok && R4.Ok);
+  EXPECT_EQ(R1.str(), R4.str());
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tests/SolverContextTest.cpp - instance-based solver layer -*- C++ -*-===//
+//
+// Coverage for the SolverContext refactor: per-context cache/stats
+// isolation, hit/miss accounting, LRU bounding, hash-consed interning
+// pointer identity, and the legacy static facade forwarding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arith/Intern.h"
+#include "solver/Solver.h"
+#include "solver/SolverContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+namespace {
+
+LinExpr ex(const char *N) { return LinExpr::var(mkVar(N)); }
+
+Formula cmpf(const char *V, CmpKind K, int64_t C) {
+  return Formula::cmp(ex(V), K, LinExpr(C));
+}
+
+TEST(SolverContext, ContextsDoNotShareCachesOrStats) {
+  SolverContext A, B;
+  Formula F = Formula::conj2(cmpf("scx_a", CmpKind::Ge, 0),
+                             cmpf("scx_a", CmpKind::Le, 10));
+
+  EXPECT_EQ(A.isSat(F), Tri::True);
+  EXPECT_EQ(A.isSat(F), Tri::True);
+  SolverStats SA = A.stats();
+  EXPECT_GE(SA.SatQueries, 2u);
+  EXPECT_GE(SA.CacheHits, 1u);
+
+  // B never saw the query: no stats, and its first query is a miss.
+  SolverStats SB = B.stats();
+  EXPECT_EQ(SB.SatQueries, 0u);
+  EXPECT_EQ(SB.CacheHits, 0u);
+  EXPECT_EQ(B.cacheSize(), 0u);
+  EXPECT_EQ(B.isSat(F), Tri::True);
+  SB = B.stats();
+  EXPECT_GE(SB.CacheMisses, 1u);
+  EXPECT_EQ(SB.CacheHits, 0u);
+
+  // Resetting one context's stats leaves the other untouched.
+  A.resetStats();
+  EXPECT_EQ(A.stats().SatQueries, 0u);
+  EXPECT_GE(B.stats().SatQueries, 1u);
+}
+
+TEST(SolverContext, HitMissAccountingIsExact) {
+  SolverContext SC;
+  ConstraintConj Conj = {Constraint::make(ex("scx_h"), CmpKind::Ge, LinExpr(1)),
+                         Constraint::make(ex("scx_h"), CmpKind::Le,
+                                          LinExpr(5))};
+  EXPECT_EQ(SC.isSatConj(Conj), Tri::True);
+  SolverStats S1 = SC.stats();
+  EXPECT_EQ(S1.SatQueries, 1u);
+  EXPECT_EQ(S1.CacheMisses, 1u);
+  EXPECT_EQ(S1.CacheHits, 0u);
+
+  // Same conjunction, different order: canonical key, so a hit.
+  ConstraintConj Rev(Conj.rbegin(), Conj.rend());
+  EXPECT_EQ(SC.isSatConj(Rev), Tri::True);
+  SolverStats S2 = SC.stats();
+  EXPECT_EQ(S2.SatQueries, 2u);
+  EXPECT_EQ(S2.CacheMisses, 1u);
+  EXPECT_EQ(S2.CacheHits, 1u);
+  EXPECT_EQ(S2.SatQueries, S2.CacheHits + S2.CacheMisses);
+}
+
+TEST(SolverContext, ZeroCapacityDisablesCaching) {
+  SolverContext SC(/*CacheCapacity=*/0);
+  Formula F = cmpf("scx_u", CmpKind::Ge, 3);
+  EXPECT_EQ(SC.isSat(F), Tri::True);
+  EXPECT_EQ(SC.isSat(F), Tri::True);
+  SolverStats S = SC.stats();
+  EXPECT_EQ(S.CacheHits, 0u);
+  EXPECT_EQ(SC.cacheSize(), 0u);
+  EXPECT_GE(S.CacheMisses, 2u);
+}
+
+TEST(SolverContext, LruEvictsLeastRecentlyUsed) {
+  SolverContext SC(/*CacheCapacity=*/2);
+  auto conj = [](const char *V) {
+    return ConstraintConj{
+        Constraint::make(LinExpr::var(mkVar(V)), CmpKind::Ge, LinExpr(0))};
+  };
+  (void)SC.isSatConj(conj("scx_l1")); // cache: {1}
+  (void)SC.isSatConj(conj("scx_l2")); // cache: {1,2}
+  (void)SC.isSatConj(conj("scx_l1")); // refresh 1; cache: {2,1}
+  (void)SC.isSatConj(conj("scx_l3")); // evicts 2; cache: {1,3}
+  EXPECT_EQ(SC.cacheSize(), 2u);
+  EXPECT_EQ(SC.stats().CacheEvictions, 1u);
+
+  uint64_t MissesBefore = SC.stats().CacheMisses;
+  (void)SC.isSatConj(conj("scx_l1")); // still cached: hit
+  EXPECT_EQ(SC.stats().CacheMisses, MissesBefore);
+  (void)SC.isSatConj(conj("scx_l2")); // evicted: miss
+  EXPECT_EQ(SC.stats().CacheMisses, MissesBefore + 1);
+}
+
+TEST(SolverContext, ClearCacheKeepsStats) {
+  SolverContext SC;
+  Formula F = cmpf("scx_c", CmpKind::Ge, 0);
+  (void)SC.isSat(F);
+  ASSERT_GT(SC.cacheSize(), 0u);
+  uint64_t Queries = SC.stats().SatQueries;
+  SC.clearCache();
+  EXPECT_EQ(SC.cacheSize(), 0u);
+  EXPECT_EQ(SC.stats().SatQueries, Queries);
+}
+
+TEST(ArithIntern, PointerIdentityForEqualTerms) {
+  LinExpr E1 = ex("int_x") * 3 + ex("int_y") - 7;
+  LinExpr E2 = ex("int_x") * 3 + ex("int_y") - 7;
+  LinExpr E3 = ex("int_x") * 3 + ex("int_y") - 8;
+  ASSERT_EQ(E1, E2);
+  ArithIntern &I = ArithIntern::global();
+  const LinExpr *P1 = I.expr(E1);
+  const LinExpr *P2 = I.expr(E2);
+  const LinExpr *P3 = I.expr(E3);
+  EXPECT_EQ(P1, P2);
+  EXPECT_NE(P1, P3);
+  // Interned value is the value that went in.
+  EXPECT_EQ(*P1, E1);
+
+  Constraint C1 = Constraint::make(E1, CmpKind::Le, LinExpr(0));
+  Constraint C2 = Constraint::make(E2, CmpKind::Le, LinExpr(0));
+  Constraint C3 = Constraint::make(E1, CmpKind::Eq, LinExpr(0));
+  EXPECT_EQ(I.constraint(C1), I.constraint(C2));
+  EXPECT_NE(I.constraint(C1), I.constraint(C3));
+}
+
+TEST(ArithIntern, CanonicalConjunctionKey) {
+  Constraint A = Constraint::make(ex("int_k1"), CmpKind::Ge, LinExpr(0));
+  Constraint B = Constraint::make(ex("int_k2"), CmpKind::Le, LinExpr(9));
+  InternedConj K1 = internConj({A, B});
+  InternedConj K2 = internConj({B, A, B}); // order + duplicates
+  EXPECT_EQ(K1, K2);
+  EXPECT_EQ(K1.size(), 2u);
+  EXPECT_EQ(InternedConjHash()(K1), InternedConjHash()(K2));
+}
+
+TEST(SolverFacade, ForwardsToDefaultContext) {
+  Solver::resetStats();
+  Formula F = Formula::conj2(cmpf("scx_f", CmpKind::Ge, 1),
+                             cmpf("scx_f", CmpKind::Le, 4));
+  EXPECT_EQ(Solver::isSat(F), Tri::True);
+  EXPECT_EQ(Solver::isSat(F), Tri::True);
+  Solver::Stats S = Solver::stats();
+  EXPECT_GE(S.SatQueries, 2u);
+  EXPECT_GE(S.CacheHits, 1u);
+  // The facade and the default context are the same object.
+  EXPECT_EQ(S.SatQueries, SolverContext::defaultCtx().stats().SatQueries);
+}
+
+} // namespace

@@ -1,6 +1,7 @@
 //===- tools/hiptnt.cpp - Command-line driver -------------------*- C++ -*-===//
 //
 // hiptnt <file> [--monolithic] [--no-abduction] [--entry <name>]
+//        [--threads <n>] [--stats]
 //
 // Parses the program, runs the termination/non-termination inference
 // and prints the per-method case-based specifications plus the entry
@@ -10,6 +11,7 @@
 
 #include "api/Analyzer.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,6 +21,7 @@ using namespace tnt;
 
 int main(int Argc, char **Argv) {
   std::string Path, Entry = "main";
+  bool ShowStats = false;
   AnalyzerConfig Config;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -28,6 +31,21 @@ int main(int Argc, char **Argv) {
       Config.Solve.EnableAbduction = false;
     else if (Arg == "--entry" && I + 1 < Argc)
       Entry = Argv[++I];
+    else if (Arg == "--threads") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --threads requires a value\n";
+        return 2;
+      }
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0') {
+        std::cerr << "invalid --threads value '" << Argv[I] << "'\n";
+        return 2;
+      }
+      Config.Threads = static_cast<unsigned>(N);
+    }
+    else if (Arg == "--stats")
+      ShowStats = true;
     else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "unknown option " << Arg << "\n";
       return 2;
@@ -37,7 +55,7 @@ int main(int Argc, char **Argv) {
   }
   if (Path.empty()) {
     std::cerr << "usage: hiptnt <file> [--monolithic] [--no-abduction] "
-                 "[--entry <name>]\n";
+                 "[--entry <name>] [--threads <n>] [--stats]\n";
     return 2;
   }
 
@@ -60,5 +78,18 @@ int main(int Argc, char **Argv) {
               << "': " << outcomeStr(R.outcome(Entry)) << "\n";
   std::cout << "time: " << R.Millis << " ms, solver queries: " << R.FuelUsed
             << "\n";
+  if (ShowStats) {
+    const SolverStats &S = R.SolverUsage;
+    double HitRate =
+        S.SatQueries ? double(S.CacheHits) / double(S.SatQueries) : 0.0;
+    std::cout << "solver stats: groups=" << R.GroupCount
+              << " threads=" << Config.Threads
+              << " sat_queries=" << S.SatQueries
+              << " cache_hits=" << S.CacheHits
+              << " cache_misses=" << S.CacheMisses
+              << " cache_evictions=" << S.CacheEvictions
+              << " lp_solves=" << S.LpSolves << " hit_rate=" << HitRate
+              << "\n";
+  }
   return 0;
 }
