@@ -113,6 +113,48 @@ void BM_ContextUncachedEntailment(benchmark::State &State) {
 }
 BENCHMARK(BM_ContextUncachedEntailment);
 
+/// The repeated-toDNF workload of the dnf_memo artifact section: a
+/// fixed family of formulas whose expansion does real distribution
+/// work (2^6 clauses each) plus an existential block, so memo hits
+/// exercise the skeleton-renaming path.
+std::vector<Formula> dnfWorkload() {
+  std::vector<Formula> Fs;
+  for (int I = 0; I < 12; ++I) {
+    std::vector<Formula> Parts;
+    for (int J = 0; J < 6; ++J) {
+      std::string V = "bm_dnf" + std::to_string(I) + "_" + std::to_string(J);
+      Parts.push_back(Formula::disj2(
+          Formula::cmp(ex(V.c_str()), CmpKind::Le, LinExpr(J)),
+          Formula::cmp(ex(V.c_str()), CmpKind::Ge, LinExpr(J + 10))));
+    }
+    VarId W = mkVar("bm_dnfw" + std::to_string(I));
+    Parts.push_back(Formula::exists(
+        {W}, Formula::cmp(LinExpr::var(W), CmpKind::Ge,
+                          ex(("bm_dnf" + std::to_string(I) + "_0").c_str()))));
+    Fs.push_back(Formula::conj(Parts));
+  }
+  return Fs;
+}
+
+void BM_MemoizedToDNF(benchmark::State &State) {
+  auto Fs = dnfWorkload();
+  SolverContext SC;
+  for (auto _ : State)
+    for (const Formula &F : Fs)
+      benchmark::DoNotOptimize(SC.toDNF(F, 256));
+}
+BENCHMARK(BM_MemoizedToDNF);
+
+void BM_UnmemoizedToDNF(benchmark::State &State) {
+  auto Fs = dnfWorkload();
+  SolverContext SC(SolverContext::DefaultCacheCapacity,
+                   /*DnfMemoCapacity=*/0);
+  for (auto _ : State)
+    for (const Formula &F : Fs)
+      benchmark::DoNotOptimize(SC.toDNF(F, 256));
+}
+BENCHMARK(BM_UnmemoizedToDNF);
+
 void BM_RankingSynthesis(benchmark::State &State) {
   VarId X = mkVar("bm_rx"), Y = mkVar("bm_ry");
   VarId XP = mkVar("bm_rx'"), YP = mkVar("bm_ry'");
@@ -206,7 +248,38 @@ int emitJson(const std::string &Path) {
   double Speedup = UncachedSec > 0 && CachedSec > 0 ? UncachedSec / CachedSec
                                                     : 0.0;
 
-  // 2. Parallel SCC scheduler speedup on a multi-group program.
+  // 2. Repeated-toDNF throughput, unmemoized vs pointer-keyed memo.
+  auto DnfFs = dnfWorkload();
+  const unsigned DnfRounds = 600;
+
+  SolverContext DnfUnmemo(SolverContext::DefaultCacheCapacity,
+                          /*DnfMemoCapacity=*/0);
+  auto DU0 = Clock::now();
+  for (unsigned R = 0; R < DnfRounds; ++R)
+    for (const Formula &F : DnfFs)
+      benchmark::DoNotOptimize(DnfUnmemo.toDNF(F, 256));
+  auto DU1 = Clock::now();
+  double DnfUnmemoSec = Secs(DU0, DU1);
+  uint64_t DnfQueries = DnfUnmemo.stats().DnfQueries;
+
+  SolverContext DnfMemo;
+  auto DM0 = Clock::now();
+  for (unsigned R = 0; R < DnfRounds; ++R)
+    for (const Formula &F : DnfFs)
+      benchmark::DoNotOptimize(DnfMemo.toDNF(F, 256));
+  auto DM1 = Clock::now();
+  double DnfMemoSec = Secs(DM0, DM1);
+  SolverStats DS = DnfMemo.stats();
+  uint64_t DnfLookups = DS.DnfHits + DS.DnfMisses;
+  double DnfHitRate = DnfLookups ? double(DS.DnfHits) / double(DnfLookups)
+                                 : 0.0;
+  double DnfUnmemoQps =
+      DnfUnmemoSec > 0 ? double(DnfQueries) / DnfUnmemoSec : 0.0;
+  double DnfMemoQps = DnfMemoSec > 0 ? double(DS.DnfQueries) / DnfMemoSec : 0.0;
+  double DnfSpeedup =
+      DnfUnmemoSec > 0 && DnfMemoSec > 0 ? DnfUnmemoSec / DnfMemoSec : 0.0;
+
+  // 3. Parallel SCC scheduler speedup on a multi-group program.
   unsigned Hw = std::thread::hardware_concurrency();
   unsigned Threads = Hw == 0 ? 4 : std::max(Hw, 2u);
   std::string Prog = multiSccProgram(12);
@@ -237,7 +310,15 @@ int emitJson(const std::string &Path) {
   Out << "    \"uncached_qps\": " << UncachedQps << ",\n";
   Out << "    \"cached_qps\": " << CachedQps << ",\n";
   Out << "    \"speedup_vs_uncached\": " << Speedup << ",\n";
-  Out << "    \"cache_hit_rate\": " << HitRate << "\n";
+  Out << "    \"cache_hit_rate\": " << HitRate << ",\n";
+  Out << "    \"cache_enabled\": true\n";
+  Out << "  },\n";
+  Out << "  \"dnf_memo\": {\n";
+  Out << "    \"queries\": " << DnfQueries << ",\n";
+  Out << "    \"unmemoized_dnf_per_sec\": " << DnfUnmemoQps << ",\n";
+  Out << "    \"memoized_dnf_per_sec\": " << DnfMemoQps << ",\n";
+  Out << "    \"speedup_vs_unmemoized\": " << DnfSpeedup << ",\n";
+  Out << "    \"memo_hit_rate\": " << DnfHitRate << "\n";
   Out << "  },\n";
   Out << "  \"parallel_scc\": {\n";
   Out << "    \"threads\": " << Threads << ",\n";
@@ -251,6 +332,8 @@ int emitJson(const std::string &Path) {
   Out << "}\n";
   std::cout << "BENCH_solver.json: cached " << CachedQps << " q/s vs uncached "
             << UncachedQps << " q/s (x" << Speedup << ", hit rate " << HitRate
+            << "); dnf memo " << DnfMemoQps << " dnf/s vs " << DnfUnmemoQps
+            << " dnf/s (x" << DnfSpeedup << ", hit rate " << DnfHitRate
             << "); parallel x" << ParSpeedup << " on " << Threads
             << " threads (deterministic: " << (Deterministic ? "yes" : "no")
             << ")\n";

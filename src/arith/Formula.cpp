@@ -2,19 +2,98 @@
 
 #include "arith/Formula.h"
 
+#include "arith/Intern.h"
+
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace tnt;
 
+bool FormulaNode::operator==(const FormulaNode &O) const {
+  if (K != O.K || Bound != O.Bound || Children.size() != O.Children.size())
+    return false;
+  if (K == Kind::Atom && !(Atom == O.Atom))
+    return false;
+  for (size_t I = 0; I < Children.size(); ++I)
+    if (Children[I].node() != O.Children[I].node())
+      return false;
+  return true;
+}
+
+namespace {
+
+/// Structural hash of a node whose children are already interned (and
+/// therefore carry their own cached hashes). Mixes shape only — kinds,
+/// constraint hashes, VarIds — never pointers, so the value is stable
+/// across runs.
+size_t computeHash(const FormulaNode &N) {
+  uint64_t H = 1469598103934665603ull;
+  auto mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(N.K));
+  if (N.K == FormulaNode::Kind::Atom)
+    mix(N.Atom.hashValue());
+  for (const Formula &C : N.Children)
+    mix(C.node()->Hash);
+  for (VarId B : N.Bound)
+    mix(B);
+  return static_cast<size_t>(H);
+}
+
+} // namespace
+
+bool tnt::formulaStructLess(const FormulaNode *A, const FormulaNode *B) {
+  if (A == B)
+    return false;
+  // Hash first: cheap, deterministic, and almost always decisive.
+  if (A->Hash != B->Hash)
+    return A->Hash < B->Hash;
+  if (A->K != B->K)
+    return A->K < B->K;
+  if (A->K == FormulaNode::Kind::Atom)
+    return A->Atom < B->Atom;
+  if (A->Bound != B->Bound)
+    return A->Bound < B->Bound;
+  if (A->Children.size() != B->Children.size())
+    return A->Children.size() < B->Children.size();
+  for (size_t I = 0; I < A->Children.size(); ++I) {
+    const FormulaNode *CA = A->Children[I].node();
+    const FormulaNode *CB = B->Children[I].node();
+    if (CA != CB)
+      return formulaStructLess(CA, CB);
+  }
+  // All components equal: the intern table would have produced one
+  // node, so this is only reachable for A == B (handled above).
+  return false;
+}
+
 Formula Formula::make(FormulaNode::Kind K, Constraint Atom,
                       std::vector<Formula> Children, std::vector<VarId> Bound) {
-  auto N = std::make_shared<FormulaNode>();
-  N->K = K;
-  N->Atom = std::move(Atom);
-  N->Children = std::move(Children);
-  N->Bound = std::move(Bound);
-  return Formula(std::move(N));
+  if (K == FormulaNode::Kind::And || K == FormulaNode::Kind::Or) {
+    // Commutative canonicalization: deterministic structural order plus
+    // idempotence (duplicate children collapse).
+    std::sort(Children.begin(), Children.end(),
+              [](const Formula &A, const Formula &B) {
+                return formulaStructLess(A.node(), B.node());
+              });
+    Children.erase(std::unique(Children.begin(), Children.end(),
+                               [](const Formula &A, const Formula &B) {
+                                 return A.node() == B.node();
+                               }),
+                   Children.end());
+    if (Children.size() == 1)
+      return Children[0];
+  }
+  FormulaNode N;
+  N.K = K;
+  N.Atom = std::move(Atom);
+  N.Children = std::move(Children);
+  N.Bound = std::move(Bound);
+  N.Hash = computeHash(N);
+  return Formula(ArithIntern::global().formula(N));
 }
 
 Formula Formula::top() {
@@ -99,14 +178,16 @@ Formula Formula::exists(const std::vector<VarId> &Vars, const Formula &Body) {
   if (Vars.empty() || Body.isTop() || Body.isBottom())
     return Body;
   std::set<VarId> Free = Body.freeVars();
-  std::vector<VarId> Used;
+  // Binders are independent, so a sorted deduplicated set is the
+  // canonical spelling of the quantifier prefix.
+  std::set<VarId> UsedSet;
   for (VarId V : Vars)
     if (Free.count(V))
-      Used.push_back(V);
-  if (Used.empty())
+      UsedSet.insert(V);
+  if (UsedSet.empty())
     return Body;
   return make(FormulaNode::Kind::Exists, Constraint(), {Body},
-              std::move(Used));
+              std::vector<VarId>(UsedSet.begin(), UsedSet.end()));
 }
 
 bool Formula::isTop() const {
@@ -115,32 +196,6 @@ bool Formula::isTop() const {
 
 bool Formula::isBottom() const {
   return Node && Node->K == FormulaNode::Kind::False;
-}
-
-bool Formula::structEq(const Formula &O) const {
-  if (Node == O.Node)
-    return true;
-  if (!Node || !O.Node || Node->K != O.Node->K)
-    return false;
-  const FormulaNode &A = *Node, &B = *O.Node;
-  switch (A.K) {
-  case FormulaNode::Kind::True:
-  case FormulaNode::Kind::False:
-    return true;
-  case FormulaNode::Kind::Atom:
-    return A.Atom == B.Atom;
-  case FormulaNode::Kind::And:
-  case FormulaNode::Kind::Or:
-  case FormulaNode::Kind::Not:
-  case FormulaNode::Kind::Exists:
-    if (A.Bound != B.Bound || A.Children.size() != B.Children.size())
-      return false;
-    for (size_t I = 0; I < A.Children.size(); ++I)
-      if (!A.Children[I].structEq(B.Children[I]))
-        return false;
-    return true;
-  }
-  return false;
 }
 
 static void collectFree(const Formula &F, std::set<VarId> &Bound,
@@ -186,7 +241,7 @@ std::set<VarId> Formula::freeVars() const {
 
 Formula Formula::substitute(VarId V, const LinExpr &Repl) const {
   assert(isValid() && "substitute on invalid formula");
-  const FormulaNode *N = Node.get();
+  const FormulaNode *N = Node;
   switch (N->K) {
   case FormulaNode::Kind::True:
   case FormulaNode::Kind::False:
@@ -232,7 +287,7 @@ Formula Formula::substitute(VarId V, const LinExpr &Repl) const {
 
 Formula Formula::rename(const std::map<VarId, VarId> &Renaming) const {
   assert(isValid() && "rename on invalid formula");
-  const FormulaNode *N = Node.get();
+  const FormulaNode *N = Node;
   switch (N->K) {
   case FormulaNode::Kind::True:
   case FormulaNode::Kind::False:
@@ -256,7 +311,51 @@ Formula Formula::rename(const std::map<VarId, VarId> &Renaming) const {
       Inner.erase(B);
     if (Inner.empty())
       return *this;
-    return exists(N->Bound, N->Children[0].rename(Inner));
+    // Capture avoidance: a renaming *target* that collides with a
+    // binder would be captured (e.g. x -> b under "exists b"); freshen
+    // such binders before applying the renaming. Only the collision
+    // case pays for a freeVars() walk — it prunes pairs whose source
+    // is not free in the body (they cannot act, and keeping them would
+    // force needless freshening).
+    std::set<VarId> Targets;
+    for (const auto &[From, To] : Inner)
+      Targets.insert(To);
+    bool Collides = false;
+    for (VarId B : N->Bound)
+      if (Targets.count(B)) {
+        Collides = true;
+        break;
+      }
+    std::map<VarId, VarId> Freshen;
+    std::vector<VarId> NewBound = N->Bound;
+    if (Collides) {
+      std::set<VarId> Free = N->Children[0].freeVars();
+      Targets.clear();
+      for (auto It = Inner.begin(); It != Inner.end();) {
+        if (Free.count(It->first)) {
+          Targets.insert(It->second);
+          ++It;
+        } else {
+          It = Inner.erase(It);
+        }
+      }
+      if (Inner.empty())
+        return *this;
+      NewBound.clear();
+      for (VarId B : N->Bound) {
+        if (Targets.count(B)) {
+          VarId NB = freshVar(varName(B));
+          Freshen[B] = NB;
+          NewBound.push_back(NB);
+        } else {
+          NewBound.push_back(B);
+        }
+      }
+    }
+    Formula Body = N->Children[0];
+    if (!Freshen.empty())
+      Body = Body.rename(Freshen);
+    return exists(NewBound, Body.rename(Inner));
   }
   }
   return *this;
@@ -264,7 +363,7 @@ Formula Formula::rename(const std::map<VarId, VarId> &Renaming) const {
 
 bool Formula::eval(const std::map<VarId, int64_t> &Assign) const {
   assert(isValid() && "eval on invalid formula");
-  const FormulaNode *N = Node.get();
+  const FormulaNode *N = Node;
   switch (N->K) {
   case FormulaNode::Kind::True:
     return true;
@@ -285,26 +384,41 @@ bool Formula::eval(const std::map<VarId, int64_t> &Assign) const {
   case FormulaNode::Kind::Not:
     return !N->Children[0].eval(Assign);
   case FormulaNode::Kind::Exists: {
-    // Small-window search: adequate for unit tests over tiny witnesses.
-    assert(N->Bound.size() <= 2 && "eval supports at most 2 bound vars");
+    // Witness search over any arity: candidate values are a small
+    // window around 0 and around each assigned value, so witnesses
+    // near the assigned magnitudes (e.g. "exists b . b = x" with
+    // x = 1000) are found. A total budget caps the Cands^arity
+    // blowup; exhausting it means "no witness found" — the search is
+    // an under-approximation by design, adequate for small
+    // certificates.
     const int64_t Window = 8;
+    std::vector<int64_t> Cands;
+    for (int64_t D = -Window; D <= Window; ++D)
+      Cands.push_back(D);
+    for (const auto &[V, Val] : Assign)
+      for (int64_t D = -Window; D <= Window; ++D)
+        Cands.push_back(Val + D);
+    std::sort(Cands.begin(), Cands.end());
+    Cands.erase(std::unique(Cands.begin(), Cands.end()), Cands.end());
+    size_t Budget = 1u << 20;
     std::map<VarId, int64_t> A = Assign;
-    if (N->Bound.size() == 1) {
-      for (int64_t X = -Window; X <= Window; ++X) {
-        A[N->Bound[0]] = X;
-        if (N->Children[0].eval(A))
+    std::function<bool(size_t)> Search = [&](size_t I) {
+      if (I == N->Bound.size()) {
+        if (Budget == 0)
+          return false;
+        --Budget;
+        return N->Children[0].eval(A);
+      }
+      for (int64_t V : Cands) {
+        if (Budget == 0)
+          return false;
+        A[N->Bound[I]] = V;
+        if (Search(I + 1))
           return true;
       }
       return false;
-    }
-    for (int64_t X = -Window; X <= Window; ++X)
-      for (int64_t Y = -Window; Y <= Window; ++Y) {
-        A[N->Bound[0]] = X;
-        A[N->Bound[1]] = Y;
-        if (N->Children[0].eval(A))
-          return true;
-      }
-    return false;
+    };
+    return Search(0);
   }
   }
   return false;
@@ -312,7 +426,8 @@ bool Formula::eval(const std::map<VarId, int64_t> &Assign) const {
 
 namespace {
 
-Formula nnfOf(const Formula &F, bool Negate) {
+Formula nnfOf(const Formula &F, bool Negate,
+              std::vector<std::pair<VarId, std::string>> *RenamedOut) {
   const FormulaNode *N = F.node();
   switch (N->K) {
   case FormulaNode::Kind::True:
@@ -335,19 +450,30 @@ Formula nnfOf(const Formula &F, bool Negate) {
     std::vector<Formula> Kids;
     Kids.reserve(N->Children.size());
     for (const Formula &C : N->Children)
-      Kids.push_back(nnfOf(C, Negate));
+      Kids.push_back(nnfOf(C, Negate, RenamedOut));
     return IsAnd ? Formula::conj(Kids) : Formula::disj(Kids);
   }
   case FormulaNode::Kind::Not:
-    return nnfOf(N->Children[0], !Negate);
+    return nnfOf(N->Children[0], !Negate, RenamedOut);
   case FormulaNode::Kind::Exists: {
-    // Negated existentials (universals) must be eliminated by the Solver
-    // facade (exact projection) before NNF; see Solver::isSat.
-    assert(!Negate && "universal quantification outside supported fragment");
+    // A negated existential (a universal) is outside the NNF fragment.
+    // Solver entry points eliminate negative existentials by exact
+    // projection before NNF (rewriteNegExists in SolverContext); for
+    // callers that skip that pass, keep the Not node intact as a
+    // residue — expandNNF refuses to expand it (conservative nullopt)
+    // instead of mis-expanding the universal as an existential, which
+    // is what the old NDEBUG-compiled-out assert silently allowed.
+    if (Negate)
+      return Formula::neg(F);
     std::map<VarId, VarId> Renaming;
-    for (VarId B : N->Bound)
-      Renaming[B] = freshVar(varName(B));
-    return nnfOf(N->Children[0].rename(Renaming), false);
+    for (VarId B : N->Bound) {
+      std::string Base = varName(B);
+      VarId Fresh = freshVar(Base);
+      Renaming[B] = Fresh;
+      if (RenamedOut)
+        RenamedOut->emplace_back(Fresh, std::move(Base));
+    }
+    return nnfOf(N->Children[0].rename(Renaming), false, RenamedOut);
   }
   }
   return F;
@@ -355,14 +481,14 @@ Formula nnfOf(const Formula &F, bool Negate) {
 
 } // namespace
 
-Formula Formula::toNNF() const {
+Formula
+Formula::toNNF(std::vector<std::pair<VarId, std::string>> *RenamedOut) const {
   assert(isValid() && "toNNF on invalid formula");
-  return nnfOf(*this, false);
+  return nnfOf(*this, false, RenamedOut);
 }
 
 std::optional<std::vector<ConstraintConj>>
-Formula::toDNF(size_t MaxClauses) const {
-  Formula N = toNNF();
+Formula::expandNNF(const Formula &Nnf, size_t MaxClauses) {
   // Recursive expansion with clause cap.
   struct Expander {
     size_t Cap;
@@ -424,14 +550,19 @@ Formula::toDNF(size_t MaxClauses) const {
       }
       case FormulaNode::Kind::Exists: {
         // Rename bound variables to fresh free variables: sound for
-        // satisfiability and projection-style queries.
+        // satisfiability and projection-style queries. (toNNF already
+        // eliminates positive existentials, so this only fires when a
+        // caller expands a hand-built NNF that still carries one.)
         std::map<VarId, VarId> Renaming;
         for (VarId B : Nd->Bound)
           Renaming[B] = freshVar(varName(B));
         return expand(Nd->Children[0].rename(Renaming));
       }
       case FormulaNode::Kind::Not:
-        assert(false && "Not must be eliminated by NNF");
+        // Residual negation: a negated existential toNNF could not push
+        // through (see nnfOf). Refuse to expand rather than produce an
+        // unsound DNF; callers treat nullopt conservatively.
+        Overflow = true;
         return {};
       }
       return {};
@@ -439,16 +570,21 @@ Formula::toDNF(size_t MaxClauses) const {
   };
 
   Expander E{MaxClauses};
-  std::vector<ConstraintConj> Out = E.expand(N);
+  std::vector<ConstraintConj> Out = E.expand(Nnf);
   if (E.Overflow)
     return std::nullopt;
   return Out;
 }
 
+std::optional<std::vector<ConstraintConj>>
+Formula::toDNF(size_t MaxClauses) const {
+  return expandNNF(toNNF(), MaxClauses);
+}
+
 std::string Formula::str() const {
   if (!isValid())
     return "<invalid>";
-  const FormulaNode *N = Node.get();
+  const FormulaNode *N = Node;
   switch (N->K) {
   case FormulaNode::Kind::True:
     return "true";

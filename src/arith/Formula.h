@@ -8,8 +8,11 @@
 /// \file
 /// The pure (non-heap) fragment `pi` of the specification language of
 /// Fig. 2: boolean combinations and existential quantification over
-/// atomic linear constraints. Nodes are immutable and shared; every
-/// transformation is functional.
+/// atomic linear constraints. Nodes are immutable, hash-consed in the
+/// process-wide ArithIntern table, and shared; every transformation is
+/// functional. Because construction canonicalizes commutative children
+/// and interns the result, structurally equal formulas are represented
+/// by one node and structEq is a pointer comparison.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,18 +21,20 @@
 
 #include "arith/Constraint.h"
 
-#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tnt {
 
 class Formula;
 
-/// Immutable node of a formula DAG. All members are set once at
-/// construction (by Formula's factories) and never mutated.
+/// Immutable node of a formula DAG. All members are set once before the
+/// node enters the intern table and never mutated afterwards. Children
+/// are themselves interned, so node identity (and operator==, used by
+/// the intern table) compares children by pointer.
 struct FormulaNode {
   enum class Kind { True, False, Atom, And, Or, Not, Exists };
 
@@ -37,12 +42,23 @@ struct FormulaNode {
   Constraint Atom;
   std::vector<Formula> Children;
   std::vector<VarId> Bound;
+  /// Cached structural hash: a function of the node's shape only
+  /// (kinds, constraints, VarIds), never of pointer values, so it is
+  /// identical across runs and thread schedules. Doubles as the fast
+  /// path of the deterministic child ordering.
+  size_t Hash = 0;
 
   Kind kind() const { return K; }
+
+  /// Hash-cons identity (children by pointer); consistent with Hash.
+  bool operator==(const FormulaNode &O) const;
+  size_t hashValue() const { return Hash; }
 };
 
-/// Shared handle to an immutable formula node. A default-constructed
-/// Formula is invalid; use Formula::top() for "true".
+/// Shared handle to an immutable, interned formula node. A
+/// default-constructed Formula is invalid; use Formula::top() for
+/// "true". Copies are pointer copies; interned nodes live for the
+/// process lifetime.
 class Formula {
 public:
   Formula() = default;
@@ -54,7 +70,9 @@ public:
   static Formula atom(const Constraint &C);
   /// Convenience: the atom "L Cmp R".
   static Formula cmp(const LinExpr &L, CmpKind Cmp, const LinExpr &R);
-  /// N-ary conjunction / disjunction with unit/absorbing folding.
+  /// N-ary conjunction / disjunction with unit/absorbing folding,
+  /// flattening, and commutative canonicalization (children sorted in a
+  /// deterministic structural order and deduplicated).
   static Formula conj(const std::vector<Formula> &Fs);
   static Formula disj(const std::vector<Formula> &Fs);
   static Formula conj2(const Formula &A, const Formula &B) {
@@ -65,54 +83,82 @@ public:
   }
   /// Negation (kept lazy; pushed inward by toNNF/toDNF).
   static Formula neg(const Formula &F);
-  /// Existential quantification over \p Vars.
+  /// Existential quantification over \p Vars (binders are sorted and
+  /// deduplicated; only variables free in the body are kept).
   static Formula exists(const std::vector<VarId> &Vars, const Formula &Body);
 
   bool isValid() const { return Node != nullptr; }
   bool isTop() const;
   bool isBottom() const;
 
-  /// The underlying immutable node; non-null for valid formulas.
-  const FormulaNode *node() const { return Node.get(); }
+  /// The underlying interned node; non-null for valid formulas. Stable
+  /// for the process lifetime, so it can key memo tables.
+  const FormulaNode *node() const { return Node; }
 
-  /// Structural equality.
-  bool structEq(const Formula &O) const;
+  /// Structural equality. Interning makes this a pointer comparison:
+  /// structurally equal formulas (up to And/Or child order and
+  /// duplicate children) share one node.
+  bool structEq(const Formula &O) const { return Node == O.Node; }
 
   /// Free variables.
   std::set<VarId> freeVars() const;
 
   /// Capture-avoiding substitution of \p Repl for \p V.
   Formula substitute(VarId V, const LinExpr &Repl) const;
-  /// Simultaneous capture-avoiding renaming.
+  /// Simultaneous capture-avoiding renaming: binders that collide with
+  /// a renaming target are freshened first, so a target never gets
+  /// captured by an enclosing Exists.
   Formula rename(const std::map<VarId, VarId> &Renaming) const;
 
   /// Evaluates under a total assignment of the free variables. Bound
-  /// variables are searched over a small window around the assigned
-  /// values and 0; adequate for testing on small certificates.
+  /// variables (any arity) are searched over a small window around 0
+  /// and around each value of the assignment, so witnesses near the
+  /// assigned magnitudes are found; adequate for testing on small
+  /// certificates.
   bool eval(const std::map<VarId, int64_t> &Assign) const;
 
   /// Disjunctive normal form: each element is a conjunction of canonical
   /// Eq/Le constraints. Ne atoms are split; existentially bound variables
   /// are renamed apart into fresh free variables (sound for
-  /// satisfiability). \p MaxClauses caps blowup; on overflow returns
-  /// std::nullopt.
+  /// satisfiability). \p MaxClauses caps blowup; on overflow — or when
+  /// the formula contains a negated existential, which the DNF fragment
+  /// cannot express soundly — returns std::nullopt. Equivalent to
+  /// expandNNF(toNNF(), MaxClauses).
   std::optional<std::vector<ConstraintConj>>
   toDNF(size_t MaxClauses = 4096) const;
 
-  /// Negation normal form with Not eliminated (Ne atoms allowed).
-  Formula toNNF() const;
+  /// Negation normal form with Not eliminated (Ne atoms allowed) and
+  /// positive existentials renamed apart into fresh free variables.
+  /// When \p RenamedOut is non-null, every fresh variable introduced
+  /// for a binder is appended as (fresh id, original binder spelling)
+  /// in introduction order — SolverContext's DNF memo uses the record
+  /// to re-freshen cached clause skeletons per retrieval.
+  Formula
+  toNNF(std::vector<std::pair<VarId, std::string>> *RenamedOut) const;
+  Formula toNNF() const { return toNNF(nullptr); }
+
+  /// DNF clause expansion of an already-NNF formula (as produced by
+  /// toNNF). The building block shared by toDNF and the memoized
+  /// SolverContext::toDNF.
+  static std::optional<std::vector<ConstraintConj>>
+  expandNNF(const Formula &Nnf, size_t MaxClauses);
 
   std::string str() const;
 
 private:
-  explicit Formula(std::shared_ptr<const FormulaNode> N)
-      : Node(std::move(N)) {}
+  explicit Formula(const FormulaNode *N) : Node(N) {}
 
   static Formula make(FormulaNode::Kind K, Constraint Atom,
                       std::vector<Formula> Children, std::vector<VarId> Bound);
 
-  std::shared_ptr<const FormulaNode> Node;
+  const FormulaNode *Node = nullptr;
 };
+
+/// Deterministic structural total order on interned nodes: depends only
+/// on formula shape (never on pointer values), so And/Or child
+/// canonicalization yields the same order for every run and thread
+/// schedule. Distinct interned nodes always compare unequal.
+bool formulaStructLess(const FormulaNode *A, const FormulaNode *B);
 
 /// Builds the conjunction of a constraint list as a Formula.
 Formula conjToFormula(const ConstraintConj &Conj);

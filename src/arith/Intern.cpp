@@ -28,6 +28,16 @@ void ArithIntern::constraints(const ConstraintConj &Conj,
     Out.push_back(Constraints.intern(C));
 }
 
+const FormulaNode *ArithIntern::formula(const FormulaNode &N) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Formulas.intern(N);
+}
+
+size_t ArithIntern::formulaCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Formulas.Storage.size();
+}
+
 size_t ArithIntern::exprCount() const {
   std::lock_guard<std::mutex> L(Mu);
   return Exprs.Storage.size();

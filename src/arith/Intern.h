@@ -6,10 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Hash-consing of LinExpr and Constraint values: structurally equal
-/// terms intern to the same stable pointer, so equality of interned
-/// terms is pointer identity and solver cache keys are vectors of
-/// pointers instead of rendered strings. The table is process-wide,
+/// Hash-consing of LinExpr, Constraint and FormulaNode values:
+/// structurally equal terms intern to the same stable pointer, so
+/// equality of interned terms is pointer identity and solver cache keys
+/// are pointers (or vectors of pointers) instead of rendered strings.
+/// Formula nodes are interned bottom-up — children are interned before
+/// their parent, and node identity compares children by pointer — which
+/// dedups the whole formula DAG and lets SolverContext memoize
+/// DNF expansion by node pointer. The table is process-wide,
 /// append-only and mutex-protected, so analysis workers on different
 /// threads can intern concurrently; interned pointers are stable for
 /// the lifetime of the process.
@@ -19,7 +23,7 @@
 #ifndef TNT_ARITH_INTERN_H
 #define TNT_ARITH_INTERN_H
 
-#include "arith/Constraint.h"
+#include "arith/Formula.h"
 
 #include <deque>
 #include <mutex>
@@ -40,6 +44,13 @@ public:
   /// Interns a constraint; same pointer-identity contract.
   const Constraint *constraint(const Constraint &C);
 
+  /// Interns a formula node (all seven kinds). Children must already be
+  /// interned (Formula's factories guarantee this); equality compares
+  /// children by pointer, so structurally equal formulas — up to the
+  /// commutative And/Or canonicalization performed by Formula::make —
+  /// intern to the same node and Formula::structEq is a pointer compare.
+  const FormulaNode *formula(const FormulaNode &N);
+
   /// Batch-interns a whole conjunction under one lock acquisition (the
   /// solver cache-key hot path).
   void constraints(const ConstraintConj &Conj,
@@ -48,6 +59,7 @@ public:
   /// Number of distinct interned terms (diagnostics).
   size_t exprCount() const;
   size_t constraintCount() const;
+  size_t formulaCount() const;
 
 private:
   ArithIntern() = default;
@@ -74,6 +86,7 @@ private:
   mutable std::mutex Mu;
   Table<LinExpr> Exprs;
   Table<Constraint> Constraints;
+  Table<FormulaNode> Formulas;
 };
 
 /// A canonical interned conjunction: interned constraint pointers,

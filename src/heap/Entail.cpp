@@ -247,7 +247,7 @@ HeapProver::entailRec(const Formula &Pure, SymHeap Src, SymHeap Tgt,
       GhostsB.insert(F);
     // Branch pure becomes obligations: ghost-defining equalities bind,
     // the rest must be entailed.
-    std::optional<std::vector<ConstraintConj>> DNF = UB.Pure.toDNF(16);
+    std::optional<std::vector<ConstraintConj>> DNF = SC.toDNF(UB.Pure, 16);
     if (!DNF || DNF->size() != 1) {
       // Disjunctive side conditions inside one branch: unsupported shape.
       continue;

@@ -168,7 +168,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
     UnkId Pred = Reg.partner(A->Tgt);
     Formula Lhs = Formula::conj2(A->Ctx, A->Guard);
     std::vector<Formula> Betas = coverageDisjuncts(*A, SccPosts);
-    std::optional<std::vector<ConstraintConj>> LhsDNF = Lhs.toDNF(64);
+    std::optional<std::vector<ConstraintConj>> LhsDNF = SC.toDNF(Lhs, 64);
     if (!LhsDNF)
       continue;
     const std::vector<VarId> &Params = Reg.pred(Pred).Params;
@@ -185,7 +185,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
           Elim.insert(V);
       SolverContext::ElimResult Proj = SC.eliminate(Lhs, Elim);
       Formula NotCtx = SC.simplify(Formula::neg(Proj.F));
-      std::optional<std::vector<ConstraintConj>> NotDNF = NotCtx.toDNF(8);
+      std::optional<std::vector<ConstraintConj>> NotDNF = SC.toDNF(NotCtx, 8);
       if (NotDNF && NotDNF->size() <= 4) {
         for (const ConstraintConj &Conj : *NotDNF) {
           if (Omega::isSatConj(Conj) != Tri::True)
@@ -199,7 +199,7 @@ tnt::proveNonTermScc(const std::vector<UnkId> &Preds,
     for (const Formula &Beta : Betas) {
       if (SC.isSat(Formula::conj2(Lhs, Beta)) != Tri::True)
         continue; // Candidate must be jointly satisfiable.
-      std::optional<std::vector<ConstraintConj>> BetaDNF = Beta.toDNF(8);
+      std::optional<std::vector<ConstraintConj>> BetaDNF = SC.toDNF(Beta, 8);
       if (!BetaDNF || BetaDNF->size() != 1)
         continue;
       for (const ConstraintConj &Ctx : *LhsDNF) {

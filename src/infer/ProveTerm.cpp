@@ -23,7 +23,7 @@ bool tnt::proveTermScc(const std::vector<UnkId> &Preds,
   std::vector<RankEdge> Edges;
   for (const PreAssume *A : Internal) {
     assert(A->TK == PreAssume::Target::Unknown && "internal edge kind");
-    std::optional<std::vector<ConstraintConj>> DNF = A->Ctx.toDNF(64);
+    std::optional<std::vector<ConstraintConj>> DNF = SC.toDNF(A->Ctx, 64);
     if (!DNF)
       return false; // Context too disjunctive to encode.
     for (const ConstraintConj &Conj : *DNF) {

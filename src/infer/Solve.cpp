@@ -240,7 +240,7 @@ bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
         continue;
       }
       std::vector<Formula> Mus;
-      std::optional<std::vector<ConstraintConj>> DNF = NotBase.toDNF(32);
+      std::optional<std::vector<ConstraintConj>> DNF = SC.toDNF(NotBase, 32);
       if (DNF) {
         for (const ConstraintConj &Conj : *DNF) {
           if (Omega::isSatConj(Conj) == Tri::False)

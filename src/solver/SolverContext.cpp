@@ -79,7 +79,8 @@ Formula rewriteNegExists(SolverContext &SC, const Formula &F, bool Positive,
 
 } // namespace
 
-SolverContext::SolverContext(size_t CacheCapacity) : Capacity(CacheCapacity) {}
+SolverContext::SolverContext(size_t CacheCapacity, size_t DnfMemoCapacity)
+    : Capacity(CacheCapacity), DnfCapacity(DnfMemoCapacity) {}
 
 SolverContext &SolverContext::defaultCtx() {
   static SolverContext Ctx;
@@ -88,10 +89,13 @@ SolverContext &SolverContext::defaultCtx() {
 
 Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
   if (Capacity == 0) {
+    // Cache disabled: the query still counts (fuel accounting), but it
+    // is not a cache miss — there is no cache to miss. CacheHits and
+    // CacheMisses stay zero, so stats readers report "disabled" rather
+    // than a misleading 0% hit rate.
     {
       std::lock_guard<std::mutex> L(Mu);
       ++Counters.SatQueries;
-      ++Counters.CacheMisses;
     }
     return Omega::isSatConj(Conj);
   }
@@ -125,6 +129,122 @@ Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
   return R;
 }
 
+std::optional<std::vector<ConstraintConj>>
+SolverContext::toDNF(const Formula &F, size_t MaxClauses) {
+  assert(F.isValid() && "toDNF on invalid formula");
+  // Trivial nodes expand in constant time; keep them out of the memo so
+  // they neither churn the LRU nor inflate the hit rate.
+  switch (F.node()->kind()) {
+  case FormulaNode::Kind::True:
+  case FormulaNode::Kind::False:
+  case FormulaNode::Kind::Atom:
+    return F.toDNF(MaxClauses);
+  default:
+    break;
+  }
+  if (DnfCapacity == 0) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Counters.DnfQueries;
+    }
+    return F.toDNF(MaxClauses);
+  }
+
+  const FormulaNode *Key = F.node();
+  std::shared_ptr<const DnfPayload> Hit;
+  bool HitOverflow = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Counters.DnfQueries;
+    auto It = DnfMemo.find(Key);
+    // An Overflow entry answers any retrieval with cap <= ComputedCap;
+    // a larger cap might succeed, so it must recompute (a miss). A
+    // stored skeleton answers every cap: success when it fits, else
+    // overflow. Only the refcount is copied under the lock.
+    if (It != DnfMemo.end() &&
+        !(It->second->Overflow && MaxClauses > It->second->ComputedCap)) {
+      ++Counters.DnfHits;
+      DnfLru.splice(DnfLru.begin(), DnfLru, It->second);
+      Hit = It->second->Payload;
+      HitOverflow =
+          It->second->Overflow || Hit->Clauses.size() > MaxClauses;
+    } else {
+      ++Counters.DnfMisses;
+    }
+  }
+
+  if (Hit) {
+    // Re-freshen the skeleton's existential witnesses: each retrieval
+    // gets its own fresh variables, exactly as a recomputation's toNNF
+    // would mint them (same bases, same order, same count — so under a
+    // VarPool scope the spellings match an unmemoized run byte for
+    // byte). The counter is consumed even when the answer is overflow,
+    // mirroring the unmemoized path where toNNF runs before the
+    // expansion gives up.
+    std::map<VarId, VarId> Renaming;
+    for (const auto &[Placeholder, Base] : Hit->Placeholders)
+      Renaming[Placeholder] = freshVar(Base);
+    if (HitOverflow)
+      return std::nullopt;
+    std::vector<ConstraintConj> Clauses = Hit->Clauses;
+    for (const auto &[CI, KI] : Hit->PlaceholderSites)
+      Clauses[CI][KI] = Clauses[CI][KI].rename(Renaming);
+    return Clauses;
+  }
+
+  // Miss: expand once, recording the fresh variables toNNF introduces
+  // so later retrievals can rename them apart again. The skeleton
+  // returned now already carries fresh placeholders, so it is served
+  // as-is.
+  std::vector<std::pair<VarId, std::string>> Renamed;
+  Formula Nnf = F.toNNF(&Renamed);
+  std::optional<std::vector<ConstraintConj>> Out =
+      Formula::expandNNF(Nnf, MaxClauses);
+
+  // Build the whole entry (deep clause copy, placeholder-site scan)
+  // before taking the lock; under Mu only the map/list insert and the
+  // eviction run, so concurrent isSatConj lookups are not stalled.
+  DnfEntry E;
+  E.Key = Key;
+  E.ComputedCap = MaxClauses;
+  auto P = std::make_shared<DnfPayload>();
+  if (Out) {
+    P->Clauses = *Out;
+    if (!Renamed.empty())
+      for (uint32_t CI = 0; CI < P->Clauses.size(); ++CI)
+        for (uint32_t KI = 0; KI < P->Clauses[CI].size(); ++KI)
+          for (const auto &[Placeholder, Base] : Renamed)
+            if (P->Clauses[CI][KI].expr().mentions(Placeholder)) {
+              P->PlaceholderSites.emplace_back(CI, KI);
+              break;
+            }
+  } else {
+    E.Overflow = true;
+  }
+  // Placeholders are recorded even for overflow entries: a later hit
+  // must consume the fresh-variable counter like a recomputation would.
+  P->Placeholders = std::move(Renamed);
+  E.Payload = std::move(P);
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = DnfMemo.find(Key);
+    if (It != DnfMemo.end()) {
+      // Either a racing fill or a stale overflow entry: replace it.
+      DnfLru.erase(It->second);
+      DnfMemo.erase(It);
+    }
+    DnfLru.push_front(std::move(E));
+    DnfMemo.emplace(Key, DnfLru.begin());
+    if (DnfMemo.size() > DnfCapacity) {
+      DnfMemo.erase(DnfLru.back().Key);
+      DnfLru.pop_back();
+      ++Counters.DnfEvictions;
+    }
+  }
+  return Out;
+}
+
 Tri SolverContext::isSat(const Formula &F) {
   assert(F.isValid() && "isSat on invalid formula");
   if (F.isTop())
@@ -137,7 +257,7 @@ Tri SolverContext::isSat(const Formula &F) {
     return Tri::True;
   if (G.isBottom())
     return Exact ? Tri::False : Tri::Unknown;
-  std::optional<std::vector<ConstraintConj>> DNF = G.toDNF();
+  std::optional<std::vector<ConstraintConj>> DNF = toDNF(G);
   if (!DNF)
     return Tri::Unknown;
   bool SawUnknown = false;
@@ -169,7 +289,7 @@ SolverContext::ElimResult SolverContext::eliminate(const Formula &F,
     Out.F = F;
     return Out;
   }
-  std::optional<std::vector<ConstraintConj>> DNF = F.toDNF();
+  std::optional<std::vector<ConstraintConj>> DNF = toDNF(F);
   if (!DNF) {
     // Give up on elimination; wrap in an explicit quantifier.
     Out.F = Formula::exists({Vars.begin(), Vars.end()}, F);
@@ -198,7 +318,15 @@ SolverContext::ElimResult SolverContext::eliminate(const Formula &F,
 
 Formula SolverContext::simplify(const Formula &F) {
   assert(F.isValid() && "simplify on invalid formula");
-  std::optional<std::vector<ConstraintConj>> DNF = F.toDNF();
+  // Negated existentials cannot be DNF-expanded; eliminate them by
+  // projection first. When projection is inexact the rewrite would
+  // strengthen the formula, so fall back to the input (toDNF then
+  // refuses the residual negation and F is returned unchanged).
+  bool Exact = true;
+  Formula G = rewriteNegExists(*this, F, /*Positive=*/true, Exact);
+  if (!Exact)
+    G = F;
+  std::optional<std::vector<ConstraintConj>> DNF = toDNF(G);
   if (!DNF)
     return F;
   // Per-clause cleanup always runs (queries are cached); the quadratic
@@ -262,11 +390,18 @@ void SolverContext::clearCache() {
   std::lock_guard<std::mutex> L(Mu);
   Cache.clear();
   Lru.clear();
+  DnfMemo.clear();
+  DnfLru.clear();
 }
 
 size_t SolverContext::cacheSize() const {
   std::lock_guard<std::mutex> L(Mu);
   return Cache.size();
+}
+
+size_t SolverContext::dnfMemoSize() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return DnfMemo.size();
 }
 
 void SolverContext::noteLpSolve() {

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <unordered_map>
@@ -44,11 +45,21 @@ struct SolverStats {
   /// Conjunction-level satisfiability queries issued (cache-transparent:
   /// hits count too, so fuel accounting is schedule-independent).
   uint64_t SatQueries = 0;
+  /// Sat-cache lookups: hits + misses. Zero when the cache is disabled
+  /// (capacity 0), so a disabled cache reads as "no lookups", not as a
+  /// 0% hit rate.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
   /// Farkas/simplex LP solves attributed to this context.
   uint64_t LpSolves = 0;
+  /// DNF-memo counters (the memoized toDNF path). Non-trivial formulas
+  /// only; DnfHits + DnfMisses == DnfQueries when the memo is enabled,
+  /// and both stay zero when it is disabled (capacity 0).
+  uint64_t DnfQueries = 0;
+  uint64_t DnfHits = 0;
+  uint64_t DnfMisses = 0;
+  uint64_t DnfEvictions = 0;
 
   SolverStats &operator+=(const SolverStats &O) {
     SatQueries += O.SatQueries;
@@ -56,6 +67,10 @@ struct SolverStats {
     CacheMisses += O.CacheMisses;
     CacheEvictions += O.CacheEvictions;
     LpSolves += O.LpSolves;
+    DnfQueries += O.DnfQueries;
+    DnfHits += O.DnfHits;
+    DnfMisses += O.DnfMisses;
+    DnfEvictions += O.DnfEvictions;
     return *this;
   }
 };
@@ -68,10 +83,15 @@ public:
   /// Default cache bound: entries, not bytes; one entry is an interned
   /// pointer vector plus a Tri.
   static constexpr size_t DefaultCacheCapacity = 1u << 16;
+  /// Default DNF-memo bound: entries; one entry holds a clause skeleton
+  /// plus its placeholder-variable record.
+  static constexpr size_t DefaultDnfMemoCapacity = 1u << 12;
 
-  /// \p CacheCapacity == 0 disables caching entirely (used as the
-  /// uncached baseline by the micro benches).
-  explicit SolverContext(size_t CacheCapacity = DefaultCacheCapacity);
+  /// \p CacheCapacity == 0 disables satisfiability caching and
+  /// \p DnfMemoCapacity == 0 disables DNF memoization (the uncached
+  /// baselines of the micro benches).
+  explicit SolverContext(size_t CacheCapacity = DefaultCacheCapacity,
+                         size_t DnfMemoCapacity = DefaultDnfMemoCapacity);
 
   SolverContext(const SolverContext &) = delete;
   SolverContext &operator=(const SolverContext &) = delete;
@@ -114,13 +134,27 @@ public:
   /// query decomposes into).
   Tri isSatConj(const ConstraintConj &Conj);
 
+  /// Memoized DNF expansion, keyed on the interned formula node. The
+  /// memo stores the quantifier-free clause *skeleton* together with
+  /// the fresh variables toNNF introduced for existential binders
+  /// ("placeholders"); every retrieval after the first re-freshens the
+  /// placeholders, so each caller sees witnesses renamed apart exactly
+  /// as the unmemoized path would produce them. Semantically equal to
+  /// F.toDNF(MaxClauses) modulo that fresh-variable renaming.
+  std::optional<std::vector<ConstraintConj>> toDNF(const Formula &F,
+                                                   size_t MaxClauses = 4096);
+
   SolverStats stats() const;
   void resetStats();
 
-  /// Drops every cached entry (stats are kept).
+  /// Drops every cached entry, sat cache and DNF memo (stats are kept).
   void clearCache();
   size_t cacheSize() const;
   size_t cacheCapacity() const { return Capacity; }
+  bool cacheEnabled() const { return Capacity != 0; }
+  size_t dnfMemoSize() const;
+  size_t dnfMemoCapacity() const { return DnfCapacity; }
+  bool dnfMemoEnabled() const { return DnfCapacity != 0; }
 
   /// Attribution hook for the synthesis layer (FarkasSystem).
   void noteLpSolve();
@@ -136,7 +170,34 @@ private:
     Tri Val;
   };
 
+  /// Immutable body of a memoized DNF expansion, shared behind a
+  /// shared_ptr so a hit only copies a refcount under the mutex and
+  /// does its clause copying/renaming outside the lock. Clauses is the
+  /// skeleton as first computed; Placeholders records the fresh
+  /// variables toNNF minted for existential binders, paired with the
+  /// original binder spelling used as the base for re-freshening (also
+  /// recorded for overflow entries, so hits consume the fresh-variable
+  /// counter exactly like an unmemoized run).
+  struct DnfPayload {
+    std::vector<ConstraintConj> Clauses;
+    std::vector<std::pair<VarId, std::string>> Placeholders;
+    /// (clause, constraint) positions that mention a placeholder: the
+    /// only spots a retrieval has to rename.
+    std::vector<std::pair<uint32_t, uint32_t>> PlaceholderSites;
+  };
+
+  /// One memo slot. An Overflow entry remembers that expansion blew
+  /// the ComputedCap clause cap (valid for any retrieval cap <=
+  /// ComputedCap).
+  struct DnfEntry {
+    const FormulaNode *Key = nullptr;
+    std::shared_ptr<const DnfPayload> Payload;
+    size_t ComputedCap = 0;
+    bool Overflow = false;
+  };
+
   size_t Capacity;
+  size_t DnfCapacity;
 
   mutable std::mutex Mu;
   SolverStats Counters;
@@ -145,6 +206,9 @@ private:
   std::unordered_map<InternedConj, std::list<CacheEntry>::iterator,
                      InternedConjHash>
       Cache;
+  std::list<DnfEntry> DnfLru;
+  std::unordered_map<const FormulaNode *, std::list<DnfEntry>::iterator>
+      DnfMemo;
 };
 
 } // namespace tnt

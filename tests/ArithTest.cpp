@@ -239,6 +239,122 @@ TEST(Formula, SubstituteCaptureAvoidance) {
   EXPECT_TRUE(S.eval({{X(), 0}}));
 }
 
+TEST(Formula, RenameTargetCollidingWithBinderFreshensBinder) {
+  // rename x -> b in (exists b . x < b): erasing bound variables from
+  // the renaming *domain* is not enough — the *target* b would be
+  // captured, yielding the unsatisfiable (exists b . b < b). The
+  // colliding binder must be freshened instead.
+  VarId B = mkVar("cap_b");
+  Formula Ex =
+      Formula::exists({B}, Formula::cmp(ex(X()), CmpKind::Lt, LinExpr::var(B)));
+  Formula S = Ex.rename({{X(), B}});
+  std::set<VarId> Free = S.freeVars();
+  ASSERT_EQ(Free.size(), 1u);
+  EXPECT_TRUE(Free.count(B));
+  // Semantically: exists b' . b < b' holds for every b.
+  EXPECT_TRUE(S.eval({{B, 0}}));
+  EXPECT_TRUE(S.eval({{B, 7}}));
+}
+
+TEST(Formula, RenameSourceNotFreeLeavesNodeAlone) {
+  // x is not free under the quantifier, so renaming it is a no-op and
+  // must not freshen the binder it targets.
+  VarId B = mkVar("cap_b2");
+  Formula Ex =
+      Formula::exists({B}, Formula::cmp(ex(Y()), CmpKind::Le, LinExpr::var(B)));
+  Formula S = Ex.rename({{X(), B}});
+  EXPECT_EQ(S.node(), Ex.node());
+}
+
+TEST(Formula, SubstParallelSwapUnderExists) {
+  // (exists z . x < z && z < y)[x := y, y := x] swaps the bounds.
+  VarId Zv = mkVar("sp_z");
+  Formula F = Formula::exists(
+      {Zv}, Formula::conj2(Formula::cmp(ex(X()), CmpKind::Lt, LinExpr::var(Zv)),
+                           Formula::cmp(LinExpr::var(Zv), CmpKind::Lt,
+                                        ex(Y()))));
+  Formula S = substParallelFormula(F, {X(), Y()}, {ex(Y()), ex(X())});
+  EXPECT_TRUE(S.eval({{X(), 2}, {Y(), 0}}));  // exists z in (0, 2)
+  EXPECT_FALSE(S.eval({{X(), 0}, {Y(), 2}})); // empty interval (2, 0)
+}
+
+TEST(Formula, SubstParallelArgMentioningBinderAvoidsCapture) {
+  // (exists b . x <= b)[x := b] must keep the argument's b free.
+  VarId B = mkVar("sp_b");
+  Formula F =
+      Formula::exists({B}, Formula::cmp(ex(X()), CmpKind::Le, LinExpr::var(B)));
+  Formula S = substParallelFormula(F, {X()}, {LinExpr::var(B)});
+  std::set<VarId> Free = S.freeVars();
+  ASSERT_EQ(Free.size(), 1u);
+  EXPECT_TRUE(Free.count(B));
+  // exists b' . b <= b' holds for every b.
+  EXPECT_TRUE(S.eval({{B, 5}}));
+}
+
+TEST(Formula, EvalExistsSupportsManyBoundVars) {
+  // Three binders: beyond the old two-variable limit, whose guarding
+  // assert compiled out under NDEBUG and left variables unassigned.
+  VarId A = mkVar("ev_a"), B = mkVar("ev_b"), C = mkVar("ev_c");
+  Formula F = Formula::exists(
+      {A, B, C},
+      Formula::cmp(LinExpr::var(A) + LinExpr::var(B) + LinExpr::var(C),
+                   CmpKind::Eq, ex(X())));
+  EXPECT_TRUE(F.eval({{X(), 3}}));
+  Formula Unsat = Formula::exists(
+      {A, B, C},
+      Formula::conj2(
+          Formula::cmp(LinExpr::var(A) + LinExpr::var(B), CmpKind::Ge,
+                       LinExpr::var(C) + 1),
+          Formula::cmp(LinExpr::var(C), CmpKind::Ge,
+                       LinExpr::var(A) + LinExpr::var(B))));
+  EXPECT_FALSE(Unsat.eval({}));
+}
+
+TEST(Formula, EvalExistsWindowCentersOnAssignedValues) {
+  // exists b . b = x with x = 1000: the witness is near the assigned
+  // value, far outside the +-8 window around 0 the old search used.
+  VarId B = mkVar("ev_big");
+  Formula F = Formula::exists(
+      {B}, Formula::cmp(LinExpr::var(B), CmpKind::Eq, ex(X())));
+  EXPECT_TRUE(F.eval({{X(), 1000}}));
+  EXPECT_TRUE(F.eval({{X(), -1000}}));
+}
+
+TEST(Formula, NegatedExistentialRefusesDnf) {
+  // not (exists b . x < b) is a universal: outside the DNF fragment.
+  // The old path asserted in debug and mis-expanded the universal as
+  // an existential under NDEBUG; now toDNF conservatively refuses.
+  VarId B = mkVar("neg_b");
+  Formula Ex =
+      Formula::exists({B}, Formula::cmp(ex(X()), CmpKind::Lt, LinExpr::var(B)));
+  EXPECT_FALSE(Formula::neg(Ex).toDNF().has_value());
+}
+
+TEST(Formula, InterningSharesStructurallyEqualNodes) {
+  Formula A = Formula::cmp(ex(X()), CmpKind::Le, LinExpr(0));
+  Formula B = Formula::cmp(ex(Y()), CmpKind::Ge, LinExpr(2));
+  // Commutative canonicalization: both orders intern to one node, and
+  // structEq degenerates to the pointer compare.
+  Formula F1 = Formula::conj2(A, B);
+  Formula F2 = Formula::conj2(B, A);
+  EXPECT_EQ(F1.node(), F2.node());
+  EXPECT_TRUE(F1.structEq(F2));
+  Formula G1 = Formula::disj2(F1, Formula::neg(A));
+  Formula G2 = Formula::disj2(Formula::neg(A), F2);
+  EXPECT_EQ(G1.node(), G2.node());
+  // Duplicate children collapse (idempotence).
+  EXPECT_EQ(Formula::conj2(A, A).node(), A.node());
+  // Distinct formulas stay distinct.
+  EXPECT_NE(F1.node(), G1.node());
+  EXPECT_FALSE(F1.structEq(G1));
+}
+
+TEST(Formula, InterningCanonicalizesBinderOrder) {
+  Formula Body = Formula::cmp(ex(X()) + ex(Y()), CmpKind::Le, ex(Z()));
+  EXPECT_EQ(Formula::exists({X(), Y()}, Body).node(),
+            Formula::exists({Y(), X(), Y()}, Body).node());
+}
+
 TEST(Formula, EvalPropositional) {
   Formula F = Formula::disj2(
       Formula::cmp(ex(X()), CmpKind::Eq, LinExpr(1)),

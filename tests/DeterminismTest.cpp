@@ -51,16 +51,21 @@ void expectIdentical(const std::string &Source, const std::string &Label) {
   Seq.Threads = 1;
   AnalysisResult R1 = analyzeProgram(Source, Seq);
 
-  AnalyzerConfig Par;
-  Par.Threads = 4;
-  AnalysisResult R4 = analyzeProgram(Source, Par);
+  for (unsigned Threads : {2u, 4u}) {
+    AnalyzerConfig Par;
+    Par.Threads = Threads;
+    AnalysisResult RN = analyzeProgram(Source, Par);
 
-  ASSERT_EQ(R1.Ok, R4.Ok) << Label;
-  EXPECT_EQ(R1.str(), R4.str()) << Label;
-  EXPECT_EQ(R1.Diagnostics, R4.Diagnostics) << Label;
-  EXPECT_EQ(R1.FuelUsed, R4.FuelUsed) << Label;
-  EXPECT_EQ(R1.Methods.size(), R4.Methods.size()) << Label;
-  EXPECT_EQ(outcomeStr(R1.outcome()), outcomeStr(R4.outcome())) << Label;
+    ASSERT_EQ(R1.Ok, RN.Ok) << Label << " threads=" << Threads;
+    EXPECT_EQ(R1.str(), RN.str()) << Label << " threads=" << Threads;
+    EXPECT_EQ(R1.Diagnostics, RN.Diagnostics) << Label << " threads="
+                                              << Threads;
+    EXPECT_EQ(R1.FuelUsed, RN.FuelUsed) << Label << " threads=" << Threads;
+    EXPECT_EQ(R1.Methods.size(), RN.Methods.size())
+        << Label << " threads=" << Threads;
+    EXPECT_EQ(outcomeStr(R1.outcome()), outcomeStr(RN.outcome()))
+        << Label << " threads=" << Threads;
+  }
 }
 
 TEST(Determinism, MultiSccProgramByteIdentical) {

@@ -152,6 +152,34 @@ TEST_P(FormulaProps, ProjectionOverApproximates) {
   });
 }
 
+TEST_P(FormulaProps, InterningGivesPointerIdentity) {
+  // Two generators with the same seed build the same formula twice;
+  // hash-consing must hand back one node, making structEq a pointer
+  // compare.
+  Gen G1(GetParam() + 5000), G2(GetParam() + 5000);
+  Formula F1 = G1.formula(3);
+  Formula F2 = G2.formula(3);
+  EXPECT_EQ(F1.node(), F2.node());
+  EXPECT_TRUE(F1.structEq(F2));
+}
+
+TEST_P(FormulaProps, MemoizedDNFMatchesUnmemoized) {
+  // Generator formulas are quantifier-free, so the memoized expansion
+  // must agree with the plain one exactly — fill and retrieval alike.
+  Gen G(GetParam() + 6000);
+  Formula F = G.formula(2);
+  SolverContext SC;
+  auto Fill = SC.toDNF(F);
+  auto Hit = SC.toDNF(F);
+  auto Plain = F.toDNF();
+  ASSERT_EQ(Fill.has_value(), Plain.has_value()) << F.str();
+  ASSERT_EQ(Hit.has_value(), Plain.has_value()) << F.str();
+  if (!Plain.has_value())
+    return;
+  EXPECT_EQ(*Fill, *Plain) << F.str();
+  EXPECT_EQ(*Hit, *Plain) << F.str();
+}
+
 INSTANTIATE_TEST_SUITE_P(Random, FormulaProps, ::testing::Range(0u, 25u));
 
 //===----------------------------------------------------------------------===//

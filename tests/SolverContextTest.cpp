@@ -72,13 +72,18 @@ TEST(SolverContext, HitMissAccountingIsExact) {
 
 TEST(SolverContext, ZeroCapacityDisablesCaching) {
   SolverContext SC(/*CacheCapacity=*/0);
+  EXPECT_FALSE(SC.cacheEnabled());
   Formula F = cmpf("scx_u", CmpKind::Ge, 3);
   EXPECT_EQ(SC.isSat(F), Tri::True);
   EXPECT_EQ(SC.isSat(F), Tri::True);
   SolverStats S = SC.stats();
+  // Queries still count (fuel accounting), but a disabled cache records
+  // no lookups at all — neither hits nor misses — so stats readers can
+  // tell "disabled" apart from "0% hit rate".
+  EXPECT_GE(S.SatQueries, 2u);
   EXPECT_EQ(S.CacheHits, 0u);
+  EXPECT_EQ(S.CacheMisses, 0u);
   EXPECT_EQ(SC.cacheSize(), 0u);
-  EXPECT_GE(S.CacheMisses, 2u);
 }
 
 TEST(SolverContext, LruEvictsLeastRecentlyUsed) {
@@ -112,6 +117,173 @@ TEST(SolverContext, ClearCacheKeepsStats) {
   EXPECT_EQ(SC.stats().SatQueries, Queries);
 }
 
+//===----------------------------------------------------------------------===//
+// Memoized toDNF
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The variables of a DNF that are not free in \p F: the fresh
+/// existential witnesses toNNF renamed apart.
+std::set<VarId> witnessVars(const Formula &F,
+                            const std::vector<ConstraintConj> &DNF) {
+  std::set<VarId> Vs;
+  for (const ConstraintConj &Conj : DNF)
+    for (const Constraint &C : Conj)
+      C.collectVars(Vs);
+  for (VarId V : F.freeVars())
+    Vs.erase(V);
+  return Vs;
+}
+
+} // namespace
+
+TEST(SolverContext, DnfMemoHitMissAccounting) {
+  SolverContext SC;
+  Formula F = Formula::disj2(cmpf("dnf_a", CmpKind::Ge, 1),
+                             cmpf("dnf_b", CmpKind::Le, 2));
+  auto D1 = SC.toDNF(F);
+  auto D2 = SC.toDNF(F);
+  ASSERT_TRUE(D1.has_value() && D2.has_value());
+  // Quantifier-free: a memo hit is byte-identical to the fill.
+  EXPECT_EQ(*D1, *D2);
+  SolverStats S = SC.stats();
+  EXPECT_EQ(S.DnfQueries, 2u);
+  EXPECT_EQ(S.DnfMisses, 1u);
+  EXPECT_EQ(S.DnfHits, 1u);
+  EXPECT_EQ(SC.dnfMemoSize(), 1u);
+}
+
+TEST(SolverContext, DnfMemoTrivialFormulasBypassMemo) {
+  SolverContext SC;
+  (void)SC.toDNF(Formula::top());
+  (void)SC.toDNF(Formula::bottom());
+  (void)SC.toDNF(cmpf("dnf_t", CmpKind::Ge, 0));
+  EXPECT_EQ(SC.stats().DnfQueries, 0u);
+  EXPECT_EQ(SC.dnfMemoSize(), 0u);
+}
+
+TEST(SolverContext, DnfMemoRenamesExistentialWitnessPerRetrieval) {
+  SolverContext SC;
+  VarId W = mkVar("dnf_w");
+  Formula F = Formula::conj2(
+      cmpf("dnf_x", CmpKind::Ge, 0),
+      Formula::exists({W}, Formula::cmp(LinExpr::var(W), CmpKind::Ge,
+                                        ex("dnf_x"))));
+  auto D1 = SC.toDNF(F);
+  auto D2 = SC.toDNF(F);
+  auto D3 = SC.toDNF(F);
+  ASSERT_TRUE(D1.has_value() && D2.has_value() && D3.has_value());
+  std::set<VarId> W1 = witnessVars(F, *D1);
+  std::set<VarId> W2 = witnessVars(F, *D2);
+  std::set<VarId> W3 = witnessVars(F, *D3);
+  ASSERT_EQ(W1.size(), 1u);
+  ASSERT_EQ(W2.size(), 1u);
+  ASSERT_EQ(W3.size(), 1u);
+  // Every retrieval gets its own fresh witness, exactly like repeated
+  // unmemoized expansion — cached skeletons must not pin one name.
+  EXPECT_NE(*W1.begin(), *W2.begin());
+  EXPECT_NE(*W2.begin(), *W3.begin());
+  EXPECT_NE(*W1.begin(), *W3.begin());
+}
+
+TEST(SolverContext, MemoizedDnfMatchesUnmemoizedModuloRenaming) {
+  SolverContext SC;
+  VarId W = mkVar("dnf_mw");
+  Formula F = Formula::conj2(
+      Formula::disj2(cmpf("dnf_m1", CmpKind::Ge, 1),
+                     cmpf("dnf_m2", CmpKind::Le, 0)),
+      Formula::exists({W}, Formula::cmp(LinExpr::var(W), CmpKind::Eq,
+                                        ex("dnf_m1") + 1)));
+  (void)SC.toDNF(F); // fill
+  auto Memo = SC.toDNF(F); // retrieval: re-freshened skeleton
+  auto Plain = F.toDNF();
+  ASSERT_TRUE(Memo.has_value() && Plain.has_value());
+  ASSERT_EQ(Memo->size(), Plain->size());
+  std::set<VarId> WM = witnessVars(F, *Memo);
+  std::set<VarId> WP = witnessVars(F, *Plain);
+  ASSERT_EQ(WM.size(), 1u);
+  ASSERT_EQ(WP.size(), 1u);
+  // Renaming both witnesses to one canonical variable makes the DNFs
+  // coincide clause for clause.
+  VarId Canon = mkVar("dnf_canon");
+  std::map<VarId, VarId> RM{{*WM.begin(), Canon}};
+  std::map<VarId, VarId> RP{{*WP.begin(), Canon}};
+  for (size_t I = 0; I < Memo->size(); ++I) {
+    ASSERT_EQ((*Memo)[I].size(), (*Plain)[I].size());
+    for (size_t J = 0; J < (*Memo)[I].size(); ++J)
+      EXPECT_EQ((*Memo)[I][J].rename(RM), (*Plain)[I][J].rename(RP));
+  }
+}
+
+TEST(SolverContext, SimplifyEliminatesNegatedExistentialByProjection) {
+  // simplify routes negated existentials through exact projection:
+  // not (exists b . x < b) == not true == false.
+  SolverContext SC;
+  VarId B = mkVar("neg_sb");
+  Formula Ex = Formula::exists(
+      {B}, Formula::cmp(ex("neg_sx"), CmpKind::Lt, LinExpr::var(B)));
+  Formula S = SC.simplify(Formula::neg(Ex));
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST(SolverContext, DnfMemoOverflowEntriesRespectCap) {
+  SolverContext SC;
+  // (a1 || b1) && (a2 || b2): four clauses.
+  Formula F = Formula::conj2(
+      Formula::disj2(cmpf("dnf_o1", CmpKind::Le, 0),
+                     cmpf("dnf_o1", CmpKind::Ge, 10)),
+      Formula::disj2(cmpf("dnf_o2", CmpKind::Le, 0),
+                     cmpf("dnf_o2", CmpKind::Ge, 10)));
+  EXPECT_FALSE(SC.toDNF(F, 2).has_value()); // miss: overflow recorded
+  EXPECT_FALSE(SC.toDNF(F, 2).has_value()); // hit on the overflow entry
+  auto D = SC.toDNF(F, 16); // larger cap: must recompute
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->size(), 4u);
+  // The stored skeleton now answers small caps as overflow, as a hit.
+  EXPECT_FALSE(SC.toDNF(F, 2).has_value());
+  SolverStats S = SC.stats();
+  EXPECT_EQ(S.DnfQueries, 4u);
+  EXPECT_EQ(S.DnfMisses, 2u);
+  EXPECT_EQ(S.DnfHits, 2u);
+}
+
+TEST(SolverContext, DnfMemoLruEviction) {
+  SolverContext SC(SolverContext::DefaultCacheCapacity,
+                   /*DnfMemoCapacity=*/2);
+  auto mk = [](const char *V) {
+    return Formula::disj2(Formula::cmp(LinExpr::var(mkVar(V)), CmpKind::Le,
+                                       LinExpr(0)),
+                          Formula::cmp(LinExpr::var(mkVar(V)), CmpKind::Ge,
+                                       LinExpr(10)));
+  };
+  Formula F1 = mk("dnf_l1"), F2 = mk("dnf_l2"), F3 = mk("dnf_l3");
+  (void)SC.toDNF(F1);
+  (void)SC.toDNF(F2);
+  (void)SC.toDNF(F3); // evicts F1
+  EXPECT_EQ(SC.dnfMemoSize(), 2u);
+  EXPECT_EQ(SC.stats().DnfEvictions, 1u);
+  (void)SC.toDNF(F1); // miss again
+  EXPECT_EQ(SC.stats().DnfMisses, 4u);
+}
+
+TEST(SolverContext, DnfMemoDisabledAtZeroCapacity) {
+  SolverContext SC(SolverContext::DefaultCacheCapacity,
+                   /*DnfMemoCapacity=*/0);
+  EXPECT_FALSE(SC.dnfMemoEnabled());
+  Formula F = Formula::disj2(cmpf("dnf_z", CmpKind::Ge, 1),
+                             cmpf("dnf_z", CmpKind::Le, -1));
+  auto D1 = SC.toDNF(F);
+  auto D2 = SC.toDNF(F);
+  ASSERT_TRUE(D1.has_value() && D2.has_value());
+  EXPECT_EQ(*D1, *D2);
+  SolverStats S = SC.stats();
+  EXPECT_EQ(S.DnfQueries, 2u);
+  EXPECT_EQ(S.DnfHits, 0u);
+  EXPECT_EQ(S.DnfMisses, 0u);
+  EXPECT_EQ(SC.dnfMemoSize(), 0u);
+}
+
 TEST(ArithIntern, PointerIdentityForEqualTerms) {
   LinExpr E1 = ex("int_x") * 3 + ex("int_y") - 7;
   LinExpr E2 = ex("int_x") * 3 + ex("int_y") - 7;
@@ -141,6 +313,22 @@ TEST(ArithIntern, CanonicalConjunctionKey) {
   EXPECT_EQ(K1, K2);
   EXPECT_EQ(K1.size(), 2u);
   EXPECT_EQ(InternedConjHash()(K1), InternedConjHash()(K2));
+}
+
+TEST(ArithIntern, FormulaNodesAreHashConsed) {
+  Formula A = cmpf("int_f1", CmpKind::Ge, 0);
+  Formula B = cmpf("int_f2", CmpKind::Le, 3);
+  Formula F1 = Formula::conj2(A, B);
+  size_t Mid = ArithIntern::global().formulaCount();
+  // Re-building the same conjunction (either child order) allocates no
+  // new node.
+  Formula F2 = Formula::conj2(B, A);
+  EXPECT_EQ(ArithIntern::global().formulaCount(), Mid);
+  EXPECT_EQ(F1.node(), F2.node());
+  // A genuinely new formula does.
+  Formula G = Formula::neg(F1);
+  EXPECT_GT(ArithIntern::global().formulaCount(), Mid);
+  EXPECT_NE(G.node(), F1.node());
 }
 
 TEST(SolverFacade, ForwardsToDefaultContext) {

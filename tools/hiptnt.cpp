@@ -80,16 +80,27 @@ int main(int Argc, char **Argv) {
             << "\n";
   if (ShowStats) {
     const SolverStats &S = R.SolverUsage;
-    double HitRate =
-        S.SatQueries ? double(S.CacheHits) / double(S.SatQueries) : 0.0;
+    // A disabled cache records no lookups (and neither does an enabled
+    // one that was never consulted); report "n/a" instead of a
+    // misleading 0% hit rate.
+    auto rate = [](uint64_t Hits, uint64_t Misses) {
+      uint64_t Lookups = Hits + Misses;
+      return Lookups ? std::to_string(double(Hits) / double(Lookups))
+                     : std::string("n/a");
+    };
     std::cout << "solver stats: groups=" << R.GroupCount
               << " threads=" << Config.Threads
               << " sat_queries=" << S.SatQueries
               << " cache_hits=" << S.CacheHits
               << " cache_misses=" << S.CacheMisses
               << " cache_evictions=" << S.CacheEvictions
-              << " lp_solves=" << S.LpSolves << " hit_rate=" << HitRate
+              << " lp_solves=" << S.LpSolves
+              << " hit_rate=" << rate(S.CacheHits, S.CacheMisses)
               << "\n";
+    std::cout << "dnf memo: queries=" << S.DnfQueries
+              << " hits=" << S.DnfHits << " misses=" << S.DnfMisses
+              << " evictions=" << S.DnfEvictions
+              << " hit_rate=" << rate(S.DnfHits, S.DnfMisses) << "\n";
   }
   return 0;
 }
