@@ -1,0 +1,151 @@
+//===- bench/batch_corpus.cpp - Batch corpus benchmark ----------*- C++ -*-===//
+//
+// The BENCH_batch.json perf artifact: batch throughput over a corpus
+// slice (programs/sec), the two-tier cache's global hit rate, thread
+// scaling at 1/2/4/8 workers, and a byte-identity determinism
+// cross-check of every configuration against the 1-thread tier-off
+// baseline.
+//
+//   bench_batch_corpus [--json <path>] [--programs <n>]
+//
+// Unlike the micro benches this is a plain executable (no
+// google-benchmark dependency), so the artifact builds everywhere the
+// library does.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/BatchAnalyzer.h"
+#include "workloads/Corpus.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tnt;
+
+namespace {
+
+struct RunSample {
+  unsigned Threads = 1;
+  bool Tier = true;
+  double Millis = 0;
+  double ProgramsPerSec = 0;
+  double GlobalSatHitRate = 0;
+  double GlobalDnfHitRate = 0;
+  uint64_t GlobalSatHits = 0;
+  uint64_t GlobalDnfHits = 0;
+  bool MatchesBaseline = true;
+};
+
+RunSample runOnce(const std::vector<BatchItem> &Items, unsigned Threads,
+                  bool Tier, const std::string &Baseline,
+                  std::string *OutRender = nullptr) {
+  BatchOptions Opt;
+  Opt.Threads = Threads;
+  Opt.GlobalTier = Tier;
+  BatchAnalyzer BA(Opt);
+  BatchResult R = BA.run(Items);
+
+  RunSample S;
+  S.Threads = Threads;
+  S.Tier = Tier;
+  S.Millis = R.Millis;
+  S.ProgramsPerSec =
+      R.Millis > 0 ? double(Items.size()) / (R.Millis / 1000.0) : 0.0;
+  S.GlobalSatHitRate = R.Global.satHitRate();
+  S.GlobalDnfHitRate = R.Global.dnfHitRate();
+  S.GlobalSatHits = R.Global.SatHits;
+  S.GlobalDnfHits = R.Global.DnfHits;
+  std::string Render = R.renderOutcomes();
+  S.MatchesBaseline = Baseline.empty() || Render == Baseline;
+  if (OutRender)
+    *OutRender = std::move(Render);
+  return S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = "BENCH_batch.json";
+  size_t Programs = 120; // A cross-category slice; full corpus via 0.
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--programs") && I + 1 < argc)
+      Programs = std::strtoul(argv[++I], nullptr, 10);
+  }
+
+  std::vector<BatchItem> Items = corpusBatchItems(Programs);
+  std::printf("batch corpus bench: %zu programs, hardware_concurrency=%u\n",
+              Items.size(), std::thread::hardware_concurrency());
+
+  // Baseline: 1 thread, tier off — the sequential classical regime all
+  // other configurations must reproduce byte for byte.
+  std::string Baseline;
+  RunSample Base = runOnce(Items, 1, false, "", &Baseline);
+
+  // Warm-up effects: the first run interned every spelling/term, so
+  // later runs measure steady-state throughput (the server regime).
+  // T1 doubles as the 1-thread scaling point.
+  RunSample T1 = runOnce(Items, 1, true, Baseline);
+  std::vector<RunSample> Scaling = {T1};
+  for (unsigned T : {2u, 4u, 8u})
+    Scaling.push_back(runOnce(Items, T, true, Baseline));
+
+  bool AllDeterministic = T1.MatchesBaseline;
+  for (const RunSample &S : Scaling)
+    AllDeterministic = AllDeterministic && S.MatchesBaseline;
+
+  double SpeedupAt4 = 0;
+  for (const RunSample &S : Scaling)
+    if (S.Threads == 4 && S.Millis > 0)
+      SpeedupAt4 = Scaling[0].Millis / S.Millis;
+
+  std::ofstream Out(JsonPath);
+  if (!Out) {
+    std::cerr << "cannot write " << JsonPath << "\n";
+    return 1;
+  }
+  Out << "{\n";
+  Out << "  \"programs\": " << Items.size() << ",\n";
+  Out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  Out << "  \"baseline_1thread_tier_off\": {\n";
+  Out << "    \"ms\": " << Base.Millis << ",\n";
+  Out << "    \"programs_per_sec\": " << Base.ProgramsPerSec << "\n  },\n";
+  Out << "  \"tier_on_1thread\": {\n";
+  Out << "    \"ms\": " << T1.Millis << ",\n";
+  Out << "    \"programs_per_sec\": " << T1.ProgramsPerSec << ",\n";
+  Out << "    \"global_sat_hit_rate\": " << T1.GlobalSatHitRate << ",\n";
+  Out << "    \"global_sat_hits\": " << T1.GlobalSatHits << ",\n";
+  Out << "    \"global_dnf_hit_rate\": " << T1.GlobalDnfHitRate << ",\n";
+  Out << "    \"global_dnf_hits\": " << T1.GlobalDnfHits << "\n  },\n";
+  Out << "  \"scaling\": [\n";
+  for (size_t I = 0; I < Scaling.size(); ++I) {
+    const RunSample &S = Scaling[I];
+    Out << "    {\"threads\": " << S.Threads << ", \"ms\": " << S.Millis
+        << ", \"programs_per_sec\": " << S.ProgramsPerSec
+        << ", \"speedup_vs_1\": "
+        << (S.Millis > 0 ? Scaling[0].Millis / S.Millis : 0.0)
+        << ", \"global_sat_hit_rate\": " << S.GlobalSatHitRate
+        << ", \"deterministic\": " << (S.MatchesBaseline ? "true" : "false")
+        << "}" << (I + 1 < Scaling.size() ? "," : "") << "\n";
+  }
+  Out << "  ],\n";
+  Out << "  \"speedup_at_4_threads\": " << SpeedupAt4 << ",\n";
+  Out << "  \"deterministic_all_configs\": "
+      << (AllDeterministic ? "true" : "false") << "\n";
+  Out << "}\n";
+
+  std::printf("BENCH_batch.json: baseline %.1f prog/s; tier-on %.1f prog/s "
+              "(global sat hit rate %.3f, dnf %.3f); 4-thread speedup x%.2f; "
+              "deterministic: %s\n",
+              Base.ProgramsPerSec, T1.ProgramsPerSec, T1.GlobalSatHitRate,
+              T1.GlobalDnfHitRate, SpeedupAt4,
+              AllDeterministic ? "yes" : "NO");
+  return AllDeterministic ? 0 : 1;
+}

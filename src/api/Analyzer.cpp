@@ -2,13 +2,8 @@
 
 #include "api/Analyzer.h"
 
-#include "lang/Parser.h"
-#include "lang/Resolve.h"
-#include "lang/Transforms.h"
-#include "verify/Verifier.h"
+#include "api/Pipeline.h"
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -75,159 +70,25 @@ std::string AnalysisResult::str() const {
   return Out;
 }
 
-namespace {
-
-/// Everything one SCC-group analysis produces; assembled into the
-/// AnalysisResult in deterministic group order after the join.
-struct GroupRun {
-  std::vector<MethodResult> Methods;
-  SolverStats Stats;
-  std::string Diags;
-  bool Bailed = false;
-  /// Budget exhaustion prevented this group from running.
-  bool Skipped = false;
-};
-
-/// Analyzes one group on its own SolverContext, unknown registry and
-/// fresh-variable block. \p Done carries the query total of finished
-/// groups (plus the root context) for budget accounting.
-GroupRun runGroup(const Program &P, const CallGraph &CG, const HeapEnv &HEnv,
-                  ResolvedStore &Store, const AnalyzerConfig &Config,
-                  const std::vector<std::string> &Group, size_t GroupIdx,
-                  std::atomic<uint64_t> &Done) {
-  GroupRun Out;
-  if (Config.FuelBudget != 0 && Done.load() > Config.FuelBudget) {
-    Out.Skipped = true;
-    return Out;
-  }
-
-  // Deterministic fresh-variable block: names and ids depend on the
-  // group index, never on worker scheduling.
-  VarPool::Scope FreshScope(static_cast<uint32_t>(GroupIdx) + 1);
-  SolverContext SC;
-  UnkRegistry Reg;
-  Theta Th(Reg);
-  DiagnosticEngine VDiags; // Verification failures degrade to MayLoop.
-  Verifier V(P, CG, HEnv, Reg, VDiags, SC, &Store);
-
-  std::vector<Verifier::ScenarioResult> SRs = V.runGroup(Group);
-
-  // Solve the scenarios that need inference, together.
-  std::vector<ScenarioProblem> Problems;
-  for (Verifier::ScenarioResult &SR : SRs) {
-    if (SR.GivenTemporal)
-      continue;
-    ScenarioProblem Prob;
-    Prob.PreId = SR.Assumptions.PreId;
-    Prob.S = SR.Assumptions.S;
-    Prob.T = SR.Assumptions.T;
-    Problems.push_back(std::move(Prob));
-  }
-  if (!Problems.empty()) {
-    SolveOptions SO = Config.Solve;
-    if (Config.FuelBudget != 0) {
-      uint64_t Used = Done.load() + SC.stats().SatQueries;
-      uint64_t Left = Config.FuelBudget > Used ? Config.FuelBudget - Used : 1;
-      if (SO.GroupFuel == 0 || Left < SO.GroupFuel)
-        SO.GroupFuel = Left;
-    }
-    Out.Bailed |= solveGroup(Problems, Reg, Th, SO, SC);
-  }
-  bool GroupReVerified =
-      Problems.empty() || reVerifyGroup(Problems, Reg, Th, SC);
-
-  // Build summaries and register them for the callers above.
-  std::map<std::string, std::vector<ResolvedScenario>> PerMethod;
-  for (Verifier::ScenarioResult &SR : SRs) {
-    MethodResult MR;
-    MR.Method = SR.Method;
-    MR.SpecIdx = SR.SpecIdx;
-    MR.Summary.Method = SR.Method;
-    MR.Summary.SpecIdx = SR.SpecIdx;
-    MR.Summary.Params = SR.Params;
-    MR.SafetyFailed = SR.Assumptions.SafetyFailed;
-    if (SR.GivenTemporal) {
-      CaseTree Leaf;
-      Leaf.Temporal = *SR.GivenTemporal;
-      Leaf.PostReachable = !SR.Safety.PostPure.isBottom();
-      MR.Summary.Cases = Leaf;
-      MR.ReVerified = true;
-    } else if (MR.SafetyFailed) {
-      CaseTree Leaf;
-      Leaf.Temporal = TemporalSpec::mayLoop();
-      MR.Summary.Cases = Leaf;
-    } else {
-      MR.Summary.Cases = Th.toTree(SR.Assumptions.PreId);
-      MR.ReVerified = GroupReVerified;
-    }
-
-    ResolvedScenario RS;
-    RS.Safety = SR.Safety;
-    RS.Params = SR.Params;
-    RS.Cases = MR.Summary.flatten();
-    if (MR.SafetyFailed) {
-      // Degrade: unknown everywhere.
-      RS.Cases.clear();
-      CaseOutcome C;
-      C.Guard = Formula::top();
-      C.Temporal = TemporalSpec::mayLoop();
-      RS.Cases.push_back(std::move(C));
-    }
-    PerMethod[SR.Method].push_back(std::move(RS));
-    Out.Methods.push_back(std::move(MR));
-  }
-  for (auto &[Name, RSs] : PerMethod)
-    V.registerResolved(Name, std::move(RSs));
-
-  Out.Stats = SC.stats();
-  Out.Diags = VDiags.str();
-  Done.fetch_add(Out.Stats.SatQueries);
-  return Out;
-}
-
-} // namespace
-
 AnalysisResult tnt::analyzeProgram(const std::string &Source,
                                    const AnalyzerConfig &Config) {
-  AnalysisResult Result;
   auto Start = std::chrono::steady_clock::now();
 
-  // Block 0: deterministic ids/names for everything the front end and
-  // the heap environment create, independent of pool history.
-  VarPool::Scope RootScope(0);
-  SolverContext RootCtx;
-
-  DiagnosticEngine Diags;
-  std::optional<Program> Parsed = parseProgram(Source, Diags);
-  if (!Parsed) {
-    Result.Diagnostics = Diags.str();
-    return Result;
-  }
-  Program P = std::move(*Parsed);
-  if (!resolveProgram(P, Diags) || !lowerLoops(P, Diags)) {
-    Result.Diagnostics = Diags.str();
+  // Front end + group schedule (pipeline stage 1), on the historical
+  // single-program fresh-variable blocks: root block 0, group G on
+  // block G + 1.
+  std::unique_ptr<PreparedProgram> PP = prepareProgram(Source, Config);
+  if (!PP->Ok) {
+    AnalysisResult Result = finalizeProgram(*PP, {}, Config, nullptr);
+    Result.Millis = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
     return Result;
   }
 
-  CallGraph CG = CallGraph::build(P);
-  HeapEnv HEnv(P, RootCtx);
-  ResolvedStore Store;
-
-  // Group schedule: bottom-up SCCs, or one big group in monolithic mode.
-  std::vector<std::vector<std::string>> Groups;
-  if (Config.Modular) {
-    Groups = CG.sccs();
-  } else {
-    std::vector<std::string> All;
-    for (const auto &Scc : CG.sccs())
-      for (const std::string &M : Scc)
-        All.push_back(M);
-    Groups.push_back(std::move(All));
-  }
-  const size_t N = Groups.size();
-
+  const size_t N = PP->Groups.size();
   std::vector<GroupRun> Runs(N);
-  std::atomic<uint64_t> Done{RootCtx.stats().SatQueries};
+  auto ScopeBlock = [](size_t G) { return static_cast<uint32_t>(G) + 1; };
 
   unsigned Threads = Config.Threads == 0 ? 1 : Config.Threads;
   if (Threads <= 1 || N <= 1) {
@@ -235,28 +96,16 @@ AnalysisResult tnt::analyzeProgram(const std::string &Source,
     // classical regime. Same per-group isolation as the parallel path,
     // so both produce byte-identical results.
     for (size_t G = 0; G < N; ++G)
-      Runs[G] = runGroup(P, CG, HEnv, Store, Config, Groups[G], G, Done);
+      Runs[G] = runPipelineGroup(*PP, Config, G, ScopeBlock(G), nullptr);
   } else {
     // Parallel schedule over the SCC-group dependency DAG: a group is
     // ready once every group it calls into has been registered.
-    std::map<std::string, size_t> GroupOf;
-    for (size_t G = 0; G < N; ++G)
-      for (const std::string &M : Groups[G])
-        GroupOf[M] = G;
-    std::vector<std::set<size_t>> Deps(N);
-    for (size_t G = 0; G < N; ++G)
-      for (const std::string &M : Groups[G])
-        for (const std::string &Callee : CG.callees(M)) {
-          auto It = GroupOf.find(Callee);
-          if (It != GroupOf.end() && It->second != G)
-            Deps[G].insert(It->second);
-        }
     std::vector<std::vector<size_t>> Dependents(N);
     std::vector<size_t> Pending(N);
     std::deque<size_t> Ready;
     for (size_t G = 0; G < N; ++G) {
-      Pending[G] = Deps[G].size();
-      for (size_t D : Deps[G])
+      Pending[G] = PP->Deps[G].size();
+      for (size_t D : PP->Deps[G])
         Dependents[D].push_back(G);
       if (Pending[G] == 0)
         Ready.push_back(G);
@@ -276,7 +125,7 @@ AnalysisResult tnt::analyzeProgram(const std::string &Source,
           G = Ready.front();
           Ready.pop_front();
         }
-        Runs[G] = runGroup(P, CG, HEnv, Store, Config, Groups[G], G, Done);
+        Runs[G] = runPipelineGroup(*PP, Config, G, ScopeBlock(G), nullptr);
         {
           std::lock_guard<std::mutex> L(Mu);
           ++Finished;
@@ -296,32 +145,8 @@ AnalysisResult tnt::analyzeProgram(const std::string &Source,
       T.join();
   }
 
-  // Deterministic join: merge per-group results in group order,
-  // regardless of completion order.
-  Result.SolverUsage = RootCtx.stats();
-  std::string MergedDiags;
-  bool OverBudget = false;
-  for (size_t G = 0; G < N; ++G) {
-    GroupRun &Run = Runs[G];
-    if (Run.Skipped) {
-      OverBudget = true;
-      continue;
-    }
-    for (MethodResult &MR : Run.Methods)
-      Result.Methods.push_back(std::move(MR));
-    Result.SolverUsage += Run.Stats;
-    Result.BailedOut |= Run.Bailed;
-    MergedDiags += Run.Diags;
-  }
-
-  Result.Ok = true;
-  Result.GroupCount = N;
-  Result.TreatBailAsTimeout = Config.BailoutIsTimeout;
-  Result.Diagnostics = std::move(MergedDiags);
-  Result.FuelUsed = Result.SolverUsage.SatQueries;
-  Result.OverBudget =
-      OverBudget ||
-      (Config.FuelBudget != 0 && Result.FuelUsed > Config.FuelBudget);
+  AnalysisResult Result =
+      finalizeProgram(*PP, std::move(Runs), Config, nullptr);
   Result.Millis = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - Start)
                       .count();

@@ -1,0 +1,240 @@
+//===- api/BatchAnalyzer.cpp ----------------------------------*- C++ -*-===//
+
+#include "api/BatchAnalyzer.h"
+
+#include "api/Pipeline.h"
+#include "support/WorkStealingPool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+using namespace tnt;
+
+BatchAnalyzer::BatchAnalyzer(BatchOptions Options) : Opt(std::move(Options)) {
+  if (Opt.GlobalTier)
+    Global = std::make_unique<GlobalSolverCache>(Opt.GlobalSatCapacity,
+                                                 Opt.GlobalDnfCapacity);
+}
+
+BatchAnalyzer::~BatchAnalyzer() = default;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Mutable scheduling state of one program during phase 2.
+struct ProgState {
+  std::mutex Mu;
+  std::vector<GroupRun> Runs;
+  std::vector<size_t> Pending;              ///< Unfinished deps per group.
+  std::vector<std::vector<size_t>> Dependents;
+  size_t Finished = 0;
+  double Millis = 0; ///< Summed group-task time (reported, not compared).
+};
+
+} // namespace
+
+BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
+  auto Start = Clock::now();
+
+  BatchResult R;
+  R.Threads = Opt.Threads == 0 ? 1 : Opt.Threads;
+  R.GlobalTierEnabled = Global != nullptr;
+  const size_t NP = Items.size();
+  R.Programs.resize(NP);
+  for (size_t P = 0; P < NP; ++P) {
+    R.Programs[P].Name = Items[P].Name;
+    R.Programs[P].Category = Items[P].Category;
+    R.Programs[P].Entry = Items[P].Entry;
+  }
+  if (NP == 0) {
+    if (Global)
+      R.Global = Global->stats();
+    return R;
+  }
+
+  // The pipeline functions never read Config.Threads; the pool below
+  // is the only thread budget.
+  const AnalyzerConfig &Cfg = Opt.Program;
+  GlobalSolverCache *Tier = Global.get();
+
+  WorkStealingPool Pool(R.Threads);
+
+  // --- Phase 1: every program's front end, SEQUENTIAL in input order.
+  // Parsing interns each program's identifiers, and prepareProgram
+  // pre-interns the analysis-time spellings ("x'", "res"); running the
+  // front ends in program order makes every shared spelling's VarId a
+  // function of the batch content, so the group phase — which interns
+  // nothing unscoped — cannot make id order depend on scheduling.
+  // Front-end cost is a sliver of analysis cost, so the serial phase
+  // costs little wall-clock (the batch bench reports the split).
+  // Program P prepares under root block 1 + P: distinct per-program
+  // fresh-variable spellings (block 0 stays the historical
+  // single-program root block).
+  std::vector<std::unique_ptr<PreparedProgram>> Prepared(NP);
+  for (size_t P = 0; P < NP; ++P)
+    Prepared[P] =
+        prepareProgram(Items[P].Source, Cfg, static_cast<uint32_t>(P) + 1);
+
+  // --- Deterministic fresh-variable block assignment for phase 2:
+  // prefix sums over group counts give every (program, group) a block
+  // that depends only on the batch's content and order — never on
+  // scheduling. Blocks beyond VarPool::MaxBlocks fall back to the
+  // pool's global region (sound; a corpus would need ~16k groups
+  // total to get there).
+  std::vector<uint64_t> GroupBase(NP);
+  uint64_t NextBlock = NP + 1;
+  for (size_t P = 0; P < NP; ++P) {
+    GroupBase[P] = NextBlock;
+    NextBlock += Prepared[P]->Ok ? Prepared[P]->Groups.size() : 0;
+  }
+
+  // --- Phase 2: all programs' group tasks share the pool. A finished
+  // group releases its dependent groups; the last group of a program
+  // finalizes it (deterministic join + end-of-program promotion to the
+  // shared tier).
+  std::vector<std::unique_ptr<ProgState>> States(NP);
+
+  auto Finalize = [&](size_t P) {
+    ProgState &St = *States[P];
+    AnalysisResult A =
+        finalizeProgram(*Prepared[P], std::move(St.Runs), Cfg, Tier);
+    A.Millis = St.Millis;
+    R.Programs[P].Verdict = A.outcome(Items[P].Entry);
+    R.Programs[P].Result = std::move(A);
+  };
+
+  // Group tasks submit their ready dependents themselves, so a
+  // program's chain stays on the finishing worker's own deque while
+  // idle workers steal independent programs.
+  std::function<void(size_t, size_t)> RunGroupTask = [&](size_t P, size_t G) {
+    auto T0 = Clock::now();
+    GroupRun Run = runPipelineGroup(
+        *Prepared[P], Cfg, G, static_cast<uint32_t>(GroupBase[P] + G), Tier);
+    double Ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+
+    ProgState &St = *States[P];
+    std::vector<size_t> NowReady;
+    bool Done = false;
+    {
+      std::lock_guard<std::mutex> L(St.Mu);
+      St.Runs[G] = std::move(Run);
+      St.Millis += Ms;
+      ++St.Finished;
+      for (size_t D : St.Dependents[G])
+        if (--St.Pending[D] == 0)
+          NowReady.push_back(D);
+      Done = St.Finished == St.Runs.size();
+    }
+    for (size_t D : NowReady)
+      Pool.submit([&, P, D] { RunGroupTask(P, D); });
+    if (Done)
+      Finalize(P);
+  };
+
+  for (size_t P = 0; P < NP; ++P) {
+    PreparedProgram &PP = *Prepared[P];
+    if (!PP.Ok || PP.Groups.empty()) {
+      Pool.submit([&, P] {
+        States[P] = std::make_unique<ProgState>();
+        Finalize(P);
+      });
+      continue;
+    }
+    const size_t N = PP.Groups.size();
+    auto St = std::make_unique<ProgState>();
+    St->Runs.resize(N);
+    St->Pending.resize(N);
+    St->Dependents.resize(N);
+    std::vector<size_t> Ready;
+    for (size_t G = 0; G < N; ++G) {
+      St->Pending[G] = PP.Deps[G].size();
+      for (size_t D : PP.Deps[G])
+        St->Dependents[D].push_back(G);
+      if (St->Pending[G] == 0)
+        Ready.push_back(G);
+    }
+    States[P] = std::move(St);
+    for (size_t G : Ready)
+      Pool.submit([&, P, G] { RunGroupTask(P, G); });
+  }
+  Pool.wait();
+
+  for (const BatchProgramResult &PR : R.Programs)
+    R.Usage += PR.Result.SolverUsage;
+  if (Global)
+    R.Global = Global->stats();
+  R.Millis = std::chrono::duration<double, std::milli>(Clock::now() - Start)
+                 .count();
+  return R;
+}
+
+std::vector<std::pair<std::string, CategoryCounts>>
+BatchResult::perCategory() const {
+  std::vector<std::pair<std::string, CategoryCounts>> Out;
+  auto row = [&](const std::string &Cat) -> CategoryCounts & {
+    for (auto &[Name, Counts] : Out)
+      if (Name == Cat)
+        return Counts;
+    Out.emplace_back(Cat, CategoryCounts());
+    return Out.back().second;
+  };
+  for (const BatchProgramResult &P : Programs) {
+    CategoryCounts &C = row(P.Category);
+    ++C.Programs;
+    switch (P.Verdict) {
+    case Outcome::Yes:
+      ++C.Yes;
+      break;
+    case Outcome::No:
+      ++C.No;
+      break;
+    case Outcome::Unknown:
+      ++C.Unknown;
+      break;
+    case Outcome::Timeout:
+      ++C.Timeout;
+      break;
+    }
+    C.Millis += P.Result.Millis;
+  }
+  return Out;
+}
+
+std::string BatchResult::table() const {
+  std::string Out;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "%-16s %5s %5s %5s %5s %5s %10s\n",
+                "Benchmark", "#", "Y", "N", "U", "T/O", "Time(ms)");
+  Out += Buf;
+  CategoryCounts Total;
+  for (const auto &[Cat, C] : perCategory()) {
+    std::snprintf(Buf, sizeof(Buf), "%-16s %5u %5u %5u %5u %5u %10.1f\n",
+                  Cat.c_str(), C.Programs, C.Yes, C.No, C.Unknown, C.Timeout,
+                  C.Millis);
+    Out += Buf;
+    Total.Programs += C.Programs;
+    Total.Yes += C.Yes;
+    Total.No += C.No;
+    Total.Unknown += C.Unknown;
+    Total.Timeout += C.Timeout;
+    Total.Millis += C.Millis;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%-16s %5u %5u %5u %5u %5u %10.1f\n",
+                "Total", Total.Programs, Total.Yes, Total.No, Total.Unknown,
+                Total.Timeout, Total.Millis);
+  Out += Buf;
+  return Out;
+}
+
+std::string BatchResult::renderOutcomes() const {
+  std::string Out;
+  for (const BatchProgramResult &P : Programs) {
+    Out += "== " + P.Name + " [" + P.Category + "] entry '" + P.Entry +
+           "': " + outcomeStr(P.Verdict) + "\n";
+    Out += P.Result.str();
+  }
+  return Out;
+}

@@ -1,0 +1,245 @@
+//===- api/Pipeline.cpp ---------------------------------------*- C++ -*-===//
+
+#include "api/Pipeline.h"
+
+#include "lang/Parser.h"
+#include "lang/Resolve.h"
+#include "lang/Transforms.h"
+#include "solver/GlobalCache.h"
+
+#include <map>
+
+using namespace tnt;
+
+std::unique_ptr<PreparedProgram>
+tnt::prepareProgram(const std::string &Source, const AnalyzerConfig &Config,
+                    uint32_t RootBlock) {
+  auto PP = std::make_unique<PreparedProgram>();
+
+  // Deterministic ids/names for everything the front end and the heap
+  // environment create, independent of pool history. The historical
+  // single-program block is 0; batch drivers pass per-program blocks
+  // so concurrent front ends cannot interleave allocations.
+  VarPool::Scope RootScope(RootBlock);
+  PP->RootCtx = std::make_unique<SolverContext>();
+
+  DiagnosticEngine Diags;
+  std::optional<Program> Parsed = parseProgram(Source, Diags);
+  if (!Parsed) {
+    PP->Diagnostics = Diags.str();
+    return PP;
+  }
+  PP->P = std::move(*Parsed);
+  if (!resolveProgram(PP->P, Diags) || !lowerLoops(PP->P, Diags)) {
+    PP->Diagnostics = Diags.str();
+    return PP;
+  }
+
+  // Deterministically intern every unscoped spelling the group phase
+  // can touch. Group tasks of DIFFERENT programs may run concurrently
+  // in batch mode, and the verifier lazily interns primed parameter
+  // names ("x'", at call sites and exit checks) and "res"; whichever
+  // program interned such a shared spelling first would fix its VarId,
+  // making id order — and with it the rendered order of VarId-sorted
+  // structures — depend on scheduling. Interning them here, in the
+  // (sequential, program-ordered) front-end phase, makes every id a
+  // function of the batch content alone. All other group-phase names
+  // are either parsed (interned just above) or block-tagged fresh
+  // spellings, which are collision-free by construction.
+  mkVar("res");
+  for (const MethodDecl &M : PP->P.Methods)
+    for (const Param &Prm : M.Params)
+      mkVar(Prm.Name + "'");
+
+  PP->CG.emplace(CallGraph::build(PP->P));
+  PP->HEnv.emplace(PP->P, *PP->RootCtx);
+
+  // Group schedule: bottom-up SCCs, or one big group in monolithic
+  // mode.
+  if (Config.Modular) {
+    PP->Groups = PP->CG->sccs();
+  } else {
+    std::vector<std::string> All;
+    for (const auto &Scc : PP->CG->sccs())
+      for (const std::string &M : Scc)
+        All.push_back(M);
+    PP->Groups.push_back(std::move(All));
+  }
+
+  // Dependency DAG over groups: a group is ready once every group it
+  // calls into has registered its summaries.
+  const size_t N = PP->Groups.size();
+  std::map<std::string, size_t> GroupOf;
+  for (size_t G = 0; G < N; ++G)
+    for (const std::string &M : PP->Groups[G])
+      GroupOf[M] = G;
+  PP->Deps.assign(N, {});
+  for (size_t G = 0; G < N; ++G)
+    for (const std::string &M : PP->Groups[G])
+      for (const std::string &Callee : PP->CG->callees(M)) {
+        auto It = GroupOf.find(Callee);
+        if (It != GroupOf.end() && It->second != G)
+          PP->Deps[G].insert(It->second);
+      }
+
+  PP->FuelDone.store(PP->RootCtx->stats().fuelUsed());
+  PP->Ok = true;
+  return PP;
+}
+
+GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
+                               const AnalyzerConfig &Config, size_t GroupIdx,
+                               uint32_t ScopeBlock,
+                               GlobalSolverCache *Global) {
+  GroupRun Out;
+  if (Config.FuelBudget != 0 && PP.FuelDone.load() > Config.FuelBudget) {
+    Out.Skipped = true;
+    return Out;
+  }
+
+  // Deterministic fresh-variable block: names and ids depend on the
+  // block number and the group's own execution, never on worker
+  // scheduling.
+  VarPool::Scope FreshScope(ScopeBlock);
+  Out.Ctx = std::make_unique<SolverContext>();
+  SolverContext &SC = *Out.Ctx;
+  if (Global != nullptr)
+    SC.attachGlobalTier(Global);
+  UnkRegistry Reg;
+  Theta Th(Reg);
+  DiagnosticEngine VDiags; // Verification failures degrade to MayLoop.
+  Verifier V(PP.P, *PP.CG, *PP.HEnv, Reg, VDiags, SC, &PP.Store);
+
+  const std::vector<std::string> &Group = PP.Groups[GroupIdx];
+  std::vector<Verifier::ScenarioResult> SRs = V.runGroup(Group);
+
+  // Solve the scenarios that need inference, together.
+  std::vector<ScenarioProblem> Problems;
+  for (Verifier::ScenarioResult &SR : SRs) {
+    if (SR.GivenTemporal)
+      continue;
+    ScenarioProblem Prob;
+    Prob.PreId = SR.Assumptions.PreId;
+    Prob.S = SR.Assumptions.S;
+    Prob.T = SR.Assumptions.T;
+    Problems.push_back(std::move(Prob));
+  }
+  if (!Problems.empty()) {
+    SolveOptions SO = Config.Solve;
+    if (Config.FuelBudget != 0) {
+      // Charge only fuelUsed(): a query the shared tier answered was
+      // paid for by the program that promoted it, so the per-program
+      // budget must not count it again.
+      uint64_t Used = PP.FuelDone.load() + SC.stats().fuelUsed();
+      uint64_t Left = Config.FuelBudget > Used ? Config.FuelBudget - Used : 1;
+      if (SO.GroupFuel == 0 || Left < SO.GroupFuel)
+        SO.GroupFuel = Left;
+    }
+    Out.Bailed |= solveGroup(Problems, Reg, Th, SO, SC);
+  }
+  bool GroupReVerified =
+      Problems.empty() || reVerifyGroup(Problems, Reg, Th, SC);
+
+  // Build summaries and register them for the callers above.
+  std::map<std::string, std::vector<ResolvedScenario>> PerMethod;
+  for (Verifier::ScenarioResult &SR : SRs) {
+    MethodResult MR;
+    MR.Method = SR.Method;
+    MR.SpecIdx = SR.SpecIdx;
+    MR.Summary.Method = SR.Method;
+    MR.Summary.SpecIdx = SR.SpecIdx;
+    MR.Summary.Params = SR.Params;
+    MR.SafetyFailed = SR.Assumptions.SafetyFailed;
+    if (SR.GivenTemporal) {
+      CaseTree Leaf;
+      Leaf.Temporal = *SR.GivenTemporal;
+      Leaf.PostReachable = !SR.Safety.PostPure.isBottom();
+      MR.Summary.Cases = Leaf;
+      MR.ReVerified = true;
+    } else if (MR.SafetyFailed) {
+      CaseTree Leaf;
+      Leaf.Temporal = TemporalSpec::mayLoop();
+      MR.Summary.Cases = Leaf;
+    } else {
+      MR.Summary.Cases = Th.toTree(SR.Assumptions.PreId);
+      MR.ReVerified = GroupReVerified;
+    }
+
+    ResolvedScenario RS;
+    RS.Safety = SR.Safety;
+    RS.Params = SR.Params;
+    RS.Cases = MR.Summary.flatten();
+    if (MR.SafetyFailed) {
+      // Degrade: unknown everywhere.
+      RS.Cases.clear();
+      CaseOutcome C;
+      C.Guard = Formula::top();
+      C.Temporal = TemporalSpec::mayLoop();
+      RS.Cases.push_back(std::move(C));
+    }
+    PerMethod[SR.Method].push_back(std::move(RS));
+    Out.Methods.push_back(std::move(MR));
+  }
+  for (auto &[Name, RSs] : PerMethod)
+    V.registerResolved(Name, std::move(RSs));
+
+  Out.Stats = SC.stats();
+  Out.Diags = VDiags.str();
+  PP.FuelDone.fetch_add(Out.Stats.fuelUsed());
+  // The context is only kept for the end-of-program promotion; without
+  // a shared tier, free its caches now instead of holding every
+  // group's LRU contents until finalize.
+  if (Global == nullptr)
+    Out.Ctx.reset();
+  return Out;
+}
+
+AnalysisResult tnt::finalizeProgram(PreparedProgram &PP,
+                                    std::vector<GroupRun> Runs,
+                                    const AnalyzerConfig &Config,
+                                    GlobalSolverCache *Global) {
+  AnalysisResult Result;
+  if (!PP.Ok) {
+    Result.Diagnostics = PP.Diagnostics;
+    return Result;
+  }
+
+  // Deterministic join: merge per-group results in group order,
+  // regardless of completion order.
+  Result.SolverUsage = PP.RootCtx->stats();
+  std::string MergedDiags;
+  bool OverBudget = false;
+  for (size_t G = 0; G < Runs.size(); ++G) {
+    GroupRun &Run = Runs[G];
+    if (Run.Skipped) {
+      OverBudget = true;
+      continue;
+    }
+    for (MethodResult &MR : Run.Methods)
+      Result.Methods.push_back(std::move(MR));
+    Result.SolverUsage += Run.Stats;
+    Result.BailedOut |= Run.Bailed;
+    MergedDiags += Run.Diags;
+  }
+
+  // The deterministic end-of-program merge: promote cache entries to
+  // the shared tier in a fixed order — root context first, then groups
+  // by index — so what this program offers the tier is a function of
+  // the program alone, not of its internal scheduling.
+  if (Global != nullptr) {
+    PP.RootCtx->promoteTo(*Global);
+    for (GroupRun &Run : Runs)
+      if (Run.Ctx)
+        Run.Ctx->promoteTo(*Global);
+  }
+
+  Result.Ok = true;
+  Result.GroupCount = PP.Groups.size();
+  Result.TreatBailAsTimeout = Config.BailoutIsTimeout;
+  Result.Diagnostics = std::move(MergedDiags);
+  Result.FuelUsed = Result.SolverUsage.fuelUsed();
+  Result.OverBudget =
+      OverBudget ||
+      (Config.FuelBudget != 0 && Result.FuelUsed > Config.FuelBudget);
+  return Result;
+}

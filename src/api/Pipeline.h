@@ -1,0 +1,115 @@
+//===- api/Pipeline.h - Decomposed analysis pipeline ------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis pipeline of analyzeProgram, decomposed into three
+/// schedulable pieces so single-program and batch drivers share one
+/// implementation:
+///
+///   prepareProgram   — front end (parse, resolve, lower), call-graph
+///                      SCC schedule, root SolverContext + HeapEnv;
+///   runPipelineGroup — one SCC group on its own SolverContext,
+///                      unknown registry and fresh-variable block;
+///   finalizeProgram  — deterministic join in group order, budget
+///                      classification, optional promotion of every
+///                      context's cache entries to a shared
+///                      GlobalSolverCache (also in group order: the
+///                      "deterministic end-of-program merge").
+///
+/// analyzeProgram composes the three over a private thread pool;
+/// BatchAnalyzer schedules many programs' group tasks on one shared
+/// work-stealing pool and passes explicit fresh-variable blocks so
+/// concurrently active scopes never collide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_API_PIPELINE_H
+#define TNT_API_PIPELINE_H
+
+#include "api/Analyzer.h"
+#include "heap/HeapFormula.h"
+#include "lang/CallGraph.h"
+#include "verify/Verifier.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <set>
+
+namespace tnt {
+
+class GlobalSolverCache;
+
+/// Everything one SCC-group analysis produces; assembled into the
+/// AnalysisResult in deterministic group order by finalizeProgram. The
+/// group's SolverContext is kept alive so the end-of-program merge can
+/// promote its cache entries.
+struct GroupRun {
+  std::vector<MethodResult> Methods;
+  SolverStats Stats;
+  std::string Diags;
+  bool Bailed = false;
+  /// Budget exhaustion prevented this group from running.
+  bool Skipped = false;
+  std::unique_ptr<SolverContext> Ctx;
+};
+
+/// A front-end-processed program plus its group schedule. Heap
+/// allocated and never moved: HeapEnv and CallGraph hold references
+/// into P.
+struct PreparedProgram {
+  /// Front end succeeded; when false only Diagnostics is meaningful.
+  bool Ok = false;
+  std::string Diagnostics;
+
+  Program P;
+  std::optional<CallGraph> CG;
+  std::unique_ptr<SolverContext> RootCtx;
+  std::optional<HeapEnv> HEnv;
+  ResolvedStore Store;
+
+  /// Bottom-up SCC groups (or one monolithic group), and for each
+  /// group the set of groups it depends on (callee groups).
+  std::vector<std::vector<std::string>> Groups;
+  std::vector<std::set<size_t>> Deps;
+
+  /// Fuel charged by finished groups plus the root context, for
+  /// best-effort budget cutoff at group start (fuelUsed: global-tier
+  /// hits are not charged).
+  std::atomic<uint64_t> FuelDone{0};
+};
+
+/// Runs the front end under VarPool::Scope(RootBlock) and builds the
+/// group schedule. Never returns null; check result->Ok.
+std::unique_ptr<PreparedProgram> prepareProgram(const std::string &Source,
+                                                const AnalyzerConfig &Config,
+                                                uint32_t RootBlock = 0);
+
+/// Analyzes one group under VarPool::Scope(ScopeBlock) on a fresh
+/// SolverContext (attached to \p Global when non-null). Thread-safe
+/// across distinct groups of one program once every dependency group
+/// has finished, and across groups of distinct programs provided their
+/// ScopeBlocks are distinct. The single-program scheduler passes
+/// ScopeBlock = GroupIdx + 1 (the historical blocks); BatchAnalyzer
+/// passes per-program disjoint blocks.
+GroupRun runPipelineGroup(PreparedProgram &PP, const AnalyzerConfig &Config,
+                          size_t GroupIdx, uint32_t ScopeBlock,
+                          GlobalSolverCache *Global);
+
+/// Joins per-group results in group order into the AnalysisResult
+/// (Millis is left to the caller). When \p Global is non-null, every
+/// context's cache entries are promoted to it — root context first,
+/// then groups in index order — which makes the merge a deterministic
+/// function of the program for any thread count.
+AnalysisResult finalizeProgram(PreparedProgram &PP,
+                               std::vector<GroupRun> Runs,
+                               const AnalyzerConfig &Config,
+                               GlobalSolverCache *Global);
+
+} // namespace tnt
+
+#endif // TNT_API_PIPELINE_H

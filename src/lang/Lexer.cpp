@@ -2,6 +2,8 @@
 
 #include "lang/Lexer.h"
 
+#include "arith/Var.h"
+
 #include <cctype>
 #include <map>
 
@@ -201,6 +203,17 @@ std::vector<Token> tnt::tokenize(const std::string &Source,
       T.K = It == Keywords.end() ? Tok::Ident : It->second;
       T.Loc = L;
       T.Text = Id;
+      // Intern every identifier spelling here, at the single choke
+      // point all source names flow through. The AST stores names as
+      // strings and downstream layers intern them lazily (verifier
+      // parameter/local states, call-site renamings); lexing runs
+      // under the front end's deterministic VarPool scope, so pinning
+      // ids NOW makes them a function of the program text — while a
+      // lazy intern from a group task would race with other programs'
+      // group tasks in batch mode and make VarId order (and with it
+      // every VarId-sorted rendering) depend on scheduling.
+      if (T.K == Tok::Ident)
+        mkVar(Id);
       Out.push_back(T);
       continue;
     }

@@ -1,0 +1,77 @@
+//===- solver/GlobalCache.cpp ---------------------------------*- C++ -*-===//
+
+#include "solver/GlobalCache.h"
+
+using namespace tnt;
+
+std::optional<Tri> GlobalSolverCache::lookupSat(const InternedConj &Key) {
+  SatLookupsN.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> L(Mu);
+  auto It = Sat.find(Key);
+  if (It == Sat.end())
+    return std::nullopt;
+  SatHitsN.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+std::shared_ptr<const DnfPayload>
+GlobalSolverCache::lookupDnf(const FormulaNode *Key) {
+  DnfLookupsN.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> L(Mu);
+  auto It = Dnf.find(Key);
+  if (It == Dnf.end())
+    return nullptr;
+  DnfHitsN.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void GlobalSolverCache::mergeSat(
+    const std::vector<std::pair<InternedConj, Tri>> &Entries) {
+  if (SatCap == 0 || Entries.empty())
+    return;
+  std::unique_lock<std::shared_mutex> L(Mu);
+  for (const auto &[Key, Val] : Entries) {
+    if (Sat.size() >= SatCap)
+      break; // Frozen at capacity: residency never churns under load.
+    if (Sat.emplace(Key, Val).second)
+      SatInsertsN.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void GlobalSolverCache::mergeDnf(
+    const std::vector<std::pair<const FormulaNode *,
+                                std::shared_ptr<const DnfPayload>>> &Entries) {
+  if (DnfCap == 0 || Entries.empty())
+    return;
+  std::unique_lock<std::shared_mutex> L(Mu);
+  for (const auto &[Key, Payload] : Entries) {
+    if (Dnf.size() >= DnfCap)
+      break;
+    if (Dnf.emplace(Key, Payload).second)
+      DnfInsertsN.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+GlobalCacheStats GlobalSolverCache::stats() const {
+  GlobalCacheStats S;
+  S.SatLookups = SatLookupsN.load(std::memory_order_relaxed);
+  S.SatHits = SatHitsN.load(std::memory_order_relaxed);
+  S.DnfLookups = DnfLookupsN.load(std::memory_order_relaxed);
+  S.DnfHits = DnfHitsN.load(std::memory_order_relaxed);
+  S.SatInserts = SatInsertsN.load(std::memory_order_relaxed);
+  S.DnfInserts = DnfInsertsN.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> L(Mu);
+  S.SatEntries = Sat.size();
+  S.DnfEntries = Dnf.size();
+  return S;
+}
+
+size_t GlobalSolverCache::satSize() const {
+  std::shared_lock<std::shared_mutex> L(Mu);
+  return Sat.size();
+}
+
+size_t GlobalSolverCache::dnfSize() const {
+  std::shared_lock<std::shared_mutex> L(Mu);
+  return Dnf.size();
+}

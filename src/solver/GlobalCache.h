@@ -1,0 +1,128 @@
+//===- solver/GlobalCache.h - Shared read-mostly solver tier ---*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global tier of the two-tier solver cache used by batch analysis.
+/// A GlobalSolverCache sits UNDER the per-context LRU tier of
+/// SolverContext: contexts consult it on a local miss and never write
+/// to it directly — entries enter only through an explicit merge
+/// (SolverContext::promoteTo), which BatchAnalyzer performs once per
+/// finished program, in deterministic group order.
+///
+/// Why sharing is sound and deterministic:
+///
+///  * Satisfiability of an interned conjunction is a pure function of
+///    the conjunction's structure (Omega is deterministic and VarIds
+///    are just names to it), so any two computations of the same key
+///    agree and a hit is indistinguishable from a recomputation.
+///  * A DNF payload for a formula node is unique up to the placeholder
+///    variables toNNF minted: placeholder count, bases and order are a
+///    function of the node alone, and every retrieval re-freshens them,
+///    so a hit is byte-identical to a recomputation after renaming —
+///    whichever program's computation happened to be promoted first.
+///
+/// The maps are insert-if-absent and freeze at capacity (no eviction):
+/// below capacity their contents are a set-union of the promoted
+/// entries, independent of merge arrival order; at capacity, residency
+/// can depend on arrival order, which affects hit *rates* only, never
+/// answers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SOLVER_GLOBALCACHE_H
+#define TNT_SOLVER_GLOBALCACHE_H
+
+#include "solver/SolverContext.h"
+
+#include <atomic>
+#include <optional>
+#include <shared_mutex>
+
+namespace tnt {
+
+/// Aggregate counters of a GlobalSolverCache. Lookup counters are
+/// monotone totals over every attached context; entry counts are a
+/// snapshot.
+struct GlobalCacheStats {
+  uint64_t SatLookups = 0;
+  uint64_t SatHits = 0;
+  uint64_t DnfLookups = 0;
+  uint64_t DnfHits = 0;
+  /// Entries accepted by merges (first-writer-wins inserts).
+  uint64_t SatInserts = 0;
+  uint64_t DnfInserts = 0;
+  size_t SatEntries = 0;
+  size_t DnfEntries = 0;
+
+  double satHitRate() const {
+    return SatLookups ? double(SatHits) / double(SatLookups) : 0.0;
+  }
+  double dnfHitRate() const {
+    return DnfLookups ? double(DnfHits) / double(DnfLookups) : 0.0;
+  }
+};
+
+/// The read-mostly global cache tier shared by all SolverContexts of a
+/// batch run. Internally synchronized: lookups take a shared lock,
+/// merges an exclusive one.
+class GlobalSolverCache {
+public:
+  static constexpr size_t DefaultSatCapacity = 1u << 20;
+  static constexpr size_t DefaultDnfCapacity = 1u << 16;
+
+  explicit GlobalSolverCache(size_t SatCapacity = DefaultSatCapacity,
+                             size_t DnfCapacity = DefaultDnfCapacity)
+      : SatCap(SatCapacity), DnfCap(DnfCapacity) {}
+
+  GlobalSolverCache(const GlobalSolverCache &) = delete;
+  GlobalSolverCache &operator=(const GlobalSolverCache &) = delete;
+
+  /// Satisfiability answer for an interned conjunction, if promoted.
+  std::optional<Tri> lookupSat(const InternedConj &Key);
+
+  /// Promoted DNF payload for an interned formula node, if any. Only
+  /// full (non-overflow) skeletons are ever promoted, so a payload
+  /// answers any clause cap: success when it fits, overflow otherwise.
+  std::shared_ptr<const DnfPayload> lookupDnf(const FormulaNode *Key);
+
+  /// Merges sat entries, first-writer-wins, stopping at capacity. The
+  /// caller presents entries in a deterministic order (promoteTo uses
+  /// most-recently-used first); below capacity the resulting map is
+  /// order-independent because all writers agree on every key's value.
+  void mergeSat(const std::vector<std::pair<InternedConj, Tri>> &Entries);
+
+  /// Same contract for DNF skeletons (alpha-equivalent payloads; see
+  /// file comment).
+  void mergeDnf(
+      const std::vector<std::pair<const FormulaNode *,
+                                  std::shared_ptr<const DnfPayload>>> &Entries);
+
+  GlobalCacheStats stats() const;
+  size_t satSize() const;
+  size_t dnfSize() const;
+  size_t satCapacity() const { return SatCap; }
+  size_t dnfCapacity() const { return DnfCap; }
+
+private:
+  size_t SatCap;
+  size_t DnfCap;
+
+  mutable std::shared_mutex Mu;
+  std::unordered_map<InternedConj, Tri, InternedConjHash> Sat;
+  std::unordered_map<const FormulaNode *, std::shared_ptr<const DnfPayload>>
+      Dnf;
+
+  // Lookup counters are atomics so the shared-lock read path never
+  // needs the exclusive lock.
+  std::atomic<uint64_t> SatLookupsN{0}, SatHitsN{0};
+  std::atomic<uint64_t> DnfLookupsN{0}, DnfHitsN{0};
+  std::atomic<uint64_t> SatInsertsN{0}, DnfInsertsN{0};
+};
+
+} // namespace tnt
+
+#endif // TNT_SOLVER_GLOBALCACHE_H

@@ -39,6 +39,28 @@
 
 namespace tnt {
 
+class GlobalSolverCache;
+
+/// Immutable body of a memoized DNF expansion, shared behind a
+/// shared_ptr so a hit only copies a refcount under a lock and does
+/// its clause copying/renaming outside it. Clauses is the skeleton as
+/// first computed; Placeholders records the fresh variables toNNF
+/// minted for existential binders, paired with the original binder
+/// spelling used as the base for re-freshening (also recorded for
+/// overflow entries, so hits consume the fresh-variable counter
+/// exactly like an unmemoized run). Payloads are shared between the
+/// per-context memo and the global cache tier: placeholder count,
+/// bases and order are a function of the interned formula node alone,
+/// so after the per-retrieval renaming every payload computed for a
+/// node yields byte-identical clauses.
+struct DnfPayload {
+  std::vector<ConstraintConj> Clauses;
+  std::vector<std::pair<VarId, std::string>> Placeholders;
+  /// (clause, constraint) positions that mention a placeholder: the
+  /// only spots a retrieval has to rename.
+  std::vector<std::pair<uint32_t, uint32_t>> PlaceholderSites;
+};
+
 /// Per-context query counters (the micro benches and the analyzer's
 /// fuel accounting read these; merged at scheduler join points).
 struct SolverStats {
@@ -60,6 +82,19 @@ struct SolverStats {
   uint64_t DnfHits = 0;
   uint64_t DnfMisses = 0;
   uint64_t DnfEvictions = 0;
+  /// Queries answered by the attached global cache tier (zero when no
+  /// tier is attached). A global sat hit still counts in SatQueries
+  /// (and as a local CacheMiss), so per-tier hit rates stay readable;
+  /// fuel accounting subtracts it — the program that originally
+  /// computed the answer already paid for it (see fuelUsed()).
+  uint64_t GlobalSatHits = 0;
+  uint64_t GlobalDnfHits = 0;
+
+  /// Solver work charged to this context for budget purposes: queries
+  /// issued minus queries answered by the shared global tier. Local
+  /// cache hits stay charged (cache-transparent, schedule-independent);
+  /// global-tier hits were paid for by the program that promoted them.
+  uint64_t fuelUsed() const { return SatQueries - GlobalSatHits; }
 
   SolverStats &operator+=(const SolverStats &O) {
     SatQueries += O.SatQueries;
@@ -71,6 +106,8 @@ struct SolverStats {
     DnfHits += O.DnfHits;
     DnfMisses += O.DnfMisses;
     DnfEvictions += O.DnfEvictions;
+    GlobalSatHits += O.GlobalSatHits;
+    GlobalDnfHits += O.GlobalDnfHits;
     return *this;
   }
 };
@@ -159,6 +196,20 @@ public:
   /// Attribution hook for the synthesis layer (FarkasSystem).
   void noteLpSolve();
 
+  /// Attaches the read-mostly global cache tier. The tier is consulted
+  /// on local misses (both sat cache and DNF memo) and never written
+  /// during queries; promoteTo() is the only writer. Attach before the
+  /// context issues queries — the pointer is read without the context
+  /// mutex. Pass nullptr to detach.
+  void attachGlobalTier(GlobalSolverCache *G) { Global = G; }
+  GlobalSolverCache *globalTier() const { return Global; }
+
+  /// The deterministic end-of-program merge: offers this context's sat
+  /// entries (most-recently-used first) and full DNF skeletons to the
+  /// global tier, first-writer-wins. Safe to call concurrently with
+  /// other contexts' queries and promotions.
+  void promoteTo(GlobalSolverCache &G) const;
+
   /// The process-wide default context behind the legacy static facade.
   /// Internally synchronized; fine for tests and single-analysis use,
   /// but parallel analyses should use per-group contexts.
@@ -168,22 +219,6 @@ private:
   struct CacheEntry {
     InternedConj Key;
     Tri Val;
-  };
-
-  /// Immutable body of a memoized DNF expansion, shared behind a
-  /// shared_ptr so a hit only copies a refcount under the mutex and
-  /// does its clause copying/renaming outside the lock. Clauses is the
-  /// skeleton as first computed; Placeholders records the fresh
-  /// variables toNNF minted for existential binders, paired with the
-  /// original binder spelling used as the base for re-freshening (also
-  /// recorded for overflow entries, so hits consume the fresh-variable
-  /// counter exactly like an unmemoized run).
-  struct DnfPayload {
-    std::vector<ConstraintConj> Clauses;
-    std::vector<std::pair<VarId, std::string>> Placeholders;
-    /// (clause, constraint) positions that mention a placeholder: the
-    /// only spots a retrieval has to rename.
-    std::vector<std::pair<uint32_t, uint32_t>> PlaceholderSites;
   };
 
   /// One memo slot. An Overflow entry remembers that expansion blew
@@ -198,6 +233,9 @@ private:
 
   size_t Capacity;
   size_t DnfCapacity;
+  /// The shared tier consulted on local misses; not owned. Set before
+  /// first use (see attachGlobalTier), read without holding Mu.
+  GlobalSolverCache *Global = nullptr;
 
   mutable std::mutex Mu;
   SolverStats Counters;

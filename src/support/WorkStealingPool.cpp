@@ -1,0 +1,120 @@
+//===- support/WorkStealingPool.cpp ---------------------------*- C++ -*-===//
+
+#include "support/WorkStealingPool.h"
+
+#include <cassert>
+
+using namespace tnt;
+
+thread_local WorkStealingPool *WorkStealingPool::SelfPool = nullptr;
+thread_local unsigned WorkStealingPool::SelfIdx = 0;
+
+WorkStealingPool::WorkStealingPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Queues.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Queues.push_back(std::make_unique<WorkerState>());
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait();
+  Stop.store(true);
+  {
+    // The flag must become visible under the idle lock, or a worker
+    // that just re-checked its predicate could sleep through the
+    // notification.
+    std::lock_guard<std::mutex> L(IdleMu);
+  }
+  IdleCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void WorkStealingPool::submit(Task T) {
+  unsigned Target;
+  if (SelfPool == this) {
+    Target = SelfIdx; // Spawned by one of our tasks: keep it local.
+  } else {
+    Target = NextExternal.fetch_add(1) % Queues.size();
+  }
+  InFlight.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> L(Queues[Target]->Mu);
+    Queues[Target]->Deque.push_back(std::move(T));
+  }
+  {
+    std::lock_guard<std::mutex> L(IdleMu);
+  }
+  IdleCV.notify_one();
+}
+
+bool WorkStealingPool::tryGet(unsigned Me, Task &Out) {
+  // Own deque first, newest task (LIFO): a group task spawned by a
+  // just-finished dependency reuses warm state.
+  {
+    WorkerState &W = *Queues[Me];
+    std::lock_guard<std::mutex> L(W.Mu);
+    if (!W.Deque.empty()) {
+      Out = std::move(W.Deque.back());
+      W.Deque.pop_back();
+      return true;
+    }
+  }
+  // Steal the oldest task of the first non-empty victim (FIFO).
+  for (size_t K = 1; K < Queues.size(); ++K) {
+    WorkerState &V = *Queues[(Me + K) % Queues.size()];
+    std::lock_guard<std::mutex> L(V.Mu);
+    if (!V.Deque.empty()) {
+      Out = std::move(V.Deque.front());
+      V.Deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::workerLoop(unsigned Me) {
+  SelfPool = this;
+  SelfIdx = Me;
+  for (;;) {
+    Task T;
+    if (tryGet(Me, T)) {
+      T();
+      if (InFlight.fetch_sub(1) == 1) {
+        // Last task out: wake wait()ers.
+        std::lock_guard<std::mutex> L(IdleMu);
+        QuiesceCV.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> L(IdleMu);
+    if (Stop.load())
+      return;
+    // Re-check under the lock: a submit between tryGet and here would
+    // otherwise be slept through.
+    bool HaveWork = false;
+    for (const auto &Q : Queues) {
+      std::lock_guard<std::mutex> QL(Q->Mu);
+      if (!Q->Deque.empty()) {
+        HaveWork = true;
+        break;
+      }
+    }
+    if (HaveWork)
+      continue;
+    IdleCV.wait(L);
+  }
+}
+
+void WorkStealingPool::wait() {
+  // Workers drain the queues; wait() only has to observe quiescence.
+  // A task submitted by a still-running task bumps InFlight before its
+  // parent's decrement, so InFlight can only hit zero when the whole
+  // spawn tree is done.
+  std::unique_lock<std::mutex> L(IdleMu);
+  QuiesceCV.wait(L, [&] { return InFlight.load() == 0; });
+}

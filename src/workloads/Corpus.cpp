@@ -109,6 +109,36 @@ std::vector<const BenchProgram *> tnt::loopBasedPrograms() {
   return Out;
 }
 
+namespace {
+
+BatchItem toItem(const BenchProgram &P) {
+  BatchItem It;
+  It.Name = P.Name;
+  It.Category = P.Category;
+  It.Source = P.Source;
+  It.Entry = P.Entry;
+  return It;
+}
+
+} // namespace
+
+std::vector<BatchItem> tnt::corpusBatchItems(size_t Limit) {
+  std::vector<BatchItem> Out;
+  for (const BenchProgram &P : corpus()) {
+    if (Limit != 0 && Out.size() == Limit)
+      break;
+    Out.push_back(toItem(P));
+  }
+  return Out;
+}
+
+std::vector<BatchItem> tnt::loopBasedBatchItems() {
+  std::vector<BatchItem> Out;
+  for (const BenchProgram *P : loopBasedPrograms())
+    Out.push_back(toItem(*P));
+  return Out;
+}
+
 bool tnt::soundAnswer(const BenchProgram &P, Outcome O) {
   if (O == Outcome::Yes)
     return P.GroundTruth != Truth::NonTerminating;

@@ -18,6 +18,7 @@
 #define TNT_WORKLOADS_CORPUS_H
 
 #include "api/Analyzer.h"
+#include "api/BatchAnalyzer.h"
 
 #include <string>
 #include <vector>
@@ -51,6 +52,15 @@ std::vector<const BenchProgram *> loopBasedPrograms();
 /// Checks a tool answer against ground truth: Y against NonTerminating
 /// or N against Terminating is unsound.
 bool soundAnswer(const BenchProgram &P, Outcome O);
+
+/// The corpus as BatchAnalyzer input, in corpus order (\p Limit > 0
+/// takes the first Limit programs — the CI smoke slice). Items map
+/// back to corpus() by index, which is how callers check soundness.
+std::vector<BatchItem> corpusBatchItems(size_t Limit = 0);
+
+/// The Fig. 11 loop-based set as BatchAnalyzer input; items map back
+/// to loopBasedPrograms() by index.
+std::vector<BatchItem> loopBasedBatchItems();
 
 } // namespace tnt
 

@@ -1,0 +1,256 @@
+//===- tests/BatchAnalyzerTest.cpp - batch engine unit tests ----*- C++ -*-===//
+//
+// BatchAnalyzer behavior: input-order results, agreement with
+// standalone analyzeProgram verdicts, failed-program handling,
+// per-category tables, the two-tier fuel accounting contract (queries
+// answered by the global tier are not charged to the program that
+// asked), and tier persistence across run() calls.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/BatchAnalyzer.h"
+#include "solver/GlobalCache.h"
+#include "workloads/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+namespace {
+
+const char *TermSrc = R"(
+int dec(int k)
+{
+  if (k <= 0) return 0;
+  else return dec(k - 1);
+}
+int main(int n)
+{
+  return dec(n);
+}
+)";
+
+const char *LoopSrc = R"(
+int spin(int b)
+{
+  if (b < 0) return 0;
+  else return spin(b + 1);
+}
+int main(int n)
+{
+  return spin(1);
+}
+)";
+
+BatchItem item(const char *Name, const char *Cat, const char *Src) {
+  BatchItem It;
+  It.Name = Name;
+  It.Category = Cat;
+  It.Source = Src;
+  return It;
+}
+
+} // namespace
+
+TEST(BatchAnalyzer, ResultsInInputOrderAndMatchStandalone) {
+  std::vector<BatchItem> Items = {item("t", "a", TermSrc),
+                                  item("l", "b", LoopSrc),
+                                  item("t2", "a", TermSrc)};
+  BatchOptions Opt;
+  Opt.Threads = 2;
+  BatchAnalyzer BA(Opt);
+  BatchResult R = BA.run(Items);
+
+  ASSERT_EQ(R.Programs.size(), 3u);
+  EXPECT_EQ(R.Programs[0].Name, "t");
+  EXPECT_EQ(R.Programs[1].Name, "l");
+  EXPECT_EQ(R.Programs[2].Name, "t2");
+
+  // Verdicts agree with standalone runs (batch uses the deadline-free
+  // batch config; these programs decide well inside any fuel bound).
+  AnalysisResult T = analyzeProgram(TermSrc, batchProgramConfig());
+  AnalysisResult L = analyzeProgram(LoopSrc, batchProgramConfig());
+  EXPECT_EQ(R.Programs[0].Verdict, T.outcome());
+  EXPECT_EQ(R.Programs[1].Verdict, L.outcome());
+  EXPECT_EQ(R.Programs[2].Verdict, T.outcome());
+  EXPECT_EQ(outcomeStr(R.Programs[0].Verdict), std::string("Y"));
+  EXPECT_EQ(outcomeStr(R.Programs[1].Verdict), std::string("N"));
+}
+
+TEST(BatchAnalyzer, FailedProgramIsIsolated) {
+  std::vector<BatchItem> Items = {item("bad", "x", "int main( {"),
+                                  item("good", "x", TermSrc)};
+  BatchAnalyzer BA;
+  BatchResult R = BA.run(Items);
+  ASSERT_EQ(R.Programs.size(), 2u);
+  EXPECT_FALSE(R.Programs[0].Result.Ok);
+  EXPECT_EQ(R.Programs[0].Verdict, Outcome::Unknown);
+  EXPECT_TRUE(R.Programs[1].Result.Ok);
+  EXPECT_EQ(R.Programs[1].Verdict, Outcome::Yes);
+}
+
+TEST(BatchAnalyzer, PerCategoryCountsAndTable) {
+  std::vector<BatchItem> Items = {item("t", "alpha", TermSrc),
+                                  item("l", "beta", LoopSrc),
+                                  item("t2", "alpha", TermSrc)};
+  BatchAnalyzer BA;
+  BatchResult R = BA.run(Items);
+  auto Cats = R.perCategory();
+  ASSERT_EQ(Cats.size(), 2u);
+  EXPECT_EQ(Cats[0].first, "alpha"); // First-appearance order.
+  EXPECT_EQ(Cats[0].second.Programs, 2u);
+  EXPECT_EQ(Cats[0].second.Yes, 2u);
+  EXPECT_EQ(Cats[1].first, "beta");
+  EXPECT_EQ(Cats[1].second.No, 1u);
+  std::string Table = R.table();
+  EXPECT_NE(Table.find("alpha"), std::string::npos);
+  EXPECT_NE(Table.find("beta"), std::string::npos);
+  EXPECT_NE(Table.find("Total"), std::string::npos);
+}
+
+TEST(BatchAnalyzer, GlobalTierSharesAcrossDuplicatePrograms) {
+  // Two copies of one program: whichever copy the single worker runs
+  // first pays cold; its twin answers a chunk of its queries from the
+  // promoted entries. (The pool makes no ordering promise — input
+  // order of RESULTS is guaranteed, execution order is not — so the
+  // test identifies cold/warm by their tier-hit counters.)
+  std::vector<BatchItem> Items = {item("p1", "c", TermSrc),
+                                  item("p2", "c", TermSrc)};
+  BatchOptions Opt;
+  Opt.Threads = 1; // One worker: one copy fully finalizes first.
+  BatchAnalyzer BA(Opt);
+  BatchResult R = BA.run(Items);
+
+  const AnalysisResult &A0 = R.Programs[0].Result;
+  const AnalysisResult &A1 = R.Programs[1].Result;
+  bool FirstIsCold = A0.SolverUsage.GlobalSatHits == 0;
+  const AnalysisResult &Cold = FirstIsCold ? A0 : A1;
+  const AnalysisResult &Warm = FirstIsCold ? A1 : A0;
+  EXPECT_EQ(Cold.SolverUsage.GlobalSatHits, 0u);
+  EXPECT_GT(Warm.SolverUsage.GlobalSatHits, 0u);
+  EXPECT_GT(R.Global.SatHits, 0u);
+  EXPECT_GT(R.Global.SatEntries, 0u);
+
+  // Identical programs issue identical query sequences...
+  EXPECT_EQ(Cold.SolverUsage.SatQueries, Warm.SolverUsage.SatQueries);
+  // ...but the twin is charged less fuel: global-tier answers were
+  // paid for by the cold copy (the no-double-count contract).
+  EXPECT_EQ(Warm.FuelUsed, Warm.SolverUsage.fuelUsed());
+  EXPECT_LT(Warm.FuelUsed, Cold.FuelUsed);
+}
+
+TEST(BatchAnalyzer, TierPersistsAcrossRuns) {
+  std::vector<BatchItem> Items = {item("p", "c", TermSrc)};
+  BatchAnalyzer BA;
+  BatchResult Cold = BA.run(Items);
+  EXPECT_EQ(Cold.Usage.GlobalSatHits, 0u);
+  BatchResult Warm = BA.run(Items);
+  EXPECT_GT(Warm.Usage.GlobalSatHits, 0u);
+  // Same verdicts either way: the tier is semantically transparent.
+  EXPECT_EQ(Cold.renderOutcomes(), Warm.renderOutcomes());
+  EXPECT_LE(Warm.Usage.fuelUsed(), Cold.Usage.fuelUsed());
+}
+
+//===----------------------------------------------------------------------===//
+// The fuel counter itself (AnalyzerConfig::FuelBudget satellite):
+// SatQueries stays cache-transparent, GlobalSatHits records shared-tier
+// answers, and fuelUsed() charges the difference.
+//===----------------------------------------------------------------------===//
+
+TEST(TwoTierFuel, GlobalHitsAreNotCharged) {
+  Formula F = Formula::cmp(LinExpr::var(mkVar("btf_x")), CmpKind::Ge,
+                           LinExpr(3));
+  ConstraintConj Conj = {Constraint::make(LinExpr::var(mkVar("btf_x")),
+                                          CmpKind::Ge, LinExpr(3))};
+
+  GlobalSolverCache Tier;
+  SolverContext Payer;
+  Payer.attachGlobalTier(&Tier);
+  EXPECT_EQ(Payer.isSatConj(Conj), Tri::True);
+  SolverStats PS = Payer.stats();
+  EXPECT_EQ(PS.SatQueries, 1u);
+  EXPECT_EQ(PS.GlobalSatHits, 0u); // Tier was empty: Payer computed.
+  EXPECT_EQ(PS.fuelUsed(), 1u);    // ...and is charged for it.
+  Payer.promoteTo(Tier);
+  EXPECT_EQ(Tier.satSize(), 1u);
+
+  SolverContext Beneficiary;
+  Beneficiary.attachGlobalTier(&Tier);
+  EXPECT_EQ(Beneficiary.isSatConj(Conj), Tri::True);
+  SolverStats BS = Beneficiary.stats();
+  EXPECT_EQ(BS.SatQueries, 1u);     // The query still counts as issued...
+  EXPECT_EQ(BS.GlobalSatHits, 1u);  // ...was answered by the tier...
+  EXPECT_EQ(BS.fuelUsed(), 0u);     // ...and is not charged again.
+
+  // A repeat is a LOCAL hit (installed on the tier hit): still charged,
+  // exactly like any cache-transparent local hit.
+  EXPECT_EQ(Beneficiary.isSatConj(Conj), Tri::True);
+  BS = Beneficiary.stats();
+  EXPECT_EQ(BS.SatQueries, 2u);
+  EXPECT_EQ(BS.GlobalSatHits, 1u);
+  EXPECT_EQ(BS.CacheHits, 1u);
+  EXPECT_EQ(BS.fuelUsed(), 1u);
+
+  // Merged stats keep the invariant (the analyzer's join path).
+  SolverStats Merged = PS;
+  Merged += BS;
+  EXPECT_EQ(Merged.fuelUsed(), PS.fuelUsed() + BS.fuelUsed());
+  (void)F;
+}
+
+TEST(TwoTierFuel, DisabledLocalCacheStillUsesTier) {
+  ConstraintConj Conj = {Constraint::make(LinExpr::var(mkVar("btf_y")),
+                                          CmpKind::Le, LinExpr(-1))};
+  GlobalSolverCache Tier;
+  SolverContext Payer; // Default caches; fills the tier.
+  Payer.attachGlobalTier(&Tier);
+  (void)Payer.isSatConj(Conj);
+  Payer.promoteTo(Tier);
+
+  SolverContext NoLocal(/*CacheCapacity=*/0, /*DnfMemoCapacity=*/0);
+  NoLocal.attachGlobalTier(&Tier);
+  (void)NoLocal.isSatConj(Conj);
+  SolverStats S = NoLocal.stats();
+  EXPECT_EQ(S.SatQueries, 1u);
+  EXPECT_EQ(S.GlobalSatHits, 1u);
+  // A disabled local cache records no lookups (the "disabled reads as
+  // n/a, not 0%" contract) — only the tier hit is visible.
+  EXPECT_EQ(S.CacheHits + S.CacheMisses, 0u);
+  EXPECT_EQ(S.fuelUsed(), 0u);
+}
+
+TEST(TwoTierFuel, PerProgramBudgetHonorsTierHits) {
+  // A batch of twins where the budget is tight enough that the cold
+  // copy exceeds it, while the warm copy (fed by the tier) stays
+  // inside — only because tier hits are not charged against the
+  // per-program budget.
+  std::vector<BatchItem> Items = {item("a", "c", TermSrc),
+                                  item("b", "c", TermSrc)};
+  BatchOptions Opt;
+  Opt.Threads = 1;
+  BatchAnalyzer Probe(Opt);
+  BatchResult Free = Probe.run(Items);
+  uint64_t F0 = Free.Programs[0].Result.FuelUsed;
+  uint64_t F1 = Free.Programs[1].Result.FuelUsed;
+  uint64_t ColdFuel = std::max(F0, F1), WarmFuel = std::min(F0, F1);
+  ASSERT_GT(ColdFuel, WarmFuel);
+
+  BatchOptions Tight;
+  Tight.Threads = 1;
+  Tight.Program.FuelBudget = (ColdFuel + WarmFuel) / 2;
+  BatchAnalyzer BA(Tight);
+  BatchResult R = BA.run(Items);
+  Outcome V0 = R.Programs[0].Verdict, V1 = R.Programs[1].Verdict;
+  // Exactly one copy — the one that ran cold — is over budget, and
+  // the over-budget one is the one with no tier hits.
+  ASSERT_NE(V0 == Outcome::Timeout, V1 == Outcome::Timeout);
+  const AnalysisResult &TimedOut = V0 == Outcome::Timeout
+                                       ? R.Programs[0].Result
+                                       : R.Programs[1].Result;
+  const AnalysisResult &Finished = V0 == Outcome::Timeout
+                                       ? R.Programs[1].Result
+                                       : R.Programs[0].Result;
+  EXPECT_EQ(TimedOut.SolverUsage.GlobalSatHits, 0u);
+  EXPECT_GT(Finished.SolverUsage.GlobalSatHits, 0u);
+  EXPECT_EQ(Finished.outcome(), Outcome::Yes);
+}

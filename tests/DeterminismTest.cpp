@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Analyzer.h"
+#include "api/BatchAnalyzer.h"
 #include "workloads/Corpus.h"
 
 #include <gtest/gtest.h>
@@ -91,6 +92,82 @@ TEST(Determinism, CorpusSampleByteIdentical) {
     Step = 1;
   for (size_t I = 0; I < All.size(); I += Step)
     expectIdentical(All[I].Source, All[I].Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch determinism stress: the same corpus slice at 1/2/4/8 worker
+// threads, with the shared global cache tier on and off, must produce
+// byte-identical AnalysisResult renderings. This covers the whole
+// two-tier contract at once: disjoint per-program fresh-variable
+// blocks, deterministic end-of-program merges, and semantic
+// transparency of both cache tiers.
+//===----------------------------------------------------------------------===//
+
+TEST(Determinism, BatchCorpusByteIdenticalAcrossThreadsAndTier) {
+  // A deterministic cross-category stride keeps the stress affordable
+  // while covering heap programs, conditionals and non-termination.
+  const std::vector<BenchProgram> &All = corpus();
+  std::vector<BatchItem> Items;
+  size_t Step = All.size() / 24;
+  if (Step == 0)
+    Step = 1;
+  for (size_t I = 0; I < All.size(); I += Step) {
+    BatchItem It;
+    It.Name = All[I].Name;
+    It.Category = All[I].Category;
+    It.Source = All[I].Source;
+    It.Entry = All[I].Entry;
+    Items.push_back(std::move(It));
+  }
+
+  std::string Base;
+  {
+    BatchOptions Opt;
+    Opt.Threads = 1;
+    Opt.GlobalTier = false;
+    BatchAnalyzer BA(Opt);
+    Base = BA.run(Items).renderOutcomes();
+  }
+  ASSERT_FALSE(Base.empty());
+
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    for (bool Tier : {false, true}) {
+      if (Threads == 1 && !Tier)
+        continue; // The baseline itself.
+      BatchOptions Opt;
+      Opt.Threads = Threads;
+      Opt.GlobalTier = Tier;
+      BatchAnalyzer BA(Opt);
+      BatchResult R = BA.run(Items);
+      EXPECT_EQ(Base, R.renderOutcomes())
+          << "threads=" << Threads << " tier=" << (Tier ? "on" : "off");
+    }
+  }
+}
+
+TEST(Determinism, BatchWarmTierRunByteIdentical) {
+  // A second run() on the SAME BatchAnalyzer starts with a warm global
+  // tier (the server regime): results must not move.
+  std::vector<BatchItem> Items;
+  const std::vector<BenchProgram> &All = corpus();
+  size_t Step = All.size() / 6;
+  if (Step == 0)
+    Step = 1;
+  for (size_t I = 0; I < All.size(); I += Step) {
+    BatchItem It;
+    It.Name = All[I].Name;
+    It.Category = All[I].Category;
+    It.Source = All[I].Source;
+    It.Entry = All[I].Entry;
+    Items.push_back(std::move(It));
+  }
+  BatchOptions Opt;
+  Opt.Threads = 4;
+  BatchAnalyzer BA(Opt);
+  std::string Cold = BA.run(Items).renderOutcomes();
+  BatchResult Warm = BA.run(Items);
+  EXPECT_EQ(Cold, Warm.renderOutcomes());
+  EXPECT_GT(Warm.Usage.GlobalSatHits, 0u);
 }
 
 TEST(Determinism, MonolithicModeUnaffectedByThreads) {

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "infer/CaseSplit.h"
+#include "solver/GlobalCache.h"
 #include "solver/Model.h"
 #include "solver/Solver.h"
 #include "spec/Capacity.h"
@@ -178,6 +179,58 @@ TEST_P(FormulaProps, MemoizedDNFMatchesUnmemoized) {
     return;
   EXPECT_EQ(*Fill, *Plain) << F.str();
   EXPECT_EQ(*Hit, *Plain) << F.str();
+}
+
+TEST_P(FormulaProps, GlobalTierAnswerEqualsFreshContext) {
+  // The two-tier contract: any query answered from the shared global
+  // tier equals what a fresh SolverContext computes for the same
+  // hash-consed key. A filler context computes and promotes; a
+  // beneficiary context answers (partly) from the tier; a fresh
+  // unattached context recomputes everything. All three must agree —
+  // on isSat for arbitrary (including quantified) formulas and on the
+  // exact toDNF clauses for quantifier-free ones.
+  Gen GFill(GetParam() + 7000), GBen(GetParam() + 7000),
+      GFresh(GetParam() + 7000);
+  GlobalSolverCache Tier;
+
+  SolverContext Filler;
+  Filler.attachGlobalTier(&Tier);
+  std::vector<Formula> Fs;
+  for (int I = 0; I < 6; ++I) {
+    Formula F = GFill.formula(2);
+    if (I % 2 == 0)
+      F = Formula::exists({GFill.Vars[2]}, F); // Quantified half.
+    Fs.push_back(F);
+    (void)Filler.isSat(F);
+  }
+  Filler.promoteTo(Tier);
+  ASSERT_GT(Tier.satSize(), 0u);
+
+  SolverContext Beneficiary, Fresh;
+  Beneficiary.attachGlobalTier(&Tier);
+  for (int I = 0; I < 6; ++I) {
+    Formula FB = GBen.formula(2);
+    Formula FF = GFresh.formula(2);
+    if (I % 2 == 0) {
+      FB = Formula::exists({GBen.Vars[2]}, FB);
+      FF = Formula::exists({GFresh.Vars[2]}, FF);
+    }
+    ASSERT_EQ(FB.node(), Fs[I].node()); // Same hash-consed key.
+    EXPECT_EQ(Beneficiary.isSat(FB), Fresh.isSat(FF)) << FB.str();
+    if (I % 2 != 0) {
+      // Quantifier-free: the tier-served expansion must be the exact
+      // clause list a fresh context computes.
+      auto Shared = Beneficiary.toDNF(FB);
+      auto Plain = Fresh.toDNF(FF);
+      ASSERT_EQ(Shared.has_value(), Plain.has_value()) << FB.str();
+      if (Plain)
+        EXPECT_EQ(*Shared, *Plain) << FB.str();
+    }
+  }
+  // The beneficiary really was fed by the tier, not by luck.
+  EXPECT_GT(Beneficiary.stats().GlobalSatHits +
+                Beneficiary.stats().GlobalDnfHits,
+            0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, FormulaProps, ::testing::Range(0u, 25u));

@@ -1,17 +1,32 @@
 //===- tools/hiptnt.cpp - Command-line driver -------------------*- C++ -*-===//
 //
-// hiptnt <file> [--monolithic] [--no-abduction] [--entry <name>]
-//        [--threads <n>] [--stats]
+// Single program:
+//   hiptnt <file> [--monolithic] [--no-abduction] [--entry <name>]
+//          [--threads <n>] [--stats]
 //
-// Parses the program, runs the termination/non-termination inference
-// and prints the per-method case-based specifications plus the entry
-// method's whole-program verdict.
+// Batch mode:
+//   hiptnt --batch <dir|@corpus[:N]|@fig11> [--threads <n>]
+//          [--no-global-tier] [--stats] [--outcomes]
+//          [--monolithic] [--no-abduction] [--entry <name>]
+//
+// Single mode parses the program, runs the termination/non-termination
+// inference and prints the per-method case-based specifications plus
+// the entry method's whole-program verdict. Batch mode analyzes a
+// whole corpus — every .t/.tnt file of a directory, the built-in benchmark
+// corpus (@corpus, optionally sliced to its first N programs), or the
+// Fig. 11 loop-based set (@fig11) — over a shared work-stealing pool
+// with the two-tier solver cache, and prints the per-category
+// Fig. 10/11-style outcome table (plus a soundness check against
+// ground truth for the built-in corpora).
 //
 //===----------------------------------------------------------------------===//
 
-#include "api/Analyzer.h"
+#include "api/BatchAnalyzer.h"
+#include "workloads/Corpus.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,9 +34,177 @@
 
 using namespace tnt;
 
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: hiptnt <file> [--monolithic] [--no-abduction] "
+         "[--entry <name>] [--threads <n>] [--stats]\n"
+         "       hiptnt --batch <dir|@corpus[:N]|@fig11> [--threads <n>] "
+         "[--no-global-tier] [--stats] [--outcomes]\n"
+         "               [--monolithic] [--no-abduction] [--entry <name>]\n"
+         "       (directory targets read *.t / *.tnt files; --entry "
+         "applies to directory programs)\n";
+  return 2;
+}
+
+/// A disabled cache (and an enabled one never consulted) records no
+/// lookups; report "n/a" instead of a misleading 0% hit rate.
+std::string rate(uint64_t Hits, uint64_t Misses) {
+  uint64_t Lookups = Hits + Misses;
+  return Lookups ? std::to_string(double(Hits) / double(Lookups))
+                 : std::string("n/a");
+}
+
+/// Resolves a --batch target to items, plus the matching ground-truth
+/// programs when the target is a built-in corpus (empty for
+/// directories: outside sources have no ground truth). Directory
+/// items use \p Entry as their entry method.
+bool batchItems(const std::string &Target, const std::string &Entry,
+                std::vector<BatchItem> &Items,
+                std::vector<const BenchProgram *> &Truth) {
+  if (Target == "@fig11") {
+    Items = loopBasedBatchItems();
+    Truth = loopBasedPrograms();
+    return true;
+  }
+  if (Target.rfind("@corpus", 0) == 0) {
+    size_t Limit = 0;
+    if (Target.size() > 7) {
+      if (Target[7] != ':')
+        return false;
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Target.c_str() + 8, &End, 10);
+      if (*End != '\0' || N == 0)
+        return false;
+      Limit = N;
+    }
+    Items = corpusBatchItems(Limit);
+    // corpusBatchItems is a prefix of corpus() in corpus order, so the
+    // ground-truth slice is simply the first Items.size() programs —
+    // one limit implementation, no index drift.
+    for (size_t I = 0; I < Items.size(); ++I)
+      Truth.push_back(&corpus()[I]);
+    return true;
+  }
+  if (!Target.empty() && Target[0] == '@')
+    return false;
+
+  std::error_code EC;
+  std::filesystem::directory_iterator Dir(Target, EC);
+  if (EC) {
+    std::cerr << "cannot read directory " << Target << ": " << EC.message()
+              << "\n";
+    return false;
+  }
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry2 : Dir) {
+    if (!Entry2.is_regular_file())
+      continue;
+    // Programs only: a benchmark directory often carries READMEs or
+    // .expected files, which must not show up as failed-parse rows.
+    std::string Ext = Entry2.path().extension().string();
+    if (Ext == ".t" || Ext == ".tnt")
+      Files.push_back(Entry2.path());
+  }
+  std::sort(Files.begin(), Files.end()); // Deterministic input order.
+  for (const auto &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::cerr << "cannot open " << File << "\n";
+      return false;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    BatchItem It;
+    It.Name = File.filename().string();
+    It.Category = File.parent_path().filename().string();
+    It.Source = Buf.str();
+    It.Entry = Entry;
+    Items.push_back(std::move(It));
+  }
+  return true;
+}
+
+int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
+             const std::string &Entry, bool GlobalTier, bool ShowStats,
+             bool ShowOutcomes) {
+  std::vector<BatchItem> Items;
+  std::vector<const BenchProgram *> Truth;
+  if (!batchItems(Target, Entry, Items, Truth))
+    return usage();
+  if (Items.empty()) {
+    std::cerr << "batch target " << Target << " has no programs\n";
+    return 1;
+  }
+
+  BatchOptions Opt;
+  Opt.Threads = Cli.Threads == 0 ? 1 : Cli.Threads;
+  Opt.GlobalTier = GlobalTier;
+  // Honor the per-program CLI knobs on top of the batch defaults
+  // (deadline-free, tightened group fuel — see batchProgramConfig).
+  Opt.Program.Modular = Cli.Modular;
+  Opt.Program.Solve.EnableAbduction = Cli.Solve.EnableAbduction;
+  BatchAnalyzer BA(Opt);
+  BatchResult R = BA.run(Items);
+
+  if (ShowOutcomes)
+    std::cout << R.renderOutcomes();
+  std::cout << "Batch: " << Items.size() << " programs, " << R.Threads
+            << " thread(s), global tier "
+            << (R.GlobalTierEnabled ? "on" : "off") << "\n\n";
+  std::cout << R.table();
+
+  unsigned Unsound = 0, Failed = 0;
+  for (size_t I = 0; I < Truth.size(); ++I)
+    if (!soundAnswer(*Truth[I], R.Programs[I].Verdict))
+      ++Unsound;
+  for (const BatchProgramResult &P : R.Programs)
+    if (!P.Result.Ok)
+      ++Failed;
+  if (!Truth.empty())
+    std::cout << "\nground truth: " << Unsound << " unsound answer(s)\n";
+  if (Failed)
+    std::cout << Failed << " program(s) failed to parse/resolve\n";
+
+  std::cout << "wall time: " << R.Millis << " ms ("
+            << (R.Millis > 0 ? double(Items.size()) / (R.Millis / 1000.0)
+                             : 0.0)
+            << " programs/s)\n";
+  if (ShowStats) {
+    const SolverStats &S = R.Usage;
+    std::cout << "solver stats: sat_queries=" << S.SatQueries
+              << " cache_hits=" << S.CacheHits
+              << " cache_misses=" << S.CacheMisses
+              << " local_hit_rate=" << rate(S.CacheHits, S.CacheMisses)
+              << " lp_solves=" << S.LpSolves << "\n";
+    std::cout << "dnf memo: queries=" << S.DnfQueries << " hits=" << S.DnfHits
+              << " misses=" << S.DnfMisses
+              << " hit_rate=" << rate(S.DnfHits, S.DnfMisses) << "\n";
+    if (R.GlobalTierEnabled) {
+      const GlobalCacheStats &G = R.Global;
+      std::cout << "global tier: sat_entries=" << G.SatEntries
+                << " sat_lookups=" << G.SatLookups << " sat_hits=" << G.SatHits
+                << " sat_hit_rate=" << G.satHitRate()
+                << " dnf_entries=" << G.DnfEntries
+                << " dnf_lookups=" << G.DnfLookups << " dnf_hits=" << G.DnfHits
+                << " dnf_hit_rate=" << G.dnfHitRate() << "\n";
+    }
+  }
+  // Unsound answers are a hard failure (the paper's re-verification
+  // claim is the repo's core soundness property) — and so are front-end
+  // failures: a parse-broken slice answers Unknown everywhere, which
+  // soundAnswer() accepts, and the CI batch-smoke fence would otherwise
+  // stay green on a fully broken front end.
+  return (Unsound == 0 && Failed == 0) ? 0 : 1;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
-  std::string Path, Entry = "main";
-  bool ShowStats = false;
+  std::string Path, Entry = "main", BatchTarget;
+  bool ShowStats = false, Batch = false, GlobalTier = true,
+       ShowOutcomes = false;
   AnalyzerConfig Config;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -31,6 +214,17 @@ int main(int Argc, char **Argv) {
       Config.Solve.EnableAbduction = false;
     else if (Arg == "--entry" && I + 1 < Argc)
       Entry = Argv[++I];
+    else if (Arg == "--batch") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --batch requires a target\n";
+        return 2;
+      }
+      Batch = true;
+      BatchTarget = Argv[++I];
+    } else if (Arg == "--no-global-tier")
+      GlobalTier = false;
+    else if (Arg == "--outcomes")
+      ShowOutcomes = true;
     else if (Arg == "--threads") {
       if (I + 1 >= Argc) {
         std::cerr << "option --threads requires a value\n";
@@ -53,11 +247,12 @@ int main(int Argc, char **Argv) {
       Path = Arg;
     }
   }
-  if (Path.empty()) {
-    std::cerr << "usage: hiptnt <file> [--monolithic] [--no-abduction] "
-                 "[--entry <name>] [--threads <n>] [--stats]\n";
-    return 2;
-  }
+
+  if (Batch)
+    return runBatch(BatchTarget, Config, Entry, GlobalTier, ShowStats,
+                    ShowOutcomes);
+  if (Path.empty())
+    return usage();
 
   std::ifstream In(Path);
   if (!In) {
@@ -80,14 +275,6 @@ int main(int Argc, char **Argv) {
             << "\n";
   if (ShowStats) {
     const SolverStats &S = R.SolverUsage;
-    // A disabled cache records no lookups (and neither does an enabled
-    // one that was never consulted); report "n/a" instead of a
-    // misleading 0% hit rate.
-    auto rate = [](uint64_t Hits, uint64_t Misses) {
-      uint64_t Lookups = Hits + Misses;
-      return Lookups ? std::to_string(double(Hits) / double(Lookups))
-                     : std::string("n/a");
-    };
     std::cout << "solver stats: groups=" << R.GroupCount
               << " threads=" << Config.Threads
               << " sat_queries=" << S.SatQueries
