@@ -8,15 +8,23 @@
 //
 //   bench_batch_corpus [--json <path>] [--programs <n>]
 //
+// Also measures the analysis-server front end: request throughput over
+// the NDJSON protocol for a cold pass (every request a fresh corpus
+// variant) and a warm pass (the same requests replayed against the now
+// warm tier), plus the epoch-reclamation counters.
+//
 // Unlike the micro benches this is a plain executable (no
 // google-benchmark dependency), so the artifact builds everywhere the
 // library does.
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/AnalysisServer.h"
 #include "api/BatchAnalyzer.h"
+#include "support/Json.h"
 #include "workloads/Corpus.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +72,57 @@ RunSample runOnce(const std::vector<BatchItem> &Items, unsigned Threads,
   S.MatchesBaseline = Baseline.empty() || Render == Baseline;
   if (OutRender)
     *OutRender = std::move(Render);
+  return S;
+}
+
+struct ServerSample {
+  unsigned Requests = 0;
+  double ColdMillis = 0, WarmMillis = 0;
+  double ColdReqPerSec = 0, WarmReqPerSec = 0;
+  double WarmSpeedup = 0;
+  double SatHitRate = 0;
+  uint64_t Reclaims = 0, LastDropped = 0, Rotations = 0;
+  size_t ArenaBytes = 0;
+};
+
+/// Server throughput: \p N cold requests (unique corpus variants, the
+/// unbounded-stream regime) then the same N replayed warm. Uses the
+/// real handleLine protocol path.
+ServerSample runServer(unsigned N) {
+  using Clock = std::chrono::steady_clock;
+  ServerOptions SO;
+  SO.ReclaimEvery = 32;
+  SO.GlobalSatCapacity = 1u << 12;
+  SO.GlobalDnfCapacity = 1u << 9;
+  AnalysisServer Server(SO);
+
+  std::vector<BatchItem> Items = corpusBatchItems(20);
+  std::vector<std::string> Requests(N);
+  for (unsigned I = 0; I < N; ++I)
+    Requests[I] =
+        soakRequestJson(I, soakVariantSource(Items[I % Items.size()].Source, I));
+
+  ServerSample S;
+  S.Requests = N;
+  auto T0 = Clock::now();
+  for (const std::string &R : Requests)
+    (void)Server.handleLine(R);
+  auto T1 = Clock::now();
+  for (const std::string &R : Requests)
+    (void)Server.handleLine(R);
+  auto T2 = Clock::now();
+
+  S.ColdMillis = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  S.WarmMillis = std::chrono::duration<double, std::milli>(T2 - T1).count();
+  S.ColdReqPerSec = S.ColdMillis > 0 ? N / (S.ColdMillis / 1000.0) : 0;
+  S.WarmReqPerSec = S.WarmMillis > 0 ? N / (S.WarmMillis / 1000.0) : 0;
+  S.WarmSpeedup = S.WarmMillis > 0 ? S.ColdMillis / S.WarmMillis : 0;
+  ServerStats St = Server.stats();
+  S.SatHitRate = St.Global.satHitRate();
+  S.Reclaims = St.Reclaims;
+  S.LastDropped = St.LastReclaim.dropped();
+  S.Rotations = St.Global.SatRotations + St.Global.DnfRotations;
+  S.ArenaBytes = St.InternArenaBytes;
   return S;
 }
 
@@ -137,6 +196,23 @@ int main(int argc, char **argv) {
   }
   Out << "  ],\n";
   Out << "  \"speedup_at_4_threads\": " << SpeedupAt4 << ",\n";
+
+  // The analysis-server regime: cold unique-variant stream, then the
+  // same stream warm against the retained tier.
+  ServerSample Srv = runServer(100);
+  Out << "  \"server\": {\n";
+  Out << "    \"requests\": " << Srv.Requests << ",\n";
+  Out << "    \"cold_ms\": " << Srv.ColdMillis << ",\n";
+  Out << "    \"cold_requests_per_sec\": " << Srv.ColdReqPerSec << ",\n";
+  Out << "    \"warm_ms\": " << Srv.WarmMillis << ",\n";
+  Out << "    \"warm_requests_per_sec\": " << Srv.WarmReqPerSec << ",\n";
+  Out << "    \"warm_speedup\": " << Srv.WarmSpeedup << ",\n";
+  Out << "    \"global_sat_hit_rate\": " << Srv.SatHitRate << ",\n";
+  Out << "    \"reclaims\": " << Srv.Reclaims << ",\n";
+  Out << "    \"last_reclaim_dropped\": " << Srv.LastDropped << ",\n";
+  Out << "    \"tier_rotations\": " << Srv.Rotations << ",\n";
+  Out << "    \"arena_bytes\": " << Srv.ArenaBytes << "\n  },\n";
+
   Out << "  \"deterministic_all_configs\": "
       << (AllDeterministic ? "true" : "false") << "\n";
   Out << "}\n";
@@ -147,5 +223,11 @@ int main(int argc, char **argv) {
               Base.ProgramsPerSec, T1.ProgramsPerSec, T1.GlobalSatHitRate,
               T1.GlobalDnfHitRate, SpeedupAt4,
               AllDeterministic ? "yes" : "NO");
+  std::printf("server: cold %.1f req/s, warm %.1f req/s (x%.2f), "
+              "reclaims=%llu dropped=%llu rotations=%llu arena=%zu\n",
+              Srv.ColdReqPerSec, Srv.WarmReqPerSec, Srv.WarmSpeedup,
+              static_cast<unsigned long long>(Srv.Reclaims),
+              static_cast<unsigned long long>(Srv.LastDropped),
+              static_cast<unsigned long long>(Srv.Rotations), Srv.ArenaBytes);
   return AllDeterministic ? 0 : 1;
 }

@@ -1,0 +1,286 @@
+//===- api/AnalysisServer.cpp ---------------------------------*- C++ -*-===//
+
+#include "api/AnalysisServer.h"
+
+#include "api/Pipeline.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace tnt;
+
+namespace {
+
+/// Live servers with reclamation enabled (see AnalysisServer.h —
+/// reclamation is only sound for a sole owner).
+std::atomic<unsigned> LiveReclaimers{0};
+
+} // namespace
+
+AnalysisServer::AnalysisServer(ServerOptions Options)
+    : Opt(std::move(Options)), Batch([&] {
+        BatchOptions BO;
+        BO.Program = Opt.Program;
+        BO.GlobalTier = Opt.GlobalTier;
+        BO.GlobalSatCapacity = Opt.GlobalSatCapacity;
+        BO.GlobalDnfCapacity = Opt.GlobalDnfCapacity;
+        return BO;
+      }()) {
+  // Everything interned before this point (constant singletons, any
+  // warmup the host process did) becomes permanent; per-request terms
+  // from here on are generation-tagged and reclaimable.
+  if (Opt.ReclaimEvery != 0) {
+    Reclaiming = true;
+    LiveReclaimers.fetch_add(1);
+    ArithIntern::global().beginEpochs();
+  }
+}
+
+AnalysisServer::~AnalysisServer() {
+  if (Reclaiming)
+    LiveReclaimers.fetch_sub(1);
+}
+
+namespace {
+
+/// The id rendered for echoing: raw number lexeme, quoted string, or
+/// null when absent/other.
+std::string idText(const json::Value &Req) {
+  const json::Value *Id = Req.field("id");
+  if (Id == nullptr)
+    return "null";
+  if (Id->isNumber())
+    return Id->rawNumber();
+  if (Id->isString())
+    return json::quoted(Id->asString());
+  return "null";
+}
+
+std::string errorResponse(const std::string &IdText, const std::string &Msg) {
+  return "{\"id\":" + IdText + ",\"ok\":false,\"error\":" +
+         json::quoted(Msg) + "}";
+}
+
+} // namespace
+
+void AnalysisServer::reclaimNow() {
+  // Sole-owner gate: sweeping everything outside THIS server's tier is
+  // only sound when no other live tier holds interned pointers —
+  // whether it belongs to a sibling server (reclaiming or not) or to
+  // a bare BatchAnalyzer/GlobalSolverCache in the host process. With
+  // any other tier alive, stand down (append-only mode) rather than
+  // free keys from under it: tier maps compare keys by pointer, so a
+  // swept key re-interned at a recycled address could alias a stale
+  // entry. The gate detects TIER owners only — it cannot see a
+  // tier-less analysis running concurrently on another host thread;
+  // not dereferencing per-request pointers across an epoch boundary
+  // is the caller contract ArithIntern::reclaim documents, and the
+  // server itself honors it by handling requests strictly serially.
+  const size_t OwnTiers = Batch.globalTier() != nullptr ? 1 : 0;
+  if (!Reclaiming || LiveReclaimers.load() != 1 ||
+      GlobalSolverCache::liveCount() != OwnTiers)
+    return;
+  // The process-wide default context is the one SolverContext a host
+  // process might feed through the legacy Solver facade between
+  // requests; its caches hold interned pointers, so drop them before
+  // the sweep rather than listing them as roots (they are caches — a
+  // refill is always sound).
+  SolverContext::defaultCtx().clearCache();
+  EpochRoots Roots;
+  if (GlobalSolverCache *Tier = Batch.globalTier())
+    Tier->collectRoots(Roots);
+  LastReclaim = ArithIntern::global().reclaim(Roots);
+  ++Reclaims;
+}
+
+std::string AnalysisServer::handleProgram(const std::string &Id,
+                                          const std::string &Source,
+                                          const std::string &Entry) {
+  GlobalSolverCache *Tier = Batch.globalTier();
+
+  // The exact analyzeProgram schedule — root block 0, group G on block
+  // G+1, bottom-up group order — so the response is byte-identical to a
+  // fresh single-program run (the tier only changes who computes an
+  // answer, never the answer).
+  std::string Response;
+  {
+    std::unique_ptr<PreparedProgram> PP = prepareProgram(Source, Opt.Program);
+    AnalysisResult R;
+    if (!PP->Ok) {
+      R = finalizeProgram(*PP, {}, Opt.Program, Tier);
+    } else {
+      const size_t N = PP->Groups.size();
+      std::vector<GroupRun> Runs(N);
+      for (size_t G = 0; G < N; ++G)
+        Runs[G] = runPipelineGroup(*PP, Opt.Program, G,
+                                   static_cast<uint32_t>(G) + 1, Tier);
+      R = finalizeProgram(*PP, std::move(Runs), Opt.Program, Tier);
+    }
+    if (!R.Ok) {
+      ++Errors;
+      Response = errorResponse(Id, R.Diagnostics);
+    } else {
+      Response = "{\"id\":" + Id + ",\"ok\":true,\"entry\":" +
+                 json::quoted(Entry) + ",\"verdict\":" +
+                 json::quoted(outcomeStr(R.outcome(Entry))) +
+                 ",\"output\":" + json::quoted(R.str()) + "}";
+    }
+    // PP and R (every Formula handle of this request) die HERE, before
+    // any reclaim — nothing of the request outlives its epoch except
+    // what promoteTo put in the tier.
+  }
+
+  ++Requests;
+  if (Opt.ReclaimEvery != 0 && Requests % Opt.ReclaimEvery == 0)
+    reclaimNow();
+  return Response;
+}
+
+std::string AnalysisServer::statsJson(const std::string &Id) const {
+  ServerStats S = stats();
+  std::ostringstream Out;
+  Out << "{\"id\":" << Id << ",\"ok\":true,\"stats\":{"
+      << "\"requests\":" << S.Requests << ",\"errors\":" << S.Errors
+      << ",\"reclaims\":" << S.Reclaims << ",\"generation\":"
+      << ArithIntern::global().generation() << ",\"last_reclaim\":{"
+      << "\"kept\":" << S.LastReclaim.kept()
+      << ",\"dropped\":" << S.LastReclaim.dropped()
+      << ",\"bytes_before\":" << S.LastReclaim.BytesBefore
+      << ",\"bytes_after\":" << S.LastReclaim.BytesAfter << "},\"intern\":{"
+      << "\"exprs\":" << S.InternExprs
+      << ",\"constraints\":" << S.InternConstraints
+      << ",\"formulas\":" << S.InternFormulas
+      << ",\"arena_bytes\":" << S.InternArenaBytes << "},\"global_tier\":{"
+      << "\"sat_entries\":" << S.Global.SatEntries
+      << ",\"sat_prev_entries\":" << S.Global.SatPrevEntries
+      << ",\"sat_lookups\":" << S.Global.SatLookups
+      << ",\"sat_hits\":" << S.Global.SatHits
+      << ",\"sat_prev_hits\":" << S.Global.SatPrevHits
+      << ",\"sat_rotations\":" << S.Global.SatRotations
+      << ",\"dnf_entries\":" << S.Global.DnfEntries
+      << ",\"dnf_prev_entries\":" << S.Global.DnfPrevEntries
+      << ",\"dnf_lookups\":" << S.Global.DnfLookups
+      << ",\"dnf_hits\":" << S.Global.DnfHits
+      << ",\"dnf_prev_hits\":" << S.Global.DnfPrevHits
+      << ",\"dnf_rotations\":" << S.Global.DnfRotations << "}}}";
+  return Out.str();
+}
+
+std::string AnalysisServer::handleLine(const std::string &Line) {
+  // Blank lines keep the stream alive without a response.
+  bool AllWs = true;
+  for (char C : Line)
+    if (C != ' ' && C != '\t' && C != '\r')
+      AllWs = false;
+  if (AllWs)
+    return "";
+
+  std::string Err;
+  std::optional<json::Value> Req = json::parse(Line, &Err);
+  if (!Req || !Req->isObject()) {
+    ++Errors;
+    return errorResponse("null",
+                         Req ? "request is not a JSON object" : Err);
+  }
+  std::string Id = idText(*Req);
+
+  if (const json::Value *Verb = Req->field("verb")) {
+    if (!Verb->isString()) {
+      ++Errors;
+      return errorResponse(Id, "\"verb\" must be a string");
+    }
+    const std::string &V = Verb->asString();
+    if (V == "stats")
+      return statsJson(Id);
+    if (V == "shutdown") {
+      Shutdown = true;
+      return "{\"id\":" + Id + ",\"ok\":true,\"shutdown\":true}";
+    }
+    ++Errors;
+    return errorResponse(Id, "unknown verb '" + V + "'");
+  }
+
+  std::string Entry = "main";
+  if (const json::Value *E = Req->field("entry"))
+    if (E->isString())
+      Entry = E->asString();
+
+  if (const json::Value *Prog = Req->field("program")) {
+    if (!Prog->isString()) {
+      ++Errors;
+      return errorResponse(Id, "\"program\" must be a string");
+    }
+    return handleProgram(Id, Prog->asString(), Entry);
+  }
+
+  if (const json::Value *Path = Req->field("path")) {
+    if (!Opt.AllowPaths) {
+      ++Errors;
+      return errorResponse(Id, "path requests are disabled");
+    }
+    if (!Path->isString()) {
+      ++Errors;
+      return errorResponse(Id, "\"path\" must be a string");
+    }
+    std::ifstream In(Path->asString());
+    if (!In) {
+      ++Errors;
+      return errorResponse(Id, "cannot open " + Path->asString());
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    return handleProgram(Id, Buf.str(), Entry);
+  }
+
+  ++Errors;
+  return errorResponse(Id, "request needs \"program\", \"path\" or \"verb\"");
+}
+
+int AnalysisServer::serve(std::istream &In, std::ostream &Out) {
+  std::string Line;
+  while (!Shutdown && std::getline(In, Line)) {
+    std::string Response = handleLine(Line);
+    if (!Response.empty()) {
+      Out << Response << "\n";
+      Out.flush();
+    }
+  }
+  return 0;
+}
+
+std::string tnt::soakRequestJson(uint64_t Id, const std::string &Source) {
+  return "{\"id\":" + std::to_string(Id) +
+         ",\"program\":" + json::quoted(Source) + "}";
+}
+
+bool tnt::soakSamplesBounded(const std::vector<size_t> &Samples) {
+  if (Samples.size() < SoakMinSamples)
+    return false; // Windows would overlap; gate on SoakMinSamples first.
+  size_t Baseline = 0, Final = 0;
+  for (size_t I = 3; I < 7; ++I)
+    Baseline = std::max(Baseline, Samples[I]);
+  for (size_t I = Samples.size() - 3; I < Samples.size(); ++I)
+    Final = std::max(Final, Samples[I]);
+  return Final <= Baseline + Baseline / 4;
+}
+
+ServerStats AnalysisServer::stats() const {
+  ServerStats S;
+  S.Requests = Requests;
+  S.Errors = Errors;
+  S.Reclaims = Reclaims;
+  S.LastReclaim = LastReclaim;
+  if (const GlobalSolverCache *Tier = Batch.globalTier())
+    S.Global = Tier->stats();
+  ArithIntern &I = ArithIntern::global();
+  S.InternExprs = I.exprCount();
+  S.InternConstraints = I.constraintCount();
+  S.InternFormulas = I.formulaCount();
+  S.InternArenaBytes = I.arenaBytes();
+  return S;
+}

@@ -1,0 +1,172 @@
+//===- api/AnalysisServer.h - Persistent analysis front end -----*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis-server front end: a persistent process that reads
+/// newline-delimited JSON requests and streams one response line per
+/// request, keeping one BatchAnalyzer's global solver tier warm across
+/// requests so repeated and similar programs answer from the shared
+/// cache. This is the long-lived regime the paper's reuse argument
+/// points at (specifications inferred once answer future queries
+/// cheaply) and the ROADMAP's north star.
+///
+/// Protocol (one JSON object per line):
+///
+///   {"id": 1, "program": "int main(int n) { ... }"}      analyze source
+///   {"id": 2, "path": "prog.t", "entry": "main"}         analyze a file
+///   {"id": 3, "verb": "stats"}                           server counters
+///   {"id": 4, "verb": "shutdown"}                        stop serving
+///
+/// Program responses carry {"id", "ok", "entry", "verdict", "output"}
+/// and are BYTE-IDENTICAL to a fresh single-program analyzeProgram run
+/// of the same source under the server's config: requests are analyzed
+/// one at a time on the exact block numbering analyzeProgram uses (root
+/// block 0, group G on block G+1 — VarPool reuses ids for repeated
+/// spellings), and the shared tier is semantically transparent.
+/// Deliberately, the response contains no times or cache counters —
+/// warmth must be unobservable in it (the soak suite diffs every
+/// response against a fresh run).
+///
+/// Epoch-scoped reclamation: without it, a server analyzing an
+/// unbounded program stream grows the process-wide ArithIntern table
+/// with every request. The server runs in ArithIntern epoch mode:
+/// every ReclaimEvery program requests it collects the interned
+/// pointers still reachable from the global tier (both cache
+/// generations) as the retained root set and reclaims everything else
+/// — per-request garbage lives for at most one epoch, and combined
+/// with the tier's capacity rotation the whole footprint is bounded.
+/// Reclamation assumes this server's tier is the only cross-request
+/// owner of interned pointers in the process; while any other
+/// GlobalSolverCache is alive — a sibling server's (reclaiming or
+/// not) or a tier-owning BatchAnalyzer's — the server stands down to
+/// append-only mode until sole ownership returns (tested by
+/// ServerSoakTest). The gate cannot see analyses with no tier running
+/// concurrently on other host threads; a host that does that must
+/// disable reclamation (ReclaimEvery = 0), per ArithIntern::reclaim's
+/// caller contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_API_ANALYSISSERVER_H
+#define TNT_API_ANALYSISSERVER_H
+
+#include "api/BatchAnalyzer.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace tnt {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Per-request analyzer knobs; the batch defaults (deadline-free,
+  /// deterministic group fuel) keep responses reproducible.
+  AnalyzerConfig Program = batchProgramConfig();
+  /// Enable the warm global cache tier.
+  bool GlobalTier = true;
+  size_t GlobalSatCapacity = GlobalSolverCache::DefaultSatCapacity;
+  size_t GlobalDnfCapacity = GlobalSolverCache::DefaultDnfCapacity;
+  /// Program requests per intern epoch; 0 disables reclamation (the
+  /// table then grows for the process lifetime, as in one-shot mode).
+  unsigned ReclaimEvery = 64;
+  /// Allow {"path": ...} requests to read files from disk.
+  bool AllowPaths = true;
+};
+
+/// A stats() snapshot (also served by the "stats" verb).
+struct ServerStats {
+  uint64_t Requests = 0; ///< Program requests handled.
+  uint64_t Errors = 0;   ///< Malformed requests / failed analyses.
+  uint64_t Reclaims = 0; ///< Reclaim passes performed.
+  ReclaimStats LastReclaim;
+  GlobalCacheStats Global;
+  size_t InternExprs = 0;
+  size_t InternConstraints = 0;
+  size_t InternFormulas = 0;
+  size_t InternArenaBytes = 0;
+};
+
+/// The persistent front end. One instance owns one BatchAnalyzer whose
+/// global tier stays warm for the server's lifetime. Requests are
+/// handled strictly one at a time (the paper's workloads are
+/// short-running; cross-request cache reuse, not intra-request
+/// parallelism, is where the service wins).
+class AnalysisServer {
+public:
+  explicit AnalysisServer(ServerOptions Options = {});
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer &) = delete;
+  AnalysisServer &operator=(const AnalysisServer &) = delete;
+
+  /// Reads newline-delimited requests from \p In until EOF or a
+  /// shutdown verb, writing one response line per request to \p Out
+  /// (flushed per line). Returns 0.
+  int serve(std::istream &In, std::ostream &Out);
+
+  /// Handles one request line and returns the response (no trailing
+  /// newline; empty for blank input lines). Exposed so tests and the
+  /// smoke driver can exercise the exact protocol path in-process.
+  std::string handleLine(const std::string &Line);
+
+  /// True once a shutdown verb has been handled.
+  bool shutdownRequested() const { return Shutdown; }
+
+  ServerStats stats() const;
+
+  /// The warm tier (null when disabled).
+  GlobalSolverCache *globalTier() { return Batch.globalTier(); }
+
+  /// Forces an epoch boundary now (normally driven by ReclaimEvery).
+  void reclaimNow();
+
+private:
+  std::string handleProgram(const std::string &IdText,
+                            const std::string &Source,
+                            const std::string &Entry);
+  std::string statsJson(const std::string &IdText) const;
+
+  ServerOptions Opt;
+  BatchAnalyzer Batch; ///< Owns the warm global tier.
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  uint64_t Reclaims = 0;
+  ReclaimStats LastReclaim;
+  bool Shutdown = false;
+  /// True when this server was constructed with reclamation enabled.
+  /// reclaimNow() additionally checks at reclaim time that this is the
+  /// process's ONLY live reclaiming server and that no other
+  /// GlobalSolverCache instance exists (see file comment); otherwise
+  /// it stands down — the table then just grows, exactly as in
+  /// one-shot mode.
+  bool Reclaiming = false;
+};
+
+/// One NDJSON program-request line for the server protocol, shared by
+/// every soak driver (ServerSoakTest, `hiptnt --serve-smoke`, the
+/// batch bench) so the request shape cannot drift between them.
+std::string soakRequestJson(uint64_t Id, const std::string &Source);
+
+/// Minimum per-epoch samples soakSamplesBounded needs for its two
+/// comparison windows to be disjoint. Callers gate on this BEFORE
+/// calling (and treat fewer samples as "not enough soak", not as a
+/// leak) — the soak drivers all do.
+constexpr size_t SoakMinSamples = 10;
+
+/// The bounded-growth fence over per-epoch samples of an interned-term
+/// metric (entry count or arena bytes), shared by the soak drivers.
+/// Peak-to-peak: samples cycle with the tier's rotation phase and the
+/// first epochs are warmup (the retained root set legitimately grows
+/// until the first rotation), so the max of the LAST three samples
+/// must stay within 25% of the max over samples [3, 7). Fewer than
+/// SoakMinSamples returns false — gate on the count first to tell
+/// "leak" apart from "not enough soak to judge".
+bool soakSamplesBounded(const std::vector<size_t> &Samples);
+
+} // namespace tnt
+
+#endif // TNT_API_ANALYSISSERVER_H

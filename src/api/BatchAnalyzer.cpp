@@ -80,9 +80,10 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
   // --- Deterministic fresh-variable block assignment for phase 2:
   // prefix sums over group counts give every (program, group) a block
   // that depends only on the batch's content and order — never on
-  // scheduling. Blocks beyond VarPool::MaxBlocks fall back to the
-  // pool's global region (sound; a corpus would need ~16k groups
-  // total to get there).
+  // scheduling. Blocks beyond VarPool's block limit fall back to the
+  // pool's global region (sound but nondeterministic for the overflow
+  // tail — pinned by VarPoolOverflowTest; a real corpus would need
+  // ~16k groups total to get there).
   std::vector<uint64_t> GroupBase(NP);
   uint64_t NextBlock = NP + 1;
   for (size_t P = 0; P < NP; ++P) {

@@ -142,6 +142,7 @@ public:
   /// The shared tier (null when disabled) — exposed for tests and
   /// stats reporting.
   GlobalSolverCache *globalTier() { return Global.get(); }
+  const GlobalSolverCache *globalTier() const { return Global.get(); }
 
 private:
   BatchOptions Opt;

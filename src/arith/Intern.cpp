@@ -3,8 +3,109 @@
 #include "arith/Intern.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 using namespace tnt;
+
+namespace {
+
+/// Approximate payload bytes of one interned entry: the entry itself,
+/// its bookkeeping (arena unique_ptr + bucket-chain pointer + heap
+/// header), and the dynamic payload. Map nodes are costed at a flat 48
+/// bytes (key + value + three pointers + color on a typical libstdc++
+/// node). Deterministic — a function of the value's shape only — so it
+/// can serve as the soak tests' RSS proxy.
+constexpr size_t SlotOverhead = 3 * sizeof(void *);
+constexpr size_t MapNodeBytes = 48;
+
+size_t approxBytes(const LinExpr &E) {
+  return sizeof(LinExpr) + E.coeffs().size() * MapNodeBytes + SlotOverhead;
+}
+
+size_t approxBytes(const Constraint &C) {
+  return sizeof(Constraint) + C.expr().coeffs().size() * MapNodeBytes +
+         SlotOverhead;
+}
+
+size_t approxBytes(const FormulaNode &N) {
+  return sizeof(FormulaNode) + N.Children.size() * sizeof(Formula) +
+         N.Bound.size() * sizeof(VarId) +
+         N.Atom.expr().coeffs().size() * MapNodeBytes + SlotOverhead;
+}
+
+/// Marks \p Root and every transitively reachable child node.
+void markFormula(const FormulaNode *Root,
+                 std::unordered_set<const FormulaNode *> &Live) {
+  std::vector<const FormulaNode *> Stack{Root};
+  while (!Stack.empty()) {
+    const FormulaNode *N = Stack.back();
+    Stack.pop_back();
+    if (!Live.insert(N).second)
+      continue;
+    for (const Formula &C : N->Children)
+      Stack.push_back(C.node());
+  }
+}
+
+} // namespace
+
+template <typename T>
+const T *ArithIntern::Table<T>::intern(const T &V, bool Epochal) {
+  size_t H = V.hashValue();
+  std::vector<const T *> &Chain = Buckets[H];
+  for (const T *P : Chain)
+    if (*P == V)
+      return P;
+  const T *P;
+  if (Epochal) {
+    Mortal.push_back(std::make_unique<T>(V));
+    P = Mortal.back().get();
+  } else {
+    Permanent.push_back(V);
+    P = &Permanent.back();
+  }
+  Chain.push_back(P);
+  Bytes += approxBytes(*P);
+  return P;
+}
+
+namespace {
+
+/// Sweeps a table's mortal arena: keeps entries whose pointer \p Keep
+/// accepts (ownership moves, addresses do not), drops the rest and
+/// scrubs them out of the bucket chains.
+template <typename Tbl, typename KeepFn>
+void sweepTable(Tbl &T, KeepFn Keep, size_t &KeptN, size_t &DroppedN) {
+  std::unordered_set<const void *> Dying;
+  decltype(T.Mortal) Kept;
+  Kept.reserve(T.Mortal.size());
+  for (auto &S : T.Mortal) {
+    if (Keep(S.get())) {
+      Kept.push_back(std::move(S));
+    } else {
+      Dying.insert(S.get());
+      T.Bytes -= approxBytes(*S);
+    }
+  }
+  DroppedN += Dying.size();
+  KeptN += Kept.size();
+  T.Mortal = std::move(Kept);
+  if (Dying.empty())
+    return;
+  for (auto It = T.Buckets.begin(); It != T.Buckets.end();) {
+    auto &Chain = It->second;
+    Chain.erase(std::remove_if(
+                    Chain.begin(), Chain.end(),
+                    [&](const void *P) { return Dying.count(P) != 0; }),
+                Chain.end());
+    if (Chain.empty())
+      It = T.Buckets.erase(It);
+    else
+      ++It;
+  }
+}
+
+} // namespace
 
 ArithIntern &ArithIntern::global() {
   static ArithIntern I;
@@ -13,39 +114,109 @@ ArithIntern &ArithIntern::global() {
 
 const LinExpr *ArithIntern::expr(const LinExpr &E) {
   std::lock_guard<std::mutex> L(Mu);
-  return Exprs.intern(E);
+  return Exprs.intern(E, EpochsOn);
 }
 
 const Constraint *ArithIntern::constraint(const Constraint &C) {
   std::lock_guard<std::mutex> L(Mu);
-  return Constraints.intern(C);
+  return Constraints.intern(C, EpochsOn);
 }
 
 void ArithIntern::constraints(const ConstraintConj &Conj,
                               std::vector<const Constraint *> &Out) {
   std::lock_guard<std::mutex> L(Mu);
   for (const Constraint &C : Conj)
-    Out.push_back(Constraints.intern(C));
+    Out.push_back(Constraints.intern(C, EpochsOn));
 }
 
 const FormulaNode *ArithIntern::formula(const FormulaNode &N) {
   std::lock_guard<std::mutex> L(Mu);
-  return Formulas.intern(N);
+  return Formulas.intern(N, EpochsOn);
 }
 
 size_t ArithIntern::formulaCount() const {
   std::lock_guard<std::mutex> L(Mu);
-  return Formulas.Storage.size();
+  return Formulas.size();
 }
 
 size_t ArithIntern::exprCount() const {
   std::lock_guard<std::mutex> L(Mu);
-  return Exprs.Storage.size();
+  return Exprs.size();
 }
 
 size_t ArithIntern::constraintCount() const {
   std::lock_guard<std::mutex> L(Mu);
-  return Constraints.Storage.size();
+  return Constraints.size();
+}
+
+void ArithIntern::beginEpochs() {
+  // Pin the constant singletons BEFORE flipping the mode: Formula::top
+  // and Formula::bottom cache interned nodes in function-local statics,
+  // and interning them now (outside the lock — they intern through this
+  // table) lands them in the permanent generation.
+  (void)Formula::top();
+  (void)Formula::bottom();
+  std::lock_guard<std::mutex> L(Mu);
+  if (EpochsOn)
+    return;
+  EpochsOn = true;
+  Gen = 1;
+}
+
+bool ArithIntern::epochsEnabled() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return EpochsOn;
+}
+
+uint32_t ArithIntern::generation() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Gen;
+}
+
+ReclaimStats ArithIntern::reclaim(const EpochRoots &Retained) {
+  std::lock_guard<std::mutex> L(Mu);
+  ReclaimStats S;
+  if (!EpochsOn)
+    return S;
+  S.Generation = Gen;
+  S.BytesBefore = Exprs.Bytes + Constraints.Bytes + Formulas.Bytes;
+
+  // Mark. Formula roots close transitively over children; LinExpr and
+  // Constraint hold their payload by value, so a root is exactly one
+  // entry. Marking a permanent entry is harmless — the sweep only
+  // visits the mortal arenas.
+  std::unordered_set<const LinExpr *> LiveE(Retained.Exprs.begin(),
+                                            Retained.Exprs.end());
+  std::unordered_set<const Constraint *> LiveC(Retained.Constraints.begin(),
+                                               Retained.Constraints.end());
+  std::unordered_set<const FormulaNode *> LiveF;
+  for (const FormulaNode *N : Retained.Formulas)
+    markFormula(N, LiveF);
+
+  // Sweep.
+  sweepTable(Exprs, [&](const LinExpr *P) { return LiveE.count(P) != 0; },
+             S.ExprsKept, S.ExprsDropped);
+  sweepTable(Constraints,
+             [&](const Constraint *P) { return LiveC.count(P) != 0; },
+             S.ConstraintsKept, S.ConstraintsDropped);
+  sweepTable(Formulas,
+             [&](const FormulaNode *P) { return LiveF.count(P) != 0; },
+             S.FormulasKept, S.FormulasDropped);
+
+  S.BytesAfter = Exprs.Bytes + Constraints.Bytes + Formulas.Bytes;
+  ++Gen;
+  return S;
+}
+
+size_t ArithIntern::arenaBytes() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Exprs.Bytes + Constraints.Bytes + Formulas.Bytes;
+}
+
+size_t ArithIntern::mortalCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Exprs.Mortal.size() + Constraints.Mortal.size() +
+         Formulas.Mortal.size();
 }
 
 InternedConj tnt::internConj(const ConstraintConj &Conj) {

@@ -13,10 +13,21 @@
 /// Formula nodes are interned bottom-up — children are interned before
 /// their parent, and node identity compares children by pointer — which
 /// dedups the whole formula DAG and lets SolverContext memoize
-/// DNF expansion by node pointer. The table is process-wide,
-/// append-only and mutex-protected, so analysis workers on different
-/// threads can intern concurrently; interned pointers are stable for
-/// the lifetime of the process.
+/// DNF expansion by node pointer. The table is process-wide and
+/// mutex-protected, so analysis workers on different threads can intern
+/// concurrently.
+///
+/// Lifetime: by default the table is append-only and interned pointers
+/// are stable for the process lifetime — the regime of every one-shot
+/// analysis and of the test suite. A long-lived analysis server opts
+/// into *epoch-scoped reclamation* instead (see beginEpochs/reclaim):
+/// entries interned before the first epoch live in a permanent arena;
+/// entries interned afterwards live in a mortal arena, and a reclaim
+/// pass keeps exactly the ones reachable from the caller's retained
+/// roots (transitively through formula children), dropping the rest.
+/// A kept entry keeps its address — promotion moves ownership, never
+/// objects — so pointers held by the retained roots stay valid across
+/// any number of epochs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,11 +37,39 @@
 #include "arith/Formula.h"
 
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace tnt {
+
+/// Interned pointers a reclaim pass must keep alive. Formula roots are
+/// closed transitively over their children by the reclaimer; LinExpr
+/// and Constraint are self-contained values, so a root pointer retains
+/// exactly itself. Entries interned before beginEpochs() are permanent
+/// and never need listing.
+struct EpochRoots {
+  std::vector<const LinExpr *> Exprs;
+  std::vector<const Constraint *> Constraints;
+  std::vector<const FormulaNode *> Formulas;
+};
+
+/// What one reclaim pass did (diagnostics; the soak tests and the
+/// server's stats verb report these).
+struct ReclaimStats {
+  /// The generation this pass closed (1-based; 0 = epochs not enabled).
+  uint32_t Generation = 0;
+  size_t ExprsKept = 0, ExprsDropped = 0;
+  size_t ConstraintsKept = 0, ConstraintsDropped = 0;
+  size_t FormulasKept = 0, FormulasDropped = 0;
+  size_t BytesBefore = 0, BytesAfter = 0;
+
+  size_t kept() const { return ExprsKept + ConstraintsKept + FormulasKept; }
+  size_t dropped() const {
+    return ExprsDropped + ConstraintsDropped + FormulasDropped;
+  }
+};
 
 /// The process-wide hash-cons table for arithmetic terms.
 class ArithIntern {
@@ -61,32 +100,68 @@ public:
   size_t constraintCount() const;
   size_t formulaCount() const;
 
+  //===--------------------------------------------------------------------===//
+  // Epoch-scoped reclamation (the long-lived-server regime)
+  //===--------------------------------------------------------------------===//
+
+  /// Switches the table into epoch mode: everything interned so far
+  /// becomes permanent, and every later intern goes to the mortal
+  /// arena, subject to reclaim(). Idempotent; pins the
+  /// constant-formula singletons (Formula::top/bottom) before flipping
+  /// so function-local statics can never dangle.
+  void beginEpochs();
+  bool epochsEnabled() const;
+
+  /// The generation new interns are tagged with (1-based once epochs
+  /// are enabled).
+  uint32_t generation() const;
+
+  /// Ends the current generation: keeps every mortal entry reachable
+  /// from \p Retained (formula roots close over children), drops the
+  /// rest, and starts the next generation. Kept entries keep their
+  /// addresses. The caller guarantees
+  /// that no interned pointer outside \p Retained and the permanent
+  /// generation is dereferenced afterwards (per-request results must be
+  /// rendered before their epoch ends). No-op unless epochs are
+  /// enabled.
+  ReclaimStats reclaim(const EpochRoots &Retained);
+
+  /// Deterministic RSS proxy: approximate bytes held by interned
+  /// entries (payload sizes, not allocator rounding). O(1); maintained
+  /// incrementally by intern and reclaim.
+  size_t arenaBytes() const;
+
+  /// Entries subject to reclamation (diagnostics).
+  size_t mortalCount() const;
+
 private:
   ArithIntern() = default;
 
   template <typename T> struct Table {
-    /// Stable storage: deque never moves elements on growth.
-    std::deque<T> Storage;
+    /// Entries interned before epoch mode: never reclaimed, so they
+    /// live in a deque — stable addresses with chunked allocation, no
+    /// per-entry malloc. This is the ONLY arena populated in one-shot
+    /// and batch runs (epoch mode is the server's opt-in), so the
+    /// dominant workloads keep the cheap path.
+    std::deque<T> Permanent;
+    /// Epoch-mode entries; reclaim() sweeps these. Per-entry ownership
+    /// so a kept entry's address survives the sweep's partition.
+    std::vector<std::unique_ptr<T>> Mortal;
     /// Hash -> interned entries with that hash (collision chain).
     std::unordered_map<size_t, std::vector<const T *>> Buckets;
+    /// Running approximate payload bytes of Permanent + Mortal.
+    size_t Bytes = 0;
 
-    const T *intern(const T &V) {
-      size_t H = V.hashValue();
-      std::vector<const T *> &Chain = Buckets[H];
-      for (const T *P : Chain)
-        if (*P == V)
-          return P;
-      Storage.push_back(V);
-      const T *P = &Storage.back();
-      Chain.push_back(P);
-      return P;
-    }
+    const T *intern(const T &V, bool Epochal);
+    size_t size() const { return Permanent.size() + Mortal.size(); }
   };
 
   mutable std::mutex Mu;
   Table<LinExpr> Exprs;
   Table<Constraint> Constraints;
   Table<FormulaNode> Formulas;
+  bool EpochsOn = false;
+  uint32_t Gen = 0;
 };
 
 /// A canonical interned conjunction: interned constraint pointers,

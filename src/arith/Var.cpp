@@ -21,7 +21,7 @@ VarPool &VarPool::get() {
 
 VarId VarPool::allocate(const std::string &Name) {
   VarId Id;
-  if (ActiveScope != nullptr && ActiveScope->Block < MaxBlocks) {
+  if (ActiveScope != nullptr && ActiveScope->Block < BlockLimit) {
     uint32_t &Next = BlockNext[ActiveScope->Block];
     if (Next < BlockSize) {
       Id = blockStart(ActiveScope->Block) + Next++;
@@ -29,14 +29,32 @@ VarId VarPool::allocate(const std::string &Name) {
       // Block exhausted: fall back to the global region (sound, loses
       // byte-determinism for this pathological analysis only).
       Id = NextGlobal++;
+      ++ScopedFallbacks;
     }
   } else {
     Id = NextGlobal++;
+    if (ActiveScope != nullptr)
+      ++ScopedFallbacks; // Block number past the limit: same fallback.
   }
   assert(NextGlobal < BlockBase && "global variable region exhausted");
   Names.emplace(Id, Name);
   Index.emplace(Name, Id);
   return Id;
+}
+
+uint32_t VarPool::blockLimit() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return BlockLimit;
+}
+
+void VarPool::setBlockLimitForTest(uint32_t Limit) {
+  std::lock_guard<std::mutex> L(Mu);
+  BlockLimit = Limit == 0 || Limit > MaxBlocks ? MaxBlocks : Limit;
+}
+
+uint64_t VarPool::scopedFallbacks() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return ScopedFallbacks;
 }
 
 VarId VarPool::intern(const std::string &Name) {

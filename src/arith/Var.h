@@ -78,9 +78,11 @@ public:
   };
 
   /// First id of allocation block \p Block (blocks are disjoint from
-  /// the global region and from each other). Blocks above MaxBlocks
-  /// would overflow the id space; allocation falls back to the global
-  /// region for them (sound, loses byte-determinism for such runs).
+  /// the global region and from each other). Blocks above the block
+  /// limit would overflow the id space; allocation falls back to the
+  /// global region for them (sound, loses byte-determinism for such
+  /// runs — the fallback tail draws never-reused ids from a pool-global
+  /// counter, so spellings depend on pool history).
   static constexpr uint32_t BlockSize = 1u << 18;
   static constexpr uint32_t BlockBase = 1u << 24;
   static constexpr uint32_t MaxBlocks =
@@ -88,6 +90,20 @@ public:
   static uint32_t blockStart(uint32_t Block) {
     return BlockBase + Block * BlockSize;
   }
+
+  /// The effective block limit: MaxBlocks normally; tests lower it to
+  /// exercise the overflow fallback without minting 16k real blocks.
+  uint32_t blockLimit() const;
+  /// Lowers (or restores) the block limit. Test hook ONLY: changing the
+  /// limit between two runs changes which scopes fall back, i.e. which
+  /// allocations are deterministic.
+  void setBlockLimitForTest(uint32_t Limit);
+
+  /// Scoped allocations that fell back to the global id region (block
+  /// number past the limit, or a block's 2^18 ids exhausted). A nonzero
+  /// delta across a run is the witness that the run's byte-determinism
+  /// contract is void for the fallback tail.
+  uint64_t scopedFallbacks() const;
 
 private:
   VarPool() = default;
@@ -107,6 +123,10 @@ private:
   /// analysis with new names never collides with older ids.
   std::map<uint32_t, uint32_t> BlockNext;
   uint64_t FreshCounter = 0;
+  /// Effective block limit (see blockLimit()).
+  uint32_t BlockLimit = MaxBlocks;
+  /// Count of scoped allocations that fell back to the global region.
+  uint64_t ScopedFallbacks = 0;
 };
 
 /// Convenience: intern \p Name in the global pool.

@@ -2,16 +2,44 @@
 
 #include "solver/GlobalCache.h"
 
+#include <unordered_set>
+
 using namespace tnt;
+
+namespace {
+
+std::atomic<size_t> LiveTiers{0};
+
+} // namespace
+
+GlobalSolverCache::GlobalSolverCache(size_t SatCapacity, size_t DnfCapacity)
+    : SatCap(SatCapacity), DnfCap(DnfCapacity) {
+  LiveTiers.fetch_add(1, std::memory_order_relaxed);
+}
+
+GlobalSolverCache::~GlobalSolverCache() {
+  LiveTiers.fetch_sub(1, std::memory_order_relaxed);
+}
+
+size_t GlobalSolverCache::liveCount() {
+  return LiveTiers.load(std::memory_order_relaxed);
+}
 
 std::optional<Tri> GlobalSolverCache::lookupSat(const InternedConj &Key) {
   SatLookupsN.fetch_add(1, std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> L(Mu);
   auto It = Sat.find(Key);
-  if (It == Sat.end())
-    return std::nullopt;
-  SatHitsN.fetch_add(1, std::memory_order_relaxed);
-  return It->second;
+  if (It != Sat.end()) {
+    SatHitsN.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+  It = SatPrev.find(Key);
+  if (It != SatPrev.end()) {
+    SatHitsN.fetch_add(1, std::memory_order_relaxed);
+    SatPrevHitsN.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+  return std::nullopt;
 }
 
 std::shared_ptr<const DnfPayload>
@@ -19,10 +47,17 @@ GlobalSolverCache::lookupDnf(const FormulaNode *Key) {
   DnfLookupsN.fetch_add(1, std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> L(Mu);
   auto It = Dnf.find(Key);
-  if (It == Dnf.end())
-    return nullptr;
-  DnfHitsN.fetch_add(1, std::memory_order_relaxed);
-  return It->second;
+  if (It != Dnf.end()) {
+    DnfHitsN.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+  It = DnfPrev.find(Key);
+  if (It != DnfPrev.end()) {
+    DnfHitsN.fetch_add(1, std::memory_order_relaxed);
+    DnfPrevHitsN.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+  return nullptr;
 }
 
 void GlobalSolverCache::mergeSat(
@@ -30,11 +65,31 @@ void GlobalSolverCache::mergeSat(
   if (SatCap == 0 || Entries.empty())
     return;
   std::unique_lock<std::shared_mutex> L(Mu);
+  // At most ONE rotation per merge: the caller offers entries
+  // most-recently-used first, so rotating again mid-merge would push
+  // this context's hottest entries into the discarded generation and
+  // retain its coldest tail — the opposite of the retention the merge
+  // order exists to provide. Instead, once a merge has rotated and
+  // refilled the current generation, its remaining (coldest) entries
+  // are simply not admitted this time.
+  bool Rotated = false;
   for (const auto &[Key, Val] : Entries) {
-    if (Sat.size() >= SatCap)
-      break; // Frozen at capacity: residency never churns under load.
-    if (Sat.emplace(Key, Val).second)
-      SatInsertsN.fetch_add(1, std::memory_order_relaxed);
+    if (Sat.count(Key) != 0)
+      continue; // First writer wins within the current generation.
+    if (Sat.size() >= SatCap) {
+      if (Rotated)
+        break;
+      // Rotate: the current generation becomes the previous one (whose
+      // old contents die) and inserts continue fresh. An entry still in
+      // demand comes back via the next end-of-program merge of whoever
+      // hits it in SatPrev.
+      SatPrev = std::move(Sat);
+      Sat = SatMap();
+      Rotated = true;
+      SatRotationsN.fetch_add(1, std::memory_order_relaxed);
+    }
+    Sat.emplace(Key, Val);
+    SatInsertsN.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -44,12 +99,41 @@ void GlobalSolverCache::mergeDnf(
   if (DnfCap == 0 || Entries.empty())
     return;
   std::unique_lock<std::shared_mutex> L(Mu);
+  bool Rotated = false; // One rotation per merge; see mergeSat.
   for (const auto &[Key, Payload] : Entries) {
-    if (Dnf.size() >= DnfCap)
-      break;
-    if (Dnf.emplace(Key, Payload).second)
-      DnfInsertsN.fetch_add(1, std::memory_order_relaxed);
+    if (Dnf.count(Key) != 0)
+      continue;
+    if (Dnf.size() >= DnfCap) {
+      if (Rotated)
+        break;
+      DnfPrev = std::move(Dnf);
+      Dnf = DnfMap();
+      Rotated = true;
+      DnfRotationsN.fetch_add(1, std::memory_order_relaxed);
+    }
+    Dnf.emplace(Key, Payload);
+    DnfInsertsN.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void GlobalSolverCache::collectRoots(EpochRoots &Out) const {
+  std::shared_lock<std::shared_mutex> L(Mu);
+  // Constraints are heavily shared across sat keys (and keys across
+  // generations), so dedup here: appending raw would hand the
+  // reclaimer one entry per (key, constraint) pair — a transient
+  // allocation spike in the millions at default capacities — only for
+  // it to dedup into a set anyway.
+  std::unordered_set<const Constraint *> SeenC;
+  for (const SatMap *M : {&Sat, &SatPrev})
+    for (const auto &[Key, Val] : *M)
+      for (const Constraint *P : Key)
+        if (SeenC.insert(P).second)
+          Out.Constraints.push_back(P);
+  std::unordered_set<const FormulaNode *> SeenF;
+  for (const DnfMap *M : {&Dnf, &DnfPrev})
+    for (const auto &[Key, Payload] : *M)
+      if (SeenF.insert(Key).second)
+        Out.Formulas.push_back(Key);
 }
 
 GlobalCacheStats GlobalSolverCache::stats() const {
@@ -58,20 +142,34 @@ GlobalCacheStats GlobalSolverCache::stats() const {
   S.SatHits = SatHitsN.load(std::memory_order_relaxed);
   S.DnfLookups = DnfLookupsN.load(std::memory_order_relaxed);
   S.DnfHits = DnfHitsN.load(std::memory_order_relaxed);
+  S.SatPrevHits = SatPrevHitsN.load(std::memory_order_relaxed);
+  S.DnfPrevHits = DnfPrevHitsN.load(std::memory_order_relaxed);
   S.SatInserts = SatInsertsN.load(std::memory_order_relaxed);
   S.DnfInserts = DnfInsertsN.load(std::memory_order_relaxed);
+  S.SatRotations = SatRotationsN.load(std::memory_order_relaxed);
+  S.DnfRotations = DnfRotationsN.load(std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> L(Mu);
   S.SatEntries = Sat.size();
   S.DnfEntries = Dnf.size();
+  S.SatPrevEntries = SatPrev.size();
+  S.DnfPrevEntries = DnfPrev.size();
   return S;
 }
 
 size_t GlobalSolverCache::satSize() const {
   std::shared_lock<std::shared_mutex> L(Mu);
-  return Sat.size();
+  size_t N = Sat.size();
+  for (const auto &[Key, Val] : SatPrev)
+    if (Sat.count(Key) == 0)
+      ++N;
+  return N;
 }
 
 size_t GlobalSolverCache::dnfSize() const {
   std::shared_lock<std::shared_mutex> L(Mu);
-  return Dnf.size();
+  size_t N = Dnf.size();
+  for (const auto &[Key, Payload] : DnfPrev)
+    if (Dnf.count(Key) == 0)
+      ++N;
+  return N;
 }

@@ -6,12 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The global tier of the two-tier solver cache used by batch analysis.
-/// A GlobalSolverCache sits UNDER the per-context LRU tier of
-/// SolverContext: contexts consult it on a local miss and never write
-/// to it directly — entries enter only through an explicit merge
-/// (SolverContext::promoteTo), which BatchAnalyzer performs once per
-/// finished program, in deterministic group order.
+/// The global tier of the two-tier solver cache used by batch analysis
+/// and the analysis server. A GlobalSolverCache sits UNDER the
+/// per-context LRU tier of SolverContext: contexts consult it on a
+/// local miss and never write to it directly — entries enter only
+/// through an explicit merge (SolverContext::promoteTo), which the
+/// drivers perform once per finished program, in deterministic group
+/// order.
 ///
 /// Why sharing is sound and deterministic:
 ///
@@ -25,11 +26,26 @@
 ///    so a hit is byte-identical to a recomputation after renaming —
 ///    whichever program's computation happened to be promoted first.
 ///
-/// The maps are insert-if-absent and freeze at capacity (no eviction):
-/// below capacity their contents are a set-union of the promoted
-/// entries, independent of merge arrival order; at capacity, residency
-/// can depend on arrival order, which affects hit *rates* only, never
-/// answers.
+/// Capacity policy: GENERATION ROTATION. Each map keeps two
+/// generations, current and previous. Merges insert-if-absent into the
+/// current generation; when it reaches capacity the current generation
+/// becomes the previous one (whose old contents are discarded) and
+/// inserts continue into a fresh current map — at most one such
+/// rotation per merge call, so a single oversized merge (entries
+/// arrive most-recently-used first) keeps its hottest entries and
+/// declines its coldest tail rather than rotating the hot ones away.
+/// Lookups consult both generations. A previous-generation entry that
+/// is still useful gets re-promoted naturally: the context that hit
+/// it installed it in its local tier, and that context's
+/// end-of-program merge offers it back to the current generation. So
+/// hot entries survive rotation and a long-lived server analyzing
+/// fresh corpora keeps benefiting, while the total footprint is
+/// bounded by two generations (the freeze-at-capacity policy this
+/// replaces stopped admitting entries forever once full). Residency —
+/// which keys happen to be resident when — can depend on merge
+/// arrival order under a parallel batch, exactly as it could at
+/// capacity before; that affects hit *rates* only, never answers,
+/// because every writer agrees on every key's value.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,11 +68,21 @@ struct GlobalCacheStats {
   uint64_t SatHits = 0;
   uint64_t DnfLookups = 0;
   uint64_t DnfHits = 0;
+  /// Hits answered from the previous generation (subset of *Hits).
+  uint64_t SatPrevHits = 0;
+  uint64_t DnfPrevHits = 0;
   /// Entries accepted by merges (first-writer-wins inserts).
   uint64_t SatInserts = 0;
   uint64_t DnfInserts = 0;
+  /// Generation rotations performed at capacity.
+  uint64_t SatRotations = 0;
+  uint64_t DnfRotations = 0;
+  /// Current-generation entries.
   size_t SatEntries = 0;
   size_t DnfEntries = 0;
+  /// Previous-generation entries (some may shadow current ones).
+  size_t SatPrevEntries = 0;
+  size_t DnfPrevEntries = 0;
 
   double satHitRate() const {
     return SatLookups ? double(SatHits) / double(SatLookups) : 0.0;
@@ -67,21 +93,30 @@ struct GlobalCacheStats {
 };
 
 /// The read-mostly global cache tier shared by all SolverContexts of a
-/// batch run. Internally synchronized: lookups take a shared lock,
-/// merges an exclusive one.
+/// batch run or analysis server. Internally synchronized: lookups take
+/// a shared lock, merges an exclusive one.
 class GlobalSolverCache {
 public:
   static constexpr size_t DefaultSatCapacity = 1u << 20;
   static constexpr size_t DefaultDnfCapacity = 1u << 16;
 
   explicit GlobalSolverCache(size_t SatCapacity = DefaultSatCapacity,
-                             size_t DnfCapacity = DefaultDnfCapacity)
-      : SatCap(SatCapacity), DnfCap(DnfCapacity) {}
+                             size_t DnfCapacity = DefaultDnfCapacity);
+  ~GlobalSolverCache();
 
   GlobalSolverCache(const GlobalSolverCache &) = delete;
   GlobalSolverCache &operator=(const GlobalSolverCache &) = delete;
 
-  /// Satisfiability answer for an interned conjunction, if promoted.
+  /// Number of GlobalSolverCache instances currently alive in the
+  /// process. Tier maps key on interned pointers, so the analysis
+  /// server's epoch reclaimer — whose root set is ITS tier only —
+  /// must stand down whenever any other tier instance exists (its
+  /// keys would be swept, and a later re-intern at a recycled address
+  /// could alias a stale entry).
+  static size_t liveCount();
+
+  /// Satisfiability answer for an interned conjunction, if promoted
+  /// (either generation).
   std::optional<Tri> lookupSat(const InternedConj &Key);
 
   /// Promoted DNF payload for an interned formula node, if any. Only
@@ -89,10 +124,12 @@ public:
   /// answers any clause cap: success when it fits, overflow otherwise.
   std::shared_ptr<const DnfPayload> lookupDnf(const FormulaNode *Key);
 
-  /// Merges sat entries, first-writer-wins, stopping at capacity. The
-  /// caller presents entries in a deterministic order (promoteTo uses
-  /// most-recently-used first); below capacity the resulting map is
-  /// order-independent because all writers agree on every key's value.
+  /// Merges sat entries into the current generation, first-writer-wins,
+  /// rotating generations when it fills (see file comment). The caller
+  /// presents entries in a deterministic order (promoteTo uses
+  /// most-recently-used first); below capacity the current generation
+  /// is a set-union of the promoted entries, independent of merge
+  /// arrival order, because all writers agree on every key's value.
   void mergeSat(const std::vector<std::pair<InternedConj, Tri>> &Entries);
 
   /// Same contract for DNF skeletons (alpha-equivalent payloads; see
@@ -101,7 +138,15 @@ public:
       const std::vector<std::pair<const FormulaNode *,
                                   std::shared_ptr<const DnfPayload>>> &Entries);
 
+  /// Appends every interned pointer either generation still references
+  /// — sat-key constraints and DNF-key formula nodes — to \p Out. The
+  /// analysis server passes the result to ArithIntern::reclaim as the
+  /// retained root set: everything the tier can still serve survives
+  /// the epoch, everything else was per-request garbage.
+  void collectRoots(EpochRoots &Out) const;
+
   GlobalCacheStats stats() const;
+  /// Distinct resident keys across both generations.
   size_t satSize() const;
   size_t dnfSize() const;
   size_t satCapacity() const { return SatCap; }
@@ -112,15 +157,20 @@ private:
   size_t DnfCap;
 
   mutable std::shared_mutex Mu;
-  std::unordered_map<InternedConj, Tri, InternedConjHash> Sat;
-  std::unordered_map<const FormulaNode *, std::shared_ptr<const DnfPayload>>
-      Dnf;
+  using SatMap = std::unordered_map<InternedConj, Tri, InternedConjHash>;
+  using DnfMap =
+      std::unordered_map<const FormulaNode *,
+                         std::shared_ptr<const DnfPayload>>;
+  SatMap Sat, SatPrev;
+  DnfMap Dnf, DnfPrev;
 
   // Lookup counters are atomics so the shared-lock read path never
   // needs the exclusive lock.
   std::atomic<uint64_t> SatLookupsN{0}, SatHitsN{0};
   std::atomic<uint64_t> DnfLookupsN{0}, DnfHitsN{0};
+  std::atomic<uint64_t> SatPrevHitsN{0}, DnfPrevHitsN{0};
   std::atomic<uint64_t> SatInsertsN{0}, DnfInsertsN{0};
+  std::atomic<uint64_t> SatRotationsN{0}, DnfRotationsN{0};
 };
 
 } // namespace tnt

@@ -482,8 +482,9 @@ void SolverContext::promoteTo(GlobalSolverCache &G) const {
   // Snapshot under the local lock, merge outside it: promotion must
   // not stall this context's (or anyone's) query path on the shared
   // tier's exclusive lock. Sat entries go most-recently-used first, so
-  // when the shared tier is near capacity the hottest answers win the
-  // remaining slots; only full skeletons are promoted from the memo
+  // when the shared tier's current generation is near a rotation the
+  // hottest answers win the slots that precede it; only full skeletons
+  // are promoted from the memo
   // (an overflow marker is only valid relative to its cap, and caps
   // are a caller detail the shared tier does not track).
   std::vector<std::pair<InternedConj, Tri>> SatEntries;

@@ -206,8 +206,12 @@ public:
 
   /// The deterministic end-of-program merge: offers this context's sat
   /// entries (most-recently-used first) and full DNF skeletons to the
-  /// global tier, first-writer-wins. Safe to call concurrently with
-  /// other contexts' queries and promotions.
+  /// global tier, first-writer-wins within the tier's current
+  /// generation. Entries this context was served from the tier's
+  /// previous generation are offered too (a tier hit installs locally),
+  /// which is what re-promotes still-hot entries across the tier's
+  /// capacity rotations. Safe to call concurrently with other contexts'
+  /// queries and promotions.
   void promoteTo(GlobalSolverCache &G) const;
 
   /// The process-wide default context behind the legacy static facade.

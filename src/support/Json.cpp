@@ -1,0 +1,383 @@
+//===- support/Json.cpp ---------------------------------------*- C++ -*-===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tnt;
+using namespace tnt::json;
+
+const Value *Value::field(const std::string &Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, V] : Obj)
+    if (Key == Name)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+/// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+bool validNumber(const std::string &S) {
+  size_t I = 0;
+  const size_t N = S.size();
+  auto digit = [&](size_t K) {
+    return K < N && S[K] >= '0' && S[K] <= '9';
+  };
+  if (I < N && S[I] == '-')
+    ++I;
+  if (!digit(I))
+    return false;
+  if (S[I] == '0') {
+    ++I;
+  } else {
+    while (digit(I))
+      ++I;
+  }
+  if (I < N && S[I] == '.') {
+    ++I;
+    if (!digit(I))
+      return false;
+    while (digit(I))
+      ++I;
+  }
+  if (I < N && (S[I] == 'e' || S[I] == 'E')) {
+    ++I;
+    if (I < N && (S[I] == '+' || S[I] == '-'))
+      ++I;
+    if (!digit(I))
+      return false;
+    while (digit(I))
+      ++I;
+  }
+  return I == N;
+}
+
+struct Parser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+
+  explicit Parser(const std::string &T) : Text(T) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = 0;
+    while (Lit[N] != '\0')
+      ++N;
+    if (Text.compare(Pos, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  /// Appends \p Cp as UTF-8.
+  static void appendUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xC0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else if (Cp < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Cp >> 18));
+      Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  /// Maps unencodable code points (surrogates, out of range) to
+  /// U+FFFD so the decoded string is always valid UTF-8.
+  static uint32_t sanitize(uint32_t Cp) {
+    return (Cp >= 0xD800 && Cp <= 0xDFFF) || Cp > 0x10FFFF ? 0xFFFD : Cp;
+  }
+
+  bool hex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return fail("bad hex digit in \\u escape");
+    }
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail("truncated escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          uint32_t Cp;
+          if (!hex4(Cp))
+            return false;
+          // Surrogate pair?
+          if (Cp >= 0xD800 && Cp <= 0xDBFF && Pos + 1 < Text.size() &&
+              Text[Pos] == '\\' && Text[Pos + 1] == 'u') {
+            Pos += 2;
+            uint32_t Lo;
+            if (!hex4(Lo))
+              return false;
+            if (Lo >= 0xDC00 && Lo <= 0xDFFF) {
+              Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+            } else {
+              // Unpaired high surrogate followed by a non-low escape:
+              // both decode independently below.
+              appendUtf8(Out, sanitize(Cp));
+              Cp = Lo;
+            }
+          }
+          // A lone surrogate has no UTF-8 encoding; emitting it raw
+          // would smuggle invalid UTF-8 into response lines (the
+          // decoded text can be echoed back through diagnostics).
+          // Substitute U+FFFD, the Unicode replacement character.
+          appendUtf8(Out, sanitize(Cp));
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      Out += C;
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(Value &Out, unsigned Depth) {
+    if (Depth > 128)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = Value::Kind::Object;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != ':')
+          return fail("expected ':'");
+        ++Pos;
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < Text.size() && Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = Value::Kind::Array;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < Text.size() && Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (C == 't') {
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out.K = Value::Kind::Null;
+      return literal("null");
+    }
+    if (C == '-' || (C >= '0' && C <= '9')) {
+      size_t Start = Pos;
+      if (Text[Pos] == '-')
+        ++Pos;
+      while (Pos < Text.size() &&
+             (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+              Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      Out.K = Value::Kind::Number;
+      Out.Raw = Text.substr(Start, Pos - Start);
+      // Strict grammar check — -?(0|[1-9][0-9]*)(\.[0-9]+)?
+      // ([eE][+-]?[0-9]+)? — not just strtod: the raw lexeme is echoed
+      // verbatim into responses (the id field), so anything strtod
+      // tolerates beyond JSON ("01", "1.") would turn a malformed
+      // request into malformed output instead of an error response.
+      if (!validNumber(Out.Raw))
+        return fail("malformed number");
+      Out.Num = std::strtod(Out.Raw.c_str(), nullptr);
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+} // namespace
+
+std::optional<Value> tnt::json::parse(const std::string &Text,
+                                      std::string *Err) {
+  Parser P(Text);
+  Value V;
+  if (!P.parseValue(V, 0)) {
+    if (Err)
+      *Err = P.Err;
+    return std::nullopt;
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    if (Err)
+      *Err = "trailing garbage at offset " + std::to_string(P.Pos);
+    return std::nullopt;
+  }
+  return V;
+}
+
+std::string tnt::json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (U < 0x20 || U == 0x7F) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string tnt::json::quoted(const std::string &S) {
+  return "\"" + escape(S) + "\"";
+}

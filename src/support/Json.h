@@ -1,0 +1,89 @@
+//===- support/Json.h - Minimal JSON reader/writer --------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dependency-free JSON layer for the analysis server's
+/// newline-delimited request/response protocol: a recursive-descent
+/// value parser (objects, arrays, strings with escapes, numbers, bools,
+/// null) and a string escaper for emitting responses. Numbers keep
+/// their raw source lexeme so a request id like 17 is echoed back as
+/// "17", never as a reformatted double.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SUPPORT_JSON_H
+#define TNT_SUPPORT_JSON_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tnt {
+namespace json {
+
+/// One parsed JSON value. Plain-struct storage: the protocol's payloads
+/// are tiny (one request per line), so a tagged struct beats a variant
+/// in clarity and compile cost.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+  double asNumber(double Default = 0) const {
+    return K == Kind::Number ? Num : Default;
+  }
+  /// The decoded string (String kind) — empty otherwise.
+  const std::string &asString() const { return Str; }
+  /// The raw source lexeme of a Number (e.g. "17", "-2.5e3").
+  const std::string &rawNumber() const { return Raw; }
+
+  /// Object member lookup (first match); null when absent or not an
+  /// object.
+  const Value *field(const std::string &Name) const;
+
+  const std::vector<Value> &elements() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Obj;
+  }
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str; ///< Decoded string payload.
+  std::string Raw; ///< Raw number lexeme.
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected). On failure returns nullopt and, when \p Err is
+/// non-null, a one-line diagnostic with the byte offset.
+std::optional<Value> parse(const std::string &Text, std::string *Err = nullptr);
+
+/// Escapes \p S for embedding inside a JSON string literal (quotes not
+/// included): ", \, control characters, and DEL become escape
+/// sequences; everything else passes through byte-for-byte (UTF-8 safe).
+std::string escape(const std::string &S);
+
+/// Convenience: \p S escaped and wrapped in quotes.
+std::string quoted(const std::string &S);
+
+} // namespace json
+} // namespace tnt
+
+#endif // TNT_SUPPORT_JSON_H

@@ -139,6 +139,14 @@ std::vector<BatchItem> tnt::loopBasedBatchItems() {
   return Out;
 }
 
+std::string tnt::soakVariantSource(const std::string &Base, uint64_t Salt) {
+  std::string V = std::to_string(Salt);
+  return Base + "\nint soakaux_" + V + "(int sp_" + V + ", int sq_" + V +
+         ")\n{\n  if (sp_" + V + " <= sq_" + V + ") return sq_" + V +
+         ";\n  else return soakaux_" + V + "(sp_" + V + " - 2, sq_" + V +
+         " + 1);\n}\n";
+}
+
 bool tnt::soundAnswer(const BenchProgram &P, Outcome O) {
   if (O == Outcome::Yes)
     return P.GroundTruth != Truth::NonTerminating;

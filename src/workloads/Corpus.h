@@ -62,6 +62,17 @@ std::vector<BatchItem> corpusBatchItems(size_t Limit = 0);
 /// to loopBasedPrograms() by index.
 std::vector<BatchItem> loopBasedBatchItems();
 
+/// A fresh-variable-heavy variant of \p Base for server soak loads:
+/// appends a salt-unique recursive helper method whose identifiers
+/// (and therefore whose interned constraints, formulas and primed
+/// fresh-variable spellings) differ per salt. Cycling variants through
+/// a long-lived server makes every request mint intern-table garbage
+/// that reclamation must collect; analyzing the same (Base, Salt) twice
+/// still yields byte-identical results, so the variants also serve the
+/// soak suite's response-vs-fresh-run diffs. The entry method and its
+/// verdict are unchanged (the helper is unreachable from it).
+std::string soakVariantSource(const std::string &Base, uint64_t Salt);
+
 } // namespace tnt
 
 #endif // TNT_WORKLOADS_CORPUS_H

@@ -1,0 +1,267 @@
+//===- tests/ServerSoakTest.cpp - long-lived server soak --------*- C++ -*-===//
+//
+// The analysis-server regression fence for the long-lived regime:
+//
+//  * Soak: >= 1000 requests (corpus programs cycled with
+//    fresh-variable-heavy variants) through an in-process server.
+//    EVERY response must be byte-identical to a fresh single-program
+//    analyzeProgram run of the same source — the tier and the epoch
+//    machinery must be unobservable in responses — and the interned
+//    node counts plus the arena-bytes RSS proxy must stay bounded
+//    across epochs (no monotone growth: reclamation plus tier rotation
+//    give a steady state).
+//
+//  * Protocol: stats/shutdown verbs, path requests, malformed input,
+//    blank lines.
+//
+// The soak runs the server strictly in-process (handleLine) so the
+// fresh-run comparisons interleave deterministically with the server's
+// epochs; the ctest server-smoke label drives the same protocol through
+// the real stdin/stdout loop via `hiptnt --serve-smoke`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/AnalysisServer.h"
+#include "arith/Intern.h"
+#include "support/Json.h"
+#include "workloads/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace tnt;
+
+TEST(ServerSoak, ThousandRequestsByteIdenticalAndBounded) {
+  ServerOptions SO;
+  SO.ReclaimEvery = 50;
+  // A tiny tier so capacity rotation — which is what bounds the
+  // retained root set on an unbounded stream — actually fires inside
+  // the soak horizon.
+  SO.GlobalSatCapacity = 1u << 9;
+  SO.GlobalDnfCapacity = 1u << 6;
+  AnalysisServer Server(SO);
+
+  std::vector<BatchItem> Items = corpusBatchItems(25);
+  ASSERT_EQ(Items.size(), 25u);
+
+  constexpr unsigned N = 1000;
+  std::vector<size_t> FormulaSamples, ConstraintSamples, ArenaSamples;
+  for (unsigned I = 0; I < N; ++I) {
+    // Cycled corpus program with a request-unique fresh-variable-heavy
+    // helper: every request mints interned terms no other request
+    // shares, i.e. the garbage reclamation exists to collect.
+    std::string Src = soakVariantSource(Items[I % Items.size()].Source, I);
+    std::string Line = Server.handleLine(soakRequestJson(I, Src));
+    std::optional<json::Value> Resp = json::parse(Line);
+    ASSERT_TRUE(Resp && Resp->isObject()) << Line;
+    const json::Value *Ok = Resp->field("ok");
+    ASSERT_TRUE(Ok != nullptr && Ok->asBool()) << "request " << I << ": "
+                                               << Line;
+    {
+      // Fresh-context reference: same source, same config, no server,
+      // no tier. Byte-identity is the whole contract — the response
+      // may not depend on how warm the tier is or how many epochs have
+      // passed. The reference result is scoped to this iteration so no
+      // Formula handle of it survives into a later epoch.
+      AnalysisResult Fresh = analyzeProgram(Src, SO.Program);
+      ASSERT_TRUE(Fresh.Ok) << Fresh.Diagnostics;
+      const json::Value *Output = Resp->field("output");
+      const json::Value *Verdict = Resp->field("verdict");
+      ASSERT_TRUE(Output != nullptr && Verdict != nullptr) << Line;
+      ASSERT_EQ(Output->asString(), Fresh.str()) << "request " << I;
+      ASSERT_EQ(Verdict->asString(),
+                std::string(outcomeStr(Fresh.outcome("main"))))
+          << "request " << I;
+    }
+    if ((I + 1) % SO.ReclaimEvery == 0) {
+      // Epoch boundary (the reclaim ran inside handleLine above):
+      // sample the interned-term counts and the RSS proxy.
+      ArithIntern &In = ArithIntern::global();
+      FormulaSamples.push_back(In.formulaCount());
+      ConstraintSamples.push_back(In.constraintCount());
+      ArenaSamples.push_back(In.arenaBytes());
+    }
+  }
+
+  ServerStats S = Server.stats();
+  EXPECT_EQ(S.Requests, N);
+  EXPECT_EQ(S.Errors, 0u);
+  EXPECT_EQ(S.Reclaims, N / SO.ReclaimEvery);
+  EXPECT_GT(S.LastReclaim.dropped(), 0u) << "reclamation did no work";
+  EXPECT_GT(S.Global.SatHits, 0u) << "the warm tier never fired";
+  EXPECT_GT(S.Global.SatRotations, 0u)
+      << "tier never rotated; the bounded-footprint claim is untested";
+
+  // Bounded across epochs: the shared peak-to-peak fence
+  // (soakSamplesBounded — same predicate the server-smoke CI gate
+  // uses). Warmup — the epochs before the first rotation, during
+  // which the retained root set legitimately grows — is excluded;
+  // past it, the late peak must stay within 25% of the early peak.
+  // Without reclamation every sample would grow by a full epoch's
+  // garbage (~20k entries here) and the fence would blow immediately.
+  auto bounded = [](const std::vector<size_t> &Samples, const char *What) {
+    ASSERT_GE(Samples.size(), SoakMinSamples);
+    EXPECT_TRUE(soakSamplesBounded(Samples))
+        << What << " kept growing across epochs: "
+        << ::testing::PrintToString(Samples);
+  };
+  bounded(FormulaSamples, "interned formula count");
+  bounded(ConstraintSamples, "interned constraint count");
+  bounded(ArenaSamples, "arena bytes");
+}
+
+TEST(ServerProtocol, StatsShutdownAndErrors) {
+  ServerOptions SO;
+  SO.ReclaimEvery = 2;
+  AnalysisServer Server(SO);
+
+  // Malformed JSON.
+  std::optional<json::Value> R =
+      json::parse(Server.handleLine("{not json"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+
+  // Not an object.
+  R = json::parse(Server.handleLine("[1,2]"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+
+  // Missing payload.
+  R = json::parse(Server.handleLine("{\"id\":7}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+  EXPECT_EQ(R->field("id")->rawNumber(), "7");
+
+  // Blank lines produce no response.
+  EXPECT_EQ(Server.handleLine(""), "");
+  EXPECT_EQ(Server.handleLine("   \t"), "");
+
+  // Number lexemes strtod tolerates but JSON forbids ("01", "1.") are
+  // rejected at parse time — the raw id lexeme is echoed verbatim into
+  // responses, so accepting them would emit invalid response JSON.
+  R = json::parse(Server.handleLine("{\"id\":01,\"verb\":\"stats\"}"));
+  ASSERT_TRUE(R.has_value()); // The response itself is valid JSON...
+  EXPECT_FALSE(R->field("ok")->asBool()); // ...and reports the error.
+  R = json::parse(Server.handleLine("{\"id\":1.,\"verb\":\"stats\"}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+
+  // A parse-broken program is an error response, not a crash.
+  R = json::parse(Server.handleLine(
+      "{\"id\":8,\"program\":\"int main( {\"}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+  EXPECT_TRUE(R->field("error") != nullptr);
+
+  // A mistyped verb is a type error, not "unknown verb ''".
+  R = json::parse(Server.handleLine("{\"id\":5,\"verb\":123}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+  EXPECT_NE(R->field("error")->asString().find("must be a string"),
+            std::string::npos);
+
+  // String ids echo back quoted.
+  R = json::parse(Server.handleLine("{\"id\":\"q1\",\"verb\":\"stats\"}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->field("ok")->asBool());
+  EXPECT_EQ(R->field("id")->asString(), "q1");
+  EXPECT_TRUE(R->field("stats") != nullptr);
+
+  // Shutdown flips the flag and acks.
+  R = json::parse(Server.handleLine("{\"id\":9,\"verb\":\"shutdown\"}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->field("ok")->asBool());
+  EXPECT_TRUE(Server.shutdownRequested());
+}
+
+TEST(ServerProtocol, ConcurrentReclaimersStandDown) {
+  // Reclamation sweeps everything outside the reclaiming server's own
+  // tier, so it is only sound for a sole owner: while ANY other
+  // GlobalSolverCache is alive — a sibling reclaiming server, a
+  // non-reclaiming one, or a bare tier (as a BatchAnalyzer would own)
+  // — the server must not reclaim, or it would free interned pointers
+  // the other tier still keys on. Once the siblings die, reclamation
+  // resumes.
+  const char *Src = "int main(int n)\n{\n  return n;\n}\n";
+  ServerOptions SO;
+  SO.ReclaimEvery = 1; // Reclaim after every request — when allowed.
+  AnalysisServer A(SO);
+  {
+    AnalysisServer B(SO);
+    (void)A.handleLine(soakRequestJson(1, Src));
+    (void)B.handleLine(soakRequestJson(1, Src));
+    EXPECT_EQ(A.stats().Reclaims, 0u);
+    EXPECT_EQ(B.stats().Reclaims, 0u);
+  }
+  {
+    // A NON-reclaiming sibling's tier is just as much a pointer owner.
+    ServerOptions NoReclaim;
+    NoReclaim.ReclaimEvery = 0;
+    AnalysisServer C(NoReclaim);
+    (void)A.handleLine(soakRequestJson(2, Src));
+    EXPECT_EQ(A.stats().Reclaims, 0u);
+  }
+  {
+    // So is a bare tier with no server around it.
+    GlobalSolverCache Bare(16, 16);
+    (void)A.handleLine(soakRequestJson(3, Src));
+    EXPECT_EQ(A.stats().Reclaims, 0u);
+  }
+  (void)A.handleLine(soakRequestJson(4, Src));
+  EXPECT_EQ(A.stats().Reclaims, 1u);
+}
+
+TEST(ServerProtocol, ServeLoopAndPathRequests) {
+  // Drive the real serve() stream loop, including a {"path": ...}
+  // request against a file on disk.
+  std::string Src = "int main(int n)\n{\n  if (n <= 0) return 0;\n"
+                    "  else return main(n - 1);\n}\n";
+  std::string Path = ::testing::TempDir() + "server_soak_prog.t";
+  {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good());
+    Out << Src;
+  }
+
+  ServerOptions SO;
+  AnalysisServer Server(SO);
+  std::istringstream In(soakRequestJson(1, Src) + "\n" +
+                        "{\"id\":2,\"path\":" + json::quoted(Path) + "}\n" +
+                        "\n" // blank line: skipped
+                        "{\"id\":3,\"verb\":\"shutdown\"}\n" +
+                        soakRequestJson(4, Src) + "\n"); // after shutdown
+  std::ostringstream Out;
+  EXPECT_EQ(Server.serve(In, Out), 0);
+
+  std::vector<json::Value> Lines;
+  std::istringstream Responses(Out.str());
+  std::string Line;
+  while (std::getline(Responses, Line)) {
+    std::optional<json::Value> V = json::parse(Line);
+    ASSERT_TRUE(V.has_value()) << Line;
+    Lines.push_back(std::move(*V));
+  }
+  // Three responses: program, path-program, shutdown ack. Request 4
+  // was never read.
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_TRUE(Lines[0].field("ok")->asBool());
+  EXPECT_TRUE(Lines[1].field("ok")->asBool());
+  // Inline and path requests of the same source produce identical
+  // analysis output.
+  EXPECT_EQ(Lines[0].field("output")->asString(),
+            Lines[1].field("output")->asString());
+  EXPECT_EQ(Lines[0].field("verdict")->asString(), "Y");
+  EXPECT_TRUE(Lines[2].field("shutdown")->asBool());
+
+  // Path requests can be disabled.
+  ServerOptions NoPaths;
+  NoPaths.AllowPaths = false;
+  AnalysisServer Locked(NoPaths);
+  std::optional<json::Value> R = json::parse(
+      Locked.handleLine("{\"id\":1,\"path\":" + json::quoted(Path) + "}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+}

@@ -9,6 +9,10 @@
 //          [--no-global-tier] [--stats] [--outcomes]
 //          [--monolithic] [--no-abduction] [--entry <name>]
 //
+// Server mode:
+//   hiptnt --serve [--no-global-tier] [--reclaim-every <n>]
+//   hiptnt --serve-smoke <n>
+//
 // Single mode parses the program, runs the termination/non-termination
 // inference and prints the per-method case-based specifications plus
 // the entry method's whole-program verdict. Batch mode analyzes a
@@ -17,11 +21,20 @@
 // Fig. 11 loop-based set (@fig11) — over a shared work-stealing pool
 // with the two-tier solver cache, and prints the per-category
 // Fig. 10/11-style outcome table (plus a soundness check against
-// ground truth for the built-in corpora).
+// ground truth for the built-in corpora). Server mode reads
+// newline-delimited JSON requests on stdin and streams one response per
+// line, keeping the global solver tier warm and reclaiming per-request
+// intern garbage every epoch (see api/AnalysisServer.h for the
+// protocol); --serve-smoke self-drives <n> corpus-variant requests
+// through the same serve() path, cross-checks responses against fresh
+// single-program runs, and fails if the interned arena keeps growing
+// across epochs — the CI fence for the long-lived regime.
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/AnalysisServer.h"
 #include "api/BatchAnalyzer.h"
+#include "support/Json.h"
 #include "workloads/Corpus.h"
 
 #include <algorithm>
@@ -43,6 +56,8 @@ int usage() {
          "       hiptnt --batch <dir|@corpus[:N]|@fig11> [--threads <n>] "
          "[--no-global-tier] [--stats] [--outcomes]\n"
          "               [--monolithic] [--no-abduction] [--entry <name>]\n"
+         "       hiptnt --serve [--no-global-tier] [--reclaim-every <n>]\n"
+         "       hiptnt --serve-smoke <n>\n"
          "       (directory targets read *.t / *.tnt files; --entry "
          "applies to directory programs)\n";
   return 2;
@@ -172,24 +187,37 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
                              : 0.0)
             << " programs/s)\n";
   if (ShowStats) {
+    // Per-tier breakdown: the local (per-context LRU) tier, the shared
+    // global tier split by cache generation, and the intern-table
+    // footprint — the counters a soak regression shows up in first.
     const SolverStats &S = R.Usage;
-    std::cout << "solver stats: sat_queries=" << S.SatQueries
-              << " cache_hits=" << S.CacheHits
-              << " cache_misses=" << S.CacheMisses
-              << " local_hit_rate=" << rate(S.CacheHits, S.CacheMisses)
+    std::cout << "local tier: sat_queries=" << S.SatQueries
+              << " hits=" << S.CacheHits << " misses=" << S.CacheMisses
+              << " hit_rate=" << rate(S.CacheHits, S.CacheMisses)
               << " lp_solves=" << S.LpSolves << "\n";
-    std::cout << "dnf memo: queries=" << S.DnfQueries << " hits=" << S.DnfHits
-              << " misses=" << S.DnfMisses
+    std::cout << "local dnf memo: queries=" << S.DnfQueries
+              << " hits=" << S.DnfHits << " misses=" << S.DnfMisses
               << " hit_rate=" << rate(S.DnfHits, S.DnfMisses) << "\n";
     if (R.GlobalTierEnabled) {
       const GlobalCacheStats &G = R.Global;
-      std::cout << "global tier: sat_entries=" << G.SatEntries
-                << " sat_lookups=" << G.SatLookups << " sat_hits=" << G.SatHits
-                << " sat_hit_rate=" << G.satHitRate()
-                << " dnf_entries=" << G.DnfEntries
-                << " dnf_lookups=" << G.DnfLookups << " dnf_hits=" << G.DnfHits
-                << " dnf_hit_rate=" << G.dnfHitRate() << "\n";
+      std::cout << "global tier (sat): entries=" << G.SatEntries << "+"
+                << G.SatPrevEntries << "prev lookups=" << G.SatLookups
+                << " hits=" << G.SatHits << " (prev " << G.SatPrevHits
+                << ") misses=" << (G.SatLookups - G.SatHits)
+                << " hit_rate=" << G.satHitRate()
+                << " rotations=" << G.SatRotations << "\n";
+      std::cout << "global tier (dnf): entries=" << G.DnfEntries << "+"
+                << G.DnfPrevEntries << "prev lookups=" << G.DnfLookups
+                << " hits=" << G.DnfHits << " (prev " << G.DnfPrevHits
+                << ") misses=" << (G.DnfLookups - G.DnfHits)
+                << " hit_rate=" << G.dnfHitRate()
+                << " rotations=" << G.DnfRotations << "\n";
     }
+    ArithIntern &I = ArithIntern::global();
+    std::cout << "intern: exprs=" << I.exprCount()
+              << " constraints=" << I.constraintCount()
+              << " formulas=" << I.formulaCount()
+              << " arena_bytes=" << I.arenaBytes() << "\n";
   }
   // Unsound answers are a hard failure (the paper's re-verification
   // claim is the repo's core soundness property) — and so are front-end
@@ -199,12 +227,132 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
   return (Unsound == 0 && Failed == 0) ? 0 : 1;
 }
 
+/// The self-driving server smoke: builds \p N corpus-variant requests
+/// (with interleaved stats probes and a final shutdown), pushes them
+/// through the REAL serve() byte path, then checks three fences —
+/// every program response is ok; sampled responses are byte-identical
+/// to fresh single-program runs of the same source; and the interned
+/// arena does not grow monotonically across epochs (the reclamation
+/// guarantee). Exit 0 only when all three hold.
+int runServeSmoke(unsigned N) {
+  ServerOptions SO;
+  SO.ReclaimEvery = 20;
+  // Tiny tier: rotation (which bounds the retained root set) and
+  // reclamation both reach steady state within a short run — the
+  // bounded-arena fence below only makes sense past the warmup in
+  // which the tier legitimately fills.
+  SO.GlobalSatCapacity = 1u << 9;
+  SO.GlobalDnfCapacity = 1u << 6;
+  AnalysisServer Server(SO);
+
+  std::vector<BatchItem> Items = corpusBatchItems(20);
+  std::ostringstream Requests;
+  std::vector<std::string> Sources(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Sources[I] = soakVariantSource(Items[I % Items.size()].Source, I);
+    Requests << soakRequestJson(I, Sources[I]) << "\n";
+    if ((I + 1) % SO.ReclaimEvery == 0)
+      Requests << "{\"id\":\"probe" << I << "\",\"verb\":\"stats\"}\n";
+  }
+  Requests << "{\"id\":\"bye\",\"verb\":\"shutdown\"}\n";
+
+  std::istringstream In(Requests.str());
+  std::ostringstream Out;
+  Server.serve(In, Out);
+
+  unsigned OkPrograms = 0, Failures = 0;
+  std::vector<size_t> ArenaSamples, FormulaSamples;
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    std::optional<json::Value> R = json::parse(Line);
+    if (!R || !R->isObject()) {
+      std::cerr << "unparseable response: " << Line << "\n";
+      ++Failures;
+      continue;
+    }
+    const json::Value *Id = R->field("id");
+    const json::Value *Ok = R->field("ok");
+    if (Ok == nullptr || !Ok->asBool()) {
+      std::cerr << "failed response: " << Line << "\n";
+      ++Failures;
+      continue;
+    }
+    if (const json::Value *Stats = R->field("stats")) {
+      if (const json::Value *Intern = Stats->field("intern")) {
+        if (const json::Value *Bytes = Intern->field("arena_bytes"))
+          ArenaSamples.push_back(static_cast<size_t>(Bytes->asNumber()));
+        if (const json::Value *Formulas = Intern->field("formulas"))
+          FormulaSamples.push_back(static_cast<size_t>(Formulas->asNumber()));
+      }
+      continue;
+    }
+    if (Id == nullptr || !Id->isNumber())
+      continue; // Shutdown ack.
+    ++OkPrograms;
+    // Byte-identity spot check every 10th request: the server response
+    // must equal a fresh single-program run of the same source, no
+    // matter how warm the tier was or how many epochs have passed.
+    unsigned ReqIdx = static_cast<unsigned>(Id->asNumber());
+    if (ReqIdx % 10 == 0 && ReqIdx < Sources.size()) {
+      AnalysisResult Fresh = analyzeProgram(Sources[ReqIdx], SO.Program);
+      const json::Value *Output = R->field("output");
+      const json::Value *Verdict = R->field("verdict");
+      if (Output == nullptr || Output->asString() != Fresh.str() ||
+          Verdict == nullptr ||
+          Verdict->asString() != outcomeStr(Fresh.outcome("main"))) {
+        std::cerr << "response for request " << ReqIdx
+                  << " differs from a fresh run\n";
+        ++Failures;
+      }
+    }
+  }
+
+  ServerStats S = Server.stats();
+  std::cout << "serve-smoke: " << OkPrograms << "/" << N
+            << " ok responses, reclaims=" << S.Reclaims
+            << " last_dropped=" << S.LastReclaim.dropped()
+            << " sat_rotations=" << S.Global.SatRotations
+            << " arena_bytes=" << S.InternArenaBytes << "\n";
+  if (OkPrograms != N) {
+    std::cerr << "expected " << N << " ok program responses\n";
+    ++Failures;
+  }
+  if (SO.ReclaimEvery != 0 && N >= SO.ReclaimEvery) {
+    if (S.Reclaims == 0 || S.LastReclaim.dropped() == 0) {
+      std::cerr << "reclamation never dropped anything\n";
+      ++Failures;
+    }
+    // Bounded-arena fence (soakSamplesBounded: peak-to-peak with
+    // disjoint warmup/final windows — see AnalysisServer.h). Gated on
+    // the collected sample count itself, so "not enough soak" can
+    // never be misreported as a leak; the CI invocation (300 requests,
+    // 15 samples) always exercises the fence.
+    auto bounded = [&](const std::vector<size_t> &Samples,
+                       const char *What) {
+      if (Samples.size() < SoakMinSamples)
+        return;
+      if (!soakSamplesBounded(Samples)) {
+        std::cerr << What << " kept growing after tier warmup: ";
+        for (size_t V : Samples)
+          std::cerr << V << " ";
+        std::cerr << "\n";
+        ++Failures;
+      }
+    };
+    bounded(ArenaSamples, "arena bytes");
+    bounded(FormulaSamples, "formula count");
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string Path, Entry = "main", BatchTarget;
   bool ShowStats = false, Batch = false, GlobalTier = true,
-       ShowOutcomes = false;
+       ShowOutcomes = false, Serve = false;
+  unsigned ServeSmoke = 0, ReclaimEvery = 64;
   AnalyzerConfig Config;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -221,6 +369,32 @@ int main(int Argc, char **Argv) {
       }
       Batch = true;
       BatchTarget = Argv[++I];
+    } else if (Arg == "--serve")
+      Serve = true;
+    else if (Arg == "--serve-smoke") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --serve-smoke requires a request count\n";
+        return 2;
+      }
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || V == 0) {
+        std::cerr << "invalid --serve-smoke value '" << Argv[I] << "'\n";
+        return 2;
+      }
+      ServeSmoke = static_cast<unsigned>(V);
+    } else if (Arg == "--reclaim-every") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --reclaim-every requires a value\n";
+        return 2;
+      }
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0') {
+        std::cerr << "invalid --reclaim-every value '" << Argv[I] << "'\n";
+        return 2;
+      }
+      ReclaimEvery = static_cast<unsigned>(V);
     } else if (Arg == "--no-global-tier")
       GlobalTier = false;
     else if (Arg == "--outcomes")
@@ -248,6 +422,17 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (ServeSmoke != 0)
+    return runServeSmoke(ServeSmoke);
+  if (Serve) {
+    ServerOptions SO;
+    SO.GlobalTier = GlobalTier;
+    SO.ReclaimEvery = ReclaimEvery;
+    SO.Program.Modular = Config.Modular;
+    SO.Program.Solve.EnableAbduction = Config.Solve.EnableAbduction;
+    AnalysisServer Server(SO);
+    return Server.serve(std::cin, std::cout);
+  }
   if (Batch)
     return runBatch(BatchTarget, Config, Entry, GlobalTier, ShowStats,
                     ShowOutcomes);
