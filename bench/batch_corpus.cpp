@@ -21,6 +21,7 @@
 
 #include "api/AnalysisServer.h"
 #include "api/BatchAnalyzer.h"
+#include "store/SpecStore.h"
 #include "support/Json.h"
 #include "workloads/Corpus.h"
 
@@ -126,6 +127,66 @@ ServerSample runServer(unsigned N) {
   return S;
 }
 
+struct StoreSample {
+  double ColdMillis = 0, WarmMillis = 0;
+  double ColdProgPerSec = 0, WarmProgPerSec = 0;
+  double WarmSpeedup = 0;
+  uint64_t ColdInserts = 0;
+  uint64_t WarmHits = 0, WarmMisses = 0;
+  size_t FileBytes = 0;
+  bool Replayed = true; ///< Warm output byte-identical, zero re-runs.
+};
+
+/// The persistent-store regime: a cold corpus pass populating a store
+/// file, then a WARM-FROM-DISK pass in a fresh analyzer + freshly
+/// loaded store — the repeated-CI-batch / server-restart scenario the
+/// store exists for.
+StoreSample runStore(const std::vector<BatchItem> &Items,
+                     const std::string &Path) {
+  StoreSample S;
+  std::remove(Path.c_str());
+  BatchOptions Opt;
+  Opt.Threads = 1;
+  std::string ColdRender;
+  {
+    SpecStore Store(SpecStore::configFingerprint(Opt.Program));
+    Opt.Store = &Store;
+    BatchAnalyzer BA(Opt);
+    BatchResult R = BA.run(Items);
+    ColdRender = R.renderOutcomes();
+    S.ColdMillis = R.Millis;
+    S.ColdInserts = Store.stats().Inserts;
+    if (BA.globalTier() != nullptr)
+      Store.setSatSnapshot(BA.globalTier()->exportSatSnapshot());
+    Store.save(Path);
+  }
+  {
+    std::ifstream In(Path, std::ios::binary | std::ios::ate);
+    if (In)
+      S.FileBytes = static_cast<size_t>(In.tellg());
+  }
+  {
+    SpecStore Store(SpecStore::configFingerprint(Opt.Program));
+    Store.load(Path);
+    Opt.Store = &Store;
+    BatchAnalyzer BA(Opt);
+    if (BA.globalTier() != nullptr)
+      BA.globalTier()->importSatSnapshot(Store.satSnapshot());
+    BatchResult R = BA.run(Items);
+    S.WarmMillis = R.Millis;
+    S.WarmHits = R.StoreHits;
+    S.WarmMisses = R.StoreMisses;
+    S.Replayed = R.StoreMisses == 0 && R.renderOutcomes() == ColdRender;
+  }
+  std::remove(Path.c_str());
+  S.ColdProgPerSec =
+      S.ColdMillis > 0 ? Items.size() / (S.ColdMillis / 1000.0) : 0;
+  S.WarmProgPerSec =
+      S.WarmMillis > 0 ? Items.size() / (S.WarmMillis / 1000.0) : 0;
+  S.WarmSpeedup = S.WarmMillis > 0 ? S.ColdMillis / S.WarmMillis : 0;
+  return S;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -213,6 +274,23 @@ int main(int argc, char **argv) {
   Out << "    \"tier_rotations\": " << Srv.Rotations << ",\n";
   Out << "    \"arena_bytes\": " << Srv.ArenaBytes << "\n  },\n";
 
+  // The persistent-store regime: cold populate vs warm-from-disk
+  // replay of the same corpus in a fresh analyzer.
+  StoreSample St = runStore(Items, JsonPath + ".store_bench.tmp");
+  Out << "  \"store\": {\n";
+  Out << "    \"cold_ms\": " << St.ColdMillis << ",\n";
+  Out << "    \"cold_programs_per_sec\": " << St.ColdProgPerSec << ",\n";
+  Out << "    \"warm_from_disk_ms\": " << St.WarmMillis << ",\n";
+  Out << "    \"warm_from_disk_programs_per_sec\": " << St.WarmProgPerSec
+      << ",\n";
+  Out << "    \"warm_speedup\": " << St.WarmSpeedup << ",\n";
+  Out << "    \"cold_inserts\": " << St.ColdInserts << ",\n";
+  Out << "    \"warm_hits\": " << St.WarmHits << ",\n";
+  Out << "    \"warm_misses\": " << St.WarmMisses << ",\n";
+  Out << "    \"file_bytes\": " << St.FileBytes << ",\n";
+  Out << "    \"replay_byte_identical\": "
+      << (St.Replayed ? "true" : "false") << "\n  },\n";
+
   Out << "  \"deterministic_all_configs\": "
       << (AllDeterministic ? "true" : "false") << "\n";
   Out << "}\n";
@@ -229,5 +307,10 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Srv.Reclaims),
               static_cast<unsigned long long>(Srv.LastDropped),
               static_cast<unsigned long long>(Srv.Rotations), Srv.ArenaBytes);
-  return AllDeterministic ? 0 : 1;
+  std::printf("store: cold %.1f prog/s, warm-from-disk %.1f prog/s "
+              "(x%.2f), %llu entries, %zu file bytes, replay %s\n",
+              St.ColdProgPerSec, St.WarmProgPerSec, St.WarmSpeedup,
+              static_cast<unsigned long long>(St.ColdInserts), St.FileBytes,
+              St.Replayed ? "byte-identical" : "DIVERGED");
+  return (AllDeterministic && St.Replayed) ? 0 : 1;
 }

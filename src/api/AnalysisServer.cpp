@@ -3,11 +3,14 @@
 #include "api/AnalysisServer.h"
 
 #include "api/Pipeline.h"
+#include "store/SpecStore.h"
 #include "support/Json.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -31,6 +34,45 @@ AnalysisServer::AnalysisServer(ServerOptions Options)
         BO.GlobalDnfCapacity = Opt.GlobalDnfCapacity;
         return BO;
       }()) {
+  // Persistent spec store: an externally owned one wins; otherwise a
+  // configured StorePath loads (or cold-starts) a private store. The
+  // per-request config carries the pointer, and the loaded sat
+  // snapshot warm-starts the solver tier. Store entries are plain
+  // strings — no interned pointers — so epoch reclamation is
+  // unaffected by persistence.
+  if (Opt.Store != nullptr) {
+    Store = Opt.Store;
+  } else if (!Opt.StorePath.empty()) {
+    OwnedStore = std::make_unique<SpecStore>(
+        SpecStore::configFingerprint(Opt.Program));
+    std::string Err;
+    if (!OwnedStore->load(Opt.StorePath, &Err)) {
+      // Corrupt file: start cold, but say so, and move the file aside
+      // so the shutdown save cannot destroy the evidence — an
+      // expected warm start silently degrading to cold is exactly the
+      // kind of regression an operator needs to see. If the
+      // move-aside itself fails, disable persistence instead of
+      // saving over the evidence.
+      std::string Aside = Opt.StorePath + ".corrupt";
+      if (std::rename(Opt.StorePath.c_str(), Aside.c_str()) == 0) {
+        std::cerr << "spec store: " << Err
+                  << " — starting cold (moved to " << Aside << ")\n";
+      } else {
+        std::cerr << "spec store: " << Err << " — starting cold; could "
+                  << "not move the corrupt file aside, persistence "
+                  << "DISABLED to preserve it\n";
+        Opt.StorePath.clear(); // saveStore() becomes a no-op.
+      }
+      OwnedStore = std::make_unique<SpecStore>(
+          SpecStore::configFingerprint(Opt.Program));
+    }
+    Store = OwnedStore.get();
+  }
+  if (Store != nullptr) {
+    Opt.Program.Store = Store;
+    if (GlobalSolverCache *Tier = Batch.globalTier())
+      Tier->importSatSnapshot(Store->satSnapshot());
+  }
   // Everything interned before this point (constant singletons, any
   // warmup the host process did) becomes permanent; per-request terms
   // from here on are generation-tagged and reclaimable.
@@ -98,18 +140,18 @@ void AnalysisServer::reclaimNow() {
   ++Reclaims;
 }
 
-std::string AnalysisServer::handleProgram(const std::string &Id,
-                                          const std::string &Source,
-                                          const std::string &Entry) {
+std::string AnalysisServer::programBody(const std::string &Source,
+                                        const std::string &Entry) {
   GlobalSolverCache *Tier = Batch.globalTier();
 
   // The exact analyzeProgram schedule — root block 0, group G on block
   // G+1, bottom-up group order — so the response is byte-identical to a
   // fresh single-program run (the tier only changes who computes an
   // answer, never the answer).
-  std::string Response;
+  std::string Body;
   {
     std::unique_ptr<PreparedProgram> PP = prepareProgram(Source, Opt.Program);
+    prescanSpecStore(*PP, Opt.Program);
     AnalysisResult R;
     if (!PP->Ok) {
       R = finalizeProgram(*PP, {}, Opt.Program, Tier);
@@ -123,22 +165,93 @@ std::string AnalysisServer::handleProgram(const std::string &Id,
     }
     if (!R.Ok) {
       ++Errors;
-      Response = errorResponse(Id, R.Diagnostics);
+      Body = "\"ok\":false,\"error\":" + json::quoted(R.Diagnostics);
     } else {
-      Response = "{\"id\":" + Id + ",\"ok\":true,\"entry\":" +
-                 json::quoted(Entry) + ",\"verdict\":" +
-                 json::quoted(outcomeStr(R.outcome(Entry))) +
-                 ",\"output\":" + json::quoted(R.str()) + "}";
+      Body = "\"ok\":true,\"entry\":" + json::quoted(Entry) +
+             ",\"verdict\":" + json::quoted(outcomeStr(R.outcome(Entry))) +
+             ",\"output\":" + json::quoted(R.str());
     }
     // PP and R (every Formula handle of this request) die HERE, before
     // any reclaim — nothing of the request outlives its epoch except
-    // what promoteTo put in the tier.
+    // what promoteTo put in the tier (and, as plain strings, what the
+    // spec store captured).
   }
 
   ++Requests;
   if (Opt.ReclaimEvery != 0 && Requests % Opt.ReclaimEvery == 0)
     reclaimNow();
-  return Response;
+  return Body;
+}
+
+std::optional<std::string>
+AnalysisServer::decodeAndRun(const json::Value &Req) {
+  auto errorBody = [&](const std::string &Msg) {
+    ++Errors;
+    return "\"ok\":false,\"error\":" + json::quoted(Msg);
+  };
+  std::string Entry = "main";
+  if (const json::Value *E = Req.field("entry"))
+    if (E->isString())
+      Entry = E->asString();
+  if (const json::Value *Prog = Req.field("program")) {
+    if (!Prog->isString())
+      return errorBody("\"program\" must be a string");
+    return programBody(Prog->asString(), Entry);
+  }
+  if (const json::Value *Path = Req.field("path")) {
+    if (!Opt.AllowPaths)
+      return errorBody("path requests are disabled");
+    if (!Path->isString())
+      return errorBody("\"path\" must be a string");
+    std::ifstream In(Path->asString());
+    if (!In)
+      return errorBody("cannot open " + Path->asString());
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    return programBody(Buf.str(), Entry);
+  }
+  return std::nullopt;
+}
+
+std::string AnalysisServer::handleBatchVerb(const std::string &Id,
+                                            const json::Value &Req) {
+  const json::Value *Programs = Req.field("programs");
+  if (Programs == nullptr || !Programs->isArray()) {
+    ++Errors;
+    return errorResponse(Id, "analyze-batch needs a \"programs\" array");
+  }
+  // Answered strictly in request order, each element decoded and
+  // analyzed by the SAME path as a standalone request (counters and
+  // reclaim cadence included), assembled into one response line.
+  std::string Out = "{\"id\":" + Id + ",\"ok\":true,\"results\":[";
+  bool First = true;
+  for (const json::Value &Item : Programs->elements()) {
+    if (!First)
+      Out += ',';
+    First = false;
+    if (!Item.isObject()) {
+      ++Errors;
+      Out += "{\"ok\":false,\"error\":\"request is not a JSON object\"}";
+      continue;
+    }
+    std::optional<std::string> Body = decodeAndRun(Item);
+    if (!Body) {
+      ++Errors;
+      Out += "{\"ok\":false,\"error\":\"batch element needs \\\"program\\\" "
+             "or \\\"path\\\"\"}";
+      continue;
+    }
+    Out += "{" + *Body + "}";
+  }
+  return Out + "]}";
+}
+
+bool AnalysisServer::saveStore(std::string *Err) {
+  if (Store == nullptr || Opt.StorePath.empty())
+    return true;
+  if (GlobalSolverCache *Tier = Batch.globalTier())
+    Store->setSatSnapshot(Tier->exportSatSnapshot());
+  return Store->save(Opt.StorePath, Err);
 }
 
 std::string AnalysisServer::statsJson(const std::string &Id) const {
@@ -146,6 +259,8 @@ std::string AnalysisServer::statsJson(const std::string &Id) const {
   std::ostringstream Out;
   Out << "{\"id\":" << Id << ",\"ok\":true,\"stats\":{"
       << "\"requests\":" << S.Requests << ",\"errors\":" << S.Errors
+      << ",\"store_hits\":" << S.StoreHits
+      << ",\"store_misses\":" << S.StoreMisses
       << ",\"reclaims\":" << S.Reclaims << ",\"generation\":"
       << ArithIntern::global().generation() << ",\"last_reclaim\":{"
       << "\"kept\":" << S.LastReclaim.kept()
@@ -197,45 +312,26 @@ std::string AnalysisServer::handleLine(const std::string &Line) {
     const std::string &V = Verb->asString();
     if (V == "stats")
       return statsJson(Id);
+    if (V == "analyze-batch")
+      return handleBatchVerb(Id, *Req);
     if (V == "shutdown") {
       Shutdown = true;
+      std::string SaveErr;
+      if (!saveStore(&SaveErr)) {
+        // The session's specs could not be persisted; the ack says so
+        // (and stderr records it) instead of exiting clean.
+        std::cerr << "spec store: " << SaveErr << "\n";
+        return "{\"id\":" + Id + ",\"ok\":true,\"shutdown\":true," +
+               "\"store_error\":" + json::quoted(SaveErr) + "}";
+      }
       return "{\"id\":" + Id + ",\"ok\":true,\"shutdown\":true}";
     }
     ++Errors;
     return errorResponse(Id, "unknown verb '" + V + "'");
   }
 
-  std::string Entry = "main";
-  if (const json::Value *E = Req->field("entry"))
-    if (E->isString())
-      Entry = E->asString();
-
-  if (const json::Value *Prog = Req->field("program")) {
-    if (!Prog->isString()) {
-      ++Errors;
-      return errorResponse(Id, "\"program\" must be a string");
-    }
-    return handleProgram(Id, Prog->asString(), Entry);
-  }
-
-  if (const json::Value *Path = Req->field("path")) {
-    if (!Opt.AllowPaths) {
-      ++Errors;
-      return errorResponse(Id, "path requests are disabled");
-    }
-    if (!Path->isString()) {
-      ++Errors;
-      return errorResponse(Id, "\"path\" must be a string");
-    }
-    std::ifstream In(Path->asString());
-    if (!In) {
-      ++Errors;
-      return errorResponse(Id, "cannot open " + Path->asString());
-    }
-    std::stringstream Buf;
-    Buf << In.rdbuf();
-    return handleProgram(Id, Buf.str(), Entry);
-  }
+  if (std::optional<std::string> Body = decodeAndRun(*Req))
+    return "{\"id\":" + Id + "," + *Body + "}";
 
   ++Errors;
   return errorResponse(Id, "request needs \"program\", \"path\" or \"verb\"");
@@ -248,6 +344,16 @@ int AnalysisServer::serve(std::istream &In, std::ostream &Out) {
     if (!Response.empty()) {
       Out << Response << "\n";
       Out.flush();
+    }
+  }
+  // End of stream without a shutdown verb still persists the store —
+  // a client hangup must not lose the session's inferred specs. A
+  // failed save is a failed serve.
+  if (!Shutdown) {
+    std::string SaveErr;
+    if (!saveStore(&SaveErr)) {
+      std::cerr << "spec store: " << SaveErr << "\n";
+      return 1;
     }
   }
   return 0;
@@ -275,6 +381,11 @@ ServerStats AnalysisServer::stats() const {
   S.Errors = Errors;
   S.Reclaims = Reclaims;
   S.LastReclaim = LastReclaim;
+  if (Store != nullptr) {
+    SpecStoreStats SS = Store->stats();
+    S.StoreHits = SS.Hits;
+    S.StoreMisses = SS.Misses;
+  }
   if (const GlobalSolverCache *Tier = Batch.globalTier())
     S.Global = Tier->stats();
   ArithIntern &I = ArithIntern::global();

@@ -18,8 +18,18 @@
 ///
 ///   {"id": 1, "program": "int main(int n) { ... }"}      analyze source
 ///   {"id": 2, "path": "prog.t", "entry": "main"}         analyze a file
-///   {"id": 3, "verb": "stats"}                           server counters
-///   {"id": 4, "verb": "shutdown"}                        stop serving
+///   {"id": 3, "verb": "analyze-batch",
+///    "programs": [{"program": ...}, {"path": ...}]}      batch request
+///   {"id": 4, "verb": "stats"}                           server counters
+///   {"id": 5, "verb": "shutdown"}                        stop serving
+///
+/// analyze-batch answers one response line carrying a "results" array
+/// with one entry per requested program, in request order; each entry
+/// has the same fields as a single-program response minus the id
+/// ({"ok","entry","verdict","output"} or {"ok":false,"error"}), and
+/// each program is analyzed exactly like a standalone request (same
+/// block numbering, same reclaim cadence), so entries stay
+/// byte-identical to single-program responses of the same sources.
 ///
 /// Program responses carry {"id", "ok", "entry", "verdict", "output"}
 /// and are BYTE-IDENTICAL to a fresh single-program analyzeProgram run
@@ -55,11 +65,15 @@
 #define TNT_API_ANALYSISSERVER_H
 
 #include "api/BatchAnalyzer.h"
+#include "support/Json.h"
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 namespace tnt {
+
+class SpecStore;
 
 /// Server configuration.
 struct ServerOptions {
@@ -75,6 +89,13 @@ struct ServerOptions {
   unsigned ReclaimEvery = 64;
   /// Allow {"path": ...} requests to read files from disk.
   bool AllowPaths = true;
+  /// Persistent spec store file: loaded at startup (inferred specs and
+  /// the solver sat snapshot warm-start the server), saved atomically
+  /// on shutdown / end of stream. Empty disables persistence.
+  std::string StorePath;
+  /// Alternatively, an externally owned store (tests; overrides
+  /// StorePath's loading — saving still goes to StorePath if set).
+  SpecStore *Store = nullptr;
 };
 
 /// A stats() snapshot (also served by the "stats" verb).
@@ -82,6 +103,8 @@ struct ServerStats {
   uint64_t Requests = 0; ///< Program requests handled.
   uint64_t Errors = 0;   ///< Malformed requests / failed analyses.
   uint64_t Reclaims = 0; ///< Reclaim passes performed.
+  uint64_t StoreHits = 0;   ///< Groups served from the spec store.
+  uint64_t StoreMisses = 0; ///< Groups inferred with a store attached.
   ReclaimStats LastReclaim;
   GlobalCacheStats Global;
   size_t InternExprs = 0;
@@ -105,7 +128,10 @@ public:
 
   /// Reads newline-delimited requests from \p In until EOF or a
   /// shutdown verb, writing one response line per request to \p Out
-  /// (flushed per line). Returns 0.
+  /// (flushed per line). Returns 0, or 1 when persisting the spec
+  /// store at end of stream failed (shutdown-verb save failures are
+  /// reported in the ack and on stderr instead — the ack was promised
+  /// to the client either way).
   int serve(std::istream &In, std::ostream &Out);
 
   /// Handles one request line and returns the response (no trailing
@@ -121,16 +147,39 @@ public:
   /// The warm tier (null when disabled).
   GlobalSolverCache *globalTier() { return Batch.globalTier(); }
 
+  /// The spec store (null when persistence is off).
+  SpecStore *specStore() { return Store; }
+
+  /// Saves the spec store (and the tier's sat snapshot) to the
+  /// configured StorePath; no-op without one. Called on shutdown and
+  /// at end of stream; exposed for hosts that serve() other loops.
+  bool saveStore(std::string *Err = nullptr);
+
   /// Forces an epoch boundary now (normally driven by ReclaimEvery).
   void reclaimNow();
 
 private:
-  std::string handleProgram(const std::string &IdText,
-                            const std::string &Source,
-                            const std::string &Entry);
+  /// Analyzes one program and renders the response BODY (the fields of
+  /// a program response minus the id), shared by single-program
+  /// responses and analyze-batch result entries. Counts
+  /// requests/errors and drives the reclaim cadence.
+  std::string programBody(const std::string &Source,
+                          const std::string &Entry);
+  /// Decodes ONE program-request object — "program" or "path" plus
+  /// optional "entry", with the type checks and the AllowPaths gate —
+  /// and analyzes it, returning the response body. Returns nullopt
+  /// when the object carries neither key (the caller owns that error's
+  /// wording: a top-level request may still have a "verb"). The single
+  /// decode path is what keeps analyze-batch elements byte-identical
+  /// to standalone responses.
+  std::optional<std::string> decodeAndRun(const json::Value &Req);
+  std::string handleBatchVerb(const std::string &IdText,
+                              const json::Value &Req);
   std::string statsJson(const std::string &IdText) const;
 
   ServerOptions Opt;
+  std::unique_ptr<SpecStore> OwnedStore; ///< When StorePath is set.
+  SpecStore *Store = nullptr;
   BatchAnalyzer Batch; ///< Owns the warm global tier.
   uint64_t Requests = 0;
   uint64_t Errors = 0;

@@ -78,6 +78,7 @@ AnalysisResult tnt::analyzeProgram(const std::string &Source,
   // single-program fresh-variable blocks: root block 0, group G on
   // block G + 1.
   std::unique_ptr<PreparedProgram> PP = prepareProgram(Source, Config);
+  prescanSpecStore(*PP, Config);
   if (!PP->Ok) {
     AnalysisResult Result = finalizeProgram(*PP, {}, Config, nullptr);
     Result.Millis = std::chrono::duration<double, std::milli>(

@@ -31,6 +31,8 @@
 
 namespace tnt {
 
+class SpecStore;
+
 /// Analyzer configuration; the baselines reconfigure these knobs.
 struct AnalyzerConfig {
   SolveOptions Solve;
@@ -56,10 +58,17 @@ struct AnalyzerConfig {
   /// concurrently, each on its own SolverContext / unknown registry /
   /// fresh-variable block, so results are byte-identical for any thread
   /// count. 1 keeps the classical sequential schedule. With a nonzero
-  /// FuelBudget and Threads > 1, budget cutoff is enforced at group
-  /// start only (best-effort; which groups get skipped can depend on
-  /// scheduling).
+  /// FuelBudget and Threads > 1, the cooperative budget token is
+  /// charged by whichever group issues each query, so WHICH work the
+  /// exact cutoff truncates can depend on scheduling (serial runs cut
+  /// at the same query every time).
   unsigned Threads = 1;
+  /// Optional persistent spec store (store/SpecStore.h). When set, the
+  /// pipeline consults it before running each SCC group — a hit
+  /// rehydrates the stored summaries and skips verification and
+  /// inference entirely — and inserts every deterministic completed
+  /// group after running it. Not owned; must outlive the analysis.
+  SpecStore *Store = nullptr;
 };
 
 /// Result for one method spec scenario.
@@ -97,6 +106,9 @@ struct AnalysisResult {
   SolverStats SolverUsage;
   /// Number of SCC groups scheduled.
   size_t GroupCount = 0;
+  /// Groups served by the spec store (summaries rehydrated, no
+  /// inference ran). Always 0 without an attached store.
+  size_t GroupsFromStore = 0;
 
   const MethodResult *find(const std::string &Method,
                            unsigned SpecIdx = 0) const;

@@ -3,6 +3,7 @@
 #include "api/BatchAnalyzer.h"
 
 #include "api/Pipeline.h"
+#include "store/SpecStore.h"
 #include "support/WorkStealingPool.h"
 
 #include <chrono>
@@ -55,9 +56,15 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
   }
 
   // The pipeline functions never read Config.Threads; the pool below
-  // is the only thread budget.
-  const AnalyzerConfig &Cfg = Opt.Program;
+  // is the only thread budget. The batch-level store (incremental
+  // mode) rides on the per-program config slot.
+  AnalyzerConfig CfgStorage = Opt.Program;
+  if (Opt.Store != nullptr)
+    CfgStorage.Store = Opt.Store;
+  const AnalyzerConfig &Cfg = CfgStorage;
   GlobalSolverCache *Tier = Global.get();
+  const uint64_t StoreMissesBefore =
+      Cfg.Store != nullptr ? Cfg.Store->stats().Misses : 0;
 
   WorkStealingPool Pool(R.Threads);
 
@@ -72,23 +79,30 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
   // Program P prepares under root block 1 + P: distinct per-program
   // fresh-variable spellings (block 0 stays the historical
   // single-program root block).
-  std::vector<std::unique_ptr<PreparedProgram>> Prepared(NP);
-  for (size_t P = 0; P < NP; ++P)
-    Prepared[P] =
-        prepareProgram(Items[P].Source, Cfg, static_cast<uint32_t>(P) + 1);
-
-  // --- Deterministic fresh-variable block assignment for phase 2:
-  // prefix sums over group counts give every (program, group) a block
-  // that depends only on the batch's content and order — never on
+  // Deterministic fresh-variable block assignment for phase 2: prefix
+  // sums over group counts give every (program, group) a block that
+  // depends only on the batch's content and order — never on
   // scheduling. Blocks beyond VarPool's block limit fall back to the
   // pool's global region (sound but nondeterministic for the overflow
   // tail — pinned by VarPoolOverflowTest; a real corpus would need
-  // ~16k groups total to get there).
+  // ~16k groups total to get there). The blocks are installed into
+  // each PreparedProgram — and the spec-store prescan runs — inside
+  // this same sequential loop, because both feed the deterministic
+  // interning contract.
+  std::vector<std::unique_ptr<PreparedProgram>> Prepared(NP);
   std::vector<uint64_t> GroupBase(NP);
   uint64_t NextBlock = NP + 1;
   for (size_t P = 0; P < NP; ++P) {
+    Prepared[P] =
+        prepareProgram(Items[P].Source, Cfg, static_cast<uint32_t>(P) + 1);
     GroupBase[P] = NextBlock;
-    NextBlock += Prepared[P]->Ok ? Prepared[P]->Groups.size() : 0;
+    if (!Prepared[P]->Ok)
+      continue;
+    NextBlock += Prepared[P]->Groups.size();
+    for (size_t G = 0; G < Prepared[P]->GroupBlocks.size(); ++G)
+      Prepared[P]->GroupBlocks[G] =
+          static_cast<uint32_t>(GroupBase[P] + G);
+    prescanSpecStore(*Prepared[P], Cfg);
   }
 
   // --- Phase 2: all programs' group tasks share the pool. A finished
@@ -163,8 +177,12 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
   }
   Pool.wait();
 
-  for (const BatchProgramResult &PR : R.Programs)
+  for (const BatchProgramResult &PR : R.Programs) {
     R.Usage += PR.Result.SolverUsage;
+    R.StoreHits += PR.Result.GroupsFromStore;
+  }
+  if (Cfg.Store != nullptr)
+    R.StoreMisses = Cfg.Store->stats().Misses - StoreMissesBefore;
   if (Global)
     R.Global = Global->stats();
   R.Millis = std::chrono::duration<double, std::milli>(Clock::now() - Start)

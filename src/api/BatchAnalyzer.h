@@ -89,6 +89,12 @@ struct BatchOptions {
   bool GlobalTier = true;
   size_t GlobalSatCapacity = GlobalSolverCache::DefaultSatCapacity;
   size_t GlobalDnfCapacity = GlobalSolverCache::DefaultDnfCapacity;
+  /// Optional persistent spec store shared by every program of the
+  /// batch (overrides Program.Store). This is the INCREMENTAL mode:
+  /// re-analyzing a corpus after edits re-runs only the changed groups
+  /// and their transitive callers — every other group's key still hits
+  /// the store. Not owned; must outlive the analyzer.
+  SpecStore *Store = nullptr;
 };
 
 /// One program's outcome within a batch.
@@ -115,6 +121,11 @@ struct BatchResult {
   GlobalCacheStats Global;  ///< Shared-tier counters (zero when off).
   unsigned Threads = 1;
   bool GlobalTierEnabled = false;
+  /// Groups served from / re-run against the spec store across the
+  /// whole batch (sums of per-program GroupsFromStore and the store's
+  /// miss count delta; both zero without a store).
+  uint64_t StoreHits = 0;
+  uint64_t StoreMisses = 0;
 
   /// Categories in first-appearance order with their outcome counts.
   std::vector<std::pair<std::string, CategoryCounts>> perCategory() const;

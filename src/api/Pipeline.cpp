@@ -6,7 +6,11 @@
 #include "lang/Resolve.h"
 #include "lang/Transforms.h"
 #include "solver/GlobalCache.h"
+#include "store/ContentHash.h"
+#include "store/SpecSerial.h"
+#include "store/SpecStore.h"
 
+#include <cassert>
 #include <map>
 
 using namespace tnt;
@@ -22,6 +26,14 @@ tnt::prepareProgram(const std::string &Source, const AnalyzerConfig &Config,
   // so concurrent front ends cannot interleave allocations.
   VarPool::Scope RootScope(RootBlock);
   PP->RootCtx = std::make_unique<SolverContext>();
+  if (Config.FuelBudget != 0) {
+    // The cooperative budget token: charged by every context of this
+    // program at query granularity, so the cutoff is exact (the old
+    // scheme could only decline to START a group once already-finished
+    // groups had overspent).
+    PP->Budget = std::make_unique<CancellationToken>(Config.FuelBudget);
+    PP->RootCtx->attachCancellation(PP->Budget.get());
+  }
 
   DiagnosticEngine Diags;
   std::optional<Program> Parsed = parseProgram(Source, Diags);
@@ -82,29 +94,193 @@ tnt::prepareProgram(const std::string &Source, const AnalyzerConfig &Config,
           PP->Deps[G].insert(It->second);
       }
 
-  PP->FuelDone.store(PP->RootCtx->stats().fuelUsed());
+  // The single-program block schedule; BatchAnalyzer overwrites
+  // GroupBlocks (before prescanSpecStore, which derives the store
+  // keys from them).
+  PP->RootBlock = RootBlock;
+  PP->GroupBlocks.resize(PP->Groups.size());
+  for (size_t G = 0; G < PP->Groups.size(); ++G)
+    PP->GroupBlocks[G] = static_cast<uint32_t>(G) + 1;
+
   PP->Ok = true;
   return PP;
 }
+
+void tnt::prescanSpecStore(PreparedProgram &PP,
+                           const AnalyzerConfig &Config) {
+  if (Config.Store == nullptr || !PP.Ok)
+    return;
+  // Content keys — bottom-up, so each key embeds its callee keys, and
+  // block-qualified, so a hit implies the entry's numbering is this
+  // group's numbering (see ContentHash.h).
+  PP.GroupKeys = computeGroupKeys(PP.P, *PP.CG, PP.Groups, PP.Deps,
+                                  PP.GroupBlocks, PP.RootBlock);
+
+  // Block <-> token map: a group's block is named by its content key
+  // plus a duplicate ordinal (content-identical sibling groups get
+  // distinct tokens, so their witnesses never conflate).
+  PP.StoreBlocks = BlockTokenMap();
+  std::map<std::string, unsigned> Dups;
+  for (size_t G = 0; G < PP.GroupKeys.size(); ++G) {
+    std::string Token =
+        PP.GroupKeys[G] + "#" + std::to_string(Dups[PP.GroupKeys[G]]++);
+    PP.StoreBlocks.TokenOf[PP.GroupBlocks[G]] = Token;
+    PP.StoreBlocks.BlockOf[Token] = PP.GroupBlocks[G];
+  }
+
+  // Intern every fresh spelling the hit entries resolve to, HERE in
+  // the sequential front-end phase, in canonical (block, counter)
+  // order. Group tasks may rehydrate concurrently later; by then every
+  // spelling they can touch is a deterministic function of the program
+  // + store content, like the pre-interned "res"/primed spellings of
+  // prepareProgram.
+  std::vector<std::string> Fresh;
+  for (const std::string &Key : PP.GroupKeys)
+    if (const std::string *Entry = Config.Store->peek(Key))
+      collectFreshSpellings(*Entry, PP.StoreBlocks, Fresh);
+  internFreshSpellings(std::move(Fresh));
+}
+
+namespace {
+
+/// The deterministic scenario enumeration of one group — methods in
+/// group order, spec indices ascending — mirroring Verifier::runGroup.
+/// Shared by the store's hit (rehydrate) and miss (serialize) paths so
+/// slot order cannot drift between them.
+std::vector<ScenarioSlot> scenarioSlots(const PreparedProgram &PP,
+                                        size_t GroupIdx) {
+  std::vector<ScenarioSlot> Slots;
+  for (size_t MI = 0; MI < PP.Groups[GroupIdx].size(); ++MI) {
+    const MethodDecl *M = PP.P.findMethod(PP.Groups[GroupIdx][MI]);
+    assert(M && "group member not found");
+    std::vector<MethodSpec> Specs = M->Specs;
+    if (Specs.empty())
+      Specs.push_back(Verifier::defaultSpec());
+    for (unsigned SI = 0; SI < Specs.size(); ++SI) {
+      ScenarioSlot Slot;
+      Slot.MethodIdx = static_cast<unsigned>(MI);
+      Slot.SpecIdx = SI;
+      Slot.Params = Verifier::canonicalParams(*M, Specs[SI]);
+      Slot.NumMethodParams = M->Params.size();
+      Slots.push_back(std::move(Slot));
+    }
+  }
+  return Slots;
+}
+
+/// The call-site-resolved view of a finished scenario: the flattened
+/// summary cases over its canonical parameters, degraded to
+/// unknown-everywhere when safety verification failed. ONE definition
+/// shared by the fresh and store-hit paths — their agreement is the
+/// store's correctness contract (callers must resolve identically
+/// whether the callee ran or replayed).
+ResolvedScenario resolvedFromResult(const MethodResult &MR,
+                                    MethodSpec Safety) {
+  ResolvedScenario RS;
+  RS.Safety = std::move(Safety);
+  RS.Params = MR.Summary.Params;
+  RS.Cases = MR.Summary.flatten();
+  if (MR.SafetyFailed) {
+    // Degrade: unknown everywhere.
+    RS.Cases.clear();
+    CaseOutcome C;
+    C.Guard = Formula::top();
+    C.Temporal = TemporalSpec::mayLoop();
+    RS.Cases.push_back(std::move(C));
+  }
+  return RS;
+}
+
+/// Builds a store-hit GroupRun from a rehydrated entry: the same
+/// MethodResult / ResolvedScenario assembly the normal path performs,
+/// minus verification and inference. Registration goes straight to the
+/// shared ResolvedStore so caller groups resolve call sites exactly as
+/// if the group had run.
+void assembleFromStore(PreparedProgram &PP, size_t GroupIdx,
+                       const std::vector<ScenarioSlot> &Slots,
+                       RehydratedGroup &&RG, GroupRun &Out) {
+  std::map<std::string, std::vector<ResolvedScenario>> PerMethod;
+  for (size_t I = 0; I < RG.Scenarios.size(); ++I) {
+    RehydratedScenario &RS = RG.Scenarios[I];
+    const std::string &Name = PP.Groups[GroupIdx][RS.MethodIdx];
+    const MethodDecl *M = PP.P.findMethod(Name);
+    assert(M && "group member not found");
+
+    MethodResult MR;
+    MR.Method = Name;
+    MR.SpecIdx = RS.SpecIdx;
+    MR.Summary.Method = Name;
+    MR.Summary.SpecIdx = RS.SpecIdx;
+    MR.Summary.Params = Slots[I].Params;
+    MR.Summary.Cases = std::move(RS.Cases);
+    MR.SafetyFailed = RS.SafetyFailed;
+    MR.ReVerified = RS.ReVerified;
+
+    PerMethod[Name].push_back(resolvedFromResult(
+        MR, M->Specs.empty() ? Verifier::defaultSpec()
+                             : M->Specs[RS.SpecIdx]));
+    Out.Methods.push_back(std::move(MR));
+  }
+  for (auto &[Name, RSs] : PerMethod)
+    PP.Store.add(Name, std::move(RSs));
+  Out.Diags = std::move(RG.Diags);
+  Out.Bailed = RG.Bailed;
+  Out.FromStore = true;
+}
+
+} // namespace
 
 GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
                                const AnalyzerConfig &Config, size_t GroupIdx,
                                uint32_t ScopeBlock,
                                GlobalSolverCache *Global) {
   GroupRun Out;
-  if (Config.FuelBudget != 0 && PP.FuelDone.load() > Config.FuelBudget) {
+  if (PP.Budget && PP.Budget->cancelled()) {
+    // The program-wide budget ran out before this group started;
+    // nothing it could compute within budget remains.
     Out.Skipped = true;
     return Out;
   }
 
   // Deterministic fresh-variable block: names and ids depend on the
   // block number and the group's own execution, never on worker
-  // scheduling.
+  // scheduling. Entered before the store path too, so the (rare)
+  // spelling a rehydration interns that the prescan and the front end
+  // did not cover allocates from this group's block rather than the
+  // shared global region.
   VarPool::Scope FreshScope(ScopeBlock);
+
+  // Spec store, hit path: rehydrate the stored summaries and register
+  // them for the callers above — no verification, no inference, no
+  // solver context. A malformed or slot-mismatched entry (scheme
+  // drift, key collision) falls through to a normal run.
+  SpecStore *Store = Config.Store;
+  const std::string *StoreKey =
+      Store != nullptr && GroupIdx < PP.GroupKeys.size()
+          ? &PP.GroupKeys[GroupIdx]
+          : nullptr;
+  if (StoreKey != nullptr) {
+    if (const std::string *Entry = Store->peek(*StoreKey)) {
+      std::vector<ScenarioSlot> Slots = scenarioSlots(PP, GroupIdx);
+      RehydratedGroup RG;
+      if (rehydrateGroupEntry(*Entry, Slots, PP.StoreBlocks, RG)) {
+        assembleFromStore(PP, GroupIdx, Slots, std::move(RG), Out);
+        Store->noteHit();
+        return Out;
+      }
+    }
+    Store->noteMiss();
+  }
+
   Out.Ctx = std::make_unique<SolverContext>();
   SolverContext &SC = *Out.Ctx;
   if (Global != nullptr)
     SC.attachGlobalTier(Global);
+  if (PP.Budget)
+    SC.attachCancellation(PP.Budget.get());
+  // Fallback allocations void the fresh-spelling determinism a stored
+  // entry relies on; sample the counter so such a group is not stored.
+  const uint64_t FallbacksBefore = VarPool::get().scopedFallbacks();
   UnkRegistry Reg;
   Theta Th(Reg);
   DiagnosticEngine VDiags; // Verification failures degrade to MayLoop.
@@ -125,17 +301,11 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
     Problems.push_back(std::move(Prob));
   }
   if (!Problems.empty()) {
-    SolveOptions SO = Config.Solve;
-    if (Config.FuelBudget != 0) {
-      // Charge only fuelUsed(): a query the shared tier answered was
-      // paid for by the program that promoted it, so the per-program
-      // budget must not count it again.
-      uint64_t Used = PP.FuelDone.load() + SC.stats().fuelUsed();
-      uint64_t Left = Config.FuelBudget > Used ? Config.FuelBudget - Used : 1;
-      if (SO.GroupFuel == 0 || Left < SO.GroupFuel)
-        SO.GroupFuel = Left;
-    }
-    Out.Bailed |= solveGroup(Problems, Reg, Th, SO, SC);
+    // The program-wide FuelBudget needs no per-group clamping here: the
+    // shared CancellationToken (attached above) is charged at each
+    // query boundary and solveGroup polls it, so the cutoff lands on
+    // the exact query that crossed the budget.
+    Out.Bailed |= solveGroup(Problems, Reg, Th, Config.Solve, SC);
   }
   bool GroupReVerified =
       Problems.empty() || reVerifyGroup(Problems, Reg, Th, SC);
@@ -165,19 +335,7 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
       MR.ReVerified = GroupReVerified;
     }
 
-    ResolvedScenario RS;
-    RS.Safety = SR.Safety;
-    RS.Params = SR.Params;
-    RS.Cases = MR.Summary.flatten();
-    if (MR.SafetyFailed) {
-      // Degrade: unknown everywhere.
-      RS.Cases.clear();
-      CaseOutcome C;
-      C.Guard = Formula::top();
-      C.Temporal = TemporalSpec::mayLoop();
-      RS.Cases.push_back(std::move(C));
-    }
-    PerMethod[SR.Method].push_back(std::move(RS));
+    PerMethod[SR.Method].push_back(resolvedFromResult(MR, SR.Safety));
     Out.Methods.push_back(std::move(MR));
   }
   for (auto &[Name, RSs] : PerMethod)
@@ -185,7 +343,45 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
 
   Out.Stats = SC.stats();
   Out.Diags = VDiags.str();
-  PP.FuelDone.fetch_add(Out.Stats.fuelUsed());
+
+  // Spec store, miss path: persist the group's summaries — but only
+  // when they are a pure function of the key. Three exclusions:
+  //  * a budget cancellation truncated this group at a point that
+  //    depends on program-wide fuel history;
+  //  * a wall-clock deadline bail is schedule-dependent (fuel bails
+  //    are deterministic and stored — the batch config relies on it);
+  //  * fresh-variable fallback allocations (block overflow) void the
+  //    spelling determinism rehydration depends on.
+  if (StoreKey != nullptr && !(PP.Budget && PP.Budget->cancelled()) &&
+      !(Out.Bailed && Config.Solve.GroupDeadlineMs != 0) &&
+      VarPool::get().scopedFallbacks() == FallbacksBefore) {
+    std::vector<ScenarioSlot> Slots = scenarioSlots(PP, GroupIdx);
+    if (Slots.size() == Out.Methods.size()) {
+      std::vector<ScenarioRecord> Records;
+      Records.reserve(Out.Methods.size());
+      for (size_t I = 0; I < Out.Methods.size(); ++I) {
+        ScenarioRecord R;
+        R.Slot = std::move(Slots[I]);
+        // Serialization indexes ["p", i] against the slot's canonical
+        // params; rehydration resolves them against the SAME
+        // recomputation, so the run's actual Params must agree — they
+        // are both Verifier::canonicalParams of the same scenario.
+        assert(R.Slot.Params == Out.Methods[I].Summary.Params &&
+               "summary params diverged from canonical slot params");
+        R.SafetyFailed = Out.Methods[I].SafetyFailed;
+        R.ReVerified = Out.Methods[I].ReVerified;
+        R.Cases = &Out.Methods[I].Summary.Cases;
+        Records.push_back(std::move(R));
+      }
+      // nullopt: the summaries mention a root- or foreign-block
+      // variable, whose allocation counter has no meaning outside this
+      // program's front-end history — such a group is not stored.
+      if (std::optional<std::string> Entry = serializeGroupEntry(
+              Records, Out.Diags, Out.Bailed, PP.StoreBlocks))
+        Store->insert(*StoreKey, std::move(*Entry));
+    }
+  }
+
   // The context is only kept for the end-of-program promotion; without
   // a shared tier, free its caches now instead of holding every
   // group's LRU contents until finalize.
@@ -219,6 +415,7 @@ AnalysisResult tnt::finalizeProgram(PreparedProgram &PP,
       Result.Methods.push_back(std::move(MR));
     Result.SolverUsage += Run.Stats;
     Result.BailedOut |= Run.Bailed;
+    Result.GroupsFromStore += Run.FromStore ? 1 : 0;
     MergedDiags += Run.Diags;
   }
 

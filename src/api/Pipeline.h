@@ -33,9 +33,10 @@
 #include "api/Analyzer.h"
 #include "heap/HeapFormula.h"
 #include "lang/CallGraph.h"
+#include "solver/Cancellation.h"
+#include "store/SpecSerial.h"
 #include "verify/Verifier.h"
 
-#include <atomic>
 #include <memory>
 #include <optional>
 #include <set>
@@ -55,6 +56,9 @@ struct GroupRun {
   bool Bailed = false;
   /// Budget exhaustion prevented this group from running.
   bool Skipped = false;
+  /// The group was answered by the spec store: summaries rehydrated,
+  /// no verification or inference ran.
+  bool FromStore = false;
   std::unique_ptr<SolverContext> Ctx;
 };
 
@@ -77,10 +81,32 @@ struct PreparedProgram {
   std::vector<std::vector<std::string>> Groups;
   std::vector<std::set<size_t>> Deps;
 
-  /// Fuel charged by finished groups plus the root context, for
-  /// best-effort budget cutoff at group start (fuelUsed: global-tier
-  /// hits are not charged).
-  std::atomic<uint64_t> FuelDone{0};
+  /// Per-group content-hash keys into the spec store; empty unless the
+  /// config attached a store (Config.Store). Computed bottom-up so a
+  /// group's key embeds its callee groups' keys — editing a method
+  /// changes the keys of its group AND every transitive caller, which
+  /// is exactly the store's invalidation rule.
+  std::vector<std::string> GroupKeys;
+
+  /// The fresh-variable block schedule this program's groups will run
+  /// under. prepareProgram fills the single-program default (root
+  /// block = the RootBlock argument, group G on block G + 1);
+  /// BatchAnalyzer overwrites GroupBlocks with its per-program
+  /// disjoint ranges BEFORE prescanSpecStore. The spec store
+  /// serializes fresh variables relative to these blocks (by group
+  /// content key), which is what keeps entries position-independent.
+  uint32_t RootBlock = 0;
+  std::vector<uint32_t> GroupBlocks;
+  /// Block <-> content-key token map for the spec store; built by
+  /// prescanSpecStore.
+  BlockTokenMap StoreBlocks;
+
+  /// Cooperative program-wide budget (null when Config.FuelBudget is
+  /// 0). Attached to the root context and every group context; charged
+  /// at solver query boundaries (minus global-tier hits, matching
+  /// fuelUsed()), so the cutoff lands on the exact query that crossed
+  /// the budget instead of the next group boundary.
+  std::unique_ptr<CancellationToken> Budget;
 };
 
 /// Runs the front end under VarPool::Scope(RootBlock) and builds the
@@ -88,6 +114,15 @@ struct PreparedProgram {
 std::unique_ptr<PreparedProgram> prepareProgram(const std::string &Source,
                                                 const AnalyzerConfig &Config,
                                                 uint32_t RootBlock = 0);
+
+/// Spec-store prescan (no-op without Config.Store): builds the
+/// program's block-token map and interns every fresh spelling its hit
+/// entries resolve to, in canonical (block, counter) order. MUST run
+/// in a sequential phase after the program's GroupBlocks are final and
+/// before any group task is scheduled — it is part of the "front ends
+/// intern everything deterministically" contract the parallel group
+/// phase relies on.
+void prescanSpecStore(PreparedProgram &PP, const AnalyzerConfig &Config);
 
 /// Analyzes one group under VarPool::Scope(ScopeBlock) on a fresh
 /// SolverContext (attached to \p Global when non-null). Thread-safe

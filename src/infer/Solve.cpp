@@ -260,6 +260,11 @@ bool tnt::solveGroup(const std::vector<ScenarioProblem> &Problems,
   uint64_t FuelStart = SC.stats().SatQueries;
   auto StartTime = std::chrono::steady_clock::now();
   auto expired = [&]() {
+    // Cooperative program-wide budget: the attached CancellationToken
+    // flips at the exact query that crossed the FuelBudget; remaining
+    // unknowns finalize to MayLoop, like any other resource bail-out.
+    if (SC.cancelled())
+      return true;
     if (Opt.GroupFuel != 0 &&
         SC.stats().SatQueries - FuelStart > Opt.GroupFuel)
       return true;

@@ -2,6 +2,7 @@
 
 #include "solver/GlobalCache.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace tnt;
@@ -39,7 +40,105 @@ std::optional<Tri> GlobalSolverCache::lookupSat(const InternedConj &Key) {
     SatPrevHitsN.fetch_add(1, std::memory_order_relaxed);
     return It->second;
   }
+  // Persistent snapshot (warm start from a spec store file): the key
+  // is re-canonicalized by spelling, so a match is the same
+  // conjunction whatever the current process's ids are. Only reached
+  // on a resident miss, so the canonicalization cost rides on queries
+  // that would otherwise pay for an Omega run.
+  if (!Snapshot.empty()) {
+    auto SIt = Snapshot.find(satKeyCanon(Key));
+    if (SIt != Snapshot.end()) {
+      SatHitsN.fetch_add(1, std::memory_order_relaxed);
+      SatSnapshotHitsN.fetch_add(1, std::memory_order_relaxed);
+      return SIt->second;
+    }
+  }
   return std::nullopt;
+}
+
+std::string GlobalSolverCache::satKeyCanon(const InternedConj &Key) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Key.size());
+  for (const Constraint *C : Key) {
+    std::string P;
+    switch (C->rel()) {
+    case RelKind::Eq:
+      P = "e";
+      break;
+    case RelKind::Le:
+      P = "l";
+      break;
+    case RelKind::Ne:
+      P = "n";
+      break;
+    }
+    P += std::to_string(C->expr().constant());
+    std::vector<std::string> Terms;
+    for (const auto &[V, Coeff] : C->expr().coeffs())
+      Terms.push_back(varName(V) + "*" + std::to_string(Coeff));
+    std::sort(Terms.begin(), Terms.end());
+    for (const std::string &T : Terms) {
+      P += ';';
+      P += T;
+    }
+    Parts.push_back(std::move(P));
+  }
+  std::sort(Parts.begin(), Parts.end());
+  std::string Out;
+  for (const std::string &P : Parts) {
+    if (!Out.empty())
+      Out += '&';
+    Out += P;
+  }
+  return Out;
+}
+
+void GlobalSolverCache::importSatSnapshot(
+    const std::vector<std::pair<std::string, Tri>> &Entries) {
+  std::unique_lock<std::shared_mutex> L(Mu);
+  Snapshot.clear();
+  Snapshot.reserve(Entries.size());
+  for (const auto &[Key, Val] : Entries)
+    Snapshot.emplace(Key, Val);
+}
+
+std::vector<std::pair<std::string, Tri>>
+GlobalSolverCache::exportSatSnapshot() const {
+  // Resident entries first (both generations), then unconsumed
+  // warm-start leftovers — a save after a partial warm run keeps
+  // still-valid answers — but BOUNDED: without a cap, repeated
+  // import -> serve -> export cycles would accumulate every canon key
+  // ever seen, reinstating the unbounded retention the generation
+  // rotation exists to prevent. Two generations' worth (2 * SatCap)
+  // is the tier's own retention bound; leftovers only fill whatever
+  // room the residents leave, dropped in sorted-key order for
+  // deterministic files.
+  std::vector<std::pair<std::string, Tri>> Resident, Leftover;
+  {
+    std::shared_lock<std::shared_mutex> L(Mu);
+    std::unordered_set<std::string> Seen;
+    for (const SatMap *M : {&Sat, &SatPrev})
+      for (const auto &[Key, Val] : *M) {
+        std::string Canon = satKeyCanon(Key);
+        if (Seen.insert(Canon).second)
+          Resident.emplace_back(std::move(Canon), Val);
+      }
+    for (const auto &[Canon, Val] : Snapshot)
+      if (Seen.insert(Canon).second)
+        Leftover.emplace_back(Canon, Val);
+  }
+  const size_t Cap = 2 * SatCap;
+  std::sort(Leftover.begin(), Leftover.end());
+  if (Resident.size() < Cap) {
+    size_t Room = Cap - Resident.size();
+    if (Leftover.size() > Room)
+      Leftover.resize(Room);
+    Resident.insert(Resident.end(), Leftover.begin(), Leftover.end());
+  }
+  if (Resident.size() > Cap)
+    Resident.resize(Cap); // Unreachable at sane caps; belt and braces.
+  std::sort(Resident.begin(), Resident.end());
+  return Resident;
 }
 
 std::shared_ptr<const DnfPayload>
@@ -148,11 +247,13 @@ GlobalCacheStats GlobalSolverCache::stats() const {
   S.DnfInserts = DnfInsertsN.load(std::memory_order_relaxed);
   S.SatRotations = SatRotationsN.load(std::memory_order_relaxed);
   S.DnfRotations = DnfRotationsN.load(std::memory_order_relaxed);
+  S.SatSnapshotHits = SatSnapshotHitsN.load(std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> L(Mu);
   S.SatEntries = Sat.size();
   S.DnfEntries = Dnf.size();
   S.SatPrevEntries = SatPrev.size();
   S.DnfPrevEntries = DnfPrev.size();
+  S.SatSnapshotEntries = Snapshot.size();
   return S;
 }
 

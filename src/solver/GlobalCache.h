@@ -71,6 +71,11 @@ struct GlobalCacheStats {
   /// Hits answered from the previous generation (subset of *Hits).
   uint64_t SatPrevHits = 0;
   uint64_t DnfPrevHits = 0;
+  /// Hits answered from an imported persistent snapshot (subset of
+  /// SatHits).
+  uint64_t SatSnapshotHits = 0;
+  /// Resident imported snapshot entries.
+  size_t SatSnapshotEntries = 0;
   /// Entries accepted by merges (first-writer-wins inserts).
   uint64_t SatInserts = 0;
   uint64_t DnfInserts = 0;
@@ -138,6 +143,34 @@ public:
       const std::vector<std::pair<const FormulaNode *,
                                   std::shared_ptr<const DnfPayload>>> &Entries);
 
+  /// Name-canonical serialization of a sat key: per-constraint
+  /// strings (relation, terms sorted by variable SPELLING, constant),
+  /// sorted and joined. A pure function of the conjunction's shape and
+  /// spellings — independent of VarIds, intern addresses and pool
+  /// history — so two processes agree on every key. This is the key
+  /// form of the persistent solver snapshot.
+  static std::string satKeyCanon(const InternedConj &Key);
+
+  /// Installs a persistent snapshot (from a spec store file) as a
+  /// read-only THIRD lookup level under both generations: a lookupSat
+  /// miss re-canonicalizes the query by name and consults it. A
+  /// snapshot hit behaves exactly like a generation hit (counted in
+  /// SatHits, installed in the querying context's local tier, offered
+  /// back to the current generation by that context's end-of-program
+  /// merge) — satisfiability is a pure function of the conjunction, so
+  /// the tier stays semantically transparent. Call before attaching
+  /// contexts; replaces any previous snapshot.
+  void importSatSnapshot(
+      const std::vector<std::pair<std::string, Tri>> &Entries);
+
+  /// Exports the resident sat entries in name-canonical form — both
+  /// generations, plus imported snapshot entries not shadowed by a
+  /// resident key filling the remaining room — capped at 2 * SatCap
+  /// (the tier's own two-generation retention bound, so repeated
+  /// import/export cycles cannot grow the store file without limit)
+  /// and sorted by key for deterministic files.
+  std::vector<std::pair<std::string, Tri>> exportSatSnapshot() const;
+
   /// Appends every interned pointer either generation still references
   /// — sat-key constraints and DNF-key formula nodes — to \p Out. The
   /// analysis server passes the result to ArithIntern::reclaim as the
@@ -163,12 +196,17 @@ private:
                          std::shared_ptr<const DnfPayload>>;
   SatMap Sat, SatPrev;
   DnfMap Dnf, DnfPrev;
+  /// Imported persistent snapshot, keyed by satKeyCanon form. Written
+  /// once at import, read-only afterwards (epoch reclamation never has
+  /// to see it: it holds no interned pointers).
+  std::unordered_map<std::string, Tri> Snapshot;
 
   // Lookup counters are atomics so the shared-lock read path never
   // needs the exclusive lock.
   std::atomic<uint64_t> SatLookupsN{0}, SatHitsN{0};
   std::atomic<uint64_t> DnfLookupsN{0}, DnfHitsN{0};
   std::atomic<uint64_t> SatPrevHitsN{0}, DnfPrevHitsN{0};
+  std::atomic<uint64_t> SatSnapshotHitsN{0};
   std::atomic<uint64_t> SatInsertsN{0}, DnfInsertsN{0};
   std::atomic<uint64_t> SatRotationsN{0}, DnfRotationsN{0};
 };

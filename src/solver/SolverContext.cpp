@@ -2,6 +2,7 @@
 
 #include "solver/SolverContext.h"
 
+#include "solver/Cancellation.h"
 #include "solver/GlobalCache.h"
 
 #include <algorithm>
@@ -89,6 +90,10 @@ SolverContext &SolverContext::defaultCtx() {
   return Ctx;
 }
 
+bool SolverContext::cancelled() const {
+  return Cancel != nullptr && Cancel->cancelled();
+}
+
 Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
   if (Capacity == 0 && Global == nullptr) {
     // Cache disabled: the query still counts (fuel accounting), but it
@@ -99,6 +104,8 @@ Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
       std::lock_guard<std::mutex> L(Mu);
       ++Counters.SatQueries;
     }
+    if (Cancel != nullptr)
+      Cancel->charge();
     return Omega::isSatConj(Conj);
   }
 
@@ -112,7 +119,12 @@ Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
         ++Counters.CacheHits;
         // Refresh LRU position.
         Lru.splice(Lru.begin(), Lru, It->second);
-        return It->second->Val;
+        Tri Val = It->second->Val;
+        // A local hit is charged like a computation: cache-transparent
+        // fuel keeps budget cutoffs schedule-independent.
+        if (Cancel != nullptr)
+          Cancel->charge();
+        return Val;
       }
       ++Counters.CacheMisses;
     }
@@ -138,6 +150,13 @@ Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
       return *Shared;
     }
   }
+
+  // A global-tier hit above returned without charging the token: the
+  // query was paid for by the program that promoted the answer, the
+  // same no-double-count rule fuelUsed() applies. From here on this
+  // context answers the query itself, so charge it.
+  if (Cancel != nullptr)
+    Cancel->charge();
 
   Tri R = Omega::isSatConj(Conj);
 

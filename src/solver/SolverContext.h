@@ -39,6 +39,7 @@
 
 namespace tnt {
 
+class CancellationToken;
 class GlobalSolverCache;
 
 /// Immutable body of a memoized DNF expansion, shared behind a
@@ -204,6 +205,20 @@ public:
   void attachGlobalTier(GlobalSolverCache *G) { Global = G; }
   GlobalSolverCache *globalTier() const { return Global; }
 
+  /// Attaches a cooperative cancellation token. Every satisfiability
+  /// query this context answers itself — i.e. everything fuelUsed()
+  /// charges: local computations AND local cache hits, but not queries
+  /// the shared global tier answered — charges the token by one, so a
+  /// program-wide budget is enforced exactly at query granularity.
+  /// Attach before the context issues queries (read without the
+  /// context mutex, like the global tier). Pass nullptr to detach.
+  void attachCancellation(CancellationToken *T) { Cancel = T; }
+
+  /// True when an attached token has exceeded its budget. The
+  /// inference loops poll this between steps and bail out gracefully
+  /// (remaining unknowns finalize to MayLoop).
+  bool cancelled() const;
+
   /// The deterministic end-of-program merge: offers this context's sat
   /// entries (most-recently-used first) and full DNF skeletons to the
   /// global tier, first-writer-wins within the tier's current
@@ -240,6 +255,9 @@ private:
   /// The shared tier consulted on local misses; not owned. Set before
   /// first use (see attachGlobalTier), read without holding Mu.
   GlobalSolverCache *Global = nullptr;
+  /// Cooperative budget token charged per answered query; not owned.
+  /// Set before first use, read without holding Mu.
+  CancellationToken *Cancel = nullptr;
 
   mutable std::mutex Mu;
   SolverStats Counters;

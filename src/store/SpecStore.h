@@ -1,0 +1,141 @@
+//===- store/SpecStore.h - Persistent spec store ---------------*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent spec store: a thread-safe map from canonical group
+/// content hashes (store/ContentHash.h) to serialized group summaries
+/// (store/SpecSerial.h), with deterministic on-disk JSON persistence.
+/// This is the paper's modular-reuse argument made durable — a method
+/// summary inferred once answers every later analysis of the same
+/// (alpha-equivalent) code, across process boundaries: a warm server
+/// restart or a repeated CI batch run re-infers only what changed.
+///
+/// Contents of a store file:
+///  * a version and a CONFIG FINGERPRINT — summaries depend on the
+///    solve options, so a file saved under a different configuration
+///    loads as empty rather than serving stale entries;
+///  * the group entries (key -> canonical serialized summary);
+///  * an optional solver sat-conjunction snapshot exported from a
+///    GlobalSolverCache — name-canonical (VarId-free) keys, imported
+///    back as a read-only third cache tier for warm solver starts;
+///  * an optional outcomes digest (count + FNV-1a hash of the last
+///    batch's rendered outcomes) so a later process can verify
+///    byte-identical replay without shipping the full text.
+///
+/// Concurrency: lookups/inserts take a mutex; entries are insert-only
+/// and the map is node-based, so peek() pointers stay valid for the
+/// store's lifetime. Save is atomic (temp file + rename), so a reader
+/// never observes a half-written store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_STORE_SPECSTORE_H
+#define TNT_STORE_SPECSTORE_H
+
+#include "solver/Omega.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tnt {
+
+struct AnalyzerConfig;
+
+/// Counters of one store instance. Hits/Misses are counted by the
+/// PIPELINE after rehydration settles (a corrupt entry that fails to
+/// rehydrate counts as a miss), so "Misses" is exactly the number of
+/// group inference re-runs attempted with the store attached — the
+/// incremental-invalidation tests pin deltas of it.
+struct SpecStoreStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Inserts = 0;
+  /// Entries that came from the loaded file (0 after a cold start).
+  uint64_t LoadedGroups = 0;
+  /// The loaded file was discarded (version/fingerprint mismatch).
+  bool LoadDiscarded = false;
+  size_t Entries = 0;
+  size_t SatSnapshotEntries = 0;
+};
+
+/// The persistent spec store. One instance is typically shared by all
+/// analyses of one driver (batch run, server lifetime).
+class SpecStore {
+public:
+  SpecStore() = default;
+  explicit SpecStore(std::string Fingerprint)
+      : Fingerprint(std::move(Fingerprint)) {}
+
+  /// Canonical fingerprint of the config knobs that can change
+  /// inferred summaries (solve options, modular grouping). Threads and
+  /// FuelBudget are excluded: they change scheduling and
+  /// classification, never a stored summary (budget- or
+  /// deadline-truncated groups are not stored — see Pipeline).
+  static std::string configFingerprint(const AnalyzerConfig &Config);
+
+  /// Loads \p Path. Missing file: success with an empty store (a cold
+  /// start). Version/fingerprint mismatch: success with an empty store
+  /// and stats().LoadDiscarded set. Unparseable content: false with a
+  /// diagnostic in \p Err.
+  bool load(const std::string &Path, std::string *Err = nullptr);
+
+  /// Atomically writes the store to \p Path (temp file + rename).
+  bool save(const std::string &Path, std::string *Err = nullptr) const;
+
+  /// The entry for \p Key, if present — no stats side effects. The
+  /// pointer stays valid for the store's lifetime (entries are
+  /// insert-only).
+  const std::string *peek(const std::string &Key) const;
+
+  /// Outcome accounting, driven by the pipeline: a hit is a group
+  /// whose entry rehydrated successfully, a miss is a group that ran
+  /// inference while a store was attached.
+  void noteHit();
+  void noteMiss();
+
+  /// Inserts an entry (first writer wins; a group's entry is a pure
+  /// function of its key, so later writers are identical).
+  void insert(const std::string &Key, std::string Entry);
+
+  /// Solver sat-conjunction snapshot (see GlobalSolverCache).
+  void setSatSnapshot(std::vector<std::pair<std::string, Tri>> Entries);
+  std::vector<std::pair<std::string, Tri>> satSnapshot() const;
+
+  /// Outcomes digest of the last full batch (count + FNV-1a 64).
+  void setOutcomesDigest(uint64_t Count, uint64_t Hash);
+  bool outcomesDigest(uint64_t &Count, uint64_t &Hash) const;
+
+  /// FNV-1a 64 of a rendered outcomes string (the digest function).
+  static uint64_t fnv1a(const std::string &S);
+
+  const std::string &fingerprint() const { return Fingerprint; }
+
+  SpecStoreStats stats() const;
+  size_t size() const;
+
+private:
+  std::string Fingerprint;
+
+  mutable std::mutex Mu;
+  /// Node-based: peek() pointers survive concurrent inserts.
+  std::map<std::string, std::string> Groups;
+  std::vector<std::pair<std::string, Tri>> SatSnapshot;
+  uint64_t OutcomesCount = 0;
+  uint64_t OutcomesHash = 0;
+  bool HasOutcomes = false;
+  uint64_t Hits = 0, Misses = 0, Inserts = 0, LoadedGroups = 0;
+  bool LoadDiscarded = false;
+};
+
+} // namespace tnt
+
+#endif // TNT_STORE_SPECSTORE_H

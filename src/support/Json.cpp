@@ -3,6 +3,7 @@
 #include "support/Json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -380,4 +381,78 @@ std::string tnt::json::escape(const std::string &S) {
 
 std::string tnt::json::quoted(const std::string &S) {
   return "\"" + escape(S) + "\"";
+}
+
+namespace {
+
+void writeValue(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    break;
+  case Value::Kind::Number:
+    if (!V.Raw.empty()) {
+      Out += V.Raw; // Exact round-trip of the source lexeme.
+    } else {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", V.Num);
+      Out += Buf;
+    }
+    break;
+  case Value::Kind::String:
+    Out += quoted(V.Str);
+    break;
+  case Value::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : V.Arr) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeValue(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Value::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, E] : V.Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += quoted(Key);
+      Out += ':';
+      writeValue(E, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string tnt::json::write(const Value &V) {
+  std::string Out;
+  writeValue(V, Out);
+  return Out;
+}
+
+std::optional<int64_t> tnt::json::toInt64(const Value &V) {
+  if (!V.isNumber() || V.Raw.empty())
+    return std::nullopt;
+  const std::string &R = V.Raw;
+  for (char C : R)
+    if (C == '.' || C == 'e' || C == 'E')
+      return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  long long N = std::strtoll(R.c_str(), &End, 10);
+  if (errno == ERANGE || End != R.c_str() + R.size())
+    return std::nullopt;
+  return static_cast<int64_t>(N);
 }

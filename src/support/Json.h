@@ -80,6 +80,19 @@ std::optional<Value> parse(const std::string &Text, std::string *Err = nullptr);
 /// sequences; everything else passes through byte-for-byte (UTF-8 safe).
 std::string escape(const std::string &S);
 
+/// Renders \p V back to compact JSON text. Numbers are emitted from
+/// their raw source lexeme, so parse → write round-trips 64-bit
+/// integers (and any other lexeme) exactly; a programmatically built
+/// Number with an empty Raw falls back to the double. Object member
+/// order and array order are preserved.
+std::string write(const Value &V);
+
+/// Parses a JSON Number's raw lexeme as a signed 64-bit integer.
+/// Returns nullopt for non-numbers, lexemes with fraction/exponent
+/// parts, and values outside the int64 range — the caller treats that
+/// as corrupt input rather than accepting a silently rounded double.
+std::optional<int64_t> toInt64(const Value &V);
+
 /// Convenience: \p S escaped and wrapped in quotes.
 std::string quoted(const std::string &S);
 

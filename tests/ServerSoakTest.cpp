@@ -265,3 +265,98 @@ TEST(ServerProtocol, ServeLoopAndPathRequests) {
   ASSERT_TRUE(R.has_value());
   EXPECT_FALSE(R->field("ok")->asBool());
 }
+
+//===----------------------------------------------------------------------===//
+// The analyze-batch verb: an array of program requests answered in
+// request order within one response line, each entry byte-identical to
+// the corresponding single-program response body.
+//===----------------------------------------------------------------------===//
+
+TEST(ServerProtocol, AnalyzeBatchVerb) {
+  const char *TermSrc =
+      "int dec(int k) { if (k <= 0) return 0; else return dec(k - 1); } "
+      "int main(int n) { return dec(n); }";
+  const char *LoopSrc =
+      "int spin(int b) { if (b < 0) return 0; else return spin(b + 1); } "
+      "int main(int n) { return spin(1); }";
+
+  AnalysisServer Server{ServerOptions{}};
+  // Reference single-program responses FIRST (ids differ; bodies are
+  // what must agree).
+  std::optional<json::Value> Term = json::parse(Server.handleLine(
+      "{\"id\":100,\"program\":" + json::quoted(TermSrc) + "}"));
+  std::optional<json::Value> Loop = json::parse(Server.handleLine(
+      "{\"id\":101,\"program\":" + json::quoted(LoopSrc) + "}"));
+  ASSERT_TRUE(Term && Loop);
+
+  std::string Batch =
+      "{\"id\":7,\"verb\":\"analyze-batch\",\"programs\":["
+      "{\"program\":" + json::quoted(LoopSrc) + "},"
+      "{\"program\":\"int main( {\"},"
+      "{\"program\":" + json::quoted(TermSrc) + ",\"entry\":\"dec\"},"
+      "{\"program\":" + json::quoted(TermSrc) + "}]}";
+  std::optional<json::Value> R = json::parse(Server.handleLine(Batch));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->field("id")->rawNumber(), "7");
+  EXPECT_TRUE(R->field("ok")->asBool());
+  const json::Value *Results = R->field("results");
+  ASSERT_TRUE(Results != nullptr && Results->isArray());
+  ASSERT_EQ(Results->elements().size(), 4u);
+
+  // Answered in request order: loop, error, term-with-entry, term.
+  const json::Value &R0 = Results->elements()[0];
+  EXPECT_TRUE(R0.field("ok")->asBool());
+  EXPECT_EQ(R0.field("verdict")->asString(), "N");
+  EXPECT_EQ(R0.field("output")->asString(),
+            Loop->field("output")->asString());
+
+  const json::Value &R1 = Results->elements()[1];
+  EXPECT_FALSE(R1.field("ok")->asBool());
+  EXPECT_TRUE(R1.field("error") != nullptr);
+
+  const json::Value &R2 = Results->elements()[2];
+  EXPECT_TRUE(R2.field("ok")->asBool());
+  EXPECT_EQ(R2.field("entry")->asString(), "dec");
+  EXPECT_EQ(R2.field("verdict")->asString(), "Y");
+
+  const json::Value &R3 = Results->elements()[3];
+  EXPECT_TRUE(R3.field("ok")->asBool());
+  EXPECT_EQ(R3.field("entry")->asString(), "main");
+  EXPECT_EQ(R3.field("verdict")->asString(), "Y");
+  EXPECT_EQ(R3.field("output")->asString(),
+            Term->field("output")->asString());
+
+  // Each batch element counts as a program request (reclaim cadence
+  // and stats treat them exactly like standalone requests).
+  EXPECT_EQ(Server.stats().Requests, 2u + 4u); // 2 singles + 4 batch
+                                               // elements (the parse
+                                               // failure counts too).
+
+  // Protocol errors: missing / mistyped programs array.
+  R = json::parse(
+      Server.handleLine("{\"id\":8,\"verb\":\"analyze-batch\"}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+  R = json::parse(Server.handleLine(
+      "{\"id\":9,\"verb\":\"analyze-batch\",\"programs\":3}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->field("ok")->asBool());
+
+  // An empty batch is a valid request with an empty results array.
+  R = json::parse(Server.handleLine(
+      "{\"id\":10,\"verb\":\"analyze-batch\",\"programs\":[]}"));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->field("ok")->asBool());
+  EXPECT_TRUE(R->field("results")->isArray());
+  EXPECT_EQ(R->field("results")->elements().size(), 0u);
+
+  // Batch elements that are not objects error in place, preserving
+  // positions.
+  R = json::parse(Server.handleLine(
+      "{\"id\":11,\"verb\":\"analyze-batch\",\"programs\":[42,"
+      "{\"program\":" + json::quoted(TermSrc) + "}]}"));
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->field("results")->elements().size(), 2u);
+  EXPECT_FALSE(R->field("results")->elements()[0].field("ok")->asBool());
+  EXPECT_TRUE(R->field("results")->elements()[1].field("ok")->asBool());
+}

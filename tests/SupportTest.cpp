@@ -1,6 +1,7 @@
 //===- tests/SupportTest.cpp - support layer unit tests --------*- C++ -*-===//
 
 #include "support/ExtNat.h"
+#include "support/Json.h"
 #include "support/Rational.h"
 
 #include <gtest/gtest.h>
@@ -169,4 +170,126 @@ TEST(ExtNat, SubLowerIsMinimalResidue) {
 TEST(ExtNat, Str) {
   EXPECT_EQ(ExtNat(3).str(), "3");
   EXPECT_EQ(ExtNat::infinity().str(), "inf");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON edge cases (the server protocol and the spec store file format
+// both ride on this parser/writer).
+//===----------------------------------------------------------------------===//
+
+TEST(Json, EscapeSequencesDecodeAndReEncode) {
+  std::optional<json::Value> V =
+      json::parse(R"("a\"b\\c\/d\b\f\n\r\teA")");
+  ASSERT_TRUE(V && V->isString());
+  EXPECT_EQ(V->asString(), "a\"b\\c/d\b\f\n\r\teA");
+
+  // The escaper round-trips through the parser, including control
+  // characters and DEL.
+  std::string Nasty = "quote\" back\\ nl\n tab\t bell\x07 del\x7f end";
+  std::optional<json::Value> Back = json::parse(json::quoted(Nasty));
+  ASSERT_TRUE(Back && Back->isString());
+  EXPECT_EQ(Back->asString(), Nasty);
+
+  // Raw control characters inside string literals are rejected.
+  EXPECT_FALSE(json::parse("\"raw\ncontrol\""));
+  EXPECT_FALSE(json::parse(R"("bad \q escape")"));
+  EXPECT_FALSE(json::parse(R"("truncated \u00)"));
+}
+
+TEST(Json, SurrogatePairsAndLoneSurrogates) {
+  // U+1F600 as a surrogate pair decodes to 4-byte UTF-8.
+  std::optional<json::Value> V = json::parse(R"("😀")");
+  ASSERT_TRUE(V && V->isString());
+  EXPECT_EQ(V->asString(), "\xF0\x9F\x98\x80");
+
+  // A lone high surrogate, and a high surrogate followed by a non-low
+  // escape, decode to U+FFFD — never to invalid UTF-8.
+  std::optional<json::Value> Lone = json::parse(R"("\ud83dX")");
+  ASSERT_TRUE(Lone && Lone->isString());
+  EXPECT_EQ(Lone->asString(), "\xEF\xBF\xBDX");
+  std::optional<json::Value> HighThenBmp = json::parse(R"("\ud83dA")");
+  ASSERT_TRUE(HighThenBmp && HighThenBmp->isString());
+  EXPECT_EQ(HighThenBmp->asString(), "\xEF\xBF\xBD""A");
+  // An unpaired LOW surrogate alone is also replaced.
+  std::optional<json::Value> Low = json::parse(R"("\ude00")");
+  ASSERT_TRUE(Low && Low->isString());
+  EXPECT_EQ(Low->asString(), "\xEF\xBF\xBD");
+}
+
+TEST(Json, DeepNestingIsBoundedNotCrashing) {
+  auto nested = [](unsigned Depth) {
+    std::string S(Depth, '[');
+    S += "1";
+    S.append(Depth, ']');
+    return S;
+  };
+  // Comfortably inside the bound.
+  std::optional<json::Value> Ok = json::parse(nested(100));
+  ASSERT_TRUE(Ok.has_value());
+  const json::Value *Cur = &*Ok;
+  for (unsigned I = 0; I < 100; ++I) {
+    ASSERT_TRUE(Cur->isArray());
+    ASSERT_EQ(Cur->elements().size(), 1u);
+    Cur = &Cur->elements()[0];
+  }
+  EXPECT_TRUE(Cur->isNumber());
+
+  // Past the recursion bound: a clean error, not a stack overflow.
+  std::string Err;
+  EXPECT_FALSE(json::parse(nested(5000), &Err));
+  EXPECT_NE(Err.find("nesting too deep"), std::string::npos);
+
+  // Deep OBJECT nesting hits the same bound.
+  std::string Obj;
+  for (unsigned I = 0; I < 200; ++I)
+    Obj += "{\"k\":";
+  Obj += "null";
+  Obj.append(200, '}');
+  EXPECT_FALSE(json::parse(Obj));
+}
+
+TEST(Json, NumberIdRoundTripping) {
+  // The raw lexeme survives parse -> write for every shape, so echoed
+  // ids and 64-bit store numbers never get reformatted through a
+  // double.
+  for (const char *Lexeme :
+       {"17", "-0", "9223372036854775807", "-9223372036854775808",
+        "3.5", "-2.5e3", "1e-7", "0.0001"}) {
+    std::optional<json::Value> V = json::parse(Lexeme);
+    ASSERT_TRUE(V && V->isNumber()) << Lexeme;
+    EXPECT_EQ(V->rawNumber(), Lexeme);
+    EXPECT_EQ(json::write(*V), Lexeme);
+  }
+
+  // toInt64: exact for the full int64 range, refuses fractions,
+  // exponents and out-of-range values instead of rounding.
+  auto i64 = [](const char *Lexeme) {
+    return json::toInt64(*json::parse(Lexeme));
+  };
+  EXPECT_EQ(i64("9223372036854775807").value_or(0), INT64_MAX);
+  EXPECT_EQ(i64("-9223372036854775808").value_or(0), INT64_MIN);
+  EXPECT_EQ(i64("0").value_or(1), 0);
+  EXPECT_FALSE(i64("1.5").has_value());
+  EXPECT_FALSE(i64("1e3").has_value());
+  EXPECT_FALSE(i64("9223372036854775808").has_value()); // INT64_MAX + 1.
+  EXPECT_FALSE(json::toInt64(*json::parse("\"17\"")).has_value());
+
+  // Malformed numbers are rejected up front (the lexeme is echoed
+  // verbatim into responses, so leniency would corrupt output).
+  for (const char *Bad : {"01", "1.", ".5", "1e", "+1", "--1"})
+    EXPECT_FALSE(json::parse(Bad).has_value()) << Bad;
+}
+
+TEST(Json, WriteRoundTripsDocuments) {
+  const char *Doc =
+      R"({"a":[1,2.5,"x\n",true,null],"b":{"nested":[[]],"n":-42},"c":""})";
+  std::optional<json::Value> V = json::parse(Doc);
+  ASSERT_TRUE(V.has_value());
+  // Member and element order are preserved; compact output re-parses
+  // to the same rendering (fixpoint).
+  std::string W = json::write(*V);
+  EXPECT_EQ(W, Doc);
+  std::optional<json::Value> V2 = json::parse(W);
+  ASSERT_TRUE(V2.has_value());
+  EXPECT_EQ(json::write(*V2), W);
 }

@@ -34,6 +34,7 @@
 
 #include "api/AnalysisServer.h"
 #include "api/BatchAnalyzer.h"
+#include "store/SpecStore.h"
 #include "support/Json.h"
 #include "workloads/Corpus.h"
 
@@ -42,6 +43,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -52,14 +54,20 @@ namespace {
 int usage() {
   std::cerr
       << "usage: hiptnt <file> [--monolithic] [--no-abduction] "
-         "[--entry <name>] [--threads <n>] [--stats]\n"
+         "[--entry <name>] [--threads <n>] [--stats] [--store <file>]\n"
          "       hiptnt --batch <dir|@corpus[:N]|@fig11> [--threads <n>] "
          "[--no-global-tier] [--stats] [--outcomes]\n"
-         "               [--monolithic] [--no-abduction] [--entry <name>]\n"
-         "       hiptnt --serve [--no-global-tier] [--reclaim-every <n>]\n"
+         "               [--monolithic] [--no-abduction] [--entry <name>] "
+         "[--store <file>] [--expect-store-hits]\n"
+         "       hiptnt --serve [--no-global-tier] [--reclaim-every <n>] "
+         "[--store <file>]\n"
          "       hiptnt --serve-smoke <n>\n"
          "       (directory targets read *.t / *.tnt files; --entry "
-         "applies to directory programs)\n";
+         "applies to directory programs;\n"
+         "        --store persists inferred specs across runs; "
+         "--expect-store-hits fails unless EVERY\n"
+         "        group was served from the store and the replayed "
+         "outcomes digest matches the stored one)\n";
   return 2;
 }
 
@@ -143,7 +151,8 @@ bool batchItems(const std::string &Target, const std::string &Entry,
 
 int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
              const std::string &Entry, bool GlobalTier, bool ShowStats,
-             bool ShowOutcomes) {
+             bool ShowOutcomes, const std::string &StorePath,
+             bool ExpectStoreHits) {
   std::vector<BatchItem> Items;
   std::vector<const BenchProgram *> Truth;
   if (!batchItems(Target, Entry, Items, Truth))
@@ -160,7 +169,27 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
   // (deadline-free, tightened group fuel — see batchProgramConfig).
   Opt.Program.Modular = Cli.Modular;
   Opt.Program.Solve.EnableAbduction = Cli.Solve.EnableAbduction;
+
+  // Persistent spec store: load (or cold-start) the file, remember the
+  // previous run's outcomes digest for the --expect-store-hits replay
+  // check, and warm the solver tier from the sat snapshot.
+  std::unique_ptr<SpecStore> Store;
+  uint64_t PrevCount = 0, PrevHash = 0;
+  bool HavePrevDigest = false;
+  if (!StorePath.empty()) {
+    Store = std::make_unique<SpecStore>(
+        SpecStore::configFingerprint(Opt.Program));
+    std::string Err;
+    if (!Store->load(StorePath, &Err)) {
+      std::cerr << Err << "\n";
+      return 1;
+    }
+    HavePrevDigest = Store->outcomesDigest(PrevCount, PrevHash);
+    Opt.Store = Store.get();
+  }
   BatchAnalyzer BA(Opt);
+  if (Store && BA.globalTier() != nullptr)
+    BA.globalTier()->importSatSnapshot(Store->satSnapshot());
   BatchResult R = BA.run(Items);
 
   if (ShowOutcomes)
@@ -219,12 +248,58 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
               << " formulas=" << I.formulaCount()
               << " arena_bytes=" << I.arenaBytes() << "\n";
   }
+  unsigned StoreFailures = 0;
+  if (Store) {
+    // Replay / persistence epilogue: record this run's outcomes digest
+    // and the tier's sat entries, then publish atomically.
+    std::string Rendered = R.renderOutcomes();
+    uint64_t Hash = SpecStore::fnv1a(Rendered);
+    if (ExpectStoreHits) {
+      // The warm-run fence of the store round-trip smoke: every group
+      // of every program replays from the store, zero re-runs, and the
+      // rendered outcomes are byte-identical to the producing run's
+      // (compared by digest, so the check crosses processes).
+      size_t Groups = 0;
+      for (const BatchProgramResult &P : R.Programs)
+        Groups += P.Result.GroupCount;
+      if (R.StoreMisses != 0 || R.StoreHits != Groups) {
+        std::cerr << "expected every group from the store: hits="
+                  << R.StoreHits << "/" << Groups
+                  << " misses=" << R.StoreMisses << "\n";
+        ++StoreFailures;
+      }
+      if (!HavePrevDigest || PrevCount != Items.size() ||
+          PrevHash != Hash) {
+        std::cerr << "replayed outcomes differ from the stored run "
+                  << "(digest mismatch)\n";
+        ++StoreFailures;
+      }
+    }
+    Store->setOutcomesDigest(Items.size(), Hash);
+    if (BA.globalTier() != nullptr)
+      Store->setSatSnapshot(BA.globalTier()->exportSatSnapshot());
+    std::string Err;
+    if (!Store->save(StorePath, &Err)) {
+      std::cerr << Err << "\n";
+      ++StoreFailures;
+    }
+    if (ShowStats) {
+      SpecStoreStats SS = Store->stats();
+      std::cout << "spec store: entries=" << SS.Entries
+                << " loaded=" << SS.LoadedGroups << " hits=" << SS.Hits
+                << " misses=" << SS.Misses << " inserts=" << SS.Inserts
+                << " sat_snapshot=" << SS.SatSnapshotEntries
+                << (SS.LoadDiscarded ? " (stale file discarded)" : "")
+                << "\n";
+    }
+  }
+
   // Unsound answers are a hard failure (the paper's re-verification
   // claim is the repo's core soundness property) — and so are front-end
   // failures: a parse-broken slice answers Unknown everywhere, which
   // soundAnswer() accepts, and the CI batch-smoke fence would otherwise
   // stay green on a fully broken front end.
-  return (Unsound == 0 && Failed == 0) ? 0 : 1;
+  return (Unsound == 0 && Failed == 0 && StoreFailures == 0) ? 0 : 1;
 }
 
 /// The self-driving server smoke: builds \p N corpus-variant requests
@@ -349,9 +424,9 @@ int runServeSmoke(unsigned N) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Path, Entry = "main", BatchTarget;
+  std::string Path, Entry = "main", BatchTarget, StorePath;
   bool ShowStats = false, Batch = false, GlobalTier = true,
-       ShowOutcomes = false, Serve = false;
+       ShowOutcomes = false, Serve = false, ExpectStoreHits = false;
   unsigned ServeSmoke = 0, ReclaimEvery = 64;
   AnalyzerConfig Config;
   for (int I = 1; I < Argc; ++I) {
@@ -395,7 +470,15 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       ReclaimEvery = static_cast<unsigned>(V);
-    } else if (Arg == "--no-global-tier")
+    } else if (Arg == "--store") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --store requires a file path\n";
+        return 2;
+      }
+      StorePath = Argv[++I];
+    } else if (Arg == "--expect-store-hits")
+      ExpectStoreHits = true;
+    else if (Arg == "--no-global-tier")
       GlobalTier = false;
     else if (Arg == "--outcomes")
       ShowOutcomes = true;
@@ -430,12 +513,13 @@ int main(int Argc, char **Argv) {
     SO.ReclaimEvery = ReclaimEvery;
     SO.Program.Modular = Config.Modular;
     SO.Program.Solve.EnableAbduction = Config.Solve.EnableAbduction;
+    SO.StorePath = StorePath;
     AnalysisServer Server(SO);
     return Server.serve(std::cin, std::cout);
   }
   if (Batch)
     return runBatch(BatchTarget, Config, Entry, GlobalTier, ShowStats,
-                    ShowOutcomes);
+                    ShowOutcomes, StorePath, ExpectStoreHits);
   if (Path.empty())
     return usage();
 
@@ -447,7 +531,30 @@ int main(int Argc, char **Argv) {
   std::stringstream Buf;
   Buf << In.rdbuf();
 
+  // Single-program spec store: summaries persist across invocations
+  // (no solver tier in this mode, so no sat snapshot to warm).
+  std::unique_ptr<SpecStore> Store;
+  if (!StorePath.empty()) {
+    Store =
+        std::make_unique<SpecStore>(SpecStore::configFingerprint(Config));
+    std::string Err;
+    if (!Store->load(StorePath, &Err)) {
+      std::cerr << Err << "\n";
+      return 1;
+    }
+    Config.Store = Store.get();
+  }
+
   AnalysisResult R = analyzeProgram(Buf.str(), Config);
+  if (Store) {
+    std::string Err;
+    if (!Store->save(StorePath, &Err)) {
+      // A failed save is a failed run — same rule as batch and server
+      // modes; scripts must not believe the specs were persisted.
+      std::cerr << Err << "\n";
+      return 1;
+    }
+  }
   if (!R.Ok) {
     std::cerr << R.Diagnostics;
     return 1;
