@@ -7,9 +7,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Analyzer.h"
+#include "api/BatchAnalyzer.h"
+#include "solver/Interval.h"
 #include "solver/Solver.h"
 #include "synth/Abduction.h"
 #include "synth/Ranking.h"
+#include "workloads/Corpus.h"
 
 #include <benchmark/benchmark.h>
 
@@ -155,6 +158,59 @@ void BM_UnmemoizedToDNF(benchmark::State &State) {
 }
 BENCHMARK(BM_UnmemoizedToDNF);
 
+/// The constraint-heavy workload of the ladder artifact section:
+/// difference chains x0 >= Off, x_{i+1} >= x_i + 1, x_{N-1} <= Top.
+/// With Top < Off + N - 1 the chain is UNSAT, and interval propagation
+/// decides it in a couple of passes where Omega runs a full
+/// elimination over N variables. Every query gets its own constants
+/// (and its own variable block), so no cache tier can answer — the
+/// timing isolates prefilter-vs-Omega on the engine itself. A quarter
+/// of the family are satisfiable boxes, exercising the witness path.
+std::vector<ConstraintConj> ladderChainFamily(unsigned Count, int N) {
+  std::vector<ConstraintConj> Out;
+  Out.reserve(Count);
+  for (unsigned Q = 0; Q < Count; ++Q) {
+    std::string Base = "bm_lad" + std::to_string(Q) + "_";
+    ConstraintConj Conj;
+    if (Q % 4 == 3) {
+      // Satisfiable box: x_i in [Q % 7 + 1, Q % 7 + 10].
+      for (int I = 0; I < N; ++I) {
+        LinExpr X = ex((Base + std::to_string(I)).c_str());
+        Conj.push_back(ge(X, int64_t(Q % 7) + 1));
+        Conj.push_back(le(X, int64_t(Q % 7) + 10));
+      }
+    } else {
+      int64_t Off = int64_t(Q % 11);
+      Conj.push_back(ge(ex((Base + "0").c_str()), Off));
+      for (int I = 0; I + 1 < N; ++I)
+        Conj.push_back(Constraint::make(
+            ex((Base + std::to_string(I + 1)).c_str()), CmpKind::Ge,
+            ex((Base + std::to_string(I)).c_str()) + 1));
+      // Top bound below the chain's reach: UNSAT by propagation.
+      Conj.push_back(
+          le(ex((Base + std::to_string(N - 1)).c_str()), Off + N - 2));
+    }
+    Out.push_back(std::move(Conj));
+  }
+  return Out;
+}
+
+void BM_IntervalPrefilterChain(benchmark::State &State) {
+  auto Family = ladderChainFamily(64, static_cast<int>(State.range(0)));
+  for (auto _ : State)
+    for (const ConstraintConj &Conj : Family)
+      benchmark::DoNotOptimize(intervalPrefilter(Conj));
+}
+BENCHMARK(BM_IntervalPrefilterChain)->Arg(12)->Arg(16);
+
+void BM_OmegaOnChainFamily(benchmark::State &State) {
+  auto Family = ladderChainFamily(64, static_cast<int>(State.range(0)));
+  for (auto _ : State)
+    for (const ConstraintConj &Conj : Family)
+      benchmark::DoNotOptimize(Omega::isSatConj(Conj));
+}
+BENCHMARK(BM_OmegaOnChainFamily)->Arg(12)->Arg(16);
+
 void BM_RankingSynthesis(benchmark::State &State) {
   VarId X = mkVar("bm_rx"), Y = mkVar("bm_ry");
   VarId XP = mkVar("bm_rx'"), YP = mkVar("bm_ry'");
@@ -299,6 +355,58 @@ int emitJson(const std::string &Path) {
   double ParSpeedup = ParSec > 0 ? SeqSec / ParSec : 0.0;
   bool Deterministic = RS.Ok && RP.Ok && RS.str() == RP.str();
 
+  // 4. Query ladder: prefilter-vs-Omega on the constraint-heavy chain
+  // family (uncached contexts, every query distinct — the A/B isolates
+  // the engine swap), then the corpus-level regime: @fig11 with the
+  // ladder on and off, for the lemma hit rate and the end-to-end wall
+  // time.
+  auto Family = ladderChainFamily(2000, 14);
+
+  SolverContext LadderOff(/*CacheCapacity=*/0);
+  LadderOff.setLadder(false);
+  auto LF0 = Clock::now();
+  for (const ConstraintConj &Conj : Family)
+    benchmark::DoNotOptimize(LadderOff.isSatConj(Conj));
+  auto LF1 = Clock::now();
+  double LadderOffSec = Secs(LF0, LF1);
+
+  SolverContext LadderOn(/*CacheCapacity=*/0);
+  auto LN0 = Clock::now();
+  for (const ConstraintConj &Conj : Family)
+    benchmark::DoNotOptimize(LadderOn.isSatConj(Conj));
+  auto LN1 = Clock::now();
+  double LadderOnSec = Secs(LN0, LN1);
+  SolverStats LS = LadderOn.stats();
+  double AnswerRate =
+      LS.SatQueries
+          ? double(LS.IntervalUnsat + LS.IntervalSat) / double(LS.SatQueries)
+          : 0.0;
+  double LadderSpeedup =
+      LadderOffSec > 0 && LadderOnSec > 0 ? LadderOffSec / LadderOnSec : 0.0;
+
+  std::vector<BatchItem> Fig11 = loopBasedBatchItems();
+  BatchOptions FigOn;
+  FigOn.Threads = Threads;
+  BatchAnalyzer FigOnBA(FigOn);
+  BatchResult FigOnR = FigOnBA.run(Fig11);
+
+  BatchOptions FigOff = FigOn;
+  FigOff.Program.Ladder = false;
+  BatchAnalyzer FigOffBA(FigOff);
+  BatchResult FigOffR = FigOffBA.run(Fig11);
+
+  bool LadderIdentical =
+      FigOnR.renderOutcomes() == FigOffR.renderOutcomes();
+  double LemmaHitRate =
+      FigOnR.Usage.SatQueries
+          ? double(FigOnR.Usage.LemmaHits) / double(FigOnR.Usage.SatQueries)
+          : 0.0;
+  double FigAnswerRate =
+      FigOnR.Usage.SatQueries
+          ? double(FigOnR.Usage.IntervalUnsat + FigOnR.Usage.IntervalSat) /
+                double(FigOnR.Usage.SatQueries)
+          : 0.0;
+
   std::ofstream Out(Path);
   if (!Out) {
     std::cerr << "cannot write " << Path << "\n";
@@ -328,6 +436,22 @@ int emitJson(const std::string &Path) {
   Out << "    \"speedup\": " << ParSpeedup << ",\n";
   Out << "    \"deterministic\": " << (Deterministic ? "true" : "false")
       << "\n";
+  Out << "  },\n";
+  Out << "  \"ladder\": {\n";
+  Out << "    \"chain_queries\": " << Family.size() << ",\n";
+  Out << "    \"chain_ladder_off_ms\": " << LadderOffSec * 1000.0 << ",\n";
+  Out << "    \"chain_ladder_on_ms\": " << LadderOnSec * 1000.0 << ",\n";
+  Out << "    \"chain_speedup_vs_no_ladder\": " << LadderSpeedup << ",\n";
+  Out << "    \"prefilter_answer_rate\": " << AnswerRate << ",\n";
+  Out << "    \"fig11_ladder_off_ms\": " << FigOffR.Millis << ",\n";
+  Out << "    \"fig11_ladder_on_ms\": " << FigOnR.Millis << ",\n";
+  Out << "    \"fig11_prefilter_answer_rate\": " << FigAnswerRate << ",\n";
+  Out << "    \"fig11_cores_learned\": " << FigOnR.Global.LemmaInserts
+      << ",\n";
+  Out << "    \"fig11_lemma_hits\": " << FigOnR.Global.LemmaHits << ",\n";
+  Out << "    \"fig11_lemma_hit_rate\": " << LemmaHitRate << ",\n";
+  Out << "    \"fig11_outcomes_identical\": "
+      << (LadderIdentical ? "true" : "false") << "\n";
   Out << "  }\n";
   Out << "}\n";
   std::cout << "BENCH_solver.json: cached " << CachedQps << " q/s vs uncached "
@@ -336,8 +460,12 @@ int emitJson(const std::string &Path) {
             << " dnf/s (x" << DnfSpeedup << ", hit rate " << DnfHitRate
             << "); parallel x" << ParSpeedup << " on " << Threads
             << " threads (deterministic: " << (Deterministic ? "yes" : "no")
+            << "); ladder x" << LadderSpeedup << " on chains (answer rate "
+            << AnswerRate << "), fig11 " << FigOnR.Millis << " ms vs "
+            << FigOffR.Millis << " ms off, lemma hit rate " << LemmaHitRate
+            << " (outcomes identical: " << (LadderIdentical ? "yes" : "no")
             << ")\n";
-  return Deterministic ? 0 : 1;
+  return Deterministic && LadderIdentical ? 0 : 1;
 }
 
 } // namespace

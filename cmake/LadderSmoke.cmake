@@ -1,0 +1,56 @@
+# Ladder A/B smoke over the real CLI: the golden loop-based corpus
+# (@fig11) analyzed twice through hiptnt --batch, once with the query
+# ladder on (default) and once with --no-ladder, comparing the rendered
+# outcome bytes. This is the end-to-end form of the ladder invariant —
+# the interval prefilter, unsat-core learning and lemma subsumption may
+# only change which engine produces each answer, never the answer — and
+# it runs in every CI configuration including NDEBUG and ASan, where
+# in-process gtest coverage differs.
+#
+# Usage: cmake -DHIPTNT=<path-to-hiptnt> -P LadderSmoke.cmake
+
+if(NOT HIPTNT)
+  message(FATAL_ERROR "LadderSmoke: pass -DHIPTNT=<path to the hiptnt binary>")
+endif()
+
+execute_process(
+  COMMAND ${HIPTNT} --batch @fig11 --outcomes --threads 2
+  OUTPUT_VARIABLE LADDER_ON_OUT
+  RESULT_VARIABLE LADDER_ON_RC)
+if(NOT LADDER_ON_RC EQUAL 0)
+  message(FATAL_ERROR "LadderSmoke: ladder-on run failed (rc=${LADDER_ON_RC})")
+endif()
+
+execute_process(
+  COMMAND ${HIPTNT} --batch @fig11 --outcomes --threads 2 --no-ladder
+  OUTPUT_VARIABLE LADDER_OFF_OUT
+  RESULT_VARIABLE LADDER_OFF_RC)
+if(NOT LADDER_OFF_RC EQUAL 0)
+  message(FATAL_ERROR
+          "LadderSmoke: ladder-off run failed (rc=${LADDER_OFF_RC})")
+endif()
+
+# Compare only the rendered per-program outcomes: everything after the
+# "Batch:" summary header is the timing table (per-group milliseconds,
+# wall time), which legitimately varies run to run. The outcome bytes
+# above it are the determinism contract.
+foreach(VAR LADDER_ON_OUT LADDER_OFF_OUT)
+  string(FIND "${${VAR}}" "\nBatch: " CUT)
+  if(CUT EQUAL -1)
+    message(FATAL_ERROR
+            "LadderSmoke: missing batch summary header in ${VAR} — "
+            "the CLI output format changed under this smoke")
+  endif()
+  string(SUBSTRING "${${VAR}}" 0 ${CUT} ${VAR})
+endforeach()
+
+if(NOT LADDER_ON_OUT STREQUAL LADDER_OFF_OUT)
+  message(FATAL_ERROR
+          "LadderSmoke: outcome bytes differ between the ladder-on and "
+          "--no-ladder runs — the ladder answered a query differently "
+          "from the Omega baseline")
+endif()
+
+string(LENGTH "${LADDER_ON_OUT}" LADDER_BYTES)
+message(STATUS
+        "LadderSmoke: ${LADDER_BYTES} outcome bytes identical ladder on/off")

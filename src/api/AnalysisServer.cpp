@@ -70,8 +70,10 @@ AnalysisServer::AnalysisServer(ServerOptions Options)
   }
   if (Store != nullptr) {
     Opt.Program.Store = Store;
-    if (GlobalSolverCache *Tier = Batch.globalTier())
+    if (GlobalSolverCache *Tier = Batch.globalTier()) {
       Tier->importSatSnapshot(Store->satSnapshot());
+      Tier->importLemmaSnapshot(Store->lemmaSnapshot());
+    }
   }
   // Everything interned before this point (constant singletons, any
   // warmup the host process did) becomes permanent; per-request terms
@@ -163,6 +165,7 @@ std::string AnalysisServer::programBody(const std::string &Source,
                                    static_cast<uint32_t>(G) + 1, Tier);
       R = finalizeProgram(*PP, std::move(Runs), Opt.Program, Tier);
     }
+    Usage += R.SolverUsage;
     if (!R.Ok) {
       ++Errors;
       Body = "\"ok\":false,\"error\":" + json::quoted(R.Diagnostics);
@@ -249,8 +252,10 @@ std::string AnalysisServer::handleBatchVerb(const std::string &Id,
 bool AnalysisServer::saveStore(std::string *Err) {
   if (Store == nullptr || Opt.StorePath.empty())
     return true;
-  if (GlobalSolverCache *Tier = Batch.globalTier())
+  if (GlobalSolverCache *Tier = Batch.globalTier()) {
     Store->setSatSnapshot(Tier->exportSatSnapshot());
+    Store->setLemmaSnapshot(Tier->exportLemmas());
+  }
   return Store->save(Opt.StorePath, Err);
 }
 
@@ -282,7 +287,18 @@ std::string AnalysisServer::statsJson(const std::string &Id) const {
       << ",\"dnf_lookups\":" << S.Global.DnfLookups
       << ",\"dnf_hits\":" << S.Global.DnfHits
       << ",\"dnf_prev_hits\":" << S.Global.DnfPrevHits
-      << ",\"dnf_rotations\":" << S.Global.DnfRotations << "}}}";
+      << ",\"dnf_rotations\":" << S.Global.DnfRotations << "},\"ladder\":{"
+      << "\"interval_unsat\":" << S.Usage.IntervalUnsat
+      << ",\"interval_sat\":" << S.Usage.IntervalSat
+      << ",\"cores_learned\":" << S.Global.LemmaInserts
+      << ",\"core_probes\":" << S.Global.CoreProbes
+      << ",\"lemma_hits\":" << S.Global.LemmaHits
+      << ",\"lemma_prev_hits\":" << S.Global.LemmaPrevHits
+      << ",\"lemma_snapshot_hits\":" << S.Global.LemmaSnapshotHits
+      << ",\"lemma_entries\":" << S.Global.LemmaEntries
+      << ",\"lemma_prev_entries\":" << S.Global.LemmaPrevEntries
+      << ",\"lemma_snapshot_entries\":" << S.Global.LemmaSnapshotEntries
+      << "}}}";
   return Out.str();
 }
 
@@ -380,6 +396,7 @@ ServerStats AnalysisServer::stats() const {
   S.Requests = Requests;
   S.Errors = Errors;
   S.Reclaims = Reclaims;
+  S.Usage = Usage;
   S.LastReclaim = LastReclaim;
   if (Store != nullptr) {
     SpecStoreStats SS = Store->stats();

@@ -107,6 +107,10 @@ struct ServerStats {
   uint64_t StoreMisses = 0; ///< Groups inferred with a store attached.
   ReclaimStats LastReclaim;
   GlobalCacheStats Global;
+  /// Cumulative per-request solver usage (sum of every handled
+  /// program's SolverUsage) — the interval-prefilter ladder counters
+  /// live here; the lemma side lives in Global.
+  SolverStats Usage;
   size_t InternExprs = 0;
   size_t InternConstraints = 0;
   size_t InternFormulas = 0;
@@ -184,6 +188,7 @@ private:
   uint64_t Requests = 0;
   uint64_t Errors = 0;
   uint64_t Reclaims = 0;
+  SolverStats Usage;
   ReclaimStats LastReclaim;
   bool Shutdown = false;
   /// True when this server was constructed with reclamation enabled.

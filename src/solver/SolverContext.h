@@ -90,6 +90,17 @@ struct SolverStats {
   /// computed the answer already paid for it (see fuelUsed()).
   uint64_t GlobalSatHits = 0;
   uint64_t GlobalDnfHits = 0;
+  /// Query-ladder counters. Interval* count queries the interval
+  /// prefilter answered INSTEAD of Omega — charged exactly like an
+  /// Omega run (they are local computations: counted in SatQueries,
+  /// charged to the token, included in fuelUsed()), so the ladder
+  /// changes where an answer comes from but never what any budget
+  /// observes. LemmaHits counts global-tier answers produced by lemma
+  /// subsumption — a subset of GlobalSatHits, uncharged like every
+  /// other tier hit.
+  uint64_t IntervalUnsat = 0;
+  uint64_t IntervalSat = 0;
+  uint64_t LemmaHits = 0;
 
   /// Solver work charged to this context for budget purposes: queries
   /// issued minus queries answered by the shared global tier. Local
@@ -109,6 +120,9 @@ struct SolverStats {
     DnfEvictions += O.DnfEvictions;
     GlobalSatHits += O.GlobalSatHits;
     GlobalDnfHits += O.GlobalDnfHits;
+    IntervalUnsat += O.IntervalUnsat;
+    IntervalSat += O.IntervalSat;
+    LemmaHits += O.LemmaHits;
     return *this;
   }
 };
@@ -219,6 +233,16 @@ public:
   /// (remaining unknowns finalize to MayLoop).
   bool cancelled() const;
 
+  /// Enables/disables the query ladder (interval prefilter before
+  /// Omega, unsat-core learning at promoteTo). On by default; the
+  /// --no-ladder A/B switch turns it off. Both settings produce
+  /// byte-identical analysis output — the ladder only changes which
+  /// engine computes each (identical) answer. Set before the context
+  /// issues queries; read without the context mutex, like the global
+  /// tier and the token.
+  void setLadder(bool Enabled) { Ladder = Enabled; }
+  bool ladderEnabled() const { return Ladder; }
+
   /// The deterministic end-of-program merge: offers this context's sat
   /// entries (most-recently-used first) and full DNF skeletons to the
   /// global tier, first-writer-wins within the tier's current
@@ -258,6 +282,8 @@ private:
   /// Cooperative budget token charged per answered query; not owned.
   /// Set before first use, read without holding Mu.
   CancellationToken *Cancel = nullptr;
+  /// Query-ladder switch; set before first use, read without Mu.
+  bool Ladder = true;
 
   mutable std::mutex Mu;
   SolverStats Counters;

@@ -1,0 +1,41 @@
+//===- solver/UnsatCore.cpp - Minimal infeasible subset extraction --------===//
+
+#include "solver/UnsatCore.h"
+
+#include "solver/Cancellation.h"
+
+using namespace tnt;
+
+ConstraintConj
+tnt::shrinkUnsatCore(const ConstraintConj &Conj,
+                     const std::function<Tri(const ConstraintConj &)> &IsSat,
+                     uint64_t &BudgetLeft, uint64_t *ProbesUsed,
+                     const CancellationToken *Cancel) {
+  ConstraintConj Core = Conj;
+  uint64_t Probes = 0;
+
+  // Classic deletion filter. Index I walks the shrinking vector; when
+  // a deletion sticks the element that slid into position I is the
+  // next candidate, so every original constraint is probed exactly
+  // once (absent early exit).
+  size_t I = 0;
+  while (I < Core.size() && Core.size() > 1) {
+    if (BudgetLeft == 0 || (Cancel != nullptr && Cancel->cancelled()))
+      break;
+    ConstraintConj Probe;
+    Probe.reserve(Core.size() - 1);
+    for (size_t J = 0; J < Core.size(); ++J)
+      if (J != I)
+        Probe.push_back(Core[J]);
+    --BudgetLeft;
+    ++Probes;
+    if (IsSat(Probe) == Tri::False)
+      Core = std::move(Probe); // Still UNSAT without it: drop for good.
+    else
+      ++I; // Needed (or unknown — keep conservatively).
+  }
+
+  if (ProbesUsed != nullptr)
+    *ProbesUsed += Probes;
+  return Core;
+}

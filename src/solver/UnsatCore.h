@@ -1,0 +1,72 @@
+//===- solver/UnsatCore.h - Minimal infeasible subset extraction -*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deletion-based minimal-infeasible-subset (unsat core) extraction:
+/// given a conjunction already known UNSAT, drop one constraint at a
+/// time in a fixed deterministic order and keep the deletion whenever
+/// the remainder is still UNSAT. The result is a small subset whose
+/// infeasibility alone refutes any conjunction containing it — the
+/// artifact GlobalSolverCache stores as a subsumption lemma, turning
+/// one failed query into a refutation that transfers across programs.
+///
+/// The loop maintains the invariant "current set is UNSAT" at every
+/// step, so stopping early — probe budget exhausted, cooperative
+/// cancellation observed — still returns a sound (just less minimal)
+/// core. Probes run against a caller-supplied oracle; the caller
+/// decides how cheap probes are (interval prefilter first, Omega as
+/// the fallback) and where the probe work is accounted. Determinism:
+/// the input order is the interned (sorted, deduped) constraint order
+/// and the oracle is deterministic, so the extracted core is a pure
+/// function of the input conjunction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SOLVER_UNSATCORE_H
+#define TNT_SOLVER_UNSATCORE_H
+
+#include "arith/Constraint.h"
+#include "solver/Omega.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace tnt {
+
+class CancellationToken;
+
+/// Knobs for core extraction at the promote-time merge.
+struct CoreOptions {
+  /// Conjunctions larger than this are not shrunk at all — deletion
+  /// probing is O(n) oracle calls and big conjunctions rarely yield
+  /// small cores worth the probes.
+  size_t MaxConjSize = 12;
+  /// Cores larger than this are discarded after shrinking: a wide
+  /// lemma almost never subsumes anything and bloats the watch index.
+  size_t MaxCoreSize = 8;
+  /// Oracle-call allowance shared across one whole merge (all
+  /// candidate entries), so promote-time work stays bounded no matter
+  /// how many False entries a context accumulated.
+  uint64_t ProbeBudget = 512;
+};
+
+/// Shrinks \p Conj (which the caller knows is UNSAT) toward a minimal
+/// infeasible subset. \p IsSat is the probe oracle: Tri::False means
+/// "still UNSAT, deletion keeps". \p BudgetLeft is decremented once
+/// per probe; extraction stops when it reaches zero or when \p Cancel
+/// (may be null) reports cancellation, returning the current — still
+/// UNSAT — subset. \p ProbesUsed (may be null) receives the number of
+/// oracle calls made.
+ConstraintConj
+shrinkUnsatCore(const ConstraintConj &Conj,
+                const std::function<Tri(const ConstraintConj &)> &IsSat,
+                uint64_t &BudgetLeft, uint64_t *ProbesUsed,
+                const CancellationToken *Cancel);
+
+} // namespace tnt
+
+#endif // TNT_SOLVER_UNSATCORE_H

@@ -1,0 +1,412 @@
+//===- tests/LadderTest.cpp - solver query ladder integration ---*- C++ -*-===//
+//
+// The query ladder end to end: lemma subsumption over the global tier
+// (watch-index probing, generation rotation, dedup), the persistent
+// lemma snapshot through SpecStore (versioned section, stale-file
+// discard), fuel-accounting transparency (identical FuelUsed with the
+// ladder on and off, including under a budget cutoff), and batch
+// byte-identity across ladder x threads x store warmth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Analyzer.h"
+#include "api/BatchAnalyzer.h"
+#include "arith/Intern.h"
+#include "solver/GlobalCache.h"
+#include "store/SpecStore.h"
+#include "workloads/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace tnt;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "tnt_ladder_" + Name + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+struct TempFile {
+  std::string Path;
+  explicit TempFile(const std::string &Name) : Path(tempPath(Name)) {
+    std::remove(Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+};
+
+LinExpr ev(const char *N, int64_t Coeff = 1) {
+  return LinExpr::var(mkVar(N), Coeff);
+}
+
+Constraint cmp(const LinExpr &L, CmpKind K, int64_t C) {
+  return Constraint::make(L, K, LinExpr(C));
+}
+
+/// The canonical lemma for "x >= 5 && x <= 3" (sorted canon strings).
+std::vector<std::string> clashCore(const char *Var) {
+  std::vector<std::string> Core = {
+      GlobalSolverCache::constraintCanon(cmp(ev(Var), CmpKind::Ge, 5)),
+      GlobalSolverCache::constraintCanon(cmp(ev(Var), CmpKind::Le, 3))};
+  std::sort(Core.begin(), Core.end());
+  return Core;
+}
+
+/// A conjunction CONTAINING that clash plus satisfiable padding.
+ConstraintConj clashSuperset(const char *Var, const char *Pad) {
+  return {cmp(ev(Var), CmpKind::Ge, 5), cmp(ev(Pad), CmpKind::Ge, 0),
+          cmp(ev(Var), CmpKind::Le, 3), cmp(ev(Pad), CmpKind::Le, 10)};
+}
+
+//===----------------------------------------------------------------------===//
+// Lemma tier mechanics.
+//===----------------------------------------------------------------------===//
+
+TEST(LadderLemma, SubsumptionAnswersSupersets) {
+  GlobalSolverCache G(64, 64);
+  G.mergeLemmas({clashCore("ll_a")}, /*ProbesUsed=*/7);
+
+  GlobalCacheStats S = G.stats();
+  EXPECT_EQ(S.LemmaInserts, 1u);
+  EXPECT_EQ(S.CoreProbes, 7u);
+  EXPECT_EQ(S.LemmaEntries, 1u);
+
+  // Any superset of the core is refuted — this key was never merged.
+  bool LemmaHit = false;
+  std::optional<Tri> R =
+      G.lookupSat(internConj(clashSuperset("ll_a", "ll_p")), &LemmaHit);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, Tri::False);
+  EXPECT_TRUE(LemmaHit);
+  S = G.stats();
+  EXPECT_EQ(S.LemmaHits, 1u);
+  EXPECT_EQ(S.SatHits, 1u); // A lemma hit is a genuine tier answer.
+
+  // Half the core present is no subsumption: miss, flag untouched.
+  LemmaHit = false;
+  ConstraintConj Partial = {cmp(ev("ll_a"), CmpKind::Ge, 5),
+                            cmp(ev("ll_p"), CmpKind::Ge, 0)};
+  EXPECT_FALSE(G.lookupSat(internConj(Partial), &LemmaHit).has_value());
+  EXPECT_FALSE(LemmaHit);
+}
+
+TEST(LadderLemma, DuplicateCoresDedupByJoinedKey) {
+  GlobalSolverCache G(64, 64);
+  G.mergeLemmas({clashCore("ll_b")}, 0);
+  G.mergeLemmas({clashCore("ll_b")}, 0);
+  // Unsorted spelling of the same core dedups too (mergeLemmas sorts).
+  std::vector<std::string> Rev = clashCore("ll_b");
+  std::reverse(Rev.begin(), Rev.end());
+  G.mergeLemmas({Rev}, 0);
+  EXPECT_EQ(G.stats().LemmaInserts, 1u);
+  EXPECT_EQ(G.stats().LemmaEntries, 1u);
+}
+
+TEST(LadderLemma, GenerationRotationKeepsPrevLookups) {
+  GlobalSolverCache G(64, 64);
+  G.mergeLemmas({clashCore("ll_c")}, 0);
+
+  // Flood the current generation with synthetic cores until it
+  // rotates; the real core must keep answering from the previous
+  // generation (and would be re-promoted by any context that hit it).
+  std::vector<std::vector<std::string>> Flood;
+  for (size_t I = 0; I < GlobalSolverCache::LemmaCapacity; ++I)
+    Flood.push_back({"zz_synth_" + std::to_string(I)});
+  G.mergeLemmas(Flood, 0);
+
+  GlobalCacheStats S = G.stats();
+  EXPECT_EQ(S.LemmaRotations, 1u);
+  EXPECT_EQ(S.LemmaPrevEntries, GlobalSolverCache::LemmaCapacity);
+  EXPECT_EQ(S.LemmaEntries, 1u);
+
+  bool LemmaHit = false;
+  std::optional<Tri> R =
+      G.lookupSat(internConj(clashSuperset("ll_c", "ll_q")), &LemmaHit);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, Tri::False);
+  EXPECT_TRUE(LemmaHit);
+  S = G.stats();
+  EXPECT_EQ(S.LemmaPrevHits, 1u);
+  EXPECT_EQ(S.LemmaHits, 1u); // Total; the prev hit is its only entry.
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent lemma snapshot (SpecStore round trip and versioning).
+//===----------------------------------------------------------------------===//
+
+TEST(LadderStore, LemmaSnapshotRoundTrip) {
+  TempFile F("roundtrip");
+
+  {
+    GlobalSolverCache G(64, 64);
+    G.mergeLemmas({clashCore("ls_a")}, 0);
+    SpecStore S("ladder-fp");
+    S.setLemmaSnapshot(G.exportLemmas());
+    EXPECT_EQ(S.stats().LemmaSnapshotEntries, 1u);
+    ASSERT_TRUE(S.save(F.Path));
+  }
+
+  SpecStore Loaded("ladder-fp");
+  ASSERT_TRUE(Loaded.load(F.Path));
+  EXPECT_FALSE(Loaded.stats().LoadDiscarded);
+  ASSERT_EQ(Loaded.stats().LemmaSnapshotEntries, 1u);
+
+  // A fresh process's tier warm-starts from the imported cores.
+  GlobalSolverCache G2(64, 64);
+  G2.importLemmaSnapshot(Loaded.lemmaSnapshot());
+  bool LemmaHit = false;
+  std::optional<Tri> R =
+      G2.lookupSat(internConj(clashSuperset("ls_a", "ls_p")), &LemmaHit);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, Tri::False);
+  EXPECT_TRUE(LemmaHit);
+  GlobalCacheStats S = G2.stats();
+  EXPECT_EQ(S.LemmaSnapshotHits, 1u);
+  EXPECT_EQ(S.LemmaSnapshotEntries, 1u);
+}
+
+TEST(LadderStore, FingerprintIsV2AndStaleFilesDiscardCleanly) {
+  // The spec-store fingerprint was bumped for the lemma-snapshot
+  // section; pre-ladder files must be discarded wholesale (fresh run),
+  // never half-imported or crashed on.
+  AnalyzerConfig Cfg;
+  std::string Fp = SpecStore::configFingerprint(Cfg);
+  EXPECT_EQ(Fp.rfind("v2;", 0), 0u) << Fp;
+  // The ladder A/B switch deliberately does NOT fingerprint: a store
+  // written with the ladder on warm-starts a --no-ladder run (answers
+  // are identical by the ladder invariant).
+  AnalyzerConfig NoLadder = Cfg;
+  NoLadder.Ladder = false;
+  EXPECT_EQ(SpecStore::configFingerprint(NoLadder), Fp);
+
+  TempFile F("stale");
+  {
+    SpecStore Old("v1;pre-ladder-config");
+    GlobalSolverCache G(64, 64);
+    G.mergeLemmas({clashCore("ls_b")}, 0);
+    Old.setLemmaSnapshot(G.exportLemmas());
+    ASSERT_TRUE(Old.save(F.Path));
+  }
+  SpecStore Fresh(Fp);
+  ASSERT_TRUE(Fresh.load(F.Path)); // Discard is not an error.
+  EXPECT_TRUE(Fresh.stats().LoadDiscarded);
+  EXPECT_EQ(Fresh.stats().LemmaSnapshotEntries, 0u);
+  EXPECT_TRUE(Fresh.lemmaSnapshot().empty());
+}
+
+TEST(LadderStore, UnknownLemmaSectionVersionIsSkipped) {
+  TempFile F("badver");
+  {
+    SpecStore S("ladder-fp");
+    GlobalSolverCache G(64, 64);
+    G.mergeLemmas({clashCore("ls_c")}, 0);
+    S.setLemmaSnapshot(G.exportLemmas());
+    ASSERT_TRUE(S.save(F.Path));
+  }
+
+  // Rewrite the section version in place: a future producer's format.
+  std::string Text;
+  {
+    std::ifstream In(F.Path);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  }
+  const std::string Tag = "\"solver_lemmas\":{\"version\":1";
+  size_t Pos = Text.find(Tag);
+  ASSERT_NE(Pos, std::string::npos);
+  Text.replace(Pos, Tag.size(), "\"solver_lemmas\":{\"version\":9");
+  {
+    std::ofstream Out(F.Path, std::ios::trunc);
+    Out << Text;
+  }
+
+  // The unversioned-section contract: skip cleanly, import nothing,
+  // keep the rest of the file.
+  SpecStore Loaded("ladder-fp");
+  ASSERT_TRUE(Loaded.load(F.Path));
+  EXPECT_EQ(Loaded.stats().LemmaSnapshotEntries, 0u);
+  EXPECT_TRUE(Loaded.lemmaSnapshot().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Fuel transparency: the ladder changes which engine answers, never
+// what any budget observes.
+//===----------------------------------------------------------------------===//
+
+const char *FuelProbeSource = R"(
+int dec(int k)
+{
+  if (k <= 0) return 0;
+  else return dec(k - 1);
+}
+int mix(int x, int y)
+{
+  if (x <= 0) return dec(y);
+  else return mix(x - 1, y + 1);
+}
+int spin(int b)
+{
+  if (b < 0) return 0;
+  else return spin(b + 1);
+}
+int main(int n)
+{
+  return mix(n, dec(n)) + spin(-1);
+}
+)";
+
+TEST(Ladder, FuelUsedIdenticalOnAndOff) {
+  AnalyzerConfig On, Off;
+  Off.Ladder = false;
+  AnalysisResult A = analyzeProgram(FuelProbeSource, On);
+  AnalysisResult B = analyzeProgram(FuelProbeSource, Off);
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_GT(A.SolverUsage.IntervalUnsat + A.SolverUsage.IntervalSat, 0u)
+      << "the probe program must actually exercise the prefilter";
+  EXPECT_EQ(B.SolverUsage.IntervalUnsat + B.SolverUsage.IntervalSat, 0u);
+  EXPECT_EQ(A.FuelUsed, B.FuelUsed);
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_EQ(A.Diagnostics, B.Diagnostics);
+}
+
+TEST(Ladder, BudgetCutoffIdenticalOnAndOff) {
+  // A budget small enough to bite: the cutoff point (and therefore
+  // the Timeout classification and everything downstream) must not
+  // move when interval answers replace Omega answers, because both
+  // charge the token identically.
+  for (uint64_t Budget : {25u, 60u, 200u}) {
+    AnalyzerConfig On, Off;
+    On.FuelBudget = Off.FuelBudget = Budget;
+    Off.Ladder = false;
+    AnalysisResult A = analyzeProgram(FuelProbeSource, On);
+    AnalysisResult B = analyzeProgram(FuelProbeSource, Off);
+    EXPECT_EQ(A.FuelUsed, B.FuelUsed) << "budget=" << Budget;
+    EXPECT_EQ(A.str(), B.str()) << "budget=" << Budget;
+    EXPECT_EQ(outcomeStr(A.outcome()), outcomeStr(B.outcome()))
+        << "budget=" << Budget;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch byte-identity: ladder x threads x store warmth.
+//===----------------------------------------------------------------------===//
+
+std::vector<BatchItem> corpusSlice(size_t Denom) {
+  const std::vector<BenchProgram> &All = corpus();
+  std::vector<BatchItem> Items;
+  size_t Step = All.size() / Denom;
+  if (Step == 0)
+    Step = 1;
+  for (size_t I = 0; I < All.size(); I += Step) {
+    BatchItem It;
+    It.Name = All[I].Name;
+    It.Category = All[I].Category;
+    It.Source = All[I].Source;
+    It.Entry = All[I].Entry;
+    Items.push_back(std::move(It));
+  }
+  return Items;
+}
+
+TEST(Ladder, BatchByteIdenticalAcrossLadderThreadsAndWarmth) {
+  std::vector<BatchItem> Items = corpusSlice(20);
+
+  // Baseline plus a warm-start artifact: one cold ladder-on run whose
+  // tier exports both the sat snapshot and the lemma snapshot.
+  std::string Base;
+  std::vector<std::pair<std::string, Tri>> SatSnap;
+  std::vector<std::vector<std::string>> LemmaSnap;
+  {
+    BatchOptions Opt;
+    Opt.Threads = 1;
+    BatchAnalyzer BA(Opt);
+    Base = BA.run(Items).renderOutcomes();
+    SatSnap = BA.globalTier()->exportSatSnapshot();
+    LemmaSnap = BA.globalTier()->exportLemmas();
+  }
+  ASSERT_FALSE(Base.empty());
+  ASSERT_FALSE(LemmaSnap.empty());
+
+  for (bool Ladder : {true, false}) {
+    for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+      for (bool Warm : {false, true}) {
+        if (Ladder && Threads == 1 && !Warm)
+          continue; // The baseline itself.
+        BatchOptions Opt;
+        Opt.Threads = Threads;
+        Opt.Program.Ladder = Ladder;
+        BatchAnalyzer BA(Opt);
+        if (Warm) {
+          BA.globalTier()->importSatSnapshot(SatSnap);
+          BA.globalTier()->importLemmaSnapshot(LemmaSnap);
+        }
+        BatchResult R = BA.run(Items);
+        EXPECT_EQ(Base, R.renderOutcomes())
+            << "ladder=" << Ladder << " threads=" << Threads
+            << " warm=" << Warm;
+        if (!Ladder)
+          EXPECT_EQ(R.Usage.IntervalUnsat + R.Usage.IntervalSat +
+                        R.Global.LemmaInserts,
+                    0u);
+      }
+    }
+  }
+}
+
+TEST(Ladder, Fig11GoldenCountsAndCrossProgramLemmaHits) {
+  // The fig11 acceptance gate: loop-based corpus counts pinned with
+  // the ladder ON (same goldens as CorpusGoldenTest), nonzero lemma
+  // traffic (cores learned by one program refuting queries of
+  // another), and byte-equality against a ladder-off run.
+  std::vector<BatchItem> Items = loopBasedBatchItems();
+  ASSERT_EQ(Items.size(), 221u);
+
+  BatchOptions On;
+  On.Threads = 4;
+  BatchAnalyzer BA(On);
+  BatchResult R = BA.run(Items);
+
+  CategoryCounts Agg;
+  for (const BatchProgramResult &P : R.Programs) {
+    switch (P.Verdict) {
+    case Outcome::Yes:
+      ++Agg.Yes;
+      break;
+    case Outcome::No:
+      ++Agg.No;
+      break;
+    case Outcome::Unknown:
+      ++Agg.Unknown;
+      break;
+    case Outcome::Timeout:
+      ++Agg.Timeout;
+      break;
+    }
+  }
+  EXPECT_EQ(Agg.Yes, 171u);
+  EXPECT_EQ(Agg.No, 38u);
+  EXPECT_EQ(Agg.Unknown, 12u);
+  EXPECT_EQ(Agg.Timeout, 0u);
+
+  EXPECT_GT(R.Usage.IntervalUnsat, 0u);
+  EXPECT_GT(R.Usage.IntervalSat, 0u);
+  EXPECT_GT(R.Global.LemmaInserts, 0u);
+  EXPECT_GT(R.Global.LemmaHits, 0u);
+  EXPECT_GT(R.Usage.LemmaHits, 0u);
+  // Lemma hits are tier answers: accounted inside GlobalSatHits.
+  EXPECT_LE(R.Usage.LemmaHits, R.Usage.GlobalSatHits);
+
+  BatchOptions Off = On;
+  Off.Program.Ladder = false;
+  BatchAnalyzer BOff(Off);
+  EXPECT_EQ(R.renderOutcomes(), BOff.run(Items).renderOutcomes());
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- tests/UnsatCoreTest.cpp - deletion-filter core extraction -*- C++ -*-===//
+//
+// shrinkUnsatCore in isolation: minimality against the Omega oracle,
+// determinism (the core is a pure function of the input), sound early
+// exit on budget exhaustion, and cooperative cancellation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arith/Intern.h"
+#include "solver/Cancellation.h"
+#include "solver/Omega.h"
+#include "solver/UnsatCore.h"
+
+#include <gtest/gtest.h>
+
+using namespace tnt;
+
+namespace {
+
+LinExpr ev(const char *N, int64_t Coeff = 1) {
+  return LinExpr::var(mkVar(N), Coeff);
+}
+
+Constraint cmp(const LinExpr &L, CmpKind K, int64_t C) {
+  return Constraint::make(L, K, LinExpr(C));
+}
+
+Tri omega(const ConstraintConj &C) { return Omega::isSatConj(C); }
+
+/// x >= 5 && x <= 3 buried in satisfiable padding about y.
+ConstraintConj paddedClash() {
+  return {cmp(ev("uc_x"), CmpKind::Ge, 5), cmp(ev("uc_y"), CmpKind::Ge, 0),
+          cmp(ev("uc_x"), CmpKind::Le, 3), cmp(ev("uc_y"), CmpKind::Le, 10)};
+}
+
+TEST(UnsatCore, ShrinksToTheMinimalClash) {
+  ConstraintConj Conj = paddedClash();
+  ASSERT_EQ(omega(Conj), Tri::False);
+
+  uint64_t Budget = 100, Probes = 0;
+  ConstraintConj Core =
+      shrinkUnsatCore(Conj, omega, Budget, &Probes, nullptr);
+
+  ASSERT_EQ(Core.size(), 2u);
+  EXPECT_EQ(omega(Core), Tri::False);
+  EXPECT_GT(Probes, 0u);
+  EXPECT_EQ(Budget + Probes, 100u);
+  // The padding about y is gone; both x atoms remain.
+  for (const Constraint &C : Core) {
+    std::set<VarId> Vars;
+    C.collectVars(Vars);
+    EXPECT_EQ(Vars.size(), 1u);
+  }
+}
+
+TEST(UnsatCore, DeterministicAcrossRuns) {
+  ConstraintConj Conj = paddedClash();
+  uint64_t B1 = 100, B2 = 100;
+  ConstraintConj A = shrinkUnsatCore(Conj, omega, B1, nullptr, nullptr);
+  ConstraintConj B = shrinkUnsatCore(Conj, omega, B2, nullptr, nullptr);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(B1, B2);
+}
+
+TEST(UnsatCore, ZeroBudgetReturnsInputUnchanged) {
+  ConstraintConj Conj = paddedClash();
+  uint64_t Budget = 0, Probes = 0;
+  ConstraintConj Core =
+      shrinkUnsatCore(Conj, omega, Budget, &Probes, nullptr);
+  EXPECT_EQ(Core, Conj); // Still UNSAT, just not minimal.
+  EXPECT_EQ(Probes, 0u);
+}
+
+TEST(UnsatCore, ExhaustedBudgetStillReturnsUnsatSubset) {
+  ConstraintConj Conj = paddedClash();
+  uint64_t Budget = 1, Probes = 0;
+  ConstraintConj Core =
+      shrinkUnsatCore(Conj, omega, Budget, &Probes, nullptr);
+  EXPECT_EQ(Probes, 1u);
+  EXPECT_EQ(Budget, 0u);
+  // The invariant "current set is UNSAT" holds at every step, so the
+  // partial result is a sound lemma.
+  EXPECT_EQ(omega(Core), Tri::False);
+  EXPECT_LE(Core.size(), Conj.size());
+}
+
+TEST(UnsatCore, CancellationStopsProbing) {
+  ConstraintConj Conj = paddedClash();
+  CancellationToken Token(0);
+  Token.charge(); // Budget 0: the first charge flips it.
+  ASSERT_TRUE(Token.cancelled());
+
+  uint64_t Budget = 100, Probes = 0;
+  ConstraintConj Core =
+      shrinkUnsatCore(Conj, omega, Budget, &Probes, &Token);
+  EXPECT_EQ(Probes, 0u);
+  EXPECT_EQ(Budget, 100u);
+  EXPECT_EQ(Core, Conj);
+}
+
+TEST(UnsatCore, SingletonInputNeedsNoProbes) {
+  // 1 <= 0: already minimal; the loop's size > 1 guard must not probe.
+  ConstraintConj Conj = {Constraint::leZero(LinExpr(1))};
+  uint64_t Budget = 100, Probes = 0;
+  ConstraintConj Core =
+      shrinkUnsatCore(Conj, omega, Budget, &Probes, nullptr);
+  EXPECT_EQ(Core, Conj);
+  EXPECT_EQ(Probes, 0u);
+}
+
+} // namespace

@@ -54,13 +54,14 @@ namespace {
 int usage() {
   std::cerr
       << "usage: hiptnt <file> [--monolithic] [--no-abduction] "
-         "[--entry <name>] [--threads <n>] [--stats] [--store <file>]\n"
+         "[--entry <name>] [--threads <n>] [--stats] [--store <file>] "
+         "[--no-ladder]\n"
          "       hiptnt --batch <dir|@corpus[:N]|@fig11> [--threads <n>] "
          "[--no-global-tier] [--stats] [--outcomes]\n"
          "               [--monolithic] [--no-abduction] [--entry <name>] "
-         "[--store <file>] [--expect-store-hits]\n"
+         "[--store <file>] [--expect-store-hits] [--no-ladder]\n"
          "       hiptnt --serve [--no-global-tier] [--reclaim-every <n>] "
-         "[--store <file>]\n"
+         "[--store <file>] [--no-ladder]\n"
          "       hiptnt --serve-smoke <n>\n"
          "       (directory targets read *.t / *.tnt files; --entry "
          "applies to directory programs;\n"
@@ -169,6 +170,7 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
   // (deadline-free, tightened group fuel — see batchProgramConfig).
   Opt.Program.Modular = Cli.Modular;
   Opt.Program.Solve.EnableAbduction = Cli.Solve.EnableAbduction;
+  Opt.Program.Ladder = Cli.Ladder;
 
   // Persistent spec store: load (or cold-start) the file, remember the
   // previous run's outcomes digest for the --expect-store-hits replay
@@ -188,8 +190,10 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
     Opt.Store = Store.get();
   }
   BatchAnalyzer BA(Opt);
-  if (Store && BA.globalTier() != nullptr)
+  if (Store && BA.globalTier() != nullptr) {
     BA.globalTier()->importSatSnapshot(Store->satSnapshot());
+    BA.globalTier()->importLemmaSnapshot(Store->lemmaSnapshot());
+  }
   BatchResult R = BA.run(Items);
 
   if (ShowOutcomes)
@@ -241,6 +245,19 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
                 << ") misses=" << (G.DnfLookups - G.DnfHits)
                 << " hit_rate=" << G.dnfHitRate()
                 << " rotations=" << G.DnfRotations << "\n";
+      std::cout << "ladder: interval_unsat=" << S.IntervalUnsat
+                << " interval_sat=" << S.IntervalSat
+                << " cores_learned=" << G.LemmaInserts
+                << " core_probes=" << G.CoreProbes
+                << " lemma_hits=" << G.LemmaHits << " (cur "
+                << (G.LemmaHits - G.LemmaPrevHits - G.LemmaSnapshotHits)
+                << ", prev " << G.LemmaPrevHits << ", snapshot "
+                << G.LemmaSnapshotHits << ") lemmas=" << G.LemmaEntries
+                << "+" << G.LemmaPrevEntries << "prev+"
+                << G.LemmaSnapshotEntries << "snap\n";
+    } else {
+      std::cout << "ladder: interval_unsat=" << S.IntervalUnsat
+                << " interval_sat=" << S.IntervalSat << "\n";
     }
     ArithIntern &I = ArithIntern::global();
     std::cout << "intern: exprs=" << I.exprCount()
@@ -276,8 +293,10 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
       }
     }
     Store->setOutcomesDigest(Items.size(), Hash);
-    if (BA.globalTier() != nullptr)
+    if (BA.globalTier() != nullptr) {
       Store->setSatSnapshot(BA.globalTier()->exportSatSnapshot());
+      Store->setLemmaSnapshot(BA.globalTier()->exportLemmas());
+    }
     std::string Err;
     if (!Store->save(StorePath, &Err)) {
       std::cerr << Err << "\n";
@@ -289,6 +308,7 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
                 << " loaded=" << SS.LoadedGroups << " hits=" << SS.Hits
                 << " misses=" << SS.Misses << " inserts=" << SS.Inserts
                 << " sat_snapshot=" << SS.SatSnapshotEntries
+                << " lemma_snapshot=" << SS.LemmaSnapshotEntries
                 << (SS.LoadDiscarded ? " (stale file discarded)" : "")
                 << "\n";
     }
@@ -435,6 +455,8 @@ int main(int Argc, char **Argv) {
       Config.Modular = false;
     else if (Arg == "--no-abduction")
       Config.Solve.EnableAbduction = false;
+    else if (Arg == "--no-ladder")
+      Config.Ladder = false;
     else if (Arg == "--entry" && I + 1 < Argc)
       Entry = Argv[++I];
     else if (Arg == "--batch") {
@@ -513,6 +535,7 @@ int main(int Argc, char **Argv) {
     SO.ReclaimEvery = ReclaimEvery;
     SO.Program.Modular = Config.Modular;
     SO.Program.Solve.EnableAbduction = Config.Solve.EnableAbduction;
+    SO.Program.Ladder = Config.Ladder;
     SO.StorePath = StorePath;
     AnalysisServer Server(SO);
     return Server.serve(std::cin, std::cout);
@@ -580,6 +603,8 @@ int main(int Argc, char **Argv) {
               << " hits=" << S.DnfHits << " misses=" << S.DnfMisses
               << " evictions=" << S.DnfEvictions
               << " hit_rate=" << rate(S.DnfHits, S.DnfMisses) << "\n";
+    std::cout << "ladder: interval_unsat=" << S.IntervalUnsat
+              << " interval_sat=" << S.IntervalSat << "\n";
   }
   return 0;
 }
