@@ -11,7 +11,10 @@
 // Also measures the analysis-server front end: request throughput over
 // the NDJSON protocol for a cold pass (every request a fresh corpus
 // variant) and a warm pass (the same requests replayed against the now
-// warm tier), plus the epoch-reclamation counters.
+// warm tier), plus the epoch-reclamation counters. The cond_term
+// section runs @fig11 in conditional-termination mode and reports the
+// audit counters plus the overhead over default mode; a demoted
+// (audit-failed) condition fails the bench.
 //
 // Unlike the micro benches this is a plain executable (no
 // google-benchmark dependency), so the artifact builds everywhere the
@@ -191,6 +194,47 @@ StoreSample runStore(const std::vector<BatchItem> &Items,
   return S;
 }
 
+struct CondSample {
+  double DefaultMillis = 0, CondMillis = 0;
+  double OverheadRatio = 0; ///< cond-term wall time / default wall time.
+  uint64_t Emitted = 0, Sound = 0, Demoted = 0, NonTrivial = 0;
+  unsigned CondPrograms = 0; ///< Programs with a nontrivial condition.
+  bool AuditClean = true;    ///< Every emitted condition passed the audit.
+};
+
+/// Conditional-termination mode on @fig11 (the corpus whose "U" rows
+/// the mode exists for): default-mode pass for the overhead baseline,
+/// then the --cond-term pass with the audit counters. Demotions mean
+/// the built-in soundness auditor rejected an inferred condition —
+/// that is a correctness regression, not a perf number, so the caller
+/// gates the exit code on AuditClean.
+CondSample runCondTerm() {
+  std::vector<BatchItem> Items = loopBasedBatchItems();
+  BatchOptions Opt;
+  Opt.Threads = 1;
+  CondSample S;
+  {
+    BatchAnalyzer BA(Opt);
+    S.DefaultMillis = BA.run(Items).Millis;
+  }
+  Opt.Program.Solve.EnableCondTerm = true;
+  {
+    BatchAnalyzer BA(Opt);
+    BatchResult R = BA.run(Items);
+    S.CondMillis = R.Millis;
+    S.Emitted = R.CondTerm.Emitted;
+    S.Sound = R.CondTerm.Sound;
+    S.Demoted = R.CondTerm.Demoted;
+    S.NonTrivial = R.CondTerm.NonTrivial;
+    for (const auto &[Cat, C] : R.perCategory())
+      S.CondPrograms += C.Cond;
+    S.AuditClean = R.CondTerm.Demoted == 0;
+  }
+  S.OverheadRatio =
+      S.DefaultMillis > 0 ? S.CondMillis / S.DefaultMillis : 0;
+  return S;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -295,6 +339,21 @@ int main(int argc, char **argv) {
   Out << "    \"replay_byte_identical\": "
       << (St.Replayed ? "true" : "false") << "\n  },\n";
 
+  // Conditional-termination mode on @fig11: audit counters and the
+  // overhead of the extra synthesis/audit queries over default mode.
+  CondSample Ct = runCondTerm();
+  Out << "  \"cond_term\": {\n";
+  Out << "    \"fig11_default_ms\": " << Ct.DefaultMillis << ",\n";
+  Out << "    \"fig11_cond_term_ms\": " << Ct.CondMillis << ",\n";
+  Out << "    \"overhead_ratio\": " << Ct.OverheadRatio << ",\n";
+  Out << "    \"emitted\": " << Ct.Emitted << ",\n";
+  Out << "    \"audited_sound\": " << Ct.Sound << ",\n";
+  Out << "    \"demoted\": " << Ct.Demoted << ",\n";
+  Out << "    \"nontrivial\": " << Ct.NonTrivial << ",\n";
+  Out << "    \"programs_with_condition\": " << Ct.CondPrograms << ",\n";
+  Out << "    \"audit_clean\": " << (Ct.AuditClean ? "true" : "false")
+      << "\n  },\n";
+
   Out << "  \"deterministic_all_configs\": "
       << (AllDeterministic ? "true" : "false") << "\n";
   Out << "}\n";
@@ -316,5 +375,14 @@ int main(int argc, char **argv) {
               St.ColdProgPerSec, St.WarmProgPerSec, St.WarmSpeedup,
               static_cast<unsigned long long>(St.ColdInserts), St.FileBytes,
               St.Replayed ? "byte-identical" : "DIVERGED");
-  return (AllDeterministic && St.Replayed) ? 0 : 1;
+  std::printf("cond-term (@fig11): emitted=%llu sound=%llu demoted=%llu "
+              "nontrivial=%llu programs_with_condition=%u overhead x%.2f, "
+              "audit %s\n",
+              static_cast<unsigned long long>(Ct.Emitted),
+              static_cast<unsigned long long>(Ct.Sound),
+              static_cast<unsigned long long>(Ct.Demoted),
+              static_cast<unsigned long long>(Ct.NonTrivial),
+              Ct.CondPrograms, Ct.OverheadRatio,
+              Ct.AuditClean ? "clean" : "FAILED");
+  return (AllDeterministic && St.Replayed && Ct.AuditClean) ? 0 : 1;
 }

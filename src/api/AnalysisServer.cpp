@@ -166,6 +166,7 @@ std::string AnalysisServer::programBody(const std::string &Source,
       R = finalizeProgram(*PP, std::move(Runs), Opt.Program, Tier);
     }
     Usage += R.SolverUsage;
+    Cond += R.CondTerm;
     if (!R.Ok) {
       ++Errors;
       Body = "\"ok\":false,\"error\":" + json::quoted(R.Diagnostics);
@@ -298,6 +299,12 @@ std::string AnalysisServer::statsJson(const std::string &Id) const {
       << ",\"lemma_entries\":" << S.Global.LemmaEntries
       << ",\"lemma_prev_entries\":" << S.Global.LemmaPrevEntries
       << ",\"lemma_snapshot_entries\":" << S.Global.LemmaSnapshotEntries
+      << "},\"cond_term\":{"
+      << "\"emitted\":" << S.CondTerm.Emitted
+      << ",\"sound\":" << S.CondTerm.Sound
+      << ",\"demoted\":" << S.CondTerm.Demoted
+      << ",\"nontrivial\":" << S.CondTerm.NonTrivial
+      << ",\"leaves_certified\":" << S.CondTerm.LeavesCertified
       << "}}}";
   return Out.str();
 }
@@ -397,6 +404,7 @@ ServerStats AnalysisServer::stats() const {
   S.Errors = Errors;
   S.Reclaims = Reclaims;
   S.Usage = Usage;
+  S.CondTerm = Cond;
   S.LastReclaim = LastReclaim;
   if (Store != nullptr) {
     SpecStoreStats SS = Store->stats();

@@ -111,6 +111,10 @@ struct ServerStats {
   /// program's SolverUsage) — the interval-prefilter ladder counters
   /// live here; the lemma side lives in Global.
   SolverStats Usage;
+  /// Cumulative conditional-termination counters (zero unless the
+  /// server's Program config enables --cond-term; store-served groups
+  /// contribute nothing — see AnalysisResult).
+  CondTermStats CondTerm;
   size_t InternExprs = 0;
   size_t InternConstraints = 0;
   size_t InternFormulas = 0;
@@ -189,6 +193,7 @@ private:
   uint64_t Errors = 0;
   uint64_t Reclaims = 0;
   SolverStats Usage;
+  CondTermStats Cond;
   ReclaimStats LastReclaim;
   bool Shutdown = false;
   /// True when this server was constructed with reclamation enabled.

@@ -23,6 +23,7 @@
 #ifndef TNT_API_ANALYZER_H
 #define TNT_API_ANALYZER_H
 
+#include "infer/CondTerm.h"
 #include "infer/Solve.h"
 #include "spec/Spec.h"
 
@@ -117,6 +118,12 @@ struct AnalysisResult {
   /// Groups served by the spec store (summaries rehydrated, no
   /// inference ran). Always 0 without an attached store.
   size_t GroupsFromStore = 0;
+  /// Conditional-termination counters, merged over the groups that ran
+  /// the pass (all zero unless Solve.EnableCondTerm; store-served
+  /// groups rehydrate their conditions without re-running the pass, so
+  /// a fully warm run reports zeros here while printing identical
+  /// conditions).
+  CondTermStats CondTerm;
 
   const MethodResult *find(const std::string &Method,
                            unsigned SpecIdx = 0) const;

@@ -110,6 +110,11 @@ struct BatchProgramResult {
 struct CategoryCounts {
   unsigned Programs = 0;
   unsigned Yes = 0, No = 0, Unknown = 0, Timeout = 0;
+  /// Programs with at least one scenario publishing a non-trivial
+  /// termination condition (conditional-termination mode; always 0
+  /// otherwise). Computed from the published summaries, so warm-store
+  /// replays count identically to cold runs.
+  unsigned Cond = 0;
   double Millis = 0; ///< Summed per-program group-task time.
 };
 
@@ -126,6 +131,13 @@ struct BatchResult {
   /// miss count delta; both zero without a store).
   uint64_t StoreHits = 0;
   uint64_t StoreMisses = 0;
+  /// Conditional-termination mode: set from the batch options; adds
+  /// the Cond column to table(). Off keeps the table bytes identical
+  /// to previous releases.
+  bool CondTermEnabled = false;
+  /// Merged per-program conditional-termination counters (inference
+  /// side; zero for store-served groups — see AnalysisResult).
+  CondTermStats CondTerm;
 
   /// Categories in first-appearance order with their outcome counts.
   std::vector<std::pair<std::string, CategoryCounts>> perCategory() const;

@@ -181,6 +181,10 @@ ResolvedScenario resolvedFromResult(const MethodResult &MR,
   RS.Safety = std::move(Safety);
   RS.Params = MR.Summary.Params;
   RS.Cases = MR.Summary.flatten();
+  if (MR.Summary.HasTermCond && !MR.SafetyFailed) {
+    RS.TermCond = MR.Summary.TermCond;
+    RS.HasTermCond = true;
+  }
   if (MR.SafetyFailed) {
     // Degrade: unknown everywhere.
     RS.Cases.clear();
@@ -214,6 +218,10 @@ void assembleFromStore(PreparedProgram &PP, size_t GroupIdx,
     MR.Summary.SpecIdx = RS.SpecIdx;
     MR.Summary.Params = Slots[I].Params;
     MR.Summary.Cases = std::move(RS.Cases);
+    if (RS.HasTermCond) {
+      MR.Summary.TermCond = RS.TermCond;
+      MR.Summary.HasTermCond = true;
+    }
     MR.SafetyFailed = RS.SafetyFailed;
     MR.ReVerified = RS.ReVerified;
 
@@ -312,6 +320,16 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
   bool GroupReVerified =
       Problems.empty() || reVerifyGroup(Problems, Reg, Th, SC);
 
+  // Conditional-termination pass: runs on the solved definitions, but
+  // only when re-verification upheld them — a condition assembled from
+  // unconfirmed Term guards would rest on exactly the measures
+  // re-verification rejected.
+  CondTermResult CondRes;
+  if (Config.Solve.EnableCondTerm && !Problems.empty() && GroupReVerified) {
+    inferCondTerm(Problems, Reg, Th, Config.Solve, SC, CondRes);
+    Out.Cond = CondRes.Stats;
+  }
+
   // Build summaries and register them for the callers above.
   std::map<std::string, std::vector<ResolvedScenario>> PerMethod;
   for (Verifier::ScenarioResult &SR : SRs) {
@@ -328,6 +346,22 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
       Leaf.PostReachable = !SR.Safety.PostPure.isBottom();
       MR.Summary.Cases = Leaf;
       MR.ReVerified = true;
+      if (Config.Solve.EnableCondTerm) {
+        // Given (trusted) temporal specs carry their own condition:
+        // everything for Term, nothing for Loop — no audit needed, the
+        // spec was an input, not an inference.
+        if (SR.GivenTemporal->K == TemporalSpec::Kind::Term) {
+          MR.Summary.TermCond = Formula::top();
+          MR.Summary.HasTermCond = true;
+        } else if (SR.GivenTemporal->K == TemporalSpec::Kind::Loop) {
+          MR.Summary.TermCond = Formula::bottom();
+          MR.Summary.HasTermCond = true;
+        }
+        if (MR.Summary.HasTermCond) {
+          ++Out.Cond.Emitted;
+          ++Out.Cond.Sound;
+        }
+      }
     } else if (MR.SafetyFailed) {
       CaseTree Leaf;
       Leaf.Temporal = TemporalSpec::mayLoop();
@@ -335,6 +369,11 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
     } else {
       MR.Summary.Cases = Th.toTree(SR.Assumptions.PreId);
       MR.ReVerified = GroupReVerified;
+      auto CondIt = CondRes.Conds.find(SR.Assumptions.PreId);
+      if (CondIt != CondRes.Conds.end()) {
+        MR.Summary.TermCond = CondIt->second;
+        MR.Summary.HasTermCond = true;
+      }
     }
 
     PerMethod[SR.Method].push_back(resolvedFromResult(MR, SR.Safety));
@@ -373,6 +412,8 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
         R.SafetyFailed = Out.Methods[I].SafetyFailed;
         R.ReVerified = Out.Methods[I].ReVerified;
         R.Cases = &Out.Methods[I].Summary.Cases;
+        if (Out.Methods[I].Summary.HasTermCond)
+          R.TermCond = &Out.Methods[I].Summary.TermCond;
         Records.push_back(std::move(R));
       }
       // nullopt: the summaries mention a root- or foreign-block
@@ -416,6 +457,7 @@ AnalysisResult tnt::finalizeProgram(PreparedProgram &PP,
     for (MethodResult &MR : Run.Methods)
       Result.Methods.push_back(std::move(MR));
     Result.SolverUsage += Run.Stats;
+    Result.CondTerm += Run.Cond;
     Result.BailedOut |= Run.Bailed;
     Result.GroupsFromStore += Run.FromStore ? 1 : 0;
     MergedDiags += Run.Diags;

@@ -52,6 +52,10 @@ class GlobalSolverCache;
 struct GroupRun {
   std::vector<MethodResult> Methods;
   SolverStats Stats;
+  /// Conditional-termination counters (zero unless
+  /// Config.Solve.EnableCondTerm; store-served groups report none —
+  /// their conditions rehydrate without re-running the pass).
+  CondTermStats Cond;
   std::string Diags;
   bool Bailed = false;
   /// Budget exhaustion prevented this group from running.

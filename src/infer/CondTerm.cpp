@@ -1,0 +1,383 @@
+//===- infer/CondTerm.cpp -------------------------------------*- C++ -*-===//
+
+#include "infer/CondTerm.h"
+
+#include "infer/Graph.h"
+#include "synth/Abduction.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace tnt;
+
+namespace {
+
+/// Bounds keeping the pass cheap on pathological groups. All are
+/// schedule-independent, so hitting one is deterministic.
+constexpr size_t MaxObligationsPerLeaf = 32;
+constexpr size_t MaxCandidatesPerLeaf = 24;
+constexpr size_t MaxNegationClauses = 4;
+
+/// Projects a formula onto the parameter set (over-approximate when
+/// exact elimination is impossible — the sound direction here: an
+/// over-approximate context yields a *stronger* negation candidate,
+/// and every candidate is re-validated against the exact obligations).
+Formula projectOnto(SolverContext &SC, const Formula &F,
+                    const std::vector<VarId> &Params) {
+  std::set<VarId> Keep(Params.begin(), Params.end());
+  std::set<VarId> Elim;
+  for (VarId V : F.freeVars())
+    if (!Keep.count(V))
+      Elim.insert(V);
+  if (Elim.empty())
+    return F;
+  return SC.eliminate(F, Elim).F;
+}
+
+/// One flattened case of a scenario tree: the owning predicate, the
+/// resolved kind, and the guard accumulated from the scenario root.
+struct FlatLeaf {
+  UnkId Owner = InvalidUnk;
+  DefCase::Kind K = DefCase::Kind::MayLoop;
+  Formula Guard;
+};
+
+/// Flattens a definition chain to its leaf cases. Unlike the solve
+/// loop's forEachLeaf, known cases keep their owning predicate: a
+/// MayLoop case is always the sole case of its owning leaf predicate
+/// (resolve/finalize touch single-Pending-case leaves only), so Owner
+/// identifies the leaf the backwards propagation works on.
+void walkCases(const Theta &Th, UnkId Pre,
+               const std::function<Formula(const Formula &)> &Inst,
+               const Formula &Acc, std::vector<FlatLeaf> &Out) {
+  for (const DefCase &C : Th.cases(Pre)) {
+    Formula G = Formula::conj2(Acc, Inst(C.Guard));
+    if (C.K == DefCase::Kind::Sub) {
+      walkCases(Th, C.SubPre, Inst, G, Out);
+      continue;
+    }
+    FlatLeaf L;
+    L.Owner = Pre;
+    // A Pending case only survives to here when the group bailed; it
+    // finalizes to MayLoop, so the pass treats it as one.
+    L.K = C.K == DefCase::Kind::Pending ? DefCase::Kind::MayLoop : C.K;
+    L.Guard = G;
+    Out.push_back(std::move(L));
+  }
+}
+
+bool isMayLoop(DefCase::Kind K) { return K == DefCase::Kind::MayLoop; }
+
+/// One termination obligation of a MayLoop leaf: a specialized edge
+/// context that must be refuted under the strengthening, or (for a
+/// cross-SCC edge into another MayLoop leaf) alternatively discharged
+/// into the target leaf's already-computed condition.
+struct Obligation {
+  Formula Ctx;
+  bool CanDischarge = false;
+  /// Valid when CanDischarge: the target condition instantiated at the
+  /// call arguments.
+  Formula TargetCond;
+};
+
+} // namespace
+
+void tnt::inferCondTerm(const std::vector<ScenarioProblem> &Problems,
+                        const UnkRegistry &Reg, const Theta &Th,
+                        const SolveOptions &Opt, SolverContext &SC,
+                        CondTermResult &Out) {
+  // -- 1. Specialize the raw assumption edges down to leaf cases. -----
+  //
+  // Like specializePre, but sources expand to *MayLoop* leaves (the
+  // regions we want to strengthen; the solve loop's version only keeps
+  // pending sources) and MayLoop target cases stay graph edges (their
+  // owning leaf may earn a condition to discharge into) instead of
+  // collapsing to a bare MayLoop tag.
+  std::vector<PreAssume> Edges;
+  std::set<UnkId> Vertices;
+  auto Id = [](const Formula &F) { return F; };
+  for (const ScenarioProblem &P : Problems) {
+    std::vector<FlatLeaf> Roots;
+    walkCases(Th, P.PreId, Id, Formula::top(), Roots);
+    for (const FlatLeaf &L : Roots)
+      if (isMayLoop(L.K))
+        Vertices.insert(L.Owner);
+  }
+  for (const ScenarioProblem &P : Problems) {
+    for (const PreAssume &A : P.S) {
+      std::vector<FlatLeaf> Srcs;
+      walkCases(Th, A.Src, Id, Formula::top(), Srcs);
+      for (const FlatLeaf &Src : Srcs) {
+        if (!isMayLoop(Src.K))
+          continue;
+        Formula Ctx1 = Formula::conj2(A.Ctx, Src.Guard);
+        if (SC.isSat(Ctx1) == Tri::False)
+          continue;
+        if (A.TK != PreAssume::Target::Unknown) {
+          PreAssume N = A;
+          N.Src = Src.Owner;
+          N.Ctx = Ctx1;
+          Edges.push_back(std::move(N));
+          continue;
+        }
+        const std::vector<VarId> &DstParams = Reg.pred(A.Dst).Params;
+        auto Inst = [&](const Formula &G) {
+          return substParallelFormula(G, DstParams, A.DstArgs);
+        };
+        std::vector<FlatLeaf> Dsts;
+        walkCases(Th, A.Dst, Inst, Formula::top(), Dsts);
+        for (const FlatLeaf &Dst : Dsts) {
+          Formula Ctx2 = Formula::conj2(Ctx1, Dst.Guard);
+          if (SC.isSat(Ctx2) == Tri::False)
+            continue;
+          PreAssume N;
+          N.Src = Src.Owner;
+          N.Ctx = Ctx2;
+          N.Choices = A.Choices;
+          switch (Dst.K) {
+          case DefCase::Kind::Term:
+            N.TK = PreAssume::Target::Term;
+            break;
+          case DefCase::Kind::Loop:
+            N.TK = PreAssume::Target::Loop;
+            break;
+          default: // MayLoop (incl. Pending)
+            N.TK = PreAssume::Target::Unknown;
+            N.Dst = Dst.Owner;
+            N.DstArgs = A.DstArgs;
+            break;
+          }
+          Edges.push_back(std::move(N));
+        }
+      }
+    }
+  }
+
+  // -- 2. Backwards obligation propagation, bottom-up over SCCs. ------
+  //
+  // sccs() is successor-first, so by the time a leaf is processed
+  // every cross-SCC target already has its condition (or none). The
+  // asymmetry — intra-SCC edges must be *refuted*, only cross-SCC
+  // edges may *discharge* into the target's condition — is what makes
+  // the rule well-founded: with no reachable cycle left under the
+  // strengthening, every execution reaches proven-Term calls (or no
+  // call at all) and terminates.
+  TemporalGraph G = TemporalGraph::build(Edges, Vertices);
+  std::map<UnkId, Formula> LeafCond;
+  std::map<UnkId, std::vector<Obligation>> LeafObs;
+  for (const std::vector<UnkId> &Scc : G.sccs()) {
+    std::set<UnkId> InScc(Scc.begin(), Scc.end());
+    for (UnkId U : Scc) {
+      if (SC.cancelled())
+        break;
+      const std::vector<VarId> &Params = Reg.pred(U).Params;
+      std::set<VarId> ParamSet(Params.begin(), Params.end());
+
+      std::vector<Obligation> Obs;
+      bool TooMany = false;
+      for (size_t I : G.edges(U)) {
+        const PreAssume &A = Edges[I];
+        if (A.TK == PreAssume::Target::Term)
+          continue; // proven-terminating continuation: no obligation
+        if (Obs.size() >= MaxObligationsPerLeaf) {
+          TooMany = true;
+          break;
+        }
+        Obligation O;
+        O.Ctx = A.Ctx;
+        if (A.TK == PreAssume::Target::Unknown && !InScc.count(A.Dst)) {
+          auto It = LeafCond.find(A.Dst);
+          if (It != LeafCond.end() && !It->second.isBottom()) {
+            O.CanDischarge = true;
+            O.TargetCond = substParallelFormula(
+                It->second, Reg.pred(A.Dst).Params, A.DstArgs);
+          }
+        } else if (A.TK == PreAssume::Target::MayLoop && A.HasTargetCond &&
+                   !A.TargetCond.isBottom()) {
+          // Known callee (an earlier, already-finished group) with a
+          // published audited condition, instantiated at the call site
+          // by the verifier — the cross-GROUP leg of the backwards
+          // propagation. Never cyclic: the scheduler registers callees
+          // before this group starts.
+          O.CanDischarge = true;
+          O.TargetCond = A.TargetCond;
+        }
+        Obs.push_back(std::move(O));
+      }
+      LeafObs[U] = Obs;
+      if (TooMany)
+        continue;
+
+      Formula Region = Th.region(U);
+
+      // Candidate strengthenings, in a fixed order: true first (the
+      // obligations may be vacuous or fully dischargeable), then the
+      // conjunction of every obligation's projected negation (the
+      // "refute all bad edges at once" candidate), then per-obligation
+      // candidates — the projected negation itself, its feasible DNF
+      // clauses, and an abduced condition toward a discharge target.
+      std::vector<Formula> Cands;
+      auto addCand = [&](const Formula &C) {
+        if (!C.isValid() || C.isBottom())
+          return;
+        const std::set<VarId> FV = C.freeVars();
+        for (VarId V : FV)
+          if (!ParamSet.count(V))
+            return;
+        for (const Formula &Seen : Cands)
+          if (Seen.structEq(C))
+            return;
+        if (Cands.size() < MaxCandidatesPerLeaf)
+          Cands.push_back(C);
+      };
+      addCand(Formula::top());
+      std::vector<Formula> Negs;
+      for (const Obligation &O : Obs) {
+        Formula Proj = projectOnto(SC, O.Ctx, Params);
+        Negs.push_back(SC.simplify(Formula::neg(Proj)));
+      }
+      if (Negs.size() > 1)
+        addCand(SC.simplify(Formula::conj(Negs)));
+      for (size_t OI = 0; OI < Obs.size(); ++OI) {
+        const Obligation &O = Obs[OI];
+        addCand(Negs[OI]);
+        if (auto DNF = SC.toDNF(Negs[OI], 8))
+          if (DNF->size() <= MaxNegationClauses)
+            for (const ConstraintConj &Conj : *DNF)
+              if (SC.isSatConj(Conj) != Tri::False)
+                addCand(conjToFormula(Conj));
+        if (O.CanDischarge) {
+          addCand(SC.simplify(projectOnto(SC, O.TargetCond, Params)));
+          auto CtxDNF = SC.toDNF(O.Ctx, 16);
+          auto TgtDNF = SC.toDNF(O.TargetCond, 4);
+          if (CtxDNF && CtxDNF->size() == 1 && TgtDNF &&
+              TgtDNF->size() == 1) {
+            AbductionResult AR =
+                abduce((*CtxDNF)[0], (*TgtDNF)[0], Params,
+                       Opt.MaxVarsPerCondition, SC);
+            if (AR.Success)
+              addCand(Formula::atom(AR.Alpha));
+          }
+        }
+      }
+
+      // First candidate that is feasible within the leaf region and
+      // settles every obligation wins (fixed order => deterministic).
+      for (const Formula &Alpha : Cands) {
+        if (SC.cancelled())
+          break;
+        if (!SC.definitelySat(Formula::conj2(Region, Alpha)))
+          continue;
+        bool Valid = true;
+        for (const Obligation &O : Obs) {
+          Formula Bad = Formula::conj2(Alpha, O.Ctx);
+          if (SC.isSat(Bad) == Tri::False)
+            continue;
+          if (O.CanDischarge && SC.entails(Bad, O.TargetCond))
+            continue;
+          Valid = false;
+          break;
+        }
+        if (Valid) {
+          LeafCond[U] = Alpha;
+          ++Out.Stats.LeavesCertified;
+          break;
+        }
+      }
+    }
+  }
+
+  // -- 3. Per-scenario assembly + the soundness audit. ----------------
+  for (const ScenarioProblem &P : Problems) {
+    if (SC.cancelled())
+      return;
+    std::vector<FlatLeaf> Flat;
+    walkCases(Th, P.PreId, Id, Formula::top(), Flat);
+
+    bool SawLoop = false, SawMay = false;
+    std::vector<Formula> Parts;
+    for (const FlatLeaf &L : Flat) {
+      switch (L.K) {
+      case DefCase::Kind::Term:
+        Parts.push_back(L.Guard);
+        break;
+      case DefCase::Kind::Loop:
+        SawLoop = true;
+        break;
+      default: { // MayLoop
+        SawMay = true;
+        auto It = LeafCond.find(L.Owner);
+        if (It != LeafCond.end())
+          Parts.push_back(Formula::conj2(L.Guard, It->second));
+        break;
+      }
+      }
+    }
+    // The case guards are exclusive and exhaustive, so the union of
+    // the certified regions IS the condition; the all-Term scenario
+    // collapses to true rather than to a tautological union.
+    Formula Cond;
+    if (!SawLoop && !SawMay)
+      Cond = Formula::top();
+    else if (Parts.empty())
+      Cond = Formula::bottom();
+    else
+      Cond = SC.simplify(Formula::disj(Parts));
+    ++Out.Stats.Emitted;
+
+    // Audit, with fresh end-to-end queries against the full condition
+    // (not the per-leaf strengthening it was assembled from):
+    //   (a) cond => Term: cond must be unsatisfiable with every
+    //       proven-Loop region and every uncertified MayLoop region,
+    //       and must re-settle every certified leaf's obligations.
+    //   (b) no Term under !cond: when a feasible non-terminating case
+    //       exists, !cond must remain satisfiable within the scenario
+    //       region (a condition covering a region the prover refuses
+    //       to call terminating is demoted, not published).
+    bool Audited = true;
+    for (const FlatLeaf &L : Flat) {
+      if (!Audited)
+        break;
+      if (L.K == DefCase::Kind::Term)
+        continue;
+      if (L.K == DefCase::Kind::Loop) {
+        if (SC.isSat(Formula::conj2(Cond, L.Guard)) != Tri::False)
+          Audited = false;
+        continue;
+      }
+      auto It = LeafCond.find(L.Owner);
+      if (It == LeafCond.end()) {
+        if (SC.isSat(Formula::conj2(Cond, L.Guard)) != Tri::False)
+          Audited = false;
+        continue;
+      }
+      for (const Obligation &O : LeafObs[L.Owner]) {
+        Formula Bad = Formula::conj2(Cond, O.Ctx);
+        if (SC.isSat(Bad) == Tri::False)
+          continue;
+        if (O.CanDischarge && SC.entails(Bad, O.TargetCond))
+          continue;
+        Audited = false;
+        break;
+      }
+    }
+    if (Audited && (SawLoop || SawMay) && Cond.isTop()) {
+      // cond == true with a non-Term case left: only sound when every
+      // such case was certified; the (b) direction insists the prover
+      // agrees there is nothing left under !cond to call terminating.
+      for (const FlatLeaf &L : Flat)
+        if (L.K == DefCase::Kind::Loop ||
+            (isMayLoop(L.K) && !LeafCond.count(L.Owner)))
+          Audited = false;
+    }
+
+    if (!Audited) {
+      ++Out.Stats.Demoted;
+      continue;
+    }
+    ++Out.Stats.Sound;
+    if (!Cond.isTop() && !Cond.isBottom())
+      ++Out.Stats.NonTrivial;
+    Out.Conds[P.PreId] = Cond;
+  }
+}

@@ -1,0 +1,106 @@
+//===- infer/CondTerm.h - Conditional-termination inference ----*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third inference mode: instead of collapsing a scenario's case
+/// tree into a bare Y/N/U verdict, synthesize a *termination
+/// precondition* over the scenario's canonical parameters — a boolean
+/// combination of the case-split constraints the standard analysis
+/// already computed — under which the method provably terminates
+/// (backwards termination-condition inference in the style of Genaim &
+/// Codish and cTI).
+///
+/// The pass runs after solveGroup has resolved a group: proven-Term
+/// case guards are kept verbatim; for each MayLoop leaf it propagates
+/// termination obligations backwards through the specialized
+/// assumption graph (infer/Graph, bottom-up SCC order) and abduces a
+/// strengthening (synth/Abduction + the projected-negation route) that
+/// refutes every possibly-non-terminating continuation. Cross-SCC
+/// edges may alternatively discharge into the already-computed target
+/// condition; intra-SCC edges must be refuted outright, which is what
+/// keeps the rule well-founded (a self-edge "discharging" into its own
+/// condition would be circular). Calls into methods of earlier,
+/// already-finished groups discharge the same way through the callee's
+/// published condition, instantiated at the call site by the verifier
+/// (PreAssume::TargetCond) — the cross-group leg of the propagation.
+///
+/// Every condition is then audited end-to-end with fresh prover
+/// queries — cond must be unsatisfiable with every proven-Loop region
+/// and with every surviving bad edge context (cond => Term), and must
+/// not claim the whole region terminating while a feasible Loop case
+/// exists (no Term under !cond that the prover would reject).
+/// Conditions failing the audit are demoted (not published) and
+/// counted.
+///
+/// Determinism: conditions are a pure function of the interned
+/// formulas of the group's definitions and assumptions — leaves are
+/// visited in the temporal graph's deterministic bottom-up SCC order,
+/// candidates are generated and tested in a fixed order, and all
+/// queries go to the group's own SolverContext — so output bytes are
+/// identical for any thread count and cold/warm store state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_INFER_CONDTERM_H
+#define TNT_INFER_CONDTERM_H
+
+#include "infer/Solve.h"
+
+#include <map>
+
+namespace tnt {
+
+/// Counters for the conditional-termination pass, aggregated exactly
+/// like SolverStats (group -> program -> batch/server).
+struct CondTermStats {
+  /// Scenarios for which a condition was synthesized (pre-audit).
+  uint64_t Emitted = 0;
+  /// Conditions that passed the soundness audit (published).
+  uint64_t Sound = 0;
+  /// Conditions that failed the audit and were demoted to "no
+  /// condition" (the scenario reports a bare U again).
+  uint64_t Demoted = 0;
+  /// Published conditions strictly stronger than true and weaker than
+  /// false (the actionable ones).
+  uint64_t NonTrivial = 0;
+  /// MayLoop leaves whose region was certified terminating under a
+  /// synthesized strengthening (the backwards-propagation wins).
+  uint64_t LeavesCertified = 0;
+
+  CondTermStats &operator+=(const CondTermStats &O) {
+    Emitted += O.Emitted;
+    Sound += O.Sound;
+    Demoted += O.Demoted;
+    NonTrivial += O.NonTrivial;
+    LeavesCertified += O.LeavesCertified;
+    return *this;
+  }
+};
+
+/// Result of the pass over one group.
+struct CondTermResult {
+  /// Scenario root pre-predicate -> audited termination condition over
+  /// the scenario's canonical parameters. Roots absent from the map
+  /// publish no condition.
+  std::map<UnkId, Formula> Conds;
+  CondTermStats Stats;
+};
+
+/// Runs conditional-termination inference over a solved group.
+/// \p Problems are the group's scenario problems (with the verifier's
+/// raw assumption sets); \p Th is the definition store after
+/// solveGroup (leaves resolved, finalize done). Queries go to \p SC;
+/// the pass polls cancellation and stops synthesizing (already-audited
+/// conditions are kept, remaining scenarios get none).
+void inferCondTerm(const std::vector<ScenarioProblem> &Problems,
+                   const UnkRegistry &Reg, const Theta &Th,
+                   const SolveOptions &Opt, SolverContext &SC,
+                   CondTermResult &Out);
+
+} // namespace tnt
+
+#endif // TNT_INFER_CONDTERM_H

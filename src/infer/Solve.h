@@ -41,6 +41,11 @@ struct SolveOptions {
   unsigned MaxLex = 4;
   /// Maximum variables in an abduced condition.
   unsigned MaxVarsPerCondition = 2;
+  /// Conditional-termination inference (infer/CondTerm): after the
+  /// standard analysis resolves a group, synthesize and audit a
+  /// termination precondition per scenario. Off by default; the
+  /// default-mode output is unchanged when off.
+  bool EnableCondTerm = false;
   /// Solver-query fuel per group; when exhausted, remaining unknowns
   /// finalize to MayLoop (keeps pathological case ladders bounded).
   uint64_t GroupFuel = 15000;

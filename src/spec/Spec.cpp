@@ -48,7 +48,10 @@ std::string CaseTree::str(unsigned Indent) const {
 
 std::string TntSummary::str() const {
   std::string Out = Method + " (scenario " + std::to_string(SpecIdx) + ")\n";
-  return Out + Cases.str(1);
+  Out += Cases.str(1);
+  if (HasTermCond)
+    Out += "  termcond " + TermCond.str() + ";\n";
+  return Out;
 }
 
 TntSummary::Verdict TntSummary::verdict() const {

@@ -61,6 +61,14 @@ struct TntSummary {
   /// Canonical parameters the guards range over.
   std::vector<VarId> Params;
   CaseTree Cases;
+  /// Conditional-termination mode only: a precondition over Params
+  /// under which the scenario provably terminates (audited against the
+  /// assumption set by infer/CondTerm before being published). Invalid
+  /// Formula + HasTermCond == false in the default modes, so the
+  /// default-mode output is byte-identical with the feature compiled
+  /// in.
+  Formula TermCond;
+  bool HasTermCond = false;
 
   std::vector<CaseOutcome> flatten() const { return Cases.flatten(); }
   std::string str() const;

@@ -280,7 +280,10 @@ tnt::serializeGroupEntry(const std::vector<ScenarioRecord> &Scenarios,
             ",\"s\":" + std::to_string(R.Slot.SpecIdx) +
             ",\"sf\":" + (R.SafetyFailed ? "true" : "false") +
             ",\"rv\":" + (R.ReVerified ? "true" : "false") +
-            ",\"c\":" + writeTree(*R.Cases, Refs) + "}";
+            ",\"c\":" + writeTree(*R.Cases, Refs);
+    if (R.TermCond != nullptr)
+      Body += ",\"tc\":" + writeFormula(*R.TermCond, Refs);
+    Body += "}";
   }
   Body += "]";
   if (!Entry.Ok)
@@ -640,6 +643,11 @@ bool tnt::rehydrateGroupEntry(const std::string &EntryJson,
     RefReader Reader{Entry, Slots[I], {}};
     if (!Reader.readTree(*C, R.Cases))
       return fail("scenario " + std::to_string(I) + ": " + Entry.Err);
+    if (const json::Value *TC = SV.field("tc")) {
+      if (!Reader.readFormula(*TC, R.TermCond))
+        return fail("scenario " + std::to_string(I) + ": " + Entry.Err);
+      R.HasTermCond = true;
+    }
     Out.Scenarios.push_back(std::move(R));
   }
 

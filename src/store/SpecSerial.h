@@ -112,6 +112,11 @@ struct ScenarioRecord {
   bool SafetyFailed = false;
   bool ReVerified = false;
   const CaseTree *Cases = nullptr;
+  /// Optional audited termination condition (conditional-termination
+  /// mode); null when the scenario publishes none. Serialized in the
+  /// same VarId-free reference forms as the guards, so it rides warm
+  /// starts byte-identically.
+  const Formula *TermCond = nullptr;
 };
 
 /// Serializes one group's scenarios (plus its merged diagnostics and
@@ -133,6 +138,9 @@ struct RehydratedScenario {
   bool SafetyFailed = false;
   bool ReVerified = false;
   CaseTree Cases;
+  /// Rehydrated termination condition, when the entry stored one.
+  Formula TermCond;
+  bool HasTermCond = false;
 };
 
 /// A rehydrated group entry.

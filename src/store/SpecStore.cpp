@@ -15,20 +15,25 @@ using namespace tnt;
 std::string SpecStore::configFingerprint(const AnalyzerConfig &Config) {
   const SolveOptions &S = Config.Solve;
   std::ostringstream Out;
-  // v2: the snapshot format grew the versioned "solver_lemmas" section
-  // (and sat keys may now be consulted by lemma subsumption). Bumping
-  // the prefix wholesale-discards files written by older builds via
-  // the normal fingerprint-mismatch path — a clean cold start, never a
-  // parse of a shape this build does not know. Ladder on/off is
-  // deliberately NOT part of the fingerprint: both settings produce
-  // identical summaries, so a warm store stays valid across A/B runs.
-  Out << "v2;mod=" << (Config.Modular ? 1 : 0) << ";iter=" << S.MaxIter
+  // v3: group entries grew the optional per-scenario "tc" termination
+  // condition and the fingerprint grew the ct= mode flag below —
+  // default-mode entries would replay into a --cond-term run with the
+  // conditions silently missing (and vice versa), so the modes must
+  // not share a store file. (v2 added the versioned "solver_lemmas"
+  // snapshot section.) Bumping the prefix wholesale-discards files
+  // written by older builds via the normal fingerprint-mismatch path —
+  // a clean cold start, never a parse of a shape this build does not
+  // know. Ladder on/off is deliberately NOT part of the fingerprint:
+  // both settings produce identical summaries, so a warm store stays
+  // valid across A/B runs.
+  Out << "v3;mod=" << (Config.Modular ? 1 : 0) << ";iter=" << S.MaxIter
       << ";abd=" << (S.EnableAbduction ? 1 : 0)
       << ";base=" << (S.EnableBaseCase ? 1 : 0)
       << ";nt=" << (S.EnableNonTermProof ? 1 : 0)
       << ";t=" << (S.EnableTermProof ? 1 : 0) << ";lex=" << S.MaxLex
       << ";vpc=" << S.MaxVarsPerCondition << ";gf=" << S.GroupFuel
-      << ";gd=" << S.GroupDeadlineMs;
+      << ";gd=" << S.GroupDeadlineMs
+      << ";ct=" << (S.EnableCondTerm ? 1 : 0);
   return Out.str();
 }
 

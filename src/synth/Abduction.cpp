@@ -83,7 +83,14 @@ AbductionResult tnt::abduce(const ConstraintConj &Ctx,
     Pending.push_back(T);
   }
   if (Pending.empty()) {
-    // Nothing to abduce: the context suffices.
+    // Nothing to abduce: the context suffices — provided it is
+    // consistent. An unsatisfiable context entails every conjunct
+    // vacuously, but no alpha can restore condition (i)
+    // (ctx && alpha satisfiable), so abduction must fail. The subset
+    // loop below re-checks (i) on every candidate; this early return
+    // is the one path that would otherwise skip it.
+    if (!SC.definitelySat(CtxF))
+      return Out;
     Out.Success = true;
     Out.Alpha = Constraint::leZero(LinExpr(0)); // 0 <= 0, i.e. true.
     return Out;

@@ -49,6 +49,12 @@ struct PreAssume {
   std::vector<LinExpr> DstArgs;
   /// Target::Term: the callee's instantiated ranking measure.
   std::vector<LinExpr> TermMeasure;
+  /// Target::MayLoop only (conditional-termination mode): the known
+  /// callee's audited termination condition, instantiated at the call
+  /// arguments — the backwards pass may discharge this edge by proving
+  /// the strengthened context entails it.
+  Formula TargetCond;
+  bool HasTargetCond = false;
 
   ChoiceSet Choices;
 

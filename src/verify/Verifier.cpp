@@ -599,6 +599,11 @@ std::vector<Verifier::CallOut> Verifier::execCall(const SymState &St,
                 PA.TK = C.Temporal.K == TemporalSpec::Kind::Loop
                             ? PreAssume::Target::Loop
                             : PreAssume::Target::MayLoop;
+                if (PA.TK == PreAssume::Target::MayLoop && R.HasTermCond) {
+                  PA.TargetCond =
+                      substParallelFormula(R.TermCond, R.Params, CanonArgs);
+                  PA.HasTargetCond = true;
+                }
                 PA.Choices = NS.Choices;
                 CurOut->S.push_back(std::move(PA));
                 break;

@@ -37,6 +37,12 @@ struct ResolvedScenario {
   std::vector<VarId> Params;
   /// Flattened temporal summary cases over Params.
   std::vector<CaseOutcome> Cases;
+  /// The callee's audited termination condition over Params
+  /// (conditional-termination mode; absent otherwise). Call sites
+  /// instantiate it so caller-side backwards propagation can discharge
+  /// a MayLoop continuation into it instead of refuting the call.
+  Formula TermCond;
+  bool HasTermCond = false;
 };
 
 /// Thread-safe store of per-method resolved summaries, shared by the

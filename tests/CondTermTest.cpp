@@ -1,0 +1,161 @@
+//===- tests/CondTermTest.cpp - conditional termination ---------*- C++ -*-===//
+//
+// The conditional-termination regression fence. Default mode pins its
+// goldens in CorpusGoldenTest; this suite pins the --cond-term mode:
+//
+//  1. The built-in soundness audit passes on the whole Fig. 11 corpus
+//     (every emitted condition confirmed, zero demotions), verdicts
+//     are UNCHANGED from the default-mode goldens (the condition is an
+//     annotation, never an answer), and the Unknown programs — the
+//     ones the paper's table leaves blank — get a nontrivial condition
+//     (strictly between false and true): the mode's reason to exist.
+//  2. Byte-identical rendered outcomes for any thread count (the batch
+//     determinism contract extends to the CondTerm pass: obligations
+//     are built from per-group case trees and already-published callee
+//     conditions, both of which are scheduling-independent).
+//  3. Byte-identical rendered outcomes cold vs. warm through the spec
+//     store (conditions ride the v3 "tc" entry field; a warm replay
+//     rehydrates rather than re-infers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/BatchAnalyzer.h"
+#include "store/SpecStore.h"
+#include "workloads/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace tnt;
+
+namespace {
+
+BatchOptions condTermOptions(unsigned Threads) {
+  BatchOptions Opt;
+  Opt.Threads = Threads;
+  Opt.Program.Solve.EnableCondTerm = true;
+  return Opt;
+}
+
+/// Does any method of the program publish a condition strictly between
+/// false and true? (Mirror of the batch table's Cond column.)
+bool hasNonTrivialCond(const BatchProgramResult &P) {
+  for (const MethodResult &MR : P.Result.Methods)
+    if (MR.Summary.HasTermCond && !MR.Summary.TermCond.isTop() &&
+        !MR.Summary.TermCond.isBottom())
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(CondTerm, Fig11AuditCleanVerdictsUnchangedUnknownsGetConditions) {
+  std::vector<BatchItem> Items = loopBasedBatchItems();
+  ASSERT_EQ(Items.size(), 221u);
+
+  BatchAnalyzer BA(condTermOptions(4));
+  BatchResult R = BA.run(Items);
+
+  // 1. Every emitted condition survived the end-to-end prover audit.
+  EXPECT_GT(R.CondTerm.Emitted, 0u);
+  EXPECT_EQ(R.CondTerm.Sound, R.CondTerm.Emitted);
+  EXPECT_EQ(R.CondTerm.Demoted, 0u) << "a condition failed its audit";
+  EXPECT_GT(R.CondTerm.NonTrivial, 0u);
+
+  // 2. Verdicts match the default-mode Fig. 11 goldens exactly
+  // (CorpusGoldenTest pins the same counts without --cond-term): the
+  // pass annotates, it must never flip an answer.
+  CategoryCounts Total;
+  for (const auto &[Cat, C] : R.perCategory()) {
+    (void)Cat;
+    Total.Yes += C.Yes;
+    Total.No += C.No;
+    Total.Unknown += C.Unknown;
+    Total.Timeout += C.Timeout;
+    Total.Cond += C.Cond;
+  }
+  EXPECT_EQ(Total.Yes, 171u);
+  EXPECT_EQ(Total.No, 38u);
+  EXPECT_EQ(Total.Unknown, 12u);
+  EXPECT_EQ(Total.Timeout, 0u);
+
+  // 3. Soundness against ground truth is unchanged too.
+  std::vector<const BenchProgram *> Loop = loopBasedPrograms();
+  ASSERT_EQ(Loop.size(), Items.size());
+  for (size_t I = 0; I < Loop.size(); ++I)
+    EXPECT_TRUE(soundAnswer(*Loop[I], R.Programs[I].Verdict))
+        << Loop[I]->Name;
+
+  // 4. The Unknown programs — where a bare verdict says nothing — get
+  // a nontrivial condition. The acceptance bar is 6 of the 12; the
+  // engine currently conditions all 12, pinned as a golden so a
+  // synthesis regression is a conscious choice.
+  unsigned UnknownWithCond = 0, Unknown = 0;
+  for (const BatchProgramResult &P : R.Programs) {
+    if (P.Verdict != Outcome::Unknown)
+      continue;
+    ++Unknown;
+    if (hasNonTrivialCond(P))
+      ++UnknownWithCond;
+  }
+  EXPECT_EQ(Unknown, 12u);
+  EXPECT_GE(UnknownWithCond, 6u);
+  EXPECT_EQ(UnknownWithCond, 12u); // Golden; re-pin consciously.
+
+  // 5. The table's Cond column golden (crafted 30 + crafted-lit 47).
+  EXPECT_EQ(Total.Cond, 77u);
+}
+
+TEST(CondTerm, ByteIdenticalAcrossThreadCounts) {
+  // A corpus slice that includes the conditionally-terminating crafted
+  // families (step-miss, gcd-like live in the first 39 programs), so
+  // identity is checked on runs that actually synthesize conditions.
+  std::vector<BatchItem> Items = loopBasedBatchItems();
+  Items.resize(48);
+
+  std::string Reference;
+  {
+    BatchResult R = BatchAnalyzer(condTermOptions(1)).run(Items);
+    ASSERT_GT(R.CondTerm.NonTrivial, 0u) << "slice synthesized nothing";
+    Reference = R.renderOutcomes();
+  }
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    BatchResult R = BatchAnalyzer(condTermOptions(Threads)).run(Items);
+    EXPECT_EQ(R.renderOutcomes(), Reference) << Threads << " threads";
+  }
+}
+
+TEST(CondTerm, ByteIdenticalColdVersusWarmStore) {
+  std::vector<BatchItem> Items = loopBasedBatchItems();
+  Items.resize(24);
+  std::string Path = testing::TempDir() + "tnt_condterm_store_" +
+                     std::to_string(::getpid()) + ".json";
+  std::remove(Path.c_str());
+
+  BatchOptions Opt = condTermOptions(2);
+  std::string Cold;
+  {
+    SpecStore Store(SpecStore::configFingerprint(Opt.Program));
+    Opt.Store = &Store;
+    BatchResult R = BatchAnalyzer(Opt).run(Items);
+    Cold = R.renderOutcomes();
+    EXPECT_GT(R.CondTerm.NonTrivial, 0u);
+    std::string Err;
+    ASSERT_TRUE(Store.save(Path, &Err)) << Err;
+  }
+  EXPECT_NE(Cold.find("termcond"), std::string::npos);
+  {
+    SpecStore Store(SpecStore::configFingerprint(Opt.Program));
+    std::string Err;
+    ASSERT_TRUE(Store.load(Path, &Err)) << Err;
+    Opt.Store = &Store;
+    BatchResult R = BatchAnalyzer(Opt).run(Items);
+    EXPECT_EQ(R.renderOutcomes(), Cold);
+    EXPECT_EQ(R.StoreMisses, 0u) << "warm replay re-ran inference";
+  }
+  std::remove(Path.c_str());
+}

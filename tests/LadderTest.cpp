@@ -171,13 +171,14 @@ TEST(LadderStore, LemmaSnapshotRoundTrip) {
   EXPECT_EQ(S.LemmaSnapshotEntries, 1u);
 }
 
-TEST(LadderStore, FingerprintIsV2AndStaleFilesDiscardCleanly) {
+TEST(LadderStore, FingerprintIsCurrentAndStaleFilesDiscardCleanly) {
   // The spec-store fingerprint was bumped for the lemma-snapshot
-  // section; pre-ladder files must be discarded wholesale (fresh run),
-  // never half-imported or crashed on.
+  // section (v2) and again for per-scenario termination conditions
+  // (v3); files from older shapes must be discarded wholesale (fresh
+  // run), never half-imported or crashed on.
   AnalyzerConfig Cfg;
   std::string Fp = SpecStore::configFingerprint(Cfg);
-  EXPECT_EQ(Fp.rfind("v2;", 0), 0u) << Fp;
+  EXPECT_EQ(Fp.rfind("v3;", 0), 0u) << Fp;
   // The ladder A/B switch deliberately does NOT fingerprint: a store
   // written with the ladder on warm-starts a --no-ladder run (answers
   // are identical by the ladder invariant).

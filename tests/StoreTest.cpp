@@ -494,12 +494,46 @@ TEST(SpecStore, ConfigFingerprintTracksSolveKnobs) {
   B.Modular = false;
   EXPECT_NE(SpecStore::configFingerprint(A),
             SpecStore::configFingerprint(B));
+  // Conditional-termination mode writes per-scenario conditions into
+  // the entries, so the two modes must not share a store file.
+  B = A;
+  B.Solve.EnableCondTerm = true;
+  EXPECT_NE(SpecStore::configFingerprint(A),
+            SpecStore::configFingerprint(B));
   // Threads and FuelBudget do not change stored summaries.
   B = A;
   B.Threads = 8;
   B.FuelBudget = 123;
   EXPECT_EQ(SpecStore::configFingerprint(A),
             SpecStore::configFingerprint(B));
+}
+
+TEST(SpecStore, V3FingerprintDiscardsStaleV2File) {
+  // A store file written by a v2-era build (before per-scenario "tc"
+  // conditions and the ct= mode flag) must be wholesale-discarded on
+  // load — a clean cold start, never a parse of entries whose shape
+  // this build would misread.
+  TempFile File("v2stale");
+  std::string V3 = SpecStore::configFingerprint(AnalyzerConfig());
+  ASSERT_EQ(V3.rfind("v3;", 0), 0u) << V3;
+  // Reconstruct the v2 spelling of the same knobs: old prefix, no
+  // ct= flag (it did not exist).
+  std::string V2 = "v2;" + V3.substr(3);
+  size_t Ct = V2.find(";ct=");
+  ASSERT_NE(Ct, std::string::npos);
+  V2.erase(Ct);
+  {
+    SpecStore Old(V2);
+    Old.insert("stale-key", "{\"v\":1,\"sc\":[]}");
+    std::string Err;
+    ASSERT_TRUE(Old.save(File.Path, &Err)) << Err;
+  }
+  SpecStore New(V3);
+  std::string Err;
+  ASSERT_TRUE(New.load(File.Path, &Err)) << Err; // Discard, not error.
+  EXPECT_TRUE(New.stats().LoadDiscarded);
+  EXPECT_EQ(New.size(), 0u);
+  EXPECT_EQ(New.peek("stale-key"), nullptr);
 }
 
 //===----------------------------------------------------------------------===//
@@ -624,6 +658,57 @@ TEST(StoreRoundTrip, SingleProgramAnalyzeUsesStore) {
   EXPECT_EQ(Warm.GroupsFromStore, Warm.GroupCount);
   EXPECT_EQ(Warm.str(), Cold.str());
   EXPECT_EQ(Warm.outcome(), Cold.outcome());
+}
+
+TEST(StoreRoundTrip, TermCondSurvivesFreshProcessRehydration) {
+  // Conditional-termination mode: the audited per-scenario condition
+  // ("termcond" in the rendered summary) must ride the store through
+  // a fresh-process reload byte-identically. step-miss is the
+  // canonical conditionally-terminating shape (terminates only from
+  // even non-negative x), so f's condition is strictly between false
+  // and true.
+  const char *Src =
+      "void f(int x) { if (x == 0) return; else f(x - 2); }\n"
+      "void main(int n) { f(n); }\n";
+  std::vector<BatchItem> Items = {item("stepmiss", Src)};
+  TempFile File("termcond");
+
+  BatchOptions Opt;
+  Opt.Program.Solve.EnableCondTerm = true;
+
+  std::string Cold;
+  {
+    SpecStore Store(SpecStore::configFingerprint(Opt.Program));
+    Opt.Store = &Store;
+    BatchAnalyzer BA(Opt);
+    BatchResult R = BA.run(Items);
+    Cold = R.renderOutcomes();
+    EXPECT_GT(R.CondTerm.Emitted, 0u);
+    EXPECT_EQ(R.CondTerm.Demoted, 0u);
+    std::string Err;
+    ASSERT_TRUE(Store.save(File.Path, &Err)) << Err;
+  }
+  EXPECT_NE(Cold.find("termcond"), std::string::npos) << Cold;
+
+  // "Fresh process": a new store loaded from disk, a new analyzer.
+  // Zero inference re-runs, and the rehydrated conditions render to
+  // the same bytes.
+  {
+    SpecStore Store(SpecStore::configFingerprint(Opt.Program));
+    std::string Err;
+    ASSERT_TRUE(Store.load(File.Path, &Err)) << Err;
+    Opt.Store = &Store;
+    BatchAnalyzer BA(Opt);
+    BatchResult R = BA.run(Items);
+    EXPECT_EQ(R.renderOutcomes(), Cold);
+    EXPECT_EQ(R.StoreMisses, 0u) << "a group re-ran inference on replay";
+    EXPECT_EQ(R.StoreHits, totalGroups(R));
+    // The Cond column counts from the published summaries, so a warm
+    // replay counts the program exactly like the cold run did.
+    auto Per = R.perCategory();
+    ASSERT_EQ(Per.size(), 1u);
+    EXPECT_EQ(Per[0].second.Cond, 1u);
+  }
 }
 
 //===----------------------------------------------------------------------===//

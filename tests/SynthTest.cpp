@@ -296,6 +296,78 @@ TEST(Abduction, ConstantOnlyCondition) {
   EXPECT_FALSE(abduce(Ctx, {ge(ex(Y), LinExpr(4))}, {Y}).Success);
 }
 
+TEST(Abduction, EmptyAntecedent) {
+  // The backwards conditional-termination pass can reach abduce with a
+  // vacuous context (an obligation whose specialized edge context
+  // projected away entirely). An empty conjunction is "true": alpha
+  // alone must establish the target, so abduction reduces to "is the
+  // target itself expressible over the candidate variables".
+  VarId X = mkVar("abx");
+  ConstraintConj Ctx = {};
+  ConstraintConj Target = {ge(ex(X), LinExpr(0))};
+  AbductionResult R = abduce(Ctx, Target, {X});
+  ASSERT_TRUE(R.Success);
+  Formula Strengthened = Formula::atom(R.Alpha);
+  EXPECT_TRUE(Solver::entails(Strengthened, conjToFormula(Target)));
+  EXPECT_TRUE(Solver::definitelySat(Strengthened));
+}
+
+TEST(Abduction, ContradictoryCaseSplits) {
+  // Contradictory case-split constraints in the context: no alpha can
+  // satisfy condition (i) (ctx && alpha satisfiable), so abduction
+  // must fail cleanly rather than emit a vacuously "entailing" alpha —
+  // exactly what an infeasible specialized edge handed to the
+  // backwards pass must produce.
+  VarId X = mkVar("abx");
+  ConstraintConj Ctx = {ge(ex(X), LinExpr(1)), le(ex(X), LinExpr(-1))};
+  ConstraintConj Target = {ge(ex(X), LinExpr(0))};
+  AbductionResult R = abduce(Ctx, Target, {X});
+  EXPECT_FALSE(R.Success);
+}
+
+TEST(Abduction, Int64ExtremeCoefficients) {
+  // Coefficients near the int64 edge pushed through the Farkas
+  // multipliers. The property fence is soundness, not completeness: an
+  // overflow-aware implementation may fail the query, but a returned
+  // alpha must genuinely strengthen ctx to the target and stay
+  // satisfiable with it.
+  const int64_t Big = int64_t(1) << 62;
+  VarId X = mkVar("abx"), XP = mkVar("abx'");
+  {
+    // ctx: x' = x - 2^62; target: x' >= 0 (alpha wants x >= 2^62).
+    ConstraintConj Ctx = {eq(ex(XP), ex(X) - LinExpr(Big))};
+    ConstraintConj Target = {ge(ex(XP), LinExpr(0))};
+    AbductionResult R = abduce(Ctx, Target, {X});
+    if (R.Success) {
+      Formula Strengthened =
+          Formula::conj2(conjToFormula(Ctx), Formula::atom(R.Alpha));
+      EXPECT_TRUE(Solver::entails(Strengthened, conjToFormula(Target)));
+      EXPECT_TRUE(Solver::definitelySat(Strengthened));
+    }
+  }
+  {
+    // Extreme variable coefficient: ctx: x' = 2^62 * x; target:
+    // x' >= 2^62 (alpha wants x >= 1).
+    ConstraintConj Ctx = {eq(ex(XP), ex(X) * Big)};
+    ConstraintConj Target = {ge(ex(XP), LinExpr(Big))};
+    AbductionResult R = abduce(Ctx, Target, {X});
+    if (R.Success) {
+      Formula Strengthened =
+          Formula::conj2(conjToFormula(Ctx), Formula::atom(R.Alpha));
+      EXPECT_TRUE(Solver::entails(Strengthened, conjToFormula(Target)));
+      EXPECT_TRUE(Solver::definitelySat(Strengthened));
+    }
+  }
+  {
+    // Contradiction at the extreme: ctx pins x' to -2^62, the target
+    // demands x' >= 2^62 — alpha over x cannot mend a fixed x', so a
+    // success here would be unsound.
+    ConstraintConj Ctx = {eq(ex(XP), LinExpr(-Big))};
+    ConstraintConj Target = {ge(ex(XP), LinExpr(Big))};
+    EXPECT_FALSE(abduce(Ctx, Target, {X}).Success);
+  }
+}
+
 TEST(Abduction, EqualityTarget) {
   // ctx: x' = x + y && y <= 0; target: x' = x. One direction follows
   // from y <= 0; the other needs the abduced y >= 0 (jointly y = 0).

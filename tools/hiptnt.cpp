@@ -1,17 +1,20 @@
 //===- tools/hiptnt.cpp - Command-line driver -------------------*- C++ -*-===//
 //
 // Single program:
-//   hiptnt <file> [--monolithic] [--no-abduction] [--entry <name>]
-//          [--threads <n>] [--stats]
+//   hiptnt <file> [--monolithic] [--no-abduction] [--cond-term]
+//          [--entry <name>] [--threads <n>] [--stats]
 //
 // Batch mode:
 //   hiptnt --batch <dir|@corpus[:N]|@fig11> [--threads <n>]
 //          [--no-global-tier] [--stats] [--outcomes]
-//          [--monolithic] [--no-abduction] [--entry <name>]
+//          [--monolithic] [--no-abduction] [--cond-term] [--entry <name>]
 //
 // Server mode:
 //   hiptnt --serve [--no-global-tier] [--reclaim-every <n>]
 //   hiptnt --serve-smoke <n>
+//
+// --help / -h prints the full flag reference (printUsage) and exits 0;
+// an unknown flag prints the same text to stderr and exits 2.
 //
 // Single mode parses the program, runs the termination/non-termination
 // inference and prints the per-method case-based specifications plus
@@ -51,24 +54,58 @@ using namespace tnt;
 
 namespace {
 
+void printUsage(std::ostream &OS) {
+  OS << "usage: hiptnt <file> [options]\n"
+        "       hiptnt --batch <dir|@corpus[:N]|@fig11> [options]\n"
+        "       hiptnt --serve [options]\n"
+        "       hiptnt --serve-smoke <n>\n"
+        "\n"
+        "modes:\n"
+        "  <file>                analyze one program, print per-method "
+        "case specs\n"
+        "  --batch <target>      analyze a corpus (a directory of .t/.tnt "
+        "files, the\n"
+        "                        built-in @corpus[:N], or the Fig. 11 set "
+        "@fig11) and\n"
+        "                        print the per-category outcome table\n"
+        "  --serve               newline-delimited JSON request/response "
+        "loop on stdin/stdout\n"
+        "  --serve-smoke <n>     self-driving server soak of <n> requests "
+        "(CI fence)\n"
+        "\n"
+        "options:\n"
+        "  -h, --help            print this help and exit\n"
+        "  --entry <name>        entry method (default: main); applies to "
+        "directory programs\n"
+        "  --monolithic          whole-program analysis (no per-SCC "
+        "modular groups)\n"
+        "  --no-abduction        disable precondition abduction\n"
+        "  --cond-term           conditional-termination mode: synthesize "
+        "and audit a\n"
+        "                        termination precondition per scenario, "
+        "add the Cond\n"
+        "                        column to the batch table\n"
+        "  --threads <n>         worker threads for batch group "
+        "scheduling\n"
+        "  --no-global-tier      disable the shared global solver cache "
+        "tier (batch/serve)\n"
+        "  --no-ladder           disable the tiered solver query ladder\n"
+        "  --stats               print solver/cache/store statistics\n"
+        "  --outcomes            print every program's rendered summary "
+        "(batch)\n"
+        "  --store <file>        persistent spec store: load before, save "
+        "after the run\n"
+        "  --expect-store-hits   fail unless EVERY group replayed from "
+        "the store and the\n"
+        "                        outcomes digest matches the stored run "
+        "(batch)\n"
+        "  --reclaim-every <n>   serve mode: reclaim per-request intern "
+        "garbage every n\n"
+        "                        requests (default 64)\n";
+}
+
 int usage() {
-  std::cerr
-      << "usage: hiptnt <file> [--monolithic] [--no-abduction] "
-         "[--entry <name>] [--threads <n>] [--stats] [--store <file>] "
-         "[--no-ladder]\n"
-         "       hiptnt --batch <dir|@corpus[:N]|@fig11> [--threads <n>] "
-         "[--no-global-tier] [--stats] [--outcomes]\n"
-         "               [--monolithic] [--no-abduction] [--entry <name>] "
-         "[--store <file>] [--expect-store-hits] [--no-ladder]\n"
-         "       hiptnt --serve [--no-global-tier] [--reclaim-every <n>] "
-         "[--store <file>] [--no-ladder]\n"
-         "       hiptnt --serve-smoke <n>\n"
-         "       (directory targets read *.t / *.tnt files; --entry "
-         "applies to directory programs;\n"
-         "        --store persists inferred specs across runs; "
-         "--expect-store-hits fails unless EVERY\n"
-         "        group was served from the store and the replayed "
-         "outcomes digest matches the stored one)\n";
+  printUsage(std::cerr);
   return 2;
 }
 
@@ -170,6 +207,7 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
   // (deadline-free, tightened group fuel — see batchProgramConfig).
   Opt.Program.Modular = Cli.Modular;
   Opt.Program.Solve.EnableAbduction = Cli.Solve.EnableAbduction;
+  Opt.Program.Solve.EnableCondTerm = Cli.Solve.EnableCondTerm;
   Opt.Program.Ladder = Cli.Ladder;
 
   // Persistent spec store: load (or cold-start) the file, remember the
@@ -212,6 +250,12 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
       ++Failed;
   if (!Truth.empty())
     std::cout << "\nground truth: " << Unsound << " unsound answer(s)\n";
+  if (R.CondTermEnabled)
+    std::cout << "cond-term: emitted=" << R.CondTerm.Emitted
+              << " sound=" << R.CondTerm.Sound
+              << " demoted=" << R.CondTerm.Demoted
+              << " nontrivial=" << R.CondTerm.NonTrivial
+              << " leaves_certified=" << R.CondTerm.LeavesCertified << "\n";
   if (Failed)
     std::cout << Failed << " program(s) failed to parse/resolve\n";
 
@@ -451,10 +495,15 @@ int main(int Argc, char **Argv) {
   AnalyzerConfig Config;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--monolithic")
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (Arg == "--monolithic")
       Config.Modular = false;
     else if (Arg == "--no-abduction")
       Config.Solve.EnableAbduction = false;
+    else if (Arg == "--cond-term")
+      Config.Solve.EnableCondTerm = true;
     else if (Arg == "--no-ladder")
       Config.Ladder = false;
     else if (Arg == "--entry" && I + 1 < Argc)
@@ -535,6 +584,7 @@ int main(int Argc, char **Argv) {
     SO.ReclaimEvery = ReclaimEvery;
     SO.Program.Modular = Config.Modular;
     SO.Program.Solve.EnableAbduction = Config.Solve.EnableAbduction;
+    SO.Program.Solve.EnableCondTerm = Config.Solve.EnableCondTerm;
     SO.Program.Ladder = Config.Ladder;
     SO.StorePath = StorePath;
     AnalysisServer Server(SO);
