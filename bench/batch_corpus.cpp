@@ -24,6 +24,7 @@
 
 #include "api/AnalysisServer.h"
 #include "api/BatchAnalyzer.h"
+#include "api/ConcurrentServer.h"
 #include "store/SpecStore.h"
 #include "support/Json.h"
 #include "workloads/Corpus.h"
@@ -127,6 +128,73 @@ ServerSample runServer(unsigned N) {
   S.LastDropped = St.LastReclaim.dropped();
   S.Rotations = St.Global.SatRotations + St.Global.DnfRotations;
   S.ArenaBytes = St.InternArenaBytes;
+  return S;
+}
+
+struct ConcClientSample {
+  unsigned Clients = 0;
+  double Millis = 0;
+  double ReqPerSec = 0;
+  uint64_t Shed = 0;
+};
+
+struct ConcSample {
+  unsigned Requests = 0;
+  std::vector<ConcClientSample> ByClients;
+  double ShedRate = 0; ///< Saturation run: sheds / submissions.
+};
+
+/// The multi-client front end: the same unique-variant request stream
+/// pushed by 1, 4, and 16 client threads through submitAndWait (a
+/// fresh server per point, so every point measures the cold
+/// concurrent regime), then a deliberately oversubscribed point
+/// (1 worker, tiny queue, 16 clients) to measure the load-shed rate
+/// under saturation — sheds are immediate error responses, so clients
+/// see bounded latency, not an unbounded queue.
+ConcSample runConcurrentServer(unsigned N) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<BatchItem> Items = corpusBatchItems(20);
+  std::vector<std::string> Sources(N);
+  for (unsigned I = 0; I < N; ++I)
+    Sources[I] = soakVariantSource(Items[I % Items.size()].Source, I);
+
+  ConcSample S;
+  S.Requests = N;
+  auto drive = [&](ConcurrentAnalysisServer &Server, unsigned Clients) {
+    std::vector<std::thread> Threads;
+    auto T0 = Clock::now();
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        for (unsigned I = C; I < N; I += Clients)
+          (void)Server.submitAndWait(soakRequestJson(I, Sources[I]));
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+        .count();
+  };
+
+  for (unsigned Clients : {1u, 4u, 16u}) {
+    ConcurrentServerOptions CO;
+    CO.Workers = 4;
+    CO.Server.ReclaimEvery = 32;
+    ConcurrentAnalysisServer Server(CO);
+    ConcClientSample P;
+    P.Clients = Clients;
+    P.Millis = drive(Server, Clients);
+    P.ReqPerSec = P.Millis > 0 ? N / (P.Millis / 1000.0) : 0;
+    P.Shed = Server.shedCount();
+    S.ByClients.push_back(P);
+  }
+
+  {
+    ConcurrentServerOptions CO;
+    CO.Workers = 1;
+    CO.QueueDepth = 4;
+    ConcurrentAnalysisServer Server(CO);
+    (void)drive(Server, 16);
+    S.ShedRate = double(Server.shedCount()) / N;
+  }
   return S;
 }
 
@@ -322,6 +390,23 @@ int main(int argc, char **argv) {
   Out << "    \"tier_rotations\": " << Srv.Rotations << ",\n";
   Out << "    \"arena_bytes\": " << Srv.ArenaBytes << "\n  },\n";
 
+  // The concurrent multi-client regime: the same request stream from
+  // 1/4/16 clients over the worker pool, plus the saturation shed rate.
+  ConcSample Cc = runConcurrentServer(100);
+  Out << "  \"server_concurrent\": {\n";
+  Out << "    \"requests\": " << Cc.Requests << ",\n";
+  Out << "    \"workers\": 4,\n";
+  Out << "    \"by_clients\": [\n";
+  for (size_t I = 0; I < Cc.ByClients.size(); ++I) {
+    const ConcClientSample &P = Cc.ByClients[I];
+    Out << "      {\"clients\": " << P.Clients << ", \"ms\": " << P.Millis
+        << ", \"requests_per_sec\": " << P.ReqPerSec
+        << ", \"shed\": " << P.Shed << "}"
+        << (I + 1 < Cc.ByClients.size() ? "," : "") << "\n";
+  }
+  Out << "    ],\n";
+  Out << "    \"saturation_shed_rate\": " << Cc.ShedRate << "\n  },\n";
+
   // The persistent-store regime: cold populate vs warm-from-disk
   // replay of the same corpus in a fresh analyzer.
   StoreSample St = runStore(Items, JsonPath + ".store_bench.tmp");
@@ -370,6 +455,10 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Srv.Reclaims),
               static_cast<unsigned long long>(Srv.LastDropped),
               static_cast<unsigned long long>(Srv.Rotations), Srv.ArenaBytes);
+  std::printf("server-concurrent: %.1f req/s @1 client, %.1f @4, %.1f @16 "
+              "(4 workers); saturation shed rate %.2f\n",
+              Cc.ByClients[0].ReqPerSec, Cc.ByClients[1].ReqPerSec,
+              Cc.ByClients[2].ReqPerSec, Cc.ShedRate);
   std::printf("store: cold %.1f prog/s, warm-from-disk %.1f prog/s "
               "(x%.2f), %llu entries, %zu file bytes, replay %s\n",
               St.ColdProgPerSec, St.WarmProgPerSec, St.WarmSpeedup,

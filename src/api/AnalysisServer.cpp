@@ -3,6 +3,7 @@
 #include "api/AnalysisServer.h"
 
 #include "api/Pipeline.h"
+#include "arith/Var.h"
 #include "store/SpecStore.h"
 #include "support/Json.h"
 
@@ -90,11 +91,7 @@ AnalysisServer::~AnalysisServer() {
     LiveReclaimers.fetch_sub(1);
 }
 
-namespace {
-
-/// The id rendered for echoing: raw number lexeme, quoted string, or
-/// null when absent/other.
-std::string idText(const json::Value &Req) {
+std::string tnt::proto::idText(const json::Value &Req) {
   const json::Value *Id = Req.field("id");
   if (Id == nullptr)
     return "null";
@@ -105,11 +102,15 @@ std::string idText(const json::Value &Req) {
   return "null";
 }
 
-std::string errorResponse(const std::string &IdText, const std::string &Msg) {
+std::string tnt::proto::errorResponse(const std::string &IdText,
+                                      const std::string &Msg) {
   return "{\"id\":" + IdText + ",\"ok\":false,\"error\":" +
          json::quoted(Msg) + "}";
 }
 
+namespace {
+using tnt::proto::errorResponse;
+using tnt::proto::idText;
 } // namespace
 
 void AnalysisServer::reclaimNow() {
@@ -142,56 +143,64 @@ void AnalysisServer::reclaimNow() {
   ++Reclaims;
 }
 
-std::string AnalysisServer::programBody(const std::string &Source,
-                                        const std::string &Entry) {
-  GlobalSolverCache *Tier = Batch.globalTier();
+RequestOutcome tnt::runProgramRequest(const std::string &Source,
+                                      const std::string &Entry,
+                                      const AnalyzerConfig &Config,
+                                      GlobalSolverCache *Tier) {
+  RequestOutcome O;
+  O.Ran = true;
+
+  // A virgin block lease for this request: every id and spelling the
+  // analysis mints is session-local and positional, so the rendered
+  // response is a pure function of (Source, Entry, Config) — identical
+  // to a fresh-process run, whatever else the hosting server has done
+  // or is doing. The lease dies with this frame; nothing to recycle by
+  // hand.
+  VarPool::Session Lease;
+  VarPool::SessionScope Active(Lease);
 
   // The exact analyzeProgram schedule — root block 0, group G on block
   // G+1, bottom-up group order — so the response is byte-identical to a
   // fresh single-program run (the tier only changes who computes an
   // answer, never the answer).
-  std::string Body;
-  {
-    std::unique_ptr<PreparedProgram> PP = prepareProgram(Source, Opt.Program);
-    prescanSpecStore(*PP, Opt.Program);
-    AnalysisResult R;
-    if (!PP->Ok) {
-      R = finalizeProgram(*PP, {}, Opt.Program, Tier);
-    } else {
-      const size_t N = PP->Groups.size();
-      std::vector<GroupRun> Runs(N);
-      for (size_t G = 0; G < N; ++G)
-        Runs[G] = runPipelineGroup(*PP, Opt.Program, G,
-                                   static_cast<uint32_t>(G) + 1, Tier);
-      R = finalizeProgram(*PP, std::move(Runs), Opt.Program, Tier);
-    }
-    Usage += R.SolverUsage;
-    Cond += R.CondTerm;
-    if (!R.Ok) {
-      ++Errors;
-      Body = "\"ok\":false,\"error\":" + json::quoted(R.Diagnostics);
-    } else {
-      Body = "\"ok\":true,\"entry\":" + json::quoted(Entry) +
+  std::unique_ptr<PreparedProgram> PP = prepareProgram(Source, Config);
+  prescanSpecStore(*PP, Config);
+  AnalysisResult R;
+  if (!PP->Ok) {
+    R = finalizeProgram(*PP, {}, Config, Tier);
+  } else {
+    const size_t N = PP->Groups.size();
+    std::vector<GroupRun> Runs(N);
+    for (size_t G = 0; G < N; ++G)
+      Runs[G] = runPipelineGroup(*PP, Config, G,
+                                 static_cast<uint32_t>(G) + 1, Tier);
+    R = finalizeProgram(*PP, std::move(Runs), Config, Tier);
+  }
+  O.Usage = R.SolverUsage;
+  O.Cond = R.CondTerm;
+  if (!R.Ok) {
+    O.Failed = true;
+    O.Body = "\"ok\":false,\"error\":" + json::quoted(R.Diagnostics);
+  } else {
+    O.Body = "\"ok\":true,\"entry\":" + json::quoted(Entry) +
              ",\"verdict\":" + json::quoted(outcomeStr(R.outcome(Entry))) +
              ",\"output\":" + json::quoted(R.str());
-    }
-    // PP and R (every Formula handle of this request) die HERE, before
-    // any reclaim — nothing of the request outlives its epoch except
-    // what promoteTo put in the tier (and, as plain strings, what the
-    // spec store captured).
   }
-
-  ++Requests;
-  if (Opt.ReclaimEvery != 0 && Requests % Opt.ReclaimEvery == 0)
-    reclaimNow();
-  return Body;
+  // PP and R (every Formula handle of this request) die HERE — nothing
+  // of the request outlives its epoch except what promoteTo put in the
+  // tier (and, as plain strings, what the spec store captured). The
+  // caller guarantees no epoch boundary while we were in flight.
+  return O;
 }
 
-std::optional<std::string>
-AnalysisServer::decodeAndRun(const json::Value &Req) {
-  auto errorBody = [&](const std::string &Msg) {
-    ++Errors;
-    return "\"ok\":false,\"error\":" + json::quoted(Msg);
+std::optional<RequestOutcome>
+tnt::decodeAndRunRequest(const json::Value &Req, const AnalyzerConfig &Config,
+                         GlobalSolverCache *Tier, bool AllowPaths) {
+  auto errorOutcome = [](const std::string &Msg) {
+    RequestOutcome O;
+    O.Failed = true;
+    O.Body = "\"ok\":false,\"error\":" + json::quoted(Msg);
+    return O;
   };
   std::string Entry = "main";
   if (const json::Value *E = Req.field("entry"))
@@ -199,22 +208,45 @@ AnalysisServer::decodeAndRun(const json::Value &Req) {
       Entry = E->asString();
   if (const json::Value *Prog = Req.field("program")) {
     if (!Prog->isString())
-      return errorBody("\"program\" must be a string");
-    return programBody(Prog->asString(), Entry);
+      return errorOutcome("\"program\" must be a string");
+    return runProgramRequest(Prog->asString(), Entry, Config, Tier);
   }
   if (const json::Value *Path = Req.field("path")) {
-    if (!Opt.AllowPaths)
-      return errorBody("path requests are disabled");
+    if (!AllowPaths)
+      return errorOutcome("path requests are disabled");
     if (!Path->isString())
-      return errorBody("\"path\" must be a string");
+      return errorOutcome("\"path\" must be a string");
     std::ifstream In(Path->asString());
     if (!In)
-      return errorBody("cannot open " + Path->asString());
+      return errorOutcome("cannot open " + Path->asString());
     std::stringstream Buf;
     Buf << In.rdbuf();
-    return programBody(Buf.str(), Entry);
+    return runProgramRequest(Buf.str(), Entry, Config, Tier);
   }
   return std::nullopt;
+}
+
+void AnalysisServer::accumulate(const RequestOutcome &Outcome) {
+  if (Outcome.Ran)
+    ++Requests;
+  if (Outcome.Failed)
+    ++Errors;
+  Usage += Outcome.Usage;
+  Cond += Outcome.Cond;
+}
+
+std::optional<std::string>
+AnalysisServer::decodeAndRun(const json::Value &Req) {
+  std::optional<RequestOutcome> Outcome =
+      decodeAndRunRequest(Req, Opt.Program, Batch.globalTier(), Opt.AllowPaths);
+  if (!Outcome)
+    return std::nullopt;
+  accumulate(*Outcome);
+  // Serial loop: every request completion is a quiescence point.
+  if (Outcome->Ran && Opt.ReclaimEvery != 0 &&
+      Requests % Opt.ReclaimEvery == 0)
+    reclaimNow();
+  return Outcome->Body;
 }
 
 std::string AnalysisServer::handleBatchVerb(const std::string &Id,

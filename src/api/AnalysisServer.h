@@ -33,13 +33,19 @@
 ///
 /// Program responses carry {"id", "ok", "entry", "verdict", "output"}
 /// and are BYTE-IDENTICAL to a fresh single-program analyzeProgram run
-/// of the same source under the server's config: requests are analyzed
-/// one at a time on the exact block numbering analyzeProgram uses (root
-/// block 0, group G on block G+1 — VarPool reuses ids for repeated
-/// spellings), and the shared tier is semantically transparent.
+/// of the same source under the server's config: every request is
+/// analyzed inside its own VarPool SESSION (a virgin block lease — see
+/// arith/Var.h) on the exact block numbering analyzeProgram uses (root
+/// block 0, group G on block G+1), so the ids and spellings a request
+/// mints are a pure function of the request, independent of server
+/// history, and the shared tier is semantically transparent.
 /// Deliberately, the response contains no times or cache counters —
 /// warmth must be unobservable in it (the soak suite diffs every
-/// response against a fresh run).
+/// response against a fresh run). The session design is also what lets
+/// the CONCURRENT front end (api/ConcurrentServer.h) multiplex many
+/// in-flight requests over one engine without giving up a byte of
+/// determinism: sibling requests cannot observe each other through the
+/// pool.
 ///
 /// Epoch-scoped reclamation: without it, a server analyzing an
 /// unbounded program stream grows the process-wide ArithIntern table
@@ -56,8 +62,12 @@
 /// append-only mode until sole ownership returns (tested by
 /// ServerSoakTest). The gate cannot see analyses with no tier running
 /// concurrently on other host threads; a host that does that must
-/// disable reclamation (ReclaimEvery = 0), per ArithIntern::reclaim's
-/// caller contract.
+/// either disable reclamation (ReclaimEvery = 0) or guarantee
+/// QUIESCENCE at every reclaim — no analysis in flight — per
+/// ArithIntern::reclaim's caller contract. The serial serve() loop
+/// gets quiescence for free (strictly one request at a time); the
+/// concurrent front end pauses dispatch and waits for in-flight
+/// requests to drain before calling reclaimNow().
 ///
 //===----------------------------------------------------------------------===//
 
@@ -112,8 +122,9 @@ struct ServerStats {
   /// live here; the lemma side lives in Global.
   SolverStats Usage;
   /// Cumulative conditional-termination counters (zero unless the
-  /// server's Program config enables --cond-term; store-served groups
-  /// contribute nothing — see AnalysisResult).
+  /// server's Program config enables --cond-term). Store-served groups
+  /// contribute their producer-run counts, rehydrated from the entry's
+  /// "ct" record, so warm and cold servers report the same numbers.
   CondTermStats CondTerm;
   size_t InternExprs = 0;
   size_t InternConstraints = 0;
@@ -121,11 +132,65 @@ struct ServerStats {
   size_t InternArenaBytes = 0;
 };
 
+/// One program request's result: the rendered response body plus the
+/// counters the engine folds into its totals. Produced by
+/// runProgramRequest / decodeAndRunRequest, consumed by
+/// AnalysisServer::accumulate — the one shape both the serial and the
+/// concurrent front end speak.
+struct RequestOutcome {
+  /// Response-body fields (no braces, no id) — an "ok":true program
+  /// body or an "ok":false error body.
+  std::string Body;
+  SolverStats Usage;
+  CondTermStats Cond;
+  /// An analysis actually ran (counts as a program request). False for
+  /// decode-stage errors, which count as errors only.
+  bool Ran = false;
+  /// Body is an error body.
+  bool Failed = false;
+};
+
+/// Analyzes one program source exactly like a fresh single-program run
+/// — root block 0, group G on block G+1, executed serially on the
+/// calling thread inside a FRESH VarPool session — and renders the
+/// response body. This is the single analysis path behind the serial
+/// server, the concurrent server's workers, and the byte-identity
+/// reference runs of the soak suites. Thread-safe: concurrent calls
+/// share only the internally synchronized tier, store and intern
+/// table. The caller owns epoch discipline: the request's interned
+/// terms may be reclaimed at the next epoch boundary, so no reclaim
+/// may run while a call is in flight (quiescence).
+RequestOutcome runProgramRequest(const std::string &Source,
+                                 const std::string &Entry,
+                                 const AnalyzerConfig &Config,
+                                 GlobalSolverCache *Tier);
+
+/// Decodes ONE program-request object — "program" or "path" plus
+/// optional "entry", with the type checks and the \p AllowPaths gate —
+/// and runs it via runProgramRequest. Returns nullopt when the object
+/// carries neither key (the caller owns that error's wording: a
+/// top-level request may still have a "verb"). The single decode path
+/// is what keeps analyze-batch elements and concurrent-server
+/// responses byte-identical to standalone serial responses.
+std::optional<RequestOutcome> decodeAndRunRequest(const json::Value &Req,
+                                                  const AnalyzerConfig &Config,
+                                                  GlobalSolverCache *Tier,
+                                                  bool AllowPaths);
+
+namespace proto {
+/// The request id rendered for echoing: raw number lexeme, quoted
+/// string, or "null" when absent/other.
+std::string idText(const json::Value &Req);
+/// A complete {"id":...,"ok":false,"error":...} response line.
+std::string errorResponse(const std::string &IdText, const std::string &Msg);
+} // namespace proto
+
 /// The persistent front end. One instance owns one BatchAnalyzer whose
-/// global tier stays warm for the server's lifetime. Requests are
-/// handled strictly one at a time (the paper's workloads are
-/// short-running; cross-request cache reuse, not intra-request
-/// parallelism, is where the service wins).
+/// global tier stays warm for the server's lifetime. serve() handles
+/// requests strictly one at a time; ConcurrentAnalysisServer wraps an
+/// instance to multiplex many in-flight requests over the same engine
+/// (cross-request cache reuse is where the service wins either way;
+/// concurrency adds throughput, sessions keep it unobservable).
 class AnalysisServer {
 public:
   explicit AnalysisServer(ServerOptions Options = {});
@@ -164,26 +229,35 @@ public:
   bool saveStore(std::string *Err = nullptr);
 
   /// Forces an epoch boundary now (normally driven by ReclaimEvery).
+  /// Caller must guarantee quiescence: no analysis in flight.
   void reclaimNow();
 
+  /// Folds one request outcome into the server's counters (requests,
+  /// errors, solver usage, cond-term). Does NOT drive the reclaim
+  /// cadence — the serial path does that right after, the concurrent
+  /// front end at its next quiescence point. Not internally locked;
+  /// the concurrent front end serializes calls under its engine lock.
+  void accumulate(const RequestOutcome &Outcome);
+
+  /// Program requests handled so far (drives the reclaim cadence).
+  uint64_t requestCount() const { return Requests; }
+
+  /// The effective options (Program.Store is patched to the loaded
+  /// store) — the concurrent front end runs its workers off these.
+  const ServerOptions &options() const { return Opt; }
+
+  /// The complete stats-verb response line (shared with the concurrent
+  /// front end's stats verb, so both report identical shapes).
+  std::string statsJson(const std::string &IdText) const;
+
 private:
-  /// Analyzes one program and renders the response BODY (the fields of
-  /// a program response minus the id), shared by single-program
-  /// responses and analyze-batch result entries. Counts
-  /// requests/errors and drives the reclaim cadence.
-  std::string programBody(const std::string &Source,
-                          const std::string &Entry);
-  /// Decodes ONE program-request object — "program" or "path" plus
-  /// optional "entry", with the type checks and the AllowPaths gate —
-  /// and analyzes it, returning the response body. Returns nullopt
-  /// when the object carries neither key (the caller owns that error's
-  /// wording: a top-level request may still have a "verb"). The single
-  /// decode path is what keeps analyze-batch elements byte-identical
-  /// to standalone responses.
+  /// Decodes and runs one program-request object via
+  /// decodeAndRunRequest, folds the outcome and drives the reclaim
+  /// cadence; nullopt when the object has neither "program" nor
+  /// "path".
   std::optional<std::string> decodeAndRun(const json::Value &Req);
   std::string handleBatchVerb(const std::string &IdText,
                               const json::Value &Req);
-  std::string statsJson(const std::string &IdText) const;
 
   ServerOptions Opt;
   std::unique_ptr<SpecStore> OwnedStore; ///< When StorePath is set.

@@ -118,11 +118,11 @@ struct AnalysisResult {
   /// Groups served by the spec store (summaries rehydrated, no
   /// inference ran). Always 0 without an attached store.
   size_t GroupsFromStore = 0;
-  /// Conditional-termination counters, merged over the groups that ran
-  /// the pass (all zero unless Solve.EnableCondTerm; store-served
-  /// groups rehydrate their conditions without re-running the pass, so
-  /// a fully warm run reports zeros here while printing identical
-  /// conditions).
+  /// Conditional-termination counters, merged over all groups (zero
+  /// unless Solve.EnableCondTerm). Store-served groups rehydrate their
+  /// conditions without re-running the pass but fold in the producer
+  /// run's audited counters from the entry's "ct" record, so warm and
+  /// cold runs report the same numbers.
   CondTermStats CondTerm;
 
   const MethodResult *find(const std::string &Method,

@@ -1,0 +1,407 @@
+//===- api/ConcurrentServer.cpp -------------------------------*- C++ -*-===//
+
+#include "api/ConcurrentServer.h"
+
+#include "store/SpecStore.h"
+#include "support/UnixSocket.h"
+
+#include <future>
+#include <iostream>
+
+using namespace tnt;
+
+ConcurrentAnalysisServer::ConcurrentAnalysisServer(
+    ConcurrentServerOptions Options)
+    : Opt(std::move(Options)), Engine(Opt.Server),
+      Pool(Opt.Workers == 0 ? 1 : Opt.Workers) {
+  if (Opt.Workers == 0)
+    Opt.Workers = 1;
+  const unsigned Every = Engine.options().ReclaimEvery;
+  NextReclaimAt = Every; // 0 keeps reclamation off, as in the engine.
+}
+
+ConcurrentAnalysisServer::~ConcurrentAnalysisServer() {
+  requestShutdown();
+  waitIdle();
+  Pool.wait();
+}
+
+bool ConcurrentAnalysisServer::shutdownRequested() const {
+  std::lock_guard<std::mutex> L(QM);
+  return ShuttingDown;
+}
+
+uint64_t ConcurrentAnalysisServer::shedCount() const {
+  std::lock_guard<std::mutex> L(QM);
+  return ShedN;
+}
+
+ServerStats ConcurrentAnalysisServer::stats() const {
+  std::lock_guard<std::mutex> L(EngineMu);
+  return Engine.stats();
+}
+
+void ConcurrentAnalysisServer::pauseDispatchForTest(bool Paused) {
+  std::lock_guard<std::mutex> L(QM);
+  DispatchPaused = Paused;
+  if (!Paused)
+    pumpLocked();
+}
+
+void ConcurrentAnalysisServer::pumpLocked() {
+  while (!DispatchPaused && !ReclaimPending && !ReclaimInProgress &&
+         InFlight < Opt.Workers && !Queue.empty()) {
+    Job J = std::move(Queue.front());
+    Queue.pop_front();
+    ++InFlight;
+    auto Shared = std::make_shared<Job>(std::move(J));
+    Pool.submit([this, Shared] { runJob(Shared->Line, Shared->Done); });
+  }
+}
+
+void ConcurrentAnalysisServer::waitIdle() {
+  std::unique_lock<std::mutex> L(QM);
+  IdleCv.wait(L, [&] {
+    return Queue.empty() && InFlight == 0 && !ReclaimPending &&
+           !ReclaimInProgress;
+  });
+}
+
+void ConcurrentAnalysisServer::jobFinished(uint64_t ProgramsRan) {
+  std::unique_lock<std::mutex> L(QM);
+  --InFlight;
+  CompletedPrograms += ProgramsRan;
+  if (NextReclaimAt != 0 && CompletedPrograms >= NextReclaimAt)
+    ReclaimPending = true;
+  if (ReclaimPending && InFlight == 0) {
+    // Quiescence: we are the job that idled the server, so no live
+    // request can reach any reclaimable term. ReclaimPending keeps the
+    // pump paused while the engine lock is taken.
+    ReclaimInProgress = true;
+    L.unlock();
+    {
+      std::lock_guard<std::mutex> E(EngineMu);
+      Engine.reclaimNow();
+    }
+    L.lock();
+    ReclaimInProgress = false;
+    ReclaimPending = false;
+    const unsigned Every = Engine.options().ReclaimEvery;
+    NextReclaimAt =
+        Every == 0 ? 0 : (CompletedPrograms / Every + 1) * Every;
+  }
+  pumpLocked();
+  IdleCv.notify_all();
+}
+
+void ConcurrentAnalysisServer::runJob(
+    const std::string &Line, const std::function<void(std::string)> &Done) {
+  // The line was classified by submitAsync: a JSON object carrying
+  // "program"/"path", or the analyze-batch verb.
+  std::optional<json::Value> Req = json::parse(Line, nullptr);
+  std::string Id = proto::idText(*Req);
+  std::vector<RequestOutcome> Outcomes;
+  std::string Response;
+
+  const json::Value *Verb = Req->field("verb");
+  if (Verb != nullptr && Verb->isString() &&
+      Verb->asString() == "analyze-batch") {
+    const json::Value *Programs = Req->field("programs");
+    if (Programs == nullptr || !Programs->isArray()) {
+      RequestOutcome O;
+      O.Failed = true;
+      {
+        std::lock_guard<std::mutex> E(EngineMu);
+        Engine.accumulate(O);
+      }
+      jobFinished(0);
+      Done(proto::errorResponse(Id,
+                                "analyze-batch needs a \"programs\" array"));
+      return;
+    }
+    // Same element handling as the serial handleBatchVerb, with the
+    // counter folds deferred to the post-run accumulate below.
+    std::string Out = "{\"id\":" + Id + ",\"ok\":true,\"results\":[";
+    bool First = true;
+    for (const json::Value &Item : Programs->elements()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      if (!Item.isObject()) {
+        RequestOutcome O;
+        O.Failed = true;
+        O.Body = "\"ok\":false,\"error\":\"request is not a JSON object\"";
+        Out += "{" + O.Body + "}";
+        Outcomes.push_back(std::move(O));
+        continue;
+      }
+      std::optional<RequestOutcome> O =
+          decodeAndRunRequest(Item, Engine.options().Program,
+                              Engine.globalTier(),
+                              Engine.options().AllowPaths);
+      if (!O) {
+        O.emplace();
+        O->Failed = true;
+        O->Body = "\"ok\":false,\"error\":\"batch element needs "
+                  "\\\"program\\\" or \\\"path\\\"\"";
+      }
+      Out += "{" + O->Body + "}";
+      Outcomes.push_back(std::move(*O));
+    }
+    Response = Out + "]}";
+  } else {
+    std::optional<RequestOutcome> O =
+        decodeAndRunRequest(*Req, Engine.options().Program,
+                            Engine.globalTier(), Engine.options().AllowPaths);
+    // Classification guarantees a program/path field, so O is engaged.
+    Response = "{\"id\":" + Id + "," + O->Body + "}";
+    Outcomes.push_back(std::move(*O));
+  }
+
+  uint64_t ProgramsRan = 0;
+  {
+    std::lock_guard<std::mutex> E(EngineMu);
+    for (const RequestOutcome &O : Outcomes) {
+      Engine.accumulate(O);
+      ProgramsRan += O.Ran ? 1 : 0;
+    }
+  }
+  // Bookkeeping BEFORE the response: once a client's submitAndWait
+  // returns, the server must no longer count the job in flight — a
+  // drain-then-health sequence from that client is otherwise racy.
+  // (The job that crosses the reclaim cadence therefore also delivers
+  // its response after the quiescent reclaim it triggered.)
+  jobFinished(ProgramsRan);
+  Done(Response);
+}
+
+void ConcurrentAnalysisServer::submitAsync(
+    const std::string &Line, std::function<void(std::string)> Done) {
+  bool AllWs = true;
+  for (char C : Line)
+    if (C != ' ' && C != '\t' && C != '\r')
+      AllWs = false;
+  if (AllWs) {
+    Done("");
+    return;
+  }
+
+  std::optional<json::Value> Req = json::parse(Line, nullptr);
+  bool IsProgram = false;
+  bool IsBatch = false;
+  std::string Id = "null";
+  std::string VerbStr;
+  if (Req && Req->isObject()) {
+    Id = proto::idText(*Req);
+    const json::Value *Verb = Req->field("verb");
+    if (Verb != nullptr && Verb->isString())
+      VerbStr = Verb->asString();
+    IsBatch = VerbStr == "analyze-batch";
+    IsProgram = Verb == nullptr && (Req->field("program") != nullptr ||
+                                    Req->field("path") != nullptr);
+  }
+
+  if (IsProgram || IsBatch) {
+    // Admission control for analysis work.
+    {
+      std::lock_guard<std::mutex> L(QM);
+      if (ShuttingDown) {
+        Done(proto::errorResponse(Id, "server is shutting down"));
+        return;
+      }
+      if (Draining) {
+        ++ShedN;
+        Done("{\"id\":" + Id +
+             ",\"ok\":false,\"error\":\"server draining\",\"shed\":true}");
+        return;
+      }
+      if (Queue.size() >= Opt.QueueDepth) {
+        ++ShedN;
+        Done("{\"id\":" + Id +
+             ",\"ok\":false,\"error\":\"server overloaded: queue full\","
+             "\"shed\":true}");
+        return;
+      }
+      Queue.push_back(Job{Line, std::move(Done)});
+      pumpLocked();
+    }
+    return;
+  }
+
+  // Control plane: runs on the submitting thread, never queued — an
+  // overloaded server still answers these.
+  if (VerbStr == "health") {
+    std::lock_guard<std::mutex> L(QM);
+    Done("{\"id\":" + Id + ",\"ok\":true,\"health\":\"ok\",\"workers\":" +
+         std::to_string(Opt.Workers) +
+         ",\"inflight\":" + std::to_string(InFlight) +
+         ",\"queued\":" + std::to_string(Queue.size()) +
+         ",\"shed\":" + std::to_string(ShedN) + "}");
+    return;
+  }
+  if (VerbStr == "drain") {
+    {
+      std::lock_guard<std::mutex> L(QM);
+      Draining = true;
+    }
+    waitIdle();
+    {
+      std::lock_guard<std::mutex> L(QM);
+      if (!ShuttingDown)
+        Draining = false;
+    }
+    Done("{\"id\":" + Id + ",\"ok\":true,\"drained\":true}");
+    return;
+  }
+  if (VerbStr == "shutdown") {
+    {
+      std::lock_guard<std::mutex> L(QM);
+      if (ShuttingDown) {
+        Done(proto::errorResponse(Id, "server is shutting down"));
+        return;
+      }
+      Draining = true; // New analysis work sheds while we drain.
+    }
+    waitIdle();
+    std::string Ack;
+    {
+      std::lock_guard<std::mutex> E(EngineMu);
+      Ack = Engine.handleLine(Line); // Store save + ack, as serial.
+    }
+    // Deliver the ack BEFORE hanging up the transports: requestShutdown
+    // half-closes every connection fd, so a write after it is lost —
+    // the client would see EOF instead of its acknowledged shutdown.
+    Done(std::move(Ack));
+    requestShutdown();
+    return;
+  }
+
+  // Everything else — malformed JSON, unknown verbs, stats, missing
+  // payload — is exactly the serial protocol; the engine's handler
+  // answers byte-identically and keeps the error counters.
+  std::string Response;
+  {
+    std::lock_guard<std::mutex> E(EngineMu);
+    Response = Engine.handleLine(Line);
+  }
+  Done(std::move(Response));
+}
+
+std::string ConcurrentAnalysisServer::submitAndWait(const std::string &Line) {
+  std::promise<std::string> P;
+  std::future<std::string> F = P.get_future();
+  submitAsync(Line, [&P](std::string Resp) { P.set_value(std::move(Resp)); });
+  return F.get();
+}
+
+void ConcurrentAnalysisServer::requestShutdown() {
+  std::vector<std::shared_ptr<Conn>> Live;
+  {
+    std::lock_guard<std::mutex> L(QM);
+    ShuttingDown = true;
+    Draining = true;
+    if (Listener != nullptr)
+      Listener->wake();
+    for (const std::weak_ptr<Conn> &W : Conns)
+      if (std::shared_ptr<Conn> C = W.lock())
+        Live.push_back(std::move(C));
+  }
+  // Hang up readers outside the lock; their loops exit and close the
+  // fds once outstanding responses are flushed.
+  for (const std::shared_ptr<Conn> &C : Live)
+    shutdownFd(C->Fd);
+}
+
+void ConcurrentAnalysisServer::connLoop(std::shared_ptr<Conn> C) {
+  LineReader Reader(C->Fd);
+  std::string Line;
+  while (Reader.readLine(Line)) {
+    bool AllWs = true;
+    for (char Ch : Line)
+      if (Ch != ' ' && Ch != '\t' && Ch != '\r')
+        AllWs = false;
+    if (AllWs)
+      continue;
+    {
+      std::lock_guard<std::mutex> L(C->Mu);
+      ++C->Outstanding;
+    }
+    std::shared_ptr<Conn> Cc = C;
+    submitAsync(Line, [Cc](std::string Resp) {
+      if (!Resp.empty()) {
+        Resp += '\n';
+        std::lock_guard<std::mutex> W(Cc->WriteMu);
+        writeAll(Cc->Fd, Resp.data(), Resp.size());
+      }
+      {
+        std::lock_guard<std::mutex> L(Cc->Mu);
+        --Cc->Outstanding;
+      }
+      Cc->Cv.notify_all();
+    });
+    if (shutdownRequested())
+      break;
+  }
+  // EOF (or hangup): wait for in-flight responses of THIS connection
+  // before closing its fd — a worker must never write a closed fd.
+  {
+    std::unique_lock<std::mutex> L(C->Mu);
+    C->Cv.wait(L, [&] { return C->Outstanding == 0; });
+  }
+  closeFd(C->Fd);
+  C->Fd = -1;
+}
+
+int ConcurrentAnalysisServer::serveSocket(std::string *Err) {
+  UnixListener L;
+  if (Opt.SocketPath.empty()) {
+    if (Err != nullptr)
+      *Err = "no socket path configured";
+    return 1;
+  }
+  if (!L.bindAndListen(Opt.SocketPath, Err))
+    return 1;
+  {
+    std::lock_guard<std::mutex> G(QM);
+    Listener = &L;
+    if (ShuttingDown)
+      L.wake();
+  }
+  std::vector<std::thread> Readers;
+  for (;;) {
+    int Fd = L.acceptFd();
+    if (Fd < 0)
+      break;
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    {
+      std::lock_guard<std::mutex> G(QM);
+      if (ShuttingDown) {
+        closeFd(Fd);
+        break;
+      }
+      Conns.push_back(C);
+    }
+    Readers.emplace_back([this, C] { connLoop(std::move(C)); });
+  }
+  {
+    std::lock_guard<std::mutex> G(QM);
+    Listener = nullptr;
+  }
+  for (std::thread &T : Readers)
+    T.join();
+  waitIdle();
+  L.close();
+  // A serve that ended without a shutdown verb (host-driven
+  // requestShutdown) still persists the store, as the serial
+  // end-of-stream path does.
+  if (!Engine.shutdownRequested()) {
+    std::string SaveErr;
+    std::lock_guard<std::mutex> E(EngineMu);
+    if (!Engine.saveStore(&SaveErr)) {
+      std::cerr << "spec store: " << SaveErr << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -234,6 +234,11 @@ void assembleFromStore(PreparedProgram &PP, size_t GroupIdx,
     PP.Store.add(Name, std::move(RSs));
   Out.Diags = std::move(RG.Diags);
   Out.Bailed = RG.Bailed;
+  // The producer run's audited counters ride the entry ("ct"), so a
+  // warm replay reports the same cond_term stats as the cold run that
+  // minted it — the conditions themselves were already rehydrated
+  // above via the per-scenario "tc" forms.
+  Out.Cond = RG.Cond;
   Out.FromStore = true;
 }
 
@@ -290,7 +295,16 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
     SC.attachCancellation(PP.Budget.get());
   // Fallback allocations void the fresh-spelling determinism a stored
   // entry relies on; sample the counter so such a group is not stored.
-  const uint64_t FallbacksBefore = VarPool::get().scopedFallbacks();
+  // Under a per-request session the SESSION's counter is the right
+  // probe: the pool-global one sums every live session, so a sibling
+  // request's oversized batch would spuriously veto this group's
+  // insert (residency loss, not a correctness issue — but needless).
+  auto FallbackProbe = [] {
+    if (const VarPool::Session *S = VarPool::activeSession())
+      return S->fallbacks();
+    return VarPool::get().scopedFallbacks();
+  };
+  const uint64_t FallbacksBefore = FallbackProbe();
   UnkRegistry Reg;
   Theta Th(Reg);
   DiagnosticEngine VDiags; // Verification failures degrade to MayLoop.
@@ -395,7 +409,7 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
   //    spelling determinism rehydration depends on.
   if (StoreKey != nullptr && !(PP.Budget && PP.Budget->cancelled()) &&
       !(Out.Bailed && Config.Solve.GroupDeadlineMs != 0) &&
-      VarPool::get().scopedFallbacks() == FallbacksBefore) {
+      FallbackProbe() == FallbacksBefore) {
     std::vector<ScenarioSlot> Slots = scenarioSlots(PP, GroupIdx);
     if (Slots.size() == Out.Methods.size()) {
       std::vector<ScenarioRecord> Records;
@@ -420,7 +434,7 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
       // variable, whose allocation counter has no meaning outside this
       // program's front-end history — such a group is not stored.
       if (std::optional<std::string> Entry = serializeGroupEntry(
-              Records, Out.Diags, Out.Bailed, PP.StoreBlocks))
+              Records, Out.Diags, Out.Bailed, PP.StoreBlocks, Out.Cond))
         Store->insert(*StoreKey, std::move(*Entry));
     }
   }

@@ -53,8 +53,9 @@ struct GroupRun {
   std::vector<MethodResult> Methods;
   SolverStats Stats;
   /// Conditional-termination counters (zero unless
-  /// Config.Solve.EnableCondTerm; store-served groups report none —
-  /// their conditions rehydrate without re-running the pass).
+  /// Config.Solve.EnableCondTerm). Store-served groups do not re-run
+  /// the pass; they report the producer run's counters, rehydrated
+  /// from the entry's "ct" record.
   CondTermStats Cond;
   std::string Diags;
   bool Bailed = false;

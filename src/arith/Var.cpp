@@ -7,12 +7,29 @@
 using namespace tnt;
 
 thread_local VarPool::Scope *VarPool::ActiveScope = nullptr;
+thread_local VarPool::Session *VarPool::ActiveSession = nullptr;
 
 VarPool::Scope::Scope(uint32_t Block) : Prev(ActiveScope), Block(Block) {
   ActiveScope = this;
 }
 
 VarPool::Scope::~Scope() { ActiveScope = Prev; }
+
+VarPool::SessionScope::SessionScope(Session &S) : Prev(ActiveSession) {
+  ActiveSession = &S;
+}
+
+VarPool::SessionScope::~SessionScope() { ActiveSession = Prev; }
+
+size_t VarPool::Session::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Names.size();
+}
+
+uint64_t VarPool::Session::fallbacks() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Fallbacks;
+}
 
 VarPool &VarPool::get() {
   static VarPool Pool;
@@ -42,6 +59,45 @@ VarId VarPool::allocate(const std::string &Name) {
   return Id;
 }
 
+VarId VarPool::sessionAllocate(Session &S, const std::string &Name) {
+  // Mirrors allocate(), but every counter is the session's own: the
+  // i-th block-B allocation of ANY session is blockStart(B) + i, and
+  // even the overflow region restarts at zero per lease — ids are a
+  // pure function of the request, not of pool history.
+  VarId Id;
+  bool Fallback = false;
+  if (ActiveScope != nullptr) {
+    uint32_t Limit;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Limit = BlockLimit;
+    }
+    if (ActiveScope->Block < Limit) {
+      uint32_t &Next = S.BlockNext[ActiveScope->Block];
+      if (Next < BlockSize) {
+        Id = blockStart(ActiveScope->Block) + Next++;
+      } else {
+        Id = S.NextGlobal++;
+        Fallback = true;
+      }
+    } else {
+      Id = S.NextGlobal++;
+      Fallback = true;
+    }
+  } else {
+    Id = S.NextGlobal++;
+  }
+  if (Fallback) {
+    ++S.Fallbacks;
+    std::lock_guard<std::mutex> L(Mu);
+    ++ScopedFallbacks;
+  }
+  assert(S.NextGlobal < BlockBase && "session variable region exhausted");
+  S.Names.emplace(Id, Name);
+  S.Index.emplace(Name, Id);
+  return Id;
+}
+
 uint32_t VarPool::blockLimit() const {
   std::lock_guard<std::mutex> L(Mu);
   return BlockLimit;
@@ -58,6 +114,16 @@ uint64_t VarPool::scopedFallbacks() const {
 }
 
 VarId VarPool::intern(const std::string &Name) {
+  if (Session *S = ActiveSession) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    auto It = S->Index.find(Name);
+    if (It != S->Index.end())
+      return It->second;
+    // No fallthrough to the shared index: the session is a VIRGIN pool
+    // view, so a spelling the shared pool happens to know still gets a
+    // session-positional id — exactly what a fresh process would do.
+    return sessionAllocate(*S, Name);
+  }
   std::lock_guard<std::mutex> L(Mu);
   auto It = Index.find(Name);
   if (It != Index.end())
@@ -66,6 +132,23 @@ VarId VarPool::intern(const std::string &Name) {
 }
 
 VarId VarPool::fresh(const std::string &Base) {
+  if (Session *S = ActiveSession) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    if (ActiveScope != nullptr) {
+      std::string Name = Base + "!b" + std::to_string(ActiveScope->Block) +
+                         "!" + std::to_string(ActiveScope->FreshCounter++);
+      auto It = S->Index.find(Name);
+      if (It != S->Index.end())
+        return It->second;
+      return sessionAllocate(*S, Name);
+    }
+    for (;;) {
+      std::string Candidate =
+          Base + "!" + std::to_string(S->FreshCounter++);
+      if (S->Index.find(Candidate) == S->Index.end())
+        return sessionAllocate(*S, Candidate);
+    }
+  }
   std::lock_guard<std::mutex> L(Mu);
   if (ActiveScope != nullptr) {
     // Deterministic per-scope spelling. The '!' separator cannot appear
@@ -88,6 +171,14 @@ VarId VarPool::fresh(const std::string &Base) {
 }
 
 const std::string &VarPool::name(VarId Id) const {
+  if (Session *S = ActiveSession) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    auto It = S->Names.find(Id);
+    if (It != S->Names.end())
+      return It->second;
+    // Not a session id: fall through to the shared table (permanent
+    // variables interned before any session existed).
+  }
   std::lock_guard<std::mutex> L(Mu);
   auto It = Names.find(Id);
   assert(It != Names.end() && "unknown VarId");

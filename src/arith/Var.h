@@ -20,6 +20,44 @@
 /// spelling always returns its original id, which keeps repeated
 /// analyses of the same program byte-identical.
 ///
+/// SESSIONS (block leases). A long-lived server cannot use the shared
+/// pool directly: spelling->id bindings accumulate forever (unbounded
+/// table growth on novel-identifier streams), and the shared per-block
+/// next counters eventually exhaust a block, dropping requests into
+/// the non-deterministic global-id fallback. A VarPool::Session is a
+/// virgin, PRIVATE view of the pool leased to one request: it has its
+/// own name<->id maps and its own per-block counters, all starting
+/// from zero. While a session is active on a thread (SessionScope),
+/// every intern/fresh/name call resolves against the session instead
+/// of the shared pool, so
+///
+///  * the ids a request allocates are POSITIONAL — the i-th
+///    allocation of block B is blockStart(B) + i, exactly what a
+///    fresh process running only this request would produce. Request
+///    output is therefore byte-identical to a serial fresh-context
+///    run, independent of server history, arrival order and sibling
+///    requests;
+///  * the per-block counters reset with every lease, so a long-lived
+///    server never exhausts a block (the fallback remains only for a
+///    single oversized request — and even that is reproducible,
+///    because the fallback counter is session-local too);
+///  * the session's spelling tables die with the request: the shared
+///    pool does not grow at all under a novel-identifier stream.
+///
+/// Two sessions may assign the same id to different spellings. That is
+/// sound everywhere ids flow: interned formulas shared across sessions
+/// are compared and solved structurally (satisfiability is invariant
+/// under variable renaming), and rendering always resolves names
+/// through the session that built the formula. The one consumer that
+/// renders tier-resident keys AFTER their session died — the sat
+/// snapshot export — captures name-canonical strings at merge time
+/// instead (see GlobalSolverCache).
+///
+/// A session may be shared by the worker threads of ONE program
+/// analysis (each thread activates it via SessionScope; session state
+/// is mutex-protected), but distinct concurrent requests must use
+/// distinct sessions — that is the point of the lease.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TNT_ARITH_VAR_H
@@ -56,7 +94,9 @@ public:
   /// The spelling of \p Id.
   const std::string &name(VarId Id) const;
 
-  /// Number of interned variables so far.
+  /// Number of interned variables so far (the SHARED pool only;
+  /// session-local bindings are not counted — their boundedness is
+  /// exactly that they die with the session).
   size_t size() const;
 
   /// RAII deterministic allocation scope (see file comment). Scopes
@@ -77,12 +117,66 @@ public:
     uint64_t FreshCounter = 0;
   };
 
+  /// A per-request block lease: a virgin, private pool view (see file
+  /// comment). Create one per server request, activate it with
+  /// SessionScope on every thread that runs the request, and destroy
+  /// it when the response has been rendered — destruction IS the
+  /// recycling (counters and spelling tables go with it).
+  class Session {
+  public:
+    Session() = default;
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /// Bindings this session holds (its private table size).
+    size_t size() const;
+
+    /// Scoped allocations that overflowed a block and fell back to the
+    /// session's sequential id region. Nonzero only for an oversized
+    /// request; unlike the shared pool's fallback, the ids are still a
+    /// deterministic function of the request (the region counter is
+    /// session-local and starts at zero).
+    uint64_t fallbacks() const;
+
+  private:
+    friend class VarPool;
+    mutable std::mutex Mu;
+    std::map<VarId, std::string> Names;
+    std::map<std::string, VarId> Index;
+    /// Next offset per block — virgin: every lease starts at zero.
+    std::map<uint32_t, uint32_t> BlockNext;
+    /// Next id in the session's sequential (unscoped / overflow)
+    /// region; disjoint from the block regions, which start at
+    /// BlockBase.
+    uint32_t NextGlobal = 0;
+    uint64_t FreshCounter = 0;
+    uint64_t Fallbacks = 0;
+  };
+
+  /// RAII activation of a session on the current thread. Nests (the
+  /// previous activation, if any, is restored on destruction).
+  class SessionScope {
+  public:
+    explicit SessionScope(Session &S);
+    ~SessionScope();
+    SessionScope(const SessionScope &) = delete;
+    SessionScope &operator=(const SessionScope &) = delete;
+
+  private:
+    Session *Prev;
+  };
+
+  /// The session active on the current thread, or null.
+  static Session *activeSession() { return ActiveSession; }
+
   /// First id of allocation block \p Block (blocks are disjoint from
   /// the global region and from each other). Blocks above the block
   /// limit would overflow the id space; allocation falls back to the
-  /// global region for them (sound, loses byte-determinism for such
-  /// runs — the fallback tail draws never-reused ids from a pool-global
-  /// counter, so spellings depend on pool history).
+  /// global region for them (sound; in the SHARED pool this loses
+  /// byte-determinism — the fallback tail draws never-reused ids from
+  /// a pool-global counter, so spellings depend on pool history. In a
+  /// session the fallback region is session-local and the draw order
+  /// is a function of the request, so determinism survives).
   static constexpr uint32_t BlockSize = 1u << 18;
   static constexpr uint32_t BlockBase = 1u << 24;
   static constexpr uint32_t MaxBlocks =
@@ -100,9 +194,11 @@ public:
   void setBlockLimitForTest(uint32_t Limit);
 
   /// Scoped allocations that fell back to the global id region (block
-  /// number past the limit, or a block's 2^18 ids exhausted). A nonzero
-  /// delta across a run is the witness that the run's byte-determinism
-  /// contract is void for the fallback tail.
+  /// number past the limit, or a block's 2^18 ids exhausted), summed
+  /// over the shared pool AND every session. A nonzero delta across a
+  /// shared-pool run is the witness that the run's byte-determinism
+  /// contract is void for the fallback tail; a session-scoped delta
+  /// only witnesses an oversized request (see Session::fallbacks).
   uint64_t scopedFallbacks() const;
 
 private:
@@ -111,6 +207,10 @@ private:
   VarId allocate(const std::string &Name);
 
   static thread_local Scope *ActiveScope;
+  static thread_local Session *ActiveSession;
+
+  /// Session-side allocation (S.Mu held by the caller).
+  VarId sessionAllocate(Session &S, const std::string &Name);
 
   mutable std::mutex Mu;
   /// Id -> spelling. Node-based so name() references stay stable under
@@ -125,7 +225,8 @@ private:
   uint64_t FreshCounter = 0;
   /// Effective block limit (see blockLimit()).
   uint32_t BlockLimit = MaxBlocks;
-  /// Count of scoped allocations that fell back to the global region.
+  /// Count of scoped allocations that fell back to the global region
+  /// (shared pool + sessions; see scopedFallbacks()).
   uint64_t ScopedFallbacks = 0;
 };
 

@@ -292,9 +292,17 @@ GlobalSolverCache::exportSatSnapshot() const {
   {
     std::shared_lock<std::shared_mutex> L(Mu);
     std::unordered_set<std::string> Seen;
-    for (const SatMap *M : {&Sat, &SatPrev})
-      for (const auto &[Key, Val] : *M) {
-        std::string Canon = satKeyCanon(Key);
+    const SatMap *Gens[] = {&Sat, &SatPrev};
+    const CanonMap *Canons[] = {&SatCanon, &SatCanonPrev};
+    for (int I = 0; I < 2; ++I)
+      for (const auto &[Key, Val] : *Gens[I]) {
+        // Use the canon captured at merge time: the producing VarPool
+        // session (which owns the key's spellings) may be long dead by
+        // save time. Recomputing here is only safe — and only needed —
+        // for entries merged outside any session (batch runs).
+        auto CIt = Canons[I]->find(Key);
+        std::string Canon =
+            CIt != Canons[I]->end() ? CIt->second : satKeyCanon(Key);
         if (Seen.insert(Canon).second)
           Resident.emplace_back(std::move(Canon), Val);
       }
@@ -359,10 +367,16 @@ void GlobalSolverCache::mergeSat(
       // hits it in SatPrev.
       SatPrev = std::move(Sat);
       Sat = SatMap();
+      SatCanonPrev = std::move(SatCanon);
+      SatCanon = CanonMap();
       Rotated = true;
       SatRotationsN.fetch_add(1, std::memory_order_relaxed);
     }
     Sat.emplace(Key, Val);
+    // Capture the name-canonical form now, while the merging thread's
+    // VarPool session (if any) can still resolve the key's spellings;
+    // exportSatSnapshot may run long after that session is recycled.
+    SatCanon.emplace(Key, satKeyCanon(Key));
     SatInsertsN.fetch_add(1, std::memory_order_relaxed);
   }
 }

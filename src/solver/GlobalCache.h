@@ -251,6 +251,20 @@ private:
                          std::shared_ptr<const DnfPayload>>;
   SatMap Sat, SatPrev;
   DnfMap Dnf, DnfPrev;
+  /// satKeyCanon of every resident sat key, captured AT MERGE TIME and
+  /// rotated in lockstep with Sat/SatPrev. Canonicalization renders
+  /// variable spellings, and under per-request VarPool sessions a
+  /// spelling is only resolvable while the producing session is alive
+  /// — mergeSat runs inside it, exportSatSnapshot (a server save,
+  /// arbitrarily later) does not. Capturing the canon at insert makes
+  /// the export independent of any session's lifetime. (A key merged
+  /// by session A and re-merged by session B keeps A's canon string;
+  /// both render alpha-equivalent constraint systems, and
+  /// satisfiability is invariant under renaming, so either string is a
+  /// correct snapshot key for the entry's answer.)
+  using CanonMap =
+      std::unordered_map<InternedConj, std::string, InternedConjHash>;
+  CanonMap SatCanon, SatCanonPrev;
   /// Imported persistent snapshot, keyed by satKeyCanon form. Written
   /// once at import, read-only afterwards (epoch reclamation never has
   /// to see it: it holds no interned pointers).

@@ -267,7 +267,8 @@ std::string writeTree(const CaseTree &T, RefWriter &Refs) {
 std::optional<std::string>
 tnt::serializeGroupEntry(const std::vector<ScenarioRecord> &Scenarios,
                          const std::string &Diags, bool Bailed,
-                         const BlockTokenMap &Blocks) {
+                         const BlockTokenMap &Blocks,
+                         const CondTermStats &Ct) {
   EntryWriter Entry{Blocks, {}, {}, true};
   std::string Body = "\"sc\":[";
   for (size_t I = 0; I < Scenarios.size(); ++I) {
@@ -304,6 +305,12 @@ tnt::serializeGroupEntry(const std::vector<ScenarioRecord> &Scenarios,
     Out += ",\"d\":" + json::quoted(Diags);
   if (Bailed)
     Out += ",\"b\":true";
+  if (Ct.Emitted != 0 || Ct.Sound != 0 || Ct.Demoted != 0 ||
+      Ct.NonTrivial != 0 || Ct.LeavesCertified != 0)
+    Out += ",\"ct\":[" + std::to_string(Ct.Emitted) + "," +
+           std::to_string(Ct.Sound) + "," + std::to_string(Ct.Demoted) +
+           "," + std::to_string(Ct.NonTrivial) + "," +
+           std::to_string(Ct.LeavesCertified) + "]";
   return Out + "}";
 }
 
@@ -660,6 +667,23 @@ bool tnt::rehydrateGroupEntry(const std::string &EntryJson,
   Out.Bailed = false;
   if (const json::Value *B = Doc->field("b"))
     Out.Bailed = B->asBool();
+  Out.Cond = CondTermStats{};
+  if (const json::Value *Ct = Doc->field("ct")) {
+    if (!Ct->isArray() || Ct->elements().size() != 5)
+      return fail("malformed cond-term record");
+    uint64_t Vals[5];
+    for (size_t I = 0; I < 5; ++I) {
+      std::optional<int64_t> N = json::toInt64(Ct->elements()[I]);
+      if (!N || *N < 0)
+        return fail("malformed cond-term record");
+      Vals[I] = static_cast<uint64_t>(*N);
+    }
+    Out.Cond.Emitted = Vals[0];
+    Out.Cond.Sound = Vals[1];
+    Out.Cond.Demoted = Vals[2];
+    Out.Cond.NonTrivial = Vals[3];
+    Out.Cond.LeavesCertified = Vals[4];
+  }
   return true;
 }
 

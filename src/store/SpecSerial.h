@@ -71,6 +71,7 @@
 #ifndef TNT_STORE_SPECSERIAL_H
 #define TNT_STORE_SPECSERIAL_H
 
+#include "infer/CondTerm.h"
 #include "spec/Spec.h"
 
 #include <map>
@@ -126,10 +127,18 @@ struct ScenarioRecord {
 /// Returns nullopt when a mentioned fresh variable's block has no
 /// token in \p Blocks (root/foreign block): the group is not
 /// canonically serializable and must not be stored.
+///
+/// \p Ct carries the group's audited conditional-termination counters;
+/// nonzero counts serialize as the optional "ct" record so a warm
+/// replay reports the same cond_term stats as the producing cold run
+/// (the conditions themselves ride in the per-scenario "tc" forms —
+/// without "ct" the counts silently read zero warm, the
+/// ROADMAP-documented stats hole).
 std::optional<std::string>
 serializeGroupEntry(const std::vector<ScenarioRecord> &Scenarios,
                     const std::string &Diags, bool Bailed,
-                    const BlockTokenMap &Blocks);
+                    const BlockTokenMap &Blocks,
+                    const CondTermStats &Ct = {});
 
 /// One rehydrated scenario.
 struct RehydratedScenario {
@@ -148,6 +157,11 @@ struct RehydratedGroup {
   std::vector<RehydratedScenario> Scenarios;
   std::string Diags;
   bool Bailed = false;
+  /// The producer run's audited cond-term counters (zero when the
+  /// entry predates --cond-term or the pass found nothing); the
+  /// store-hit path folds these into the program result so warm stats
+  /// match cold ones.
+  CondTermStats Cond;
 };
 
 /// Rebuilds a stored entry against the current program's scenario

@@ -15,6 +15,10 @@ using namespace tnt;
 std::string SpecStore::configFingerprint(const AnalyzerConfig &Config) {
   const SolveOptions &S = Config.Solve;
   std::ostringstream Out;
+  // v4: group entries grew the optional "ct" record carrying the
+  // producer run's audited cond-term counters — a v3 entry would warm-
+  // serve with the counts silently reading zero, the exact stats hole
+  // this record closes.
   // v3: group entries grew the optional per-scenario "tc" termination
   // condition and the fingerprint grew the ct= mode flag below —
   // default-mode entries would replay into a --cond-term run with the
@@ -26,7 +30,7 @@ std::string SpecStore::configFingerprint(const AnalyzerConfig &Config) {
   // know. Ladder on/off is deliberately NOT part of the fingerprint:
   // both settings produce identical summaries, so a warm store stays
   // valid across A/B runs.
-  Out << "v3;mod=" << (Config.Modular ? 1 : 0) << ";iter=" << S.MaxIter
+  Out << "v4;mod=" << (Config.Modular ? 1 : 0) << ";iter=" << S.MaxIter
       << ";abd=" << (S.EnableAbduction ? 1 : 0)
       << ";base=" << (S.EnableBaseCase ? 1 : 0)
       << ";nt=" << (S.EnableNonTermProof ? 1 : 0)

@@ -173,12 +173,13 @@ TEST(LadderStore, LemmaSnapshotRoundTrip) {
 
 TEST(LadderStore, FingerprintIsCurrentAndStaleFilesDiscardCleanly) {
   // The spec-store fingerprint was bumped for the lemma-snapshot
-  // section (v2) and again for per-scenario termination conditions
-  // (v3); files from older shapes must be discarded wholesale (fresh
-  // run), never half-imported or crashed on.
+  // section (v2), per-scenario termination conditions (v3), and the
+  // per-group audited cond-term counters record (v4); files from
+  // older shapes must be discarded wholesale (fresh run), never
+  // half-imported or crashed on.
   AnalyzerConfig Cfg;
   std::string Fp = SpecStore::configFingerprint(Cfg);
-  EXPECT_EQ(Fp.rfind("v3;", 0), 0u) << Fp;
+  EXPECT_EQ(Fp.rfind("v4;", 0), 0u) << Fp;
   // The ladder A/B switch deliberately does NOT fingerprint: a store
   // written with the ladder on warm-starts a --no-ladder run (answers
   // are identical by the ladder invariant).

@@ -23,6 +23,7 @@
 
 #include "api/AnalysisServer.h"
 #include "arith/Intern.h"
+#include "arith/Var.h"
 #include "support/Json.h"
 #include "workloads/Corpus.h"
 
@@ -39,9 +40,12 @@ TEST(ServerSoak, ThousandRequestsByteIdenticalAndBounded) {
   SO.ReclaimEvery = 50;
   // A tiny tier so capacity rotation — which is what bounds the
   // retained root set on an unbounded stream — actually fires inside
-  // the soak horizon.
-  SO.GlobalSatCapacity = 1u << 9;
-  SO.GlobalDnfCapacity = 1u << 6;
+  // the soak horizon. Tinier than it used to be: per-request sessions
+  // mint POSITIONAL ids, so the variant requests' structurally
+  // distinct spellings alias to identical interned keys and the tier's
+  // distinct-entry population is now per-corpus, not per-request.
+  SO.GlobalSatCapacity = 1u << 6;
+  SO.GlobalDnfCapacity = 1u << 4;
   AnalysisServer Server(SO);
 
   std::vector<BatchItem> Items = corpusBatchItems(25);
@@ -64,8 +68,14 @@ TEST(ServerSoak, ThousandRequestsByteIdenticalAndBounded) {
       // Fresh-context reference: same source, same config, no server,
       // no tier. Byte-identity is the whole contract — the response
       // may not depend on how warm the tier is or how many epochs have
-      // passed. The reference result is scoped to this iteration so no
-      // Formula handle of it survives into a later epoch.
+      // passed. The server runs each request in a virgin VarPool
+      // session, so the reference runs in one too; a bare
+      // analyzeProgram would carry pool history across the comparator
+      // runs themselves. The reference result is scoped to this
+      // iteration so no Formula handle of it survives into a later
+      // epoch.
+      VarPool::Session Lease;
+      VarPool::SessionScope Active(Lease);
       AnalysisResult Fresh = analyzeProgram(Src, SO.Program);
       ASSERT_TRUE(Fresh.Ok) << Fresh.Diagnostics;
       const json::Value *Output = Resp->field("output");
@@ -111,6 +121,44 @@ TEST(ServerSoak, ThousandRequestsByteIdenticalAndBounded) {
   bounded(FormulaSamples, "interned formula count");
   bounded(ConstraintSamples, "interned constraint count");
   bounded(ArenaSamples, "arena bytes");
+}
+
+TEST(ServerSoak, UniqueIdentifiersLeaveSharedPoolFlat) {
+  // The VarPool spelling-growth fence (the second half of the
+  // long-lived story): ArithIntern reclamation bounds formula nodes,
+  // and per-request SESSIONS bound the pool — every request-minted
+  // spelling lives in the request's private session tables and dies
+  // with them. A request stream whose programs each use IDENTIFIERS no
+  // other request shares therefore leaves the shared pool's size
+  // EXACTLY unchanged; before sessions, every request grew it
+  // permanently (names are never unmapped from the shared tables), the
+  // unbounded growth this test pins the fix for.
+  ServerOptions SO;
+  SO.ReclaimEvery = 25;
+  AnalysisServer Server(SO);
+
+  const size_t PoolBefore = VarPool::get().size();
+  constexpr unsigned N = 200;
+  std::vector<size_t> Samples;
+  for (unsigned I = 0; I < N; ++I) {
+    // Request-unique parameter and callee names: a fresh process would
+    // intern two new spellings per request.
+    std::string V = "v" + std::to_string(I), F = "dec" + std::to_string(I);
+    std::string Src = "int " + F + "(int " + V + ") { if (" + V +
+                      " <= 0) return 0; else return " + F + "(" + V +
+                      " - 1); } int main(int n) { return " + F + "(n); }";
+    std::string Line = Server.handleLine(soakRequestJson(I, Src));
+    std::optional<json::Value> Resp = json::parse(Line);
+    ASSERT_TRUE(Resp && Resp->isObject()) << Line;
+    ASSERT_TRUE(Resp->field("ok")->asBool()) << Line;
+    if ((I + 1) % SO.ReclaimEvery == 0)
+      Samples.push_back(VarPool::get().size());
+  }
+  EXPECT_EQ(VarPool::get().size(), PoolBefore)
+      << "request-local spellings leaked into the shared pool";
+  for (size_t S : Samples)
+    EXPECT_EQ(S, PoolBefore);
+  EXPECT_EQ(Server.stats().Errors, 0u);
 }
 
 TEST(ServerProtocol, StatsShutdownAndErrors) {

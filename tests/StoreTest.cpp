@@ -508,32 +508,37 @@ TEST(SpecStore, ConfigFingerprintTracksSolveKnobs) {
             SpecStore::configFingerprint(B));
 }
 
-TEST(SpecStore, V3FingerprintDiscardsStaleV2File) {
-  // A store file written by a v2-era build (before per-scenario "tc"
-  // conditions and the ct= mode flag) must be wholesale-discarded on
-  // load — a clean cold start, never a parse of entries whose shape
-  // this build would misread.
-  TempFile File("v2stale");
-  std::string V3 = SpecStore::configFingerprint(AnalyzerConfig());
-  ASSERT_EQ(V3.rfind("v3;", 0), 0u) << V3;
-  // Reconstruct the v2 spelling of the same knobs: old prefix, no
-  // ct= flag (it did not exist).
-  std::string V2 = "v2;" + V3.substr(3);
+TEST(SpecStore, FingerprintBumpDiscardsStaleFiles) {
+  // Store files written by older-era builds must be wholesale-discarded
+  // on load — a clean cold start, never a parse of entries whose shape
+  // this build would misread. v2 predates the per-scenario "tc"
+  // conditions and the ct= mode flag; v3 predates the per-group "ct"
+  // audited-counter record (its entries would warm-serve with the
+  // cond-term stats silently reading zero).
+  std::string Cur = SpecStore::configFingerprint(AnalyzerConfig());
+  ASSERT_EQ(Cur.rfind("v4;", 0), 0u) << Cur;
+  // Reconstruct the old spellings of the same knobs: v3 had identical
+  // fields under the old prefix; v2 additionally lacked ct=.
+  std::string V3 = "v3;" + Cur.substr(3);
+  std::string V2 = "v2;" + Cur.substr(3);
   size_t Ct = V2.find(";ct=");
   ASSERT_NE(Ct, std::string::npos);
   V2.erase(Ct);
-  {
-    SpecStore Old(V2);
-    Old.insert("stale-key", "{\"v\":1,\"sc\":[]}");
+  for (const std::string &Stale : {V2, V3}) {
+    TempFile File("stalefp");
+    {
+      SpecStore Old(Stale);
+      Old.insert("stale-key", "{\"v\":1,\"sc\":[]}");
+      std::string Err;
+      ASSERT_TRUE(Old.save(File.Path, &Err)) << Err;
+    }
+    SpecStore New(Cur);
     std::string Err;
-    ASSERT_TRUE(Old.save(File.Path, &Err)) << Err;
+    ASSERT_TRUE(New.load(File.Path, &Err)) << Err; // Discard, not error.
+    EXPECT_TRUE(New.stats().LoadDiscarded) << Stale;
+    EXPECT_EQ(New.size(), 0u);
+    EXPECT_EQ(New.peek("stale-key"), nullptr);
   }
-  SpecStore New(V3);
-  std::string Err;
-  ASSERT_TRUE(New.load(File.Path, &Err)) << Err; // Discard, not error.
-  EXPECT_TRUE(New.stats().LoadDiscarded);
-  EXPECT_EQ(New.size(), 0u);
-  EXPECT_EQ(New.peek("stale-key"), nullptr);
 }
 
 //===----------------------------------------------------------------------===//
@@ -677,12 +682,14 @@ TEST(StoreRoundTrip, TermCondSurvivesFreshProcessRehydration) {
   Opt.Program.Solve.EnableCondTerm = true;
 
   std::string Cold;
+  CondTermStats ColdStats;
   {
     SpecStore Store(SpecStore::configFingerprint(Opt.Program));
     Opt.Store = &Store;
     BatchAnalyzer BA(Opt);
     BatchResult R = BA.run(Items);
     Cold = R.renderOutcomes();
+    ColdStats = R.CondTerm;
     EXPECT_GT(R.CondTerm.Emitted, 0u);
     EXPECT_EQ(R.CondTerm.Demoted, 0u);
     std::string Err;
@@ -708,6 +715,15 @@ TEST(StoreRoundTrip, TermCondSurvivesFreshProcessRehydration) {
     auto Per = R.perCategory();
     ASSERT_EQ(Per.size(), 1u);
     EXPECT_EQ(Per[0].second.Cond, 1u);
+    // The audited counters ride the entries' "ct" records, so the
+    // warm replay reports the SAME stats as the cold run — before the
+    // record existed, a fully warm run read all zeros here (the
+    // cond_term stats hole).
+    EXPECT_EQ(R.CondTerm.Emitted, ColdStats.Emitted);
+    EXPECT_EQ(R.CondTerm.Sound, ColdStats.Sound);
+    EXPECT_EQ(R.CondTerm.Demoted, ColdStats.Demoted);
+    EXPECT_EQ(R.CondTerm.NonTrivial, ColdStats.NonTrivial);
+    EXPECT_EQ(R.CondTerm.LeavesCertified, ColdStats.LeavesCertified);
   }
 }
 
@@ -792,6 +808,44 @@ TEST(ServerStore, WarmRestartServesFromDiskByteIdentically) {
     ServerStats S = Server.stats();
     EXPECT_GT(S.StoreHits, 0u);
     EXPECT_EQ(S.StoreMisses, 0u);
+  }
+}
+
+TEST(ServerStore, CondTermStatsMatchWarmAndCold) {
+  // The server-level view of the stats hole: a warm-restarted server
+  // answering entirely from the spec store must report the same
+  // cond_term counters through its stats verb as the cold server did —
+  // the per-group "ct" records fold into ServerStats exactly like
+  // freshly audited groups.
+  const char *Src = "void f(int x) { if (x == 0) return; else f(x - 2); }\n"
+                    "void main(int n) { f(n); }\n";
+  TempFile File("serverct");
+  std::string Request = soakRequestJson(1, Src);
+
+  ServerOptions SO;
+  SO.StorePath = File.Path;
+  SO.Program.Solve.EnableCondTerm = true;
+
+  std::string ColdResponse;
+  CondTermStats ColdStats;
+  {
+    AnalysisServer Server(SO);
+    ColdResponse = Server.handleLine(Request);
+    ColdStats = Server.stats().CondTerm;
+    EXPECT_GT(ColdStats.Emitted, 0u);
+    Server.handleLine("{\"id\":2,\"verb\":\"shutdown\"}");
+  }
+  {
+    AnalysisServer Server(SO);
+    EXPECT_EQ(Server.handleLine(Request), ColdResponse);
+    ServerStats S = Server.stats();
+    EXPECT_GT(S.StoreHits, 0u);
+    EXPECT_EQ(S.StoreMisses, 0u);
+    EXPECT_EQ(S.CondTerm.Emitted, ColdStats.Emitted);
+    EXPECT_EQ(S.CondTerm.Sound, ColdStats.Sound);
+    EXPECT_EQ(S.CondTerm.Demoted, ColdStats.Demoted);
+    EXPECT_EQ(S.CondTerm.NonTrivial, ColdStats.NonTrivial);
+    EXPECT_EQ(S.CondTerm.LeavesCertified, ColdStats.LeavesCertified);
   }
 }
 

@@ -1,16 +1,21 @@
 //===- tests/VarPoolOverflowTest.cpp - block-overflow fallback --*- C++ -*-===//
 //
-// Pins the VarPool block-overflow contract the ROADMAP documents: a
-// scope whose block number is past the pool's block limit falls back
-// to the global id region. The fallback is SOUND — ids are unique and
-// analyses still answer correctly — but it forfeits the byte-
-// determinism guarantee: global-region ids are handed out in
-// first-allocation order from one shared counter, so with concurrent
-// overflow scopes the id VALUES (and with them the iteration order of
-// VarId-keyed containers) depend on thread interleaving. These tests
-// lower the limit (test hook) to reach the fallback without minting
-// ~16k real blocks, then pin the mechanism, the soundness, and the
-// serial-determinism carve-out.
+// Pins the VarPool block-overflow contract: a scope whose block number
+// is past the pool's block limit falls back to the global id region.
+// The fallback is SOUND — ids are unique and analyses still answer
+// correctly — but in the SHARED pool it forfeits byte-determinism:
+// global-region ids are handed out in first-allocation order from one
+// shared counter, so with concurrent overflow scopes the id VALUES
+// (and with them the iteration order of VarId-keyed containers) depend
+// on thread interleaving. These tests lower the limit (test hook) to
+// reach the fallback without minting ~16k real blocks, then pin the
+// mechanism, the soundness, and the serial repeatability of the shared
+// fallback. The SessionLease tests pin how per-request sessions RETIRE
+// that carve-out: a session is a virgin pool view whose ids (block and
+// fallback alike) are positional — a pure function of the allocation
+// sequence — so two sessions running the same request mint identical
+// ids no matter what ran before or concurrently, and the shared pool
+// never grows.
 //
 //===----------------------------------------------------------------------===//
 
@@ -152,4 +157,87 @@ TEST(VarPoolOverflow, OverflowBatchStaysSoundAndSeriallyDeterministic) {
         << Items[I].Name << " changed verdict under block overflow";
   EXPECT_EQ(outcomeStr(First.Programs[0].Verdict), std::string("Y"));
   EXPECT_EQ(outcomeStr(First.Programs[1].Verdict), std::string("N"));
+}
+
+TEST(VarPoolOverflow, SessionLeaseRecyclesIdsAndSpellings) {
+  // The lease/recycle contract: a Session is a virgin view — interns,
+  // block allocations, and fresh counters all start from zero — so two
+  // sequential sessions performing the same allocation sequence mint
+  // IDENTICAL (id, spelling) pairs. That positional property is what
+  // makes concurrent server responses byte-identical to fresh-process
+  // runs: ids are a function of the request, not of pool history.
+  const size_t PoolBefore = VarPool::get().size();
+  using Alloc = std::pair<VarId, std::string>;
+  auto runLease = [](uint64_t &FallbacksOut) {
+    std::vector<Alloc> Out;
+    VarPool::Session Lease;
+    VarPool::SessionScope Active(Lease);
+    VarPool &P = VarPool::get();
+    VarId A = P.intern("lease_x");
+    Out.emplace_back(A, P.name(A));
+    {
+      VarPool::Scope S(3);
+      VarId B = freshVar("lease_f");
+      VarId C = freshVar("lease_f");
+      Out.emplace_back(B, P.name(B));
+      Out.emplace_back(C, P.name(C));
+    }
+    VarId D = freshVar("lease_g"); // No scope: session-global region.
+    Out.emplace_back(D, P.name(D));
+    FallbacksOut = Lease.fallbacks();
+    return Out;
+  };
+  uint64_t Fb1 = 0, Fb2 = 0;
+  std::vector<Alloc> First = runLease(Fb1);
+  std::vector<Alloc> Second = runLease(Fb2);
+  EXPECT_EQ(First, Second) << "session ids/spellings are not positional";
+
+  // Positional anchors: the first block-3 allocation IS the block
+  // start; the session-global region starts at id 0.
+  EXPECT_EQ(First[1].first, VarPool::blockStart(3));
+  EXPECT_EQ(First[2].first, VarPool::blockStart(3) + 1);
+  EXPECT_LT(First[3].first, VarPool::BlockBase);
+  EXPECT_EQ(Fb1, 0u); // Unscoped session allocs are not fallbacks.
+  EXPECT_EQ(Fb2, 0u);
+
+  // The lease died with its scope: nothing leaked into the shared
+  // tables, and the spellings it used are NOT resolvable there.
+  EXPECT_EQ(VarPool::get().size(), PoolBefore);
+}
+
+TEST(VarPoolOverflow, SessionOversizedBatchFallsBackDeterministically) {
+  // One oversized batch (block past the limit) inside a session: the
+  // fallback still fires — and is still counted, per-session and
+  // pool-wide — but lands in the SESSION's global region, so even the
+  // fallback ids recycle: a rerun of the same request reproduces them
+  // exactly. This is the overflow story after the carve-out's
+  // retirement: sound, counted, and (per session) deterministic.
+  BlockLimitGuard G(4);
+  const size_t PoolBefore = VarPool::get().size();
+  const uint64_t PoolFallbacksBefore = VarPool::get().scopedFallbacks();
+  auto runLease = [](uint64_t &FallbacksOut) {
+    std::vector<std::pair<VarId, std::string>> Out;
+    VarPool::Session Lease;
+    VarPool::SessionScope Active(Lease);
+    VarPool::Scope S(9); // Past the lowered limit: every alloc falls back.
+    VarId A = freshVar("lease_ovf");
+    VarId B = freshVar("lease_ovf");
+    Out.emplace_back(A, VarPool::get().name(A));
+    Out.emplace_back(B, VarPool::get().name(B));
+    FallbacksOut = Lease.fallbacks();
+    return Out;
+  };
+  uint64_t Fb1 = 0, Fb2 = 0;
+  auto First = runLease(Fb1);
+  auto Second = runLease(Fb2);
+  EXPECT_EQ(First, Second)
+      << "session fallback ids are not recycled across leases";
+  EXPECT_LT(First[0].first, VarPool::BlockBase);
+  EXPECT_EQ(Fb1, 2u);
+  EXPECT_EQ(Fb2, 2u);
+  // The pool-wide counter still observes session fallbacks (it is the
+  // store-insert guard and the soak fence), but the shared tables do
+  // not grow.
+  EXPECT_EQ(VarPool::get().scopedFallbacks(), PoolFallbacksBefore + 4);
+  EXPECT_EQ(VarPool::get().size(), PoolBefore);
 }

@@ -11,7 +11,9 @@
 //
 // Server mode:
 //   hiptnt --serve [--no-global-tier] [--reclaim-every <n>]
+//   hiptnt --serve-socket <path> [--serve-workers <n>] [--serve-queue <n>]
 //   hiptnt --serve-smoke <n>
+//   hiptnt --serve-concurrent-smoke <n>
 //
 // --help / -h prints the full flag reference (printUsage) and exits 0;
 // an unknown flag prints the same text to stderr and exits 2.
@@ -32,11 +34,20 @@
 // through the same serve() path, cross-checks responses against fresh
 // single-program runs, and fails if the interned arena keeps growing
 // across epochs — the CI fence for the long-lived regime.
+// --serve-socket runs the concurrent front end on a unix-domain socket
+// (many clients, requests multiplexed over a worker pool, responses
+// correlated by id — see api/ConcurrentServer.h);
+// --serve-concurrent-smoke self-drives <n> program requests from 8
+// in-process clients through that front end and applies the same three
+// fences plus zero load-sheds, zero fresh-variable fallbacks, and an
+// unchanged shared VarPool — the CI fence for the multi-client regime.
 //
 //===----------------------------------------------------------------------===//
 
 #include "api/AnalysisServer.h"
 #include "api/BatchAnalyzer.h"
+#include "api/ConcurrentServer.h"
+#include "arith/Var.h"
 #include "store/SpecStore.h"
 #include "support/Json.h"
 #include "workloads/Corpus.h"
@@ -49,6 +60,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace tnt;
 
@@ -58,7 +70,9 @@ void printUsage(std::ostream &OS) {
   OS << "usage: hiptnt <file> [options]\n"
         "       hiptnt --batch <dir|@corpus[:N]|@fig11> [options]\n"
         "       hiptnt --serve [options]\n"
+        "       hiptnt --serve-socket <path> [options]\n"
         "       hiptnt --serve-smoke <n>\n"
+        "       hiptnt --serve-concurrent-smoke <n>\n"
         "\n"
         "modes:\n"
         "  <file>                analyze one program, print per-method "
@@ -70,8 +84,17 @@ void printUsage(std::ostream &OS) {
         "                        print the per-category outcome table\n"
         "  --serve               newline-delimited JSON request/response "
         "loop on stdin/stdout\n"
+        "  --serve-socket <path> concurrent multi-client server on a "
+        "unix-domain socket\n"
+        "                        (same protocol; responses correlate by "
+        "id, not order)\n"
         "  --serve-smoke <n>     self-driving server soak of <n> requests "
         "(CI fence)\n"
+        "  --serve-concurrent-smoke <n>\n"
+        "                        8-client soak of <n> requests through "
+        "the concurrent\n"
+        "                        front end, byte-checked against fresh "
+        "runs (CI fence)\n"
         "\n"
         "options:\n"
         "  -h, --help            print this help and exit\n"
@@ -101,7 +124,12 @@ void printUsage(std::ostream &OS) {
         "(batch)\n"
         "  --reclaim-every <n>   serve mode: reclaim per-request intern "
         "garbage every n\n"
-        "                        requests (default 64)\n";
+        "                        requests (default 64)\n"
+        "  --serve-workers <n>   socket mode: max program requests in "
+        "flight (default 4)\n"
+        "  --serve-queue <n>     socket mode: admission queue depth "
+        "before load-shedding\n"
+        "                        (default 64)\n";
 }
 
 int usage() {
@@ -434,6 +462,13 @@ int runServeSmoke(unsigned N) {
     // matter how warm the tier was or how many epochs have passed.
     unsigned ReqIdx = static_cast<unsigned>(Id->asNumber());
     if (ReqIdx % 10 == 0 && ReqIdx < Sources.size()) {
+      // The server runs every request in a virgin VarPool session, so
+      // the reference run must too — a bare analyzeProgram would mint
+      // ids from whatever the shared pool accumulated across earlier
+      // comparator runs, which is exactly the history-dependence the
+      // sessions retire.
+      VarPool::Session Lease;
+      VarPool::SessionScope Active(Lease);
       AnalysisResult Fresh = analyzeProgram(Sources[ReqIdx], SO.Program);
       const json::Value *Output = R->field("output");
       const json::Value *Verdict = R->field("verdict");
@@ -485,13 +520,131 @@ int runServeSmoke(unsigned N) {
   return Failures == 0 ? 0 : 1;
 }
 
+/// The multi-client smoke: 8 in-process clients drive \p N program
+/// requests (one wave = one request per client, a stats probe after
+/// each wave) through the REAL concurrent front end, then check the
+/// serial smoke's fences — every response ok, byte-identical to a
+/// fresh session-wrapped run, bounded arena across epochs — plus the
+/// concurrent-only ones: zero load-sheds (the queue is never
+/// oversubscribed here), zero fresh-variable fallbacks, and a shared
+/// VarPool whose table the soak never grew (sessions are private).
+int runServeConcurrentSmoke(unsigned N) {
+  ConcurrentServerOptions CO;
+  CO.Server.ReclaimEvery = 20;
+  CO.Server.GlobalSatCapacity = 1u << 9;
+  CO.Server.GlobalDnfCapacity = 1u << 6;
+  CO.Workers = 4;
+  CO.QueueDepth = 64;
+
+  const unsigned Clients = 8;
+  const unsigned Waves = (N + Clients - 1) / Clients;
+  std::vector<BatchItem> Items = corpusBatchItems(20);
+  const size_t PoolBefore = VarPool::get().size();
+  const uint64_t FallbacksBefore = VarPool::get().scopedFallbacks();
+
+  ConcurrentAnalysisServer Server(CO);
+  std::vector<std::string> Sources(Waves * Clients);
+  std::vector<std::string> Responses(Waves * Clients);
+  std::vector<size_t> ArenaSamples, FormulaSamples;
+  unsigned Failures = 0;
+  for (unsigned W = 0; W < Waves; ++W) {
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C) {
+      unsigned Idx = W * Clients + C;
+      Sources[Idx] = soakVariantSource(Items[Idx % Items.size()].Source, Idx);
+      Threads.emplace_back([&Server, &Sources, &Responses, Idx] {
+        Responses[Idx] =
+            Server.submitAndWait(soakRequestJson(Idx, Sources[Idx]));
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+    std::string Probe =
+        Server.submitAndWait("{\"id\":\"probe\",\"verb\":\"stats\"}");
+    std::optional<json::Value> R = json::parse(Probe);
+    const json::Value *Intern =
+        R && R->field("stats") ? R->field("stats")->field("intern") : nullptr;
+    if (Intern != nullptr) {
+      ArenaSamples.push_back(
+          static_cast<size_t>(Intern->field("arena_bytes")->asNumber()));
+      FormulaSamples.push_back(
+          static_cast<size_t>(Intern->field("formulas")->asNumber()));
+    }
+  }
+
+  // Byte-identity: every concurrent response must equal a fresh serial
+  // session run of the same source — concurrency may only change which
+  // requests computed answers and which reused them, never the bytes.
+  for (unsigned Idx = 0; Idx < Waves * Clients; ++Idx) {
+    std::optional<json::Value> R = json::parse(Responses[Idx]);
+    const json::Value *Ok = R && R->isObject() ? R->field("ok") : nullptr;
+    if (Ok == nullptr || !Ok->asBool()) {
+      std::cerr << "failed response " << Idx << ": " << Responses[Idx]
+                << "\n";
+      ++Failures;
+      continue;
+    }
+    VarPool::Session Lease;
+    VarPool::SessionScope Active(Lease);
+    AnalysisResult Fresh = analyzeProgram(Sources[Idx], CO.Server.Program);
+    const json::Value *Output = R->field("output");
+    const json::Value *Verdict = R->field("verdict");
+    if (Output == nullptr || Output->asString() != Fresh.str() ||
+        Verdict == nullptr ||
+        Verdict->asString() != outcomeStr(Fresh.outcome("main"))) {
+      std::cerr << "response for request " << Idx
+                << " differs from a fresh serial run\n";
+      ++Failures;
+    }
+  }
+
+  ServerStats S = Server.stats();
+  std::cout << "serve-concurrent-smoke: " << Waves * Clients
+            << " requests, " << Clients << " clients, reclaims="
+            << S.Reclaims << " shed=" << Server.shedCount()
+            << " arena_bytes=" << S.InternArenaBytes << "\n";
+  if (Server.shedCount() != 0) {
+    std::cerr << "unexpected load-shed under an unsaturated queue\n";
+    ++Failures;
+  }
+  if (CO.Server.ReclaimEvery != 0 && Waves * Clients >= CO.Server.ReclaimEvery &&
+      S.Reclaims == 0) {
+    std::cerr << "reclamation never ran at quiescence\n";
+    ++Failures;
+  }
+  if (VarPool::get().scopedFallbacks() != FallbacksBefore) {
+    std::cerr << "concurrent requests fell back to global-region ids\n";
+    ++Failures;
+  }
+  if (VarPool::get().size() != PoolBefore) {
+    std::cerr << "shared VarPool grew during a session-only soak: "
+              << PoolBefore << " -> " << VarPool::get().size() << "\n";
+    ++Failures;
+  }
+  auto bounded = [&](const std::vector<size_t> &Samples, const char *What) {
+    if (Samples.size() < SoakMinSamples)
+      return;
+    if (!soakSamplesBounded(Samples)) {
+      std::cerr << What << " kept growing after tier warmup: ";
+      for (size_t V : Samples)
+        std::cerr << V << " ";
+      std::cerr << "\n";
+      ++Failures;
+    }
+  };
+  bounded(ArenaSamples, "arena bytes");
+  bounded(FormulaSamples, "formula count");
+  return Failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Path, Entry = "main", BatchTarget, StorePath;
+  std::string Path, Entry = "main", BatchTarget, StorePath, ServeSocket;
   bool ShowStats = false, Batch = false, GlobalTier = true,
        ShowOutcomes = false, Serve = false, ExpectStoreHits = false;
-  unsigned ServeSmoke = 0, ReclaimEvery = 64;
+  unsigned ServeSmoke = 0, ServeConcurrentSmoke = 0, ReclaimEvery = 64,
+           ServeWorkers = 4, ServeQueue = 64;
   AnalyzerConfig Config;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -529,6 +682,50 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       ServeSmoke = static_cast<unsigned>(V);
+    } else if (Arg == "--serve-concurrent-smoke") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --serve-concurrent-smoke requires a request "
+                     "count\n";
+        return 2;
+      }
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || V == 0) {
+        std::cerr << "invalid --serve-concurrent-smoke value '" << Argv[I]
+                  << "'\n";
+        return 2;
+      }
+      ServeConcurrentSmoke = static_cast<unsigned>(V);
+    } else if (Arg == "--serve-socket") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --serve-socket requires a path\n";
+        return 2;
+      }
+      ServeSocket = Argv[++I];
+    } else if (Arg == "--serve-workers") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --serve-workers requires a value\n";
+        return 2;
+      }
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || V == 0) {
+        std::cerr << "invalid --serve-workers value '" << Argv[I] << "'\n";
+        return 2;
+      }
+      ServeWorkers = static_cast<unsigned>(V);
+    } else if (Arg == "--serve-queue") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --serve-queue requires a value\n";
+        return 2;
+      }
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || V == 0) {
+        std::cerr << "invalid --serve-queue value '" << Argv[I] << "'\n";
+        return 2;
+      }
+      ServeQueue = static_cast<unsigned>(V);
     } else if (Arg == "--reclaim-every") {
       if (I + 1 >= Argc) {
         std::cerr << "option --reclaim-every requires a value\n";
@@ -578,6 +775,27 @@ int main(int Argc, char **Argv) {
 
   if (ServeSmoke != 0)
     return runServeSmoke(ServeSmoke);
+  if (ServeConcurrentSmoke != 0)
+    return runServeConcurrentSmoke(ServeConcurrentSmoke);
+  if (!ServeSocket.empty()) {
+    ConcurrentServerOptions CO;
+    CO.Server.GlobalTier = GlobalTier;
+    CO.Server.ReclaimEvery = ReclaimEvery;
+    CO.Server.Program.Modular = Config.Modular;
+    CO.Server.Program.Solve.EnableAbduction = Config.Solve.EnableAbduction;
+    CO.Server.Program.Solve.EnableCondTerm = Config.Solve.EnableCondTerm;
+    CO.Server.Program.Ladder = Config.Ladder;
+    CO.Server.StorePath = StorePath;
+    CO.Workers = ServeWorkers;
+    CO.QueueDepth = ServeQueue;
+    CO.SocketPath = ServeSocket;
+    ConcurrentAnalysisServer Server(std::move(CO));
+    std::string Err;
+    int RC = Server.serveSocket(&Err);
+    if (!Err.empty())
+      std::cerr << Err << "\n";
+    return RC;
+  }
   if (Serve) {
     ServerOptions SO;
     SO.GlobalTier = GlobalTier;
