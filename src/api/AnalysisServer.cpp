@@ -2,13 +2,17 @@
 
 #include "api/AnalysisServer.h"
 
+#include "api/MetricsBridge.h"
 #include "api/Pipeline.h"
 #include "arith/Var.h"
 #include "store/SpecStore.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -150,6 +154,12 @@ RequestOutcome tnt::runProgramRequest(const std::string &Source,
   RequestOutcome O;
   O.Ran = true;
 
+  // Observability is strictly out-of-band: the span and the execution
+  // histogram never touch O. Both front ends funnel through here, so
+  // "server.request.exec_us" means the same thing serial or concurrent.
+  trace::Span ReqSpan("request", "server");
+  auto ExecT0 = std::chrono::steady_clock::now();
+
   // A virgin block lease for this request: every id and spelling the
   // analysis mints is session-local and positional, so the rendered
   // response is a pure function of (Source, Entry, Config) — identical
@@ -186,6 +196,12 @@ RequestOutcome tnt::runProgramRequest(const std::string &Source,
              ",\"verdict\":" + json::quoted(outcomeStr(R.outcome(Entry))) +
              ",\"output\":" + json::quoted(R.str());
   }
+  static metrics::Histogram &ExecUs =
+      metrics::Registry::get().histogram("server.request.exec_us");
+  ExecUs.observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ExecT0)
+          .count()));
   // PP and R (every Formula handle of this request) die HERE — nothing
   // of the request outlives its epoch except what promoteTo put in the
   // tier (and, as plain strings, what the spec store captured). The
@@ -237,10 +253,25 @@ void AnalysisServer::accumulate(const RequestOutcome &Outcome) {
 
 std::optional<std::string>
 AnalysisServer::decodeAndRun(const json::Value &Req) {
+  auto T0 = std::chrono::steady_clock::now();
   std::optional<RequestOutcome> Outcome =
       decodeAndRunRequest(Req, Opt.Program, Batch.globalTier(), Opt.AllowPaths);
   if (!Outcome)
     return std::nullopt;
+  if (Outcome->Ran) {
+    // The serial loop admits a request the instant it is read, so its
+    // queue wait is identically zero; recording it anyway keeps the
+    // metrics-verb schema one shape across both front ends.
+    static metrics::Histogram &QueueUs =
+        metrics::Registry::get().histogram("server.request.queue_us");
+    static metrics::Histogram &TotalUs =
+        metrics::Registry::get().histogram("server.request.total_us");
+    QueueUs.observe(0);
+    TotalUs.observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count()));
+  }
   accumulate(*Outcome);
   // Serial loop: every request completion is a quiescence point.
   if (Outcome->Ran && Opt.ReclaimEvery != 0 &&
@@ -341,6 +372,35 @@ std::string AnalysisServer::statsJson(const std::string &Id) const {
   return Out.str();
 }
 
+std::string AnalysisServer::metricsJson(const std::string &Id) const {
+  // Refresh the registry from the engine's cumulative counters first,
+  // so the snapshot is current however long ago the last bridge ran.
+  // Event-driven instruments (request latency histograms, batch group
+  // timings, concurrent-server admission counters) are already in the
+  // registry — they accumulate at event time.
+  ServerStats S = stats();
+  metrics::Registry &R = metrics::Registry::get();
+  R.setGauge("server.requests", static_cast<int64_t>(S.Requests));
+  R.setGauge("server.errors", static_cast<int64_t>(S.Errors));
+  R.setGauge("server.reclaims", static_cast<int64_t>(S.Reclaims));
+  R.setGauge("server.store_hits", static_cast<int64_t>(S.StoreHits));
+  R.setGauge("server.store_misses", static_cast<int64_t>(S.StoreMisses));
+  R.setGauge("server.intern_exprs", static_cast<int64_t>(S.InternExprs));
+  R.setGauge("server.intern_constraints",
+             static_cast<int64_t>(S.InternConstraints));
+  R.setGauge("server.intern_formulas",
+             static_cast<int64_t>(S.InternFormulas));
+  R.setGauge("server.intern_arena_bytes",
+             static_cast<int64_t>(S.InternArenaBytes));
+  bridgeSolverStats("solver.", S.Usage);
+  bridgeGlobalCacheStats("tier.", S.Global);
+  bridgeCondTermStats("cond_term.", S.CondTerm);
+  if (Store != nullptr)
+    bridgeSpecStoreStats("spec_store.", Store->stats());
+  return "{\"id\":" + Id + ",\"ok\":true,\"metrics\":" +
+         R.snapshotJson() + "}";
+}
+
 std::string AnalysisServer::handleLine(const std::string &Line) {
   // Blank lines keep the stream alive without a response.
   bool AllWs = true;
@@ -358,6 +418,9 @@ std::string AnalysisServer::handleLine(const std::string &Line) {
                          Req ? "request is not a JSON object" : Err);
   }
   std::string Id = idText(*Req);
+  // Tag any spans the request opens (trace cat "server"/"pipeline"/
+  // "solver"/...) with the request id; a no-op unless tracing is on.
+  trace::ScopedTag IdTag("request_id", Id);
 
   if (const json::Value *Verb = Req->field("verb")) {
     if (!Verb->isString()) {
@@ -367,6 +430,8 @@ std::string AnalysisServer::handleLine(const std::string &Line) {
     const std::string &V = Verb->asString();
     if (V == "stats")
       return statsJson(Id);
+    if (V == "metrics")
+      return metricsJson(Id);
     if (V == "analyze-batch")
       return handleBatchVerb(Id, *Req);
     if (V == "shutdown") {

@@ -21,7 +21,8 @@
 ///   {"id": 3, "verb": "analyze-batch",
 ///    "programs": [{"program": ...}, {"path": ...}]}      batch request
 ///   {"id": 4, "verb": "stats"}                           server counters
-///   {"id": 5, "verb": "shutdown"}                        stop serving
+///   {"id": 5, "verb": "metrics"}                         registry snapshot
+///   {"id": 6, "verb": "shutdown"}                        stop serving
 ///
 /// analyze-batch answers one response line carrying a "results" array
 /// with one entry per requested program, in request order; each entry
@@ -249,6 +250,16 @@ public:
   /// The complete stats-verb response line (shared with the concurrent
   /// front end's stats verb, so both report identical shapes).
   std::string statsJson(const std::string &IdText) const;
+
+  /// The complete metrics-verb response line:
+  /// {"id":...,"ok":true,"metrics":<registry snapshot>}. Bridges the
+  /// engine's cumulative counters (server.*, solver.*, tier.*,
+  /// cond_term.*, spec_store.*) into the process-wide metrics registry
+  /// (support/Metrics.h) and snapshots it — so the one response also
+  /// carries every event-driven instrument (request latency
+  /// histograms, batch timings, concurrent-server admission counters).
+  /// The concurrent front end routes its metrics verb here too.
+  std::string metricsJson(const std::string &IdText) const;
 
 private:
   /// Decodes and runs one program-request object via

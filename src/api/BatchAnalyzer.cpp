@@ -2,10 +2,14 @@
 
 #include "api/BatchAnalyzer.h"
 
+#include "api/MetricsBridge.h"
 #include "api/Pipeline.h"
 #include "store/SpecStore.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "support/WorkStealingPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
@@ -32,6 +36,9 @@ struct ProgState {
   std::vector<std::vector<size_t>> Dependents;
   size_t Finished = 0;
   double Millis = 0; ///< Summed group-task time (reported, not compared).
+  /// Per-group profile rows (BatchOptions::Profile only), indexed by
+  /// group so the post-run collection is in deterministic order.
+  std::vector<GroupProfile> Rows;
 };
 
 } // namespace
@@ -69,39 +76,33 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
   WorkStealingPool Pool(R.Threads);
 
   // --- Phase 1: every program's front end, SEQUENTIAL in input order.
-  // Parsing interns each program's identifiers, and prepareProgram
-  // pre-interns the analysis-time spellings ("x'", "res"); running the
-  // front ends in program order makes every shared spelling's VarId a
-  // function of the batch content, so the group phase — which interns
-  // nothing unscoped — cannot make id order depend on scheduling.
-  // Front-end cost is a sliver of analysis cost, so the serial phase
-  // costs little wall-clock (the batch bench reports the split).
-  // Program P prepares under root block 1 + P: distinct per-program
-  // fresh-variable spellings (block 0 stays the historical
-  // single-program root block).
-  // Deterministic fresh-variable block assignment for phase 2: prefix
-  // sums over group counts give every (program, group) a block that
-  // depends only on the batch's content and order — never on
-  // scheduling. Blocks beyond VarPool's block limit fall back to the
-  // pool's global region (sound but nondeterministic for the overflow
-  // tail — pinned by VarPoolOverflowTest; a real corpus would need
-  // ~16k groups total to get there). The blocks are installed into
-  // each PreparedProgram — and the spec-store prescan runs — inside
-  // this same sequential loop, because both feed the deterministic
-  // interning contract.
+  // Each program gets its OWN VarPool::Session lease (the concurrent
+  // server's per-request mechanism), created here and owned by its
+  // BatchProgramResult so rendering can re-activate it later. Inside
+  // its session every program uses the single-program block schedule —
+  // root block 0, group G on block G + 1 (prepareProgram's default) —
+  // because sessions are private views: sibling programs cannot
+  // collide however the pool schedules them, and every id/spelling a
+  // program mints is positional, a function of that program alone.
+  // That also makes store content keys (block-qualified) identical
+  // across programs with content-identical same-index groups, so twins
+  // share entries; and block overflow, should a program ever mint
+  // ~16k groups, falls back to the SESSION's id region — still
+  // positional, so even the overflow tail keeps byte-determinism
+  // (pinned by VarPoolOverflowTest).
+  // The spec-store prescan runs inside the same sequential loop and
+  // session: it interns rehydration spellings (session-scoped) and
+  // snapshots the store's answers (PreparedProgram::StoreEntries), so
+  // the parallel group phase replays a schedule-independent store
+  // view.
   std::vector<std::unique_ptr<PreparedProgram>> Prepared(NP);
-  std::vector<uint64_t> GroupBase(NP);
-  uint64_t NextBlock = NP + 1;
   for (size_t P = 0; P < NP; ++P) {
-    Prepared[P] =
-        prepareProgram(Items[P].Source, Cfg, static_cast<uint32_t>(P) + 1);
-    GroupBase[P] = NextBlock;
+    R.Programs[P].Session = std::make_shared<VarPool::Session>();
+    VarPool::SessionScope Active(*R.Programs[P].Session);
+    trace::ScopedTag ProgTag("program", Items[P].Name);
+    Prepared[P] = prepareProgram(Items[P].Source, Cfg, 0);
     if (!Prepared[P]->Ok)
       continue;
-    NextBlock += Prepared[P]->Groups.size();
-    for (size_t G = 0; G < Prepared[P]->GroupBlocks.size(); ++G)
-      Prepared[P]->GroupBlocks[G] =
-          static_cast<uint32_t>(GroupBase[P] + G);
     prescanSpecStore(*Prepared[P], Cfg);
   }
 
@@ -113,6 +114,11 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
 
   auto Finalize = [&](size_t P) {
     ProgState &St = *States[P];
+    // In-session: the end-of-program promotion renders name-canonical
+    // sat-snapshot keys, which must resolve through this program's
+    // lease.
+    VarPool::SessionScope Active(*R.Programs[P].Session);
+    trace::ScopedTag ProgTag("program", Items[P].Name);
     AnalysisResult A =
         finalizeProgram(*Prepared[P], std::move(St.Runs), Cfg, Tier);
     A.Millis = St.Millis;
@@ -125,16 +131,43 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
   // idle workers steal independent programs.
   std::function<void(size_t, size_t)> RunGroupTask = [&](size_t P, size_t G) {
     auto T0 = Clock::now();
-    GroupRun Run = runPipelineGroup(
-        *Prepared[P], Cfg, G, static_cast<uint32_t>(GroupBase[P] + G), Tier);
+    GroupRun Run;
+    {
+      // Activate this program's lease on the worker thread (sessions
+      // are mutex-protected, so independent groups of one program may
+      // run them concurrently).
+      VarPool::SessionScope Active(*R.Programs[P].Session);
+      trace::ScopedTag ProgTag("program", Items[P].Name);
+      Run = runPipelineGroup(*Prepared[P], Cfg, G,
+                             Prepared[P]->GroupBlocks[G], Tier);
+    }
     double Ms =
         std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+    {
+      static metrics::Histogram &GroupUs =
+          metrics::Registry::get().histogram("batch.group_us");
+      GroupUs.observe(static_cast<uint64_t>(Ms * 1000.0));
+    }
 
     ProgState &St = *States[P];
     std::vector<size_t> NowReady;
     bool Done = false;
     {
       std::lock_guard<std::mutex> L(St.Mu);
+      if (Opt.Profile) {
+        GroupProfile &Row = St.Rows[G];
+        Row.Program = Items[P].Name;
+        Row.ProgramIdx = P;
+        Row.Group = G;
+        if (G < Prepared[P]->GroupKeys.size())
+          Row.Key = Prepared[P]->GroupKeys[G];
+        Row.Millis = Ms;
+        Row.FromStore = Run.FromStore;
+        Row.SatQueries = Run.Stats.SatQueries;
+        Row.GlobalSatHits = Run.Stats.GlobalSatHits;
+        Row.IntervalAnswered = Run.Stats.IntervalUnsat + Run.Stats.IntervalSat;
+        Row.DnfQueries = Run.Stats.DnfQueries;
+      }
       St.Runs[G] = std::move(Run);
       St.Millis += Ms;
       ++St.Finished;
@@ -163,6 +196,8 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
     St->Runs.resize(N);
     St->Pending.resize(N);
     St->Dependents.resize(N);
+    if (Opt.Profile)
+      St->Rows.resize(N);
     std::vector<size_t> Ready;
     for (size_t G = 0; G < N; ++G) {
       St->Pending[G] = PP.Deps[G].size();
@@ -187,8 +222,27 @@ BatchResult BatchAnalyzer::run(const std::vector<BatchItem> &Items) {
     R.StoreMisses = Cfg.Store->stats().Misses - StoreMissesBefore;
   if (Global)
     R.Global = Global->stats();
+  if (Opt.Profile)
+    for (size_t P = 0; P < NP; ++P)
+      if (States[P])
+        for (GroupProfile &Row : States[P]->Rows)
+          R.Profile.push_back(std::move(Row));
   R.Millis = std::chrono::duration<double, std::milli>(Clock::now() - Start)
                  .count();
+
+  // Fold the batch's counters into the unified registry — observability
+  // export only; nothing reads these back into analysis.
+  metrics::Registry &M = metrics::Registry::get();
+  M.setGauge("batch.programs", static_cast<int64_t>(R.Programs.size()));
+  M.setGauge("batch.threads", R.Threads);
+  M.setGauge("batch.store_hits", static_cast<int64_t>(R.StoreHits));
+  M.setGauge("batch.store_misses", static_cast<int64_t>(R.StoreMisses));
+  bridgeSolverStats("solver.", R.Usage);
+  if (Global)
+    bridgeGlobalCacheStats("tier.", R.Global);
+  bridgeCondTermStats("cond_term.", R.CondTerm);
+  if (Cfg.Store != nullptr)
+    bridgeSpecStoreStats("spec_store.", Cfg.Store->stats());
   return R;
 }
 
@@ -280,9 +334,53 @@ std::string BatchResult::table() const {
 std::string BatchResult::renderOutcomes() const {
   std::string Out;
   for (const BatchProgramResult &P : Programs) {
+    // Spellings resolve through the lease the program analyzed under;
+    // without it a session-minted VarId has no name here.
+    std::optional<VarPool::SessionScope> Active;
+    if (P.Session)
+      Active.emplace(*P.Session);
     Out += "== " + P.Name + " [" + P.Category + "] entry '" + P.Entry +
            "': " + outcomeStr(P.Verdict) + "\n";
     Out += P.Result.str();
+  }
+  return Out;
+}
+
+std::string BatchResult::profileTable(size_t TopN) const {
+  if (Profile.empty())
+    return std::string();
+  std::vector<const GroupProfile *> Rows;
+  Rows.reserve(Profile.size());
+  for (const GroupProfile &Row : Profile)
+    Rows.push_back(&Row);
+  std::sort(Rows.begin(), Rows.end(),
+            [](const GroupProfile *A, const GroupProfile *B) {
+              if (A->Millis != B->Millis)
+                return A->Millis > B->Millis;
+              if (A->ProgramIdx != B->ProgramIdx)
+                return A->ProgramIdx < B->ProgramIdx;
+              return A->Group < B->Group;
+            });
+  if (Rows.size() > TopN)
+    Rows.resize(TopN);
+
+  std::string Out = "Slowest groups (top " + std::to_string(Rows.size()) +
+                    " of " + std::to_string(Profile.size()) + "):\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "%-24s %5s %10s %8s %8s %8s %8s %6s\n",
+                "Program", "Grp", "Time(ms)", "SatQ", "TierHit", "Intv",
+                "DnfQ", "Store");
+  Out += Buf;
+  for (const GroupProfile *Row : Rows) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-24s %5zu %10.2f %8llu %8llu %8llu %8llu %6s\n",
+                  Row->Program.c_str(), Row->Group, Row->Millis,
+                  static_cast<unsigned long long>(Row->SatQueries),
+                  static_cast<unsigned long long>(Row->GlobalSatHits),
+                  static_cast<unsigned long long>(Row->IntervalAnswered),
+                  static_cast<unsigned long long>(Row->DnfQueries),
+                  Row->FromStore ? "hit" : "-");
+    Out += Buf;
   }
   return Out;
 }

@@ -19,13 +19,36 @@
 /// hit rate the per-group cache split gives up.
 ///
 /// Determinism: per-program results are byte-identical for any thread
-/// count and any global-tier setting. Each program gets disjoint
-/// fresh-variable blocks assigned by its batch index (prefix sums over
-/// group counts), group results are joined in group order, and both
-/// cache tiers are semantically transparent (see GlobalCache.h), so
-/// nothing observable depends on scheduling. The carve-outs are the
-/// same as the single-program scheduler's: stats/hit rates and — with
-/// a nonzero FuelBudget — which groups a budget cutoff skips.
+/// count and any global-tier setting. Each program runs inside its own
+/// VarPool::Session lease (the same mechanism PR 9's concurrent server
+/// uses per request): a virgin, private pool view in which the program
+/// prepares under root block 0 and runs group G on block G + 1 —
+/// exactly the single-program schedule — so every id and spelling it
+/// mints is positional, a pure function of that program alone. Group
+/// results are joined in group order, and both cache tiers are
+/// semantically transparent (see GlobalCache.h), so nothing observable
+/// depends on scheduling. Block overflow (an oversized program) falls
+/// back to the SESSION's id region, which is equally positional — the
+/// old shared-pool carve-out ("overflow tail loses byte-determinism")
+/// is retired; see tests/VarPoolOverflowTest.cpp. The remaining
+/// carve-outs are the single-program scheduler's: timing stats / hit
+/// rates and — with a nonzero FuelBudget — which groups a budget
+/// cutoff skips.
+///
+/// Sessions also make store keys position-independent ACROSS programs:
+/// every program's groups are keyed under the same root-0 numbering,
+/// so content-identical groups at the same group index in different
+/// programs share one spec-store entry (the near-twin dedup the
+/// ROADMAP's content-addressed direction asks for, for the common
+/// same-shape case). The store view each program replays is
+/// snapshotted at prescan time (see PreparedProgram::StoreEntries), so
+/// mid-run inserts by sibling programs never make hits — or interning
+/// order — schedule-dependent.
+///
+/// Each BatchProgramResult OWNS its session: rendering resolves VarIds
+/// through the session that built the result, so renderOutcomes() (and
+/// any caller that stringifies result formulas) re-activates the
+/// owning program's lease. Verdicts and counts need no session.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +56,7 @@
 #define TNT_API_BATCHANALYZER_H
 
 #include "api/Analyzer.h"
+#include "arith/Var.h"
 #include "solver/GlobalCache.h"
 
 #include <memory>
@@ -95,6 +119,11 @@ struct BatchOptions {
   /// and their transitive callers — every other group's key still hits
   /// the store. Not owned; must outlive the analyzer.
   SpecStore *Store = nullptr;
+  /// Capture per-group profile rows (BatchResult::Profile) for the
+  /// --profile top-N slowest-groups table. Off by default: profiling
+  /// is out-of-band observability — it never changes analysis output —
+  /// but the capture itself is skipped entirely when nobody asks.
+  bool Profile = false;
 };
 
 /// One program's outcome within a batch.
@@ -104,6 +133,28 @@ struct BatchProgramResult {
   std::string Entry;
   AnalysisResult Result;
   Outcome Verdict = Outcome::Unknown;
+  /// The VarPool lease this program's analysis ran under. Kept alive
+  /// with the result because rendering resolves VarId spellings
+  /// through the session that minted them (renderOutcomes activates
+  /// it per program). Shared so results stay copyable.
+  std::shared_ptr<VarPool::Session> Session;
+};
+
+/// One group's profile row (BatchOptions::Profile): where the batch's
+/// wall-clock and solver work went. Timing fields are observational —
+/// they vary run to run and are deliberately excluded from every
+/// byte-determinism witness.
+struct GroupProfile {
+  std::string Program;   ///< BatchItem name.
+  size_t ProgramIdx = 0; ///< Batch input index (deterministic tiebreak).
+  size_t Group = 0;      ///< SCC-group index within the program.
+  std::string Key;       ///< Store content key ("" without a store).
+  double Millis = 0;     ///< Group task wall-clock.
+  bool FromStore = false;
+  uint64_t SatQueries = 0;
+  uint64_t GlobalSatHits = 0;
+  uint64_t IntervalAnswered = 0; ///< IntervalUnsat + IntervalSat.
+  uint64_t DnfQueries = 0;
 };
 
 /// Per-category outcome counts — one row of the Fig. 10 table.
@@ -138,6 +189,9 @@ struct BatchResult {
   /// Merged per-program conditional-termination counters (inference
   /// side; zero for store-served groups — see AnalysisResult).
   CondTermStats CondTerm;
+  /// Per-group profile rows in (program, group) order; empty unless
+  /// BatchOptions::Profile.
+  std::vector<GroupProfile> Profile;
 
   /// Categories in first-appearance order with their outcome counts.
   std::vector<std::pair<std::string, CategoryCounts>> perCategory() const;
@@ -148,7 +202,14 @@ struct BatchResult {
   /// Deterministic rendering of every program's verdict and summary,
   /// in input order — the byte-identity witness of the determinism
   /// tests (excludes times and cache statistics by construction).
+  /// Re-activates each program's session lease to resolve spellings.
   std::string renderOutcomes() const;
+
+  /// The --profile view: the top-\p TopN slowest groups (Millis
+  /// descending; (program index, group) ascending as the deterministic
+  /// tiebreak), with solver query counts and tier/store attribution.
+  /// Empty string when Profile was not captured.
+  std::string profileTable(size_t TopN = 20) const;
 };
 
 /// The batch engine. One instance owns one GlobalSolverCache, which

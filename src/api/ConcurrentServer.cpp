@@ -3,6 +3,8 @@
 #include "api/ConcurrentServer.h"
 
 #include "store/SpecStore.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "support/UnixSocket.h"
 
 #include <future>
@@ -55,7 +57,7 @@ void ConcurrentAnalysisServer::pumpLocked() {
     Queue.pop_front();
     ++InFlight;
     auto Shared = std::make_shared<Job>(std::move(J));
-    Pool.submit([this, Shared] { runJob(Shared->Line, Shared->Done); });
+    Pool.submit([this, Shared] { runJob(*Shared); });
   }
 }
 
@@ -94,12 +96,24 @@ void ConcurrentAnalysisServer::jobFinished(uint64_t ProgramsRan) {
   IdleCv.notify_all();
 }
 
-void ConcurrentAnalysisServer::runJob(
-    const std::string &Line, const std::function<void(std::string)> &Done) {
+void ConcurrentAnalysisServer::runJob(const Job &J) {
+  const std::string &Line = J.Line;
+  const std::function<void(std::string)> &Done = J.Done;
+  // Queue wait: dispatch minus admission. Observed before the work so
+  // a long-running job does not hide the wait that preceded it.
+  static metrics::Histogram &QueueUs =
+      metrics::Registry::get().histogram("server.request.queue_us");
+  static metrics::Histogram &TotalUs =
+      metrics::Registry::get().histogram("server.request.total_us");
+  QueueUs.observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - J.Enqueued)
+          .count()));
   // The line was classified by submitAsync: a JSON object carrying
   // "program"/"path", or the analyze-batch verb.
   std::optional<json::Value> Req = json::parse(Line, nullptr);
   std::string Id = proto::idText(*Req);
+  trace::ScopedTag IdTag("request_id", Id);
   std::vector<RequestOutcome> Outcomes;
   std::string Response;
 
@@ -172,6 +186,10 @@ void ConcurrentAnalysisServer::runJob(
   // (The job that crosses the reclaim cadence therefore also delivers
   // its response after the quiescent reclaim it triggered.)
   jobFinished(ProgramsRan);
+  TotalUs.observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - J.Enqueued)
+          .count()));
   Done(Response);
 }
 
@@ -209,20 +227,25 @@ void ConcurrentAnalysisServer::submitAsync(
         Done(proto::errorResponse(Id, "server is shutting down"));
         return;
       }
+      static metrics::Counter &ShedCount =
+          metrics::Registry::get().counter("server.shed");
       if (Draining) {
         ++ShedN;
+        ShedCount.add(1);
         Done("{\"id\":" + Id +
              ",\"ok\":false,\"error\":\"server draining\",\"shed\":true}");
         return;
       }
       if (Queue.size() >= Opt.QueueDepth) {
         ++ShedN;
+        ShedCount.add(1);
         Done("{\"id\":" + Id +
              ",\"ok\":false,\"error\":\"server overloaded: queue full\","
              "\"shed\":true}");
         return;
       }
-      Queue.push_back(Job{Line, std::move(Done)});
+      Queue.push_back(
+          Job{Line, std::move(Done), std::chrono::steady_clock::now()});
       pumpLocked();
     }
     return;

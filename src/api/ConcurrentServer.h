@@ -63,6 +63,7 @@
 #include "api/AnalysisServer.h"
 #include "support/WorkStealingPool.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -143,6 +144,10 @@ private:
   struct Job {
     std::string Line;
     std::function<void(std::string)> Done;
+    /// Admission time — the anchor for the queue-wait and total-latency
+    /// histograms ("server.request.queue_us" / "...total_us"). Purely
+    /// observational; never feeds a response.
+    std::chrono::steady_clock::time_point Enqueued;
   };
   /// Per-connection state shared between its reader thread and the
   /// worker-side response writers.
@@ -160,8 +165,7 @@ private:
   void submitAsync(const std::string &Line,
                    std::function<void(std::string)> Done);
   /// Runs one admitted job on a pool thread.
-  void runJob(const std::string &Line,
-              const std::function<void(std::string)> &Done);
+  void runJob(const Job &J);
   /// Bookkeeping after a job: in-flight count, reclaim-at-quiescence,
   /// dispatch pump.
   void jobFinished(uint64_t ProgramsRan);

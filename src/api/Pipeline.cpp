@@ -9,6 +9,7 @@
 #include "store/ContentHash.h"
 #include "store/SpecSerial.h"
 #include "store/SpecStore.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <map>
@@ -18,6 +19,7 @@ using namespace tnt;
 std::unique_ptr<PreparedProgram>
 tnt::prepareProgram(const std::string &Source, const AnalyzerConfig &Config,
                     uint32_t RootBlock) {
+  trace::Span PrepSpan("prepare", "pipeline");
   auto PP = std::make_unique<PreparedProgram>();
 
   // Deterministic ids/names for everything the front end and the heap
@@ -111,6 +113,7 @@ void tnt::prescanSpecStore(PreparedProgram &PP,
                            const AnalyzerConfig &Config) {
   if (Config.Store == nullptr || !PP.Ok)
     return;
+  trace::Span PrescanSpan("prescan", "store");
   // Content keys — bottom-up, so each key embeds its callee keys, and
   // block-qualified, so a hit implies the entry's numbering is this
   // group's numbering (see ContentHash.h).
@@ -134,11 +137,17 @@ void tnt::prescanSpecStore(PreparedProgram &PP,
   // order. Group tasks may rehydrate concurrently later; by then every
   // spelling they can touch is a deterministic function of the program
   // + store content, like the pre-interned "res"/primed spellings of
-  // prepareProgram.
+  // prepareProgram. The peek results are snapshotted alongside: the
+  // group phase replays THIS moment's store view, so an entry a
+  // sibling program inserts mid-run can never become a hit whose
+  // spellings were not interned here.
+  PP.StoreEntries.assign(PP.GroupKeys.size(), nullptr);
   std::vector<std::string> Fresh;
-  for (const std::string &Key : PP.GroupKeys)
-    if (const std::string *Entry = Config.Store->peek(Key))
+  for (size_t G = 0; G < PP.GroupKeys.size(); ++G)
+    if (const std::string *Entry = Config.Store->peek(PP.GroupKeys[G])) {
+      PP.StoreEntries[G] = Entry;
       collectFreshSpellings(*Entry, PP.StoreBlocks, Fresh);
+    }
   internFreshSpellings(std::move(Fresh));
 }
 
@@ -256,6 +265,9 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
     return Out;
   }
 
+  trace::Span GroupSpan("group", "pipeline");
+  GroupSpan.arg("group", std::to_string(GroupIdx));
+
   // Deterministic fresh-variable block: names and ids depend on the
   // block number and the group's own execution, never on worker
   // scheduling. Entered before the store path too, so the (rare)
@@ -267,14 +279,26 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
   // Spec store, hit path: rehydrate the stored summaries and register
   // them for the callers above — no verification, no inference, no
   // solver context. A malformed or slot-mismatched entry (scheme
-  // drift, key collision) falls through to a normal run.
+  // drift, key collision) falls through to a normal run. The lookup
+  // goes through the PRESCAN SNAPSHOT, not the live store: an entry a
+  // concurrent sibling inserted after the prescan must stay a miss
+  // here, or its un-prescanned fresh spellings would intern in
+  // schedule-dependent order (see PreparedProgram::StoreEntries).
   SpecStore *Store = Config.Store;
   const std::string *StoreKey =
       Store != nullptr && GroupIdx < PP.GroupKeys.size()
           ? &PP.GroupKeys[GroupIdx]
           : nullptr;
+  trace::ScopedTag KeyTag("group_key",
+                          StoreKey != nullptr ? *StoreKey : std::string());
+  if (StoreKey != nullptr)
+    GroupSpan.arg("key", *StoreKey);
   if (StoreKey != nullptr) {
-    if (const std::string *Entry = Store->peek(*StoreKey)) {
+    const std::string *Entry =
+        GroupIdx < PP.StoreEntries.size() ? PP.StoreEntries[GroupIdx]
+                                          : nullptr;
+    if (Entry != nullptr) {
+      trace::Span RehydrateSpan("rehydrate", "store");
       std::vector<ScenarioSlot> Slots = scenarioSlots(PP, GroupIdx);
       RehydratedGroup RG;
       if (rehydrateGroupEntry(*Entry, Slots, PP.StoreBlocks, RG)) {
@@ -311,7 +335,11 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
   Verifier V(PP.P, *PP.CG, *PP.HEnv, Reg, VDiags, SC, &PP.Store);
 
   const std::vector<std::string> &Group = PP.Groups[GroupIdx];
-  std::vector<Verifier::ScenarioResult> SRs = V.runGroup(Group);
+  std::vector<Verifier::ScenarioResult> SRs;
+  {
+    trace::Span VerifySpan("verify", "pipeline");
+    SRs = V.runGroup(Group);
+  }
 
   // Solve the scenarios that need inference, together.
   std::vector<ScenarioProblem> Problems;
@@ -329,10 +357,14 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
     // shared CancellationToken (attached above) is charged at each
     // query boundary and solveGroup polls it, so the cutoff lands on
     // the exact query that crossed the budget.
+    trace::Span SolveSpan("solveGroup", "pipeline");
     Out.Bailed |= solveGroup(Problems, Reg, Th, Config.Solve, SC);
   }
-  bool GroupReVerified =
-      Problems.empty() || reVerifyGroup(Problems, Reg, Th, SC);
+  bool GroupReVerified = true;
+  if (!Problems.empty()) {
+    trace::Span ReVerifySpan("reVerify", "pipeline");
+    GroupReVerified = reVerifyGroup(Problems, Reg, Th, SC);
+  }
 
   // Conditional-termination pass: runs on the solved definitions, but
   // only when re-verification upheld them — a condition assembled from
@@ -340,6 +372,7 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
   // re-verification rejected.
   CondTermResult CondRes;
   if (Config.Solve.EnableCondTerm && !Problems.empty() && GroupReVerified) {
+    trace::Span CondSpan("condTerm", "pipeline");
     inferCondTerm(Problems, Reg, Th, Config.Solve, SC, CondRes);
     Out.Cond = CondRes.Stats;
   }
@@ -410,6 +443,7 @@ GroupRun tnt::runPipelineGroup(PreparedProgram &PP,
   if (StoreKey != nullptr && !(PP.Budget && PP.Budget->cancelled()) &&
       !(Out.Bailed && Config.Solve.GroupDeadlineMs != 0) &&
       FallbackProbe() == FallbacksBefore) {
+    trace::Span SerializeSpan("serialize", "store");
     std::vector<ScenarioSlot> Slots = scenarioSlots(PP, GroupIdx);
     if (Slots.size() == Out.Methods.size()) {
       std::vector<ScenarioRecord> Records;
@@ -451,6 +485,7 @@ AnalysisResult tnt::finalizeProgram(PreparedProgram &PP,
                                     std::vector<GroupRun> Runs,
                                     const AnalyzerConfig &Config,
                                     GlobalSolverCache *Global) {
+  trace::Span FinalizeSpan("finalize", "pipeline");
   AnalysisResult Result;
   if (!PP.Ok) {
     Result.Diagnostics = PP.Diagnostics;
@@ -482,6 +517,7 @@ AnalysisResult tnt::finalizeProgram(PreparedProgram &PP,
   // by index — so what this program offers the tier is a function of
   // the program alone, not of its internal scheduling.
   if (Global != nullptr) {
+    trace::Span PromoteSpan("promote", "pipeline");
     PP.RootCtx->promoteTo(*Global);
     for (GroupRun &Run : Runs)
       if (Run.Ctx)

@@ -106,6 +106,17 @@ struct PreparedProgram {
   /// prescanSpecStore.
   BlockTokenMap StoreBlocks;
 
+  /// Prescan-time snapshot of the store's answer per group (parallel
+  /// to GroupKeys; null = miss at prescan time). runPipelineGroup
+  /// consults ONLY this snapshot, never the live store: entries
+  /// inserted by sibling programs (or sibling server requests) mid-run
+  /// must not turn into hits whose fresh spellings the prescan never
+  /// interned — that would make interning order, and with it rendered
+  /// bytes, depend on scheduling. SpecStore entries are node-stable
+  /// and insert-only, so the pointers stay valid for the program's
+  /// lifetime.
+  std::vector<const std::string *> StoreEntries;
+
   /// Cooperative program-wide budget (null when Config.FuelBudget is
   /// 0). Attached to the root context and every group context; charged
   /// at solver query boundaries (minus global-tier hits, matching

@@ -4,9 +4,11 @@
 
 #include "infer/Graph.h"
 #include "synth/Abduction.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 using namespace tnt;
 
@@ -153,6 +155,9 @@ void tnt::inferCondTerm(const std::vector<ScenarioProblem> &Problems,
     }
   }
 
+  std::optional<trace::Span> PropSpan;
+  PropSpan.emplace("propagate", "infer");
+
   // -- 2. Backwards obligation propagation, bottom-up over SCCs. ------
   //
   // sccs() is successor-first, so by the time a leaf is processed
@@ -286,6 +291,9 @@ void tnt::inferCondTerm(const std::vector<ScenarioProblem> &Problems,
       }
     }
   }
+
+  PropSpan.reset();
+  trace::Span AuditSpan("audit", "infer");
 
   // -- 3. Per-scenario assembly + the soundness audit. ----------------
   for (const ScenarioProblem &P : Problems) {

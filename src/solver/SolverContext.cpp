@@ -6,6 +6,7 @@
 #include "solver/GlobalCache.h"
 #include "solver/Interval.h"
 #include "solver/UnsatCore.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -18,6 +19,10 @@ namespace {
 /// cross-clause subsumption pass of simplify(); queries go straight to
 /// Omega (uncounted), matching the historical fuel accounting.
 Tri conjEntails(const ConstraintConj &A, const ConstraintConj &B) {
+  // On corpora where the interval prefilter answers every counted
+  // query, this is where the Omega wall-clock actually goes — worth a
+  // span of its own.
+  trace::Span EntailsSpan("entails", "solver");
   bool SawUnknown = false;
   for (const Constraint &C : B) {
     for (const Constraint &Neg : C.negated()) {
@@ -116,6 +121,7 @@ Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
     // computation and costs a query, exactly like the Omega run it
     // replaces, keeping fuel accounting byte-for-byte ladder-blind.
     if (Ladder) {
+      trace::Span IvSpan("interval", "solver");
       IntervalOutcome IO = intervalPrefilter(Conj);
       if (IO.Verdict != Tri::Unknown) {
         std::lock_guard<std::mutex> L(Mu);
@@ -126,6 +132,7 @@ Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
         return IO.Verdict;
       }
     }
+    trace::Span OmegaSpan("omegaSat", "solver");
     return Omega::isSatConj(Conj);
   }
 
@@ -196,14 +203,17 @@ Tri SolverContext::isSatConj(const ConstraintConj &Conj) {
   Tri R = Tri::Unknown;
   int ByInterval = 0; // 0: Omega answered, 1: interval UNSAT, 2: SAT.
   if (Ladder) {
+    trace::Span IvSpan("interval", "solver");
     IntervalOutcome IO = intervalPrefilter(Conj);
     if (IO.Verdict != Tri::Unknown) {
       R = IO.Verdict;
       ByInterval = R == Tri::False ? 1 : 2;
     }
   }
-  if (ByInterval == 0)
+  if (ByInterval == 0) {
+    trace::Span OmegaSpan("omegaSat", "solver");
     R = Omega::isSatConj(Conj);
+  }
 
   if (Capacity != 0 || ByInterval != 0) {
     std::lock_guard<std::mutex> L(Mu);
@@ -326,17 +336,22 @@ SolverContext::toDNF(const Formula &F, size_t MaxClauses) {
 
   // Both tiers missed with the local memo disabled (global tier only):
   // expand without recording — promotion is the per-context memo's job.
-  if (DnfCapacity == 0)
+  if (DnfCapacity == 0) {
+    trace::Span DnfSpan("dnfExpand", "solver");
     return F.toDNF(MaxClauses);
+  }
 
   // Miss: expand once, recording the fresh variables toNNF introduces
   // so later retrievals can rename them apart again. The skeleton
   // returned now already carries fresh placeholders, so it is served
   // as-is.
   std::vector<std::pair<VarId, std::string>> Renamed;
-  Formula Nnf = F.toNNF(&Renamed);
-  std::optional<std::vector<ConstraintConj>> Out =
-      Formula::expandNNF(Nnf, MaxClauses);
+  std::optional<std::vector<ConstraintConj>> Out;
+  {
+    trace::Span DnfSpan("dnfExpand", "solver");
+    Formula Nnf = F.toNNF(&Renamed);
+    Out = Formula::expandNNF(Nnf, MaxClauses);
+  }
 
   // Build the whole entry (deep clause copy, placeholder-site scan)
   // before taking the lock; under Mu only the map/list insert and the

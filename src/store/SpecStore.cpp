@@ -4,6 +4,7 @@
 
 #include "api/Analyzer.h"
 #include "support/Json.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -129,6 +130,7 @@ size_t SpecStore::size() const {
 }
 
 bool SpecStore::load(const std::string &Path, std::string *Err) {
+  trace::Span LoadSpan("load", "store");
   auto fail = [&](const std::string &Msg) {
     if (Err != nullptr)
       *Err = Msg;
@@ -226,6 +228,7 @@ bool SpecStore::load(const std::string &Path, std::string *Err) {
 }
 
 bool SpecStore::save(const std::string &Path, std::string *Err) const {
+  trace::Span SaveSpan("save", "store");
   std::string Out = "{\"version\":1,\"fingerprint\":" +
                     json::quoted(Fingerprint) + ",\"groups\":{";
   {

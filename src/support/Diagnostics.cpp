@@ -17,17 +17,29 @@ std::string Diagnostic::str() const {
   return Loc.str() + ": " + Tag + ": " + Message;
 }
 
+void DiagnosticEngine::emit(Diagnostic D) {
+  // Severity order is the enum's declaration order: Error(0) is the
+  // most severe, so "at least MinSeverity" is a <= comparison.
+  if (static_cast<int>(D.Kind) > static_cast<int>(MinSeverity))
+    return;
+  if (Sink)
+    Sink(D);
+  Diags.push_back(std::move(D));
+}
+
 void DiagnosticEngine::error(SourceLoc Loc, const std::string &Message) {
-  Diags.push_back({DiagKind::Error, Loc, Message});
+  // Errors count even when a (misconfigured) filter would drop them:
+  // hasErrors() is a pass's failure indicator, not presentation.
   ++NumErrors;
+  emit({DiagKind::Error, Loc, Message});
 }
 
 void DiagnosticEngine::warning(SourceLoc Loc, const std::string &Message) {
-  Diags.push_back({DiagKind::Warning, Loc, Message});
+  emit({DiagKind::Warning, Loc, Message});
 }
 
 void DiagnosticEngine::note(SourceLoc Loc, const std::string &Message) {
-  Diags.push_back({DiagKind::Note, Loc, Message});
+  emit({DiagKind::Note, Loc, Message});
 }
 
 std::string DiagnosticEngine::str() const {

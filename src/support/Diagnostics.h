@@ -15,6 +15,7 @@
 #ifndef TNT_SUPPORT_DIAGNOSTICS_H
 #define TNT_SUPPORT_DIAGNOSTICS_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,16 @@ struct Diagnostic {
 
 /// Collects diagnostics emitted by a pass; owned by the caller so that
 /// library code stays exception-free and side-effect-free.
+///
+/// Two opt-in knobs, both defaulting to the historical behavior:
+///  - a minimum severity (setMinSeverity): diagnostics below it are
+///    DROPPED — not collected, not rendered, not sent to the sink.
+///    Errors always count toward hasErrors()/errorCount(), filtered or
+///    not, so a pass's failure indicator cannot be silenced.
+///  - a sink (setSink): a callback invoked with each diagnostic that
+///    passes the filter, at emission time — the hook a host uses to
+///    stream diagnostics to a log while the engine still collects them
+///    for the response. The engine never prints on its own.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, const std::string &Message);
@@ -53,12 +64,28 @@ public:
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &all() const { return Diags; }
 
+  /// Collect (and forward) only diagnostics at least this severe.
+  /// Severity order: Error > Warning > Note (the enum's declaration
+  /// order). Default Note keeps everything.
+  void setMinSeverity(DiagKind Kind) { MinSeverity = Kind; }
+  DiagKind minSeverity() const { return MinSeverity; }
+
+  /// Redirects a copy of each collected diagnostic to \p Sink at
+  /// emission time. An empty function restores collect-only mode.
+  void setSink(std::function<void(const Diagnostic &)> Sink) {
+    this->Sink = std::move(Sink);
+  }
+
   /// All diagnostics rendered one per line.
   std::string str() const;
 
 private:
+  void emit(Diagnostic D);
+
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  DiagKind MinSeverity = DiagKind::Note;
+  std::function<void(const Diagnostic &)> Sink;
 };
 
 } // namespace tnt

@@ -1,0 +1,113 @@
+//===- support/Metrics.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/Metrics.h"
+
+#include <sstream>
+
+using namespace tnt;
+using namespace tnt::metrics;
+
+void Histogram::observe(uint64_t Value) {
+  Buckets[bucketOf(Value)].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  // CAS loops for the extremes; contention here is rare (most observes
+  // are not a new min/max) and bounded (each iteration another thread
+  // made progress).
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Value < Cur &&
+         !Min.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Value > Cur &&
+         !Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::min() const {
+  uint64_t M = Min.load(std::memory_order_relaxed);
+  return M == UINT64_MAX ? 0 : M;
+}
+
+void Histogram::resetForTest() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(UINT64_MAX, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+Registry &Registry::get() {
+  static Registry R;
+  return R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Counters[Name];
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Gauges[Name];
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Histograms[Name];
+}
+
+std::string Registry::snapshotJson() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::ostringstream Out;
+  Out << "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    if (!First)
+      Out << ',';
+    First = false;
+    Out << '"' << Name << "\":" << C.value();
+  }
+  Out << "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    if (!First)
+      Out << ',';
+    First = false;
+    Out << '"' << Name << "\":" << G.value();
+  }
+  Out << "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      Out << ',';
+    First = false;
+    Out << '"' << Name << "\":{\"count\":" << H.count()
+        << ",\"sum\":" << H.sum() << ",\"min\":" << H.min()
+        << ",\"max\":" << H.max() << ",\"buckets\":[";
+    bool FirstB = true;
+    for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+      uint64_t N = H.bucketCount(I);
+      if (N == 0)
+        continue;
+      if (!FirstB)
+        Out << ',';
+      FirstB = false;
+      Out << '[' << Histogram::bucketLo(I) << ',' << N << ']';
+    }
+    Out << "]}";
+  }
+  Out << "}}";
+  return Out.str();
+}
+
+void Registry::resetForTest() {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &[Name, C] : Counters)
+    C.resetForTest();
+  for (auto &[Name, G] : Gauges)
+    G.set(0);
+  for (auto &[Name, H] : Histograms)
+    H.resetForTest();
+}

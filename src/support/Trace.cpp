@@ -1,0 +1,230 @@
+//===- support/Trace.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace tnt;
+using namespace tnt::trace;
+
+namespace {
+
+struct Event {
+  const char *Name;
+  const char *Cat;
+  uint64_t StartNs;
+  uint64_t DurNs;
+  unsigned Tid;
+  std::string Args;
+};
+
+/// One per thread, owned jointly by the thread (thread_local
+/// shared_ptr) and the global registry — so buffers survive thread
+/// exit until the next clear() and writeJson sees completed work from
+/// pool threads that already died.
+struct ThreadBuf {
+  std::mutex Mu;
+  std::vector<Event> Events;
+  unsigned Tid = 0;
+};
+
+constexpr size_t MaxEventsPerThread = 1u << 18;
+
+std::atomic<bool> EnabledFlag{false};
+std::atomic<uint64_t> Drops{0};
+std::atomic<uint64_t> EpochNs{0};
+
+struct BufRegistry {
+  std::mutex Mu;
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  unsigned NextTid = 0;
+};
+
+BufRegistry &bufRegistry() {
+  static BufRegistry R;
+  return R;
+}
+
+ThreadBuf &threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> Buf = [] {
+    auto B = std::make_shared<ThreadBuf>();
+    BufRegistry &R = bufRegistry();
+    std::lock_guard<std::mutex> L(R.Mu);
+    B->Tid = R.NextTid++;
+    R.Bufs.push_back(B);
+    return B;
+  }();
+  return *Buf;
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Thread-local tag stack; spans opened while a tag is live copy it.
+std::vector<std::pair<const char *, std::string>> &tagStack() {
+  thread_local std::vector<std::pair<const char *, std::string>> Tags;
+  return Tags;
+}
+
+} // namespace
+
+bool trace::enabled() {
+  return EnabledFlag.load(std::memory_order_relaxed);
+}
+
+void trace::start() {
+  clear();
+  EpochNs.store(nowNs(), std::memory_order_relaxed);
+  EnabledFlag.store(true, std::memory_order_relaxed);
+}
+
+void trace::stop() { EnabledFlag.store(false, std::memory_order_relaxed); }
+
+void trace::clear() {
+  BufRegistry &R = bufRegistry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  for (const std::shared_ptr<ThreadBuf> &B : R.Bufs) {
+    std::lock_guard<std::mutex> BL(B->Mu);
+    B->Events.clear();
+  }
+  Drops.store(0, std::memory_order_relaxed);
+}
+
+size_t trace::eventCount() {
+  BufRegistry &R = bufRegistry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  size_t N = 0;
+  for (const std::shared_ptr<ThreadBuf> &B : R.Bufs) {
+    std::lock_guard<std::mutex> BL(B->Mu);
+    N += B->Events.size();
+  }
+  return N;
+}
+
+uint64_t trace::dropCount() { return Drops.load(std::memory_order_relaxed); }
+
+bool trace::writeJson(const std::string &Path, std::string *Err) {
+  std::vector<Event> All;
+  {
+    BufRegistry &R = bufRegistry();
+    std::lock_guard<std::mutex> L(R.Mu);
+    for (const std::shared_ptr<ThreadBuf> &B : R.Bufs) {
+      std::lock_guard<std::mutex> BL(B->Mu);
+      All.insert(All.end(), B->Events.begin(), B->Events.end());
+    }
+  }
+  std::sort(All.begin(), All.end(), [](const Event &A, const Event &B) {
+    if (A.StartNs != B.StartNs)
+      return A.StartNs < B.StartNs;
+    if (A.Tid != B.Tid)
+      return A.Tid < B.Tid;
+    return std::strcmp(A.Name, B.Name) < 0;
+  });
+
+  std::string Out = "{\"traceEvents\":[";
+  char Num[64];
+  bool First = true;
+  for (const Event &E : All) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":" + json::quoted(E.Name) +
+           ",\"cat\":" + json::quoted(E.Cat) + ",\"ph\":\"X\",\"ts\":";
+    // Chrome "ts"/"dur" are microseconds; keep nanosecond precision as
+    // a decimal fraction.
+    std::snprintf(Num, sizeof(Num), "%llu.%03llu",
+                  static_cast<unsigned long long>(E.StartNs / 1000),
+                  static_cast<unsigned long long>(E.StartNs % 1000));
+    Out += Num;
+    Out += ",\"dur\":";
+    std::snprintf(Num, sizeof(Num), "%llu.%03llu",
+                  static_cast<unsigned long long>(E.DurNs / 1000),
+                  static_cast<unsigned long long>(E.DurNs % 1000));
+    Out += Num;
+    Out += ",\"pid\":1,\"tid\":" + std::to_string(E.Tid);
+    // Always present, possibly empty: one event schema for consumers.
+    Out += ",\"args\":{" + E.Args + "}}";
+  }
+  Out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" +
+         std::to_string(dropCount()) + "}}\n";
+
+  auto fail = [&](const std::string &Msg) {
+    if (Err != nullptr)
+      *Err = Msg;
+    return false;
+  };
+  std::ofstream OutF(Path, std::ios::binary | std::ios::trunc);
+  if (!OutF)
+    return fail("cannot write " + Path);
+  OutF << Out;
+  OutF.flush();
+  if (!OutF)
+    return fail("short write to " + Path);
+  return true;
+}
+
+Span::Span(const char *SpanName, const char *Category)
+    : Name(SpanName), Cat(Category) {
+  if (!trace::enabled())
+    return;
+  Live = true;
+  StartNs = nowNs() - EpochNs.load(std::memory_order_relaxed);
+  for (const auto &[Key, Value] : tagStack())
+    arg(Key, Value);
+}
+
+void Span::arg(const char *Key, const std::string &Value) {
+  if (!Live)
+    return;
+  if (!Args.empty())
+    Args += ',';
+  Args += json::quoted(Key);
+  Args += ':';
+  Args += json::quoted(Value);
+}
+
+Span::~Span() {
+  if (!Live)
+    return;
+  const uint64_t EndNs = nowNs() - EpochNs.load(std::memory_order_relaxed);
+  ThreadBuf &B = threadBuf();
+  std::lock_guard<std::mutex> L(B.Mu);
+  if (B.Events.size() >= MaxEventsPerThread) {
+    Drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.StartNs = StartNs;
+  E.DurNs = EndNs >= StartNs ? EndNs - StartNs : 0;
+  E.Tid = B.Tid;
+  E.Args = std::move(Args);
+  B.Events.push_back(std::move(E));
+}
+
+ScopedTag::ScopedTag(const char *Key, const std::string &Value) {
+  if (!trace::enabled())
+    return;
+  tagStack().emplace_back(Key, Value);
+  Pushed = true;
+}
+
+ScopedTag::~ScopedTag() {
+  if (Pushed)
+    tagStack().pop_back();
+}

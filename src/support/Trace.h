@@ -1,0 +1,111 @@
+//===- support/Trace.h - RAII scoped tracing (Chrome format) ---*- C++ -*-===//
+//
+// Part of the hiptntpp project: a reproduction of "Termination and
+// Non-Termination Specification Inference" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scoped tracing with per-thread buffers, exported as Chrome
+/// trace-event JSON (the `traceEvents` array of complete "X" events),
+/// loadable in Perfetto / chrome://tracing.
+///
+/// Usage:
+///
+///   trace::start();                       // hiptnt --trace-out
+///   {
+///     trace::Span S("group", "pipeline"); // RAII: duration = scope
+///     S.arg("key", GroupKey);             // small string payloads
+///     ...
+///   }
+///   trace::writeJson("t.json", &Err);
+///
+/// Tag propagation: a ScopedTag pushes a (key, value) pair onto a
+/// thread-local stack for its lifetime; every Span OPENED while the
+/// tag is live captures it into its args. That is how solver spans,
+/// opened deep under runPipelineGroup, carry the group content-key and
+/// request id without threading parameters through the solver API.
+///
+/// Out-of-band guarantee (the load-bearing invariant): tracing records
+/// wall-clock observations only — it never allocates VarIds, never
+/// reads or writes analysis state, and nothing in the analysis reads
+/// the trace. Disabled cost is one relaxed atomic load per span.
+/// Enabled, each thread appends to its OWN buffer under a per-buffer
+/// mutex (uncontended except against a concurrent writeJson), capped
+/// at MaxEventsPerThread with overflow counted in dropCount() rather
+/// than ever blocking or reallocating unboundedly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TNT_SUPPORT_TRACE_H
+#define TNT_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+
+namespace tnt {
+namespace trace {
+
+/// True between start() and stop(). One relaxed load.
+bool enabled();
+
+/// Clears all buffers, resets the epoch, and enables collection.
+void start();
+
+/// Disables collection (buffers retained for writeJson/eventCount).
+void stop();
+
+/// Drops every buffered event (and the drop counter).
+void clear();
+
+/// Total buffered events across threads.
+size_t eventCount();
+
+/// Events discarded because a thread buffer hit its cap.
+uint64_t dropCount();
+
+/// Writes the Chrome trace-event file: {"traceEvents":[...]}, events
+/// merged across threads and sorted by (ts, tid, name) for a stable
+/// layout. Returns false (with \p Err) on I/O failure.
+bool writeJson(const std::string &Path, std::string *Err = nullptr);
+
+/// RAII complete-event span. \p Name / \p Cat must be string literals
+/// (stored by pointer). Does nothing when tracing is disabled —
+/// including when tracing starts mid-scope.
+class Span {
+public:
+  Span(const char *Name, const char *Cat);
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a string argument (rendered into the event's "args"
+  /// object). No-op on a dead span.
+  void arg(const char *Key, const std::string &Value);
+
+private:
+  const char *Name;
+  const char *Cat;
+  uint64_t StartNs = 0;
+  std::string Args; ///< Pre-rendered `"k":"v"` pairs, comma-joined.
+  bool Live = false;
+};
+
+/// Pushes a thread-local (key, value) tag for the scope's lifetime;
+/// spans opened underneath capture it. Cheap when tracing is disabled
+/// (one relaxed load; no storage touched).
+class ScopedTag {
+public:
+  ScopedTag(const char *Key, const std::string &Value);
+  ~ScopedTag();
+  ScopedTag(const ScopedTag &) = delete;
+  ScopedTag &operator=(const ScopedTag &) = delete;
+
+private:
+  bool Pushed = false;
+};
+
+} // namespace trace
+} // namespace tnt
+
+#endif // TNT_SUPPORT_TRACE_H

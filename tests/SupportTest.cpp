@@ -1,5 +1,6 @@
 //===- tests/SupportTest.cpp - support layer unit tests --------*- C++ -*-===//
 
+#include "support/Diagnostics.h"
 #include "support/ExtNat.h"
 #include "support/Json.h"
 #include "support/Rational.h"
@@ -292,4 +293,73 @@ TEST(Json, WriteRoundTripsDocuments) {
   std::optional<json::Value> V2 = json::parse(W);
   ASSERT_TRUE(V2.has_value());
   EXPECT_EQ(json::write(*V2), W);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, FormattingAndDefaults) {
+  DiagnosticEngine DE;
+  EXPECT_EQ(DE.minSeverity(), DiagKind::Note); // Default keeps everything.
+  DE.error({3, 7}, "bad thing");
+  DE.warning({1, 1}, "odd thing");
+  DE.note({}, "context");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.errorCount(), 1u);
+  ASSERT_EQ(DE.all().size(), 3u);
+  EXPECT_EQ(DE.all()[0].str(), "3:7: error: bad thing");
+  EXPECT_EQ(DE.all()[1].str(), "1:1: warning: odd thing");
+  EXPECT_EQ(DE.all()[2].str(), "<unknown>: note: context");
+  EXPECT_EQ(DE.str(), "3:7: error: bad thing\n"
+                      "1:1: warning: odd thing\n"
+                      "<unknown>: note: context\n");
+}
+
+TEST(Diagnostics, MinSeverityFiltersCollectionButNotErrorCount) {
+  DiagnosticEngine DE;
+  DE.setMinSeverity(DiagKind::Warning);
+  DE.note({1, 1}, "dropped");
+  DE.warning({2, 2}, "kept");
+  DE.error({3, 3}, "kept too");
+  ASSERT_EQ(DE.all().size(), 2u);
+  EXPECT_EQ(DE.all()[0].Kind, DiagKind::Warning);
+  EXPECT_EQ(DE.all()[1].Kind, DiagKind::Error);
+  EXPECT_EQ(DE.str(), "2:2: warning: kept\n3:3: error: kept too\n");
+
+  // Errors-only mode: warnings and notes vanish from the rendering...
+  DiagnosticEngine Strict;
+  Strict.setMinSeverity(DiagKind::Error);
+  Strict.warning({1, 1}, "gone");
+  Strict.note({1, 2}, "gone");
+  EXPECT_TRUE(Strict.all().empty());
+  EXPECT_FALSE(Strict.hasErrors());
+  // ...but the failure indicator can never be filtered away.
+  Strict.error({9, 9}, "still fatal");
+  EXPECT_TRUE(Strict.hasErrors());
+  EXPECT_EQ(Strict.errorCount(), 1u);
+  ASSERT_EQ(Strict.all().size(), 1u);
+}
+
+TEST(Diagnostics, SinkSeesFilteredStreamAtEmissionTime) {
+  DiagnosticEngine DE;
+  std::vector<std::string> Streamed;
+  DE.setSink([&Streamed](const Diagnostic &D) {
+    Streamed.push_back(D.str());
+  });
+  DE.setMinSeverity(DiagKind::Warning);
+  DE.error({1, 1}, "first");
+  DE.note({2, 2}, "never sunk"); // Below the filter: sink not called.
+  DE.warning({3, 3}, "second");
+  ASSERT_EQ(Streamed.size(), 2u);
+  EXPECT_EQ(Streamed[0], "1:1: error: first");
+  EXPECT_EQ(Streamed[1], "3:3: warning: second");
+  // The engine still collected its own copies (sink is a tee, not a
+  // redirect)...
+  EXPECT_EQ(DE.all().size(), 2u);
+  // ...and an empty function restores collect-only mode.
+  DE.setSink({});
+  DE.warning({4, 4}, "quiet");
+  EXPECT_EQ(Streamed.size(), 2u);
+  EXPECT_EQ(DE.all().size(), 3u);
 }

@@ -50,6 +50,7 @@
 #include "arith/Var.h"
 #include "store/SpecStore.h"
 #include "support/Json.h"
+#include "support/Trace.h"
 #include "workloads/Corpus.h"
 
 #include <algorithm>
@@ -68,7 +69,7 @@ namespace {
 
 void printUsage(std::ostream &OS) {
   OS << "usage: hiptnt <file> [options]\n"
-        "       hiptnt --batch <dir|@corpus[:N]|@fig11> [options]\n"
+        "       hiptnt --batch <dir|@corpus[:N]|@fig11[:N]> [options]\n"
         "       hiptnt --serve [options]\n"
         "       hiptnt --serve-socket <path> [options]\n"
         "       hiptnt --serve-smoke <n>\n"
@@ -122,6 +123,15 @@ void printUsage(std::ostream &OS) {
         "the store and the\n"
         "                        outcomes digest matches the stored run "
         "(batch)\n"
+        "  --profile             batch mode: print the top-20 slowest "
+        "groups with their\n"
+        "                        solver query counts and tier/store "
+        "attribution\n"
+        "  --trace-out <file>    write a Chrome trace-event JSON file "
+        "(Perfetto-loadable)\n"
+        "                        of the run: pipeline phases, solver "
+        "ladder levels, store\n"
+        "                        operations; works in every mode\n"
         "  --reclaim-every <n>   serve mode: reclaim per-request intern "
         "garbage every n\n"
         "                        requests (default 64)\n"
@@ -152,9 +162,26 @@ std::string rate(uint64_t Hits, uint64_t Misses) {
 bool batchItems(const std::string &Target, const std::string &Entry,
                 std::vector<BatchItem> &Items,
                 std::vector<const BenchProgram *> &Truth) {
-  if (Target == "@fig11") {
+  if (Target.rfind("@fig11", 0) == 0) {
+    size_t Limit = 0;
+    if (Target.size() > 6) {
+      if (Target[6] != ':')
+        return false;
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Target.c_str() + 7, &End, 10);
+      if (*End != '\0' || N == 0)
+        return false;
+      Limit = N;
+    }
     Items = loopBasedBatchItems();
     Truth = loopBasedPrograms();
+    // A prefix slice, like @corpus:N — @fig11:20 is the trace-smoke /
+    // bench workload: big enough to exercise every pipeline phase,
+    // small enough to run twice per CI job.
+    if (Limit != 0 && Limit < Items.size()) {
+      Items.resize(Limit);
+      Truth.resize(Limit);
+    }
     return true;
   }
   if (Target.rfind("@corpus", 0) == 0) {
@@ -218,7 +245,7 @@ bool batchItems(const std::string &Target, const std::string &Entry,
 int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
              const std::string &Entry, bool GlobalTier, bool ShowStats,
              bool ShowOutcomes, const std::string &StorePath,
-             bool ExpectStoreHits) {
+             bool ExpectStoreHits, bool Profile) {
   std::vector<BatchItem> Items;
   std::vector<const BenchProgram *> Truth;
   if (!batchItems(Target, Entry, Items, Truth))
@@ -237,6 +264,7 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
   Opt.Program.Solve.EnableAbduction = Cli.Solve.EnableAbduction;
   Opt.Program.Solve.EnableCondTerm = Cli.Solve.EnableCondTerm;
   Opt.Program.Ladder = Cli.Ladder;
+  Opt.Profile = Profile;
 
   // Persistent spec store: load (or cold-start) the file, remember the
   // previous run's outcomes digest for the --expect-store-hits replay
@@ -291,6 +319,8 @@ int runBatch(const std::string &Target, const AnalyzerConfig &Cli,
             << (R.Millis > 0 ? double(Items.size()) / (R.Millis / 1000.0)
                              : 0.0)
             << " programs/s)\n";
+  if (Profile)
+    std::cout << "\n" << R.profileTable();
   if (ShowStats) {
     // Per-tier breakdown: the local (per-context LRU) tier, the shared
     // global tier split by cache generation, and the intern-table
@@ -640,9 +670,11 @@ int runServeConcurrentSmoke(unsigned N) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Path, Entry = "main", BatchTarget, StorePath, ServeSocket;
+  std::string Path, Entry = "main", BatchTarget, StorePath, ServeSocket,
+      TraceOut;
   bool ShowStats = false, Batch = false, GlobalTier = true,
-       ShowOutcomes = false, Serve = false, ExpectStoreHits = false;
+       ShowOutcomes = false, Serve = false, ExpectStoreHits = false,
+       Profile = false;
   unsigned ServeSmoke = 0, ServeConcurrentSmoke = 0, ReclaimEvery = 64,
            ServeWorkers = 4, ServeQueue = 64;
   AnalyzerConfig Config;
@@ -746,6 +778,15 @@ int main(int Argc, char **Argv) {
       StorePath = Argv[++I];
     } else if (Arg == "--expect-store-hits")
       ExpectStoreHits = true;
+    else if (Arg == "--profile")
+      Profile = true;
+    else if (Arg == "--trace-out") {
+      if (I + 1 >= Argc) {
+        std::cerr << "option --trace-out requires a file path\n";
+        return 2;
+      }
+      TraceOut = Argv[++I];
+    }
     else if (Arg == "--no-global-tier")
       GlobalTier = false;
     else if (Arg == "--outcomes")
@@ -773,10 +814,41 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Tracing wraps every mode: collection starts before any analysis,
+  // and the epilogue writes the Chrome trace file and SELF-VALIDATES
+  // it (re-parse, require a traceEvents array) — the trace-smoke fence
+  // is "the tool never writes a file Perfetto would reject". A trace
+  // failure fails the run only through the epilogue's own exit code;
+  // the analysis output above it is already complete and untouched.
+  if (!TraceOut.empty())
+    trace::start();
+  auto Finish = [&TraceOut](int RC) {
+    if (TraceOut.empty())
+      return RC;
+    trace::stop();
+    std::string Err;
+    if (!trace::writeJson(TraceOut, &Err)) {
+      std::cerr << "trace: " << Err << "\n";
+      return RC == 0 ? 1 : RC;
+    }
+    std::ifstream In(TraceOut);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::optional<json::Value> V = json::parse(Buf.str(), &Err);
+    const json::Value *Events =
+        V && V->isObject() ? V->field("traceEvents") : nullptr;
+    if (Events == nullptr || !Events->isArray()) {
+      std::cerr << "trace: " << TraceOut
+                << " is not valid Chrome trace JSON\n";
+      return RC == 0 ? 1 : RC;
+    }
+    return RC;
+  };
+
   if (ServeSmoke != 0)
-    return runServeSmoke(ServeSmoke);
+    return Finish(runServeSmoke(ServeSmoke));
   if (ServeConcurrentSmoke != 0)
-    return runServeConcurrentSmoke(ServeConcurrentSmoke);
+    return Finish(runServeConcurrentSmoke(ServeConcurrentSmoke));
   if (!ServeSocket.empty()) {
     ConcurrentServerOptions CO;
     CO.Server.GlobalTier = GlobalTier;
@@ -794,7 +866,7 @@ int main(int Argc, char **Argv) {
     int RC = Server.serveSocket(&Err);
     if (!Err.empty())
       std::cerr << Err << "\n";
-    return RC;
+    return Finish(RC);
   }
   if (Serve) {
     ServerOptions SO;
@@ -806,11 +878,12 @@ int main(int Argc, char **Argv) {
     SO.Program.Ladder = Config.Ladder;
     SO.StorePath = StorePath;
     AnalysisServer Server(SO);
-    return Server.serve(std::cin, std::cout);
+    return Finish(Server.serve(std::cin, std::cout));
   }
   if (Batch)
-    return runBatch(BatchTarget, Config, Entry, GlobalTier, ShowStats,
-                    ShowOutcomes, StorePath, ExpectStoreHits);
+    return Finish(runBatch(BatchTarget, Config, Entry, GlobalTier, ShowStats,
+                           ShowOutcomes, StorePath, ExpectStoreHits,
+                           Profile));
   if (Path.empty())
     return usage();
 
@@ -848,7 +921,7 @@ int main(int Argc, char **Argv) {
   }
   if (!R.Ok) {
     std::cerr << R.Diagnostics;
-    return 1;
+    return Finish(1);
   }
   std::cout << R.str();
   if (R.find(Entry))
@@ -874,5 +947,5 @@ int main(int Argc, char **Argv) {
     std::cout << "ladder: interval_unsat=" << S.IntervalUnsat
               << " interval_sat=" << S.IntervalSat << "\n";
   }
-  return 0;
+  return Finish(0);
 }
